@@ -1,0 +1,260 @@
+package isacmp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmark harness regenerates every table and figure of the
+// paper, one testing.B benchmark per artefact:
+//
+//	BenchmarkFig1PathLength   Figure 1 — per-kernel path lengths
+//	BenchmarkTable1CritPath   Table 1  — critical path / ILP / runtime
+//	BenchmarkTable2ScaledCP   Table 2  — latency-scaled critical path
+//	BenchmarkFig2WindowedCP   Figure 2 — mean ILP per window size
+//	BenchmarkOoOCore          section 8 — finite-resource timing models
+//	BenchmarkSimulatorRate    raw simulation throughput
+//
+// Each reports its headline numbers as benchmark metrics, so
+// `go test -bench=. -benchmem` prints the reproduced values next to
+// the timing. The default scale is Small; results at Paper scale
+// (hours of simulation) come from `cmd/isacmp -scale paper`.
+
+const benchScale = Small
+
+func benchTargets(b *testing.B, names []string, run func(b *testing.B, prog *Program, tgt Target)) {
+	b.Helper()
+	for _, name := range names {
+		prog := Workload(name, benchScale)
+		for _, tgt := range Targets() {
+			b.Run(fmt.Sprintf("%s/%s", name, tgt), func(b *testing.B) {
+				run(b, prog, tgt)
+			})
+		}
+	}
+}
+
+// BenchmarkFig1PathLength regenerates the Figure 1 data: dynamic
+// instruction counts per benchmark per target.
+func BenchmarkFig1PathLength(b *testing.B) {
+	benchTargets(b, Workloads(), func(b *testing.B, prog *Program, tgt Target) {
+		bin, err := Compile(prog, tgt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var insts uint64
+		for i := 0; i < b.N; i++ {
+			res, err := bin.Analyse(Analyses{PathLength: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts = res.Stats.Instructions
+		}
+		b.ReportMetric(float64(insts), "pathlen")
+	})
+}
+
+// BenchmarkTable1CritPath regenerates the Table 1 rows.
+func BenchmarkTable1CritPath(b *testing.B) {
+	benchTargets(b, Workloads(), func(b *testing.B, prog *Program, tgt Target) {
+		bin, err := Compile(prog, tgt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cp uint64
+		var ilp float64
+		for i := 0; i < b.N; i++ {
+			res, err := bin.Analyse(Analyses{CritPath: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cp, ilp = res.CP, res.ILP
+		}
+		b.ReportMetric(float64(cp), "CP")
+		b.ReportMetric(ilp, "ILP")
+	})
+}
+
+// BenchmarkTable2ScaledCP regenerates the Table 2 rows.
+func BenchmarkTable2ScaledCP(b *testing.B) {
+	benchTargets(b, Workloads(), func(b *testing.B, prog *Program, tgt Target) {
+		bin, err := Compile(prog, tgt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cp uint64
+		var ilp float64
+		for i := 0; i < b.N; i++ {
+			res, err := bin.Analyse(Analyses{ScaledCritPath: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cp, ilp = res.ScaledCP, res.ScaledILP
+		}
+		b.ReportMetric(float64(cp), "scaledCP")
+		b.ReportMetric(ilp, "ILP")
+	})
+}
+
+// BenchmarkFig2WindowedCP regenerates the Figure 2 series (GCC 12.2
+// binaries only, like the paper).
+func BenchmarkFig2WindowedCP(b *testing.B) {
+	for _, name := range Workloads() {
+		prog := Workload(name, benchScale)
+		for _, arch := range []Arch{AArch64, RV64} {
+			tgt := Target{Arch: arch, Flavor: GCC12}
+			b.Run(fmt.Sprintf("%s/%s", name, tgt), func(b *testing.B) {
+				bin, err := Compile(prog, tgt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var windows []WindowResult
+				for i := 0; i < b.N; i++ {
+					res, err := bin.Analyse(Analyses{Windowed: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					windows = res.Windows
+				}
+				for _, wr := range windows {
+					b.ReportMetric(wr.MeanILP, fmt.Sprintf("ILP@%d", wr.Size))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOoOCore exercises the finite-resource out-of-order model at
+// the ROB sizes of the windowed analysis (the paper's future work).
+func BenchmarkOoOCore(b *testing.B) {
+	prog := Workload("stream", benchScale)
+	for _, rob := range []int{64, 200, 500} {
+		for _, arch := range []Arch{AArch64, RV64} {
+			tgt := Target{Arch: arch, Flavor: GCC12}
+			b.Run(fmt.Sprintf("rob%d/%s", rob, tgt), func(b *testing.B) {
+				bin, err := Compile(prog, tgt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var stats Stats
+				for i := 0; i < b.N; i++ {
+					model := NewOoOModel()
+					model.ROBSize = rob
+					stats, err = bin.RunOoO(model)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(stats.Instructions)/float64(stats.Cycles), "IPC")
+			})
+		}
+	}
+}
+
+// BenchmarkInOrderCore exercises the dual-issue in-order model.
+func BenchmarkInOrderCore(b *testing.B) {
+	prog := Workload("stream", benchScale)
+	for _, arch := range []Arch{AArch64, RV64} {
+		tgt := Target{Arch: arch, Flavor: GCC12}
+		b.Run(tgt.String(), func(b *testing.B) {
+			bin, err := Compile(prog, tgt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				stats, err = bin.RunInOrder()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Instructions)/float64(stats.Cycles), "IPC")
+		})
+	}
+}
+
+// BenchmarkSimulatorRate measures raw emulation throughput with no
+// analyses attached, in simulated instructions per second.
+func BenchmarkSimulatorRate(b *testing.B) {
+	prog := Workload("stream", benchScale)
+	for _, tgt := range Targets() {
+		b.Run(tgt.String(), func(b *testing.B) {
+			bin, err := Compile(prog, tgt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var insts uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := bin.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = stats.Instructions
+			}
+			b.StopTimer()
+			rate := float64(insts) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(rate/1e6, "Minst/s")
+		})
+	}
+}
+
+// BenchmarkCompile measures compilation cost (IR to ELF).
+func BenchmarkCompile(b *testing.B) {
+	for _, name := range Workloads() {
+		prog := Workload(name, benchScale)
+		tgt := Target{Arch: AArch64, Flavor: GCC12}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(prog, tgt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation measures what each code-generation idiom the paper
+// identifies contributes to path length, by disabling them one at a
+// time (DESIGN.md's ablation study). The reported metric is the path
+// length relative to the fully optimised binary.
+func BenchmarkAblation(b *testing.B) {
+	ablations := []struct {
+		name string
+		opts CompilerOptions
+	}{
+		{"no-fma", CompilerOptions{NoFMA: true}},
+		{"no-strength-reduction", CompilerOptions{NoStrengthReduction: true}},
+		{"no-hoisting", CompilerOptions{NoHoisting: true}},
+	}
+	for _, name := range []string{"stream", "cloverleaf", "lbm"} {
+		prog := Workload(name, benchScale)
+		for _, arch := range []Arch{AArch64, RV64} {
+			tgt := Target{Arch: arch, Flavor: GCC12}
+			baseBin, err := Compile(prog, tgt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			baseStats, err := baseBin.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ab := range ablations {
+				b.Run(fmt.Sprintf("%s/%s/%s", name, tgt, ab.name), func(b *testing.B) {
+					bin, err := CompileWithOptions(prog, tgt, ab.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var stats Stats
+					for i := 0; i < b.N; i++ {
+						stats, err = bin.Run()
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(stats.Instructions)/float64(baseStats.Instructions), "pathlen-ratio")
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command critpath regenerates Table 1 (critical paths, ILP and ideal
+// 2 GHz run times) and, with -scaled, Table 2 (latency-weighted
+// critical paths under the ThunderX2-style model).
+//
+// Usage: critpath [-scaled] [-scale tiny|small|paper] [-bench name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"isacmp/internal/report"
+	"isacmp/internal/workloads"
+)
+
+func main() {
+	scaledFlag := flag.Bool("scaled", false, "produce Table 2 (latency-scaled) instead of Table 1")
+	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
+	benchFlag := flag.String("bench", "", "single benchmark to run")
+	flag.Parse()
+
+	scale := workloads.Small
+	switch *scaleFlag {
+	case "tiny":
+		scale = workloads.Tiny
+	case "small":
+	case "paper":
+		scale = workloads.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "critpath: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	progs := workloads.Suite(scale)
+	if *benchFlag != "" {
+		p := workloads.ByName(*benchFlag, scale)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "critpath: unknown benchmark %q\n", *benchFlag)
+			os.Exit(2)
+		}
+		progs = progs[:0]
+		progs = append(progs, p)
+	}
+
+	what := "critpath: Table 1"
+	ex := report.Experiment{CritPath: true}
+	if *scaledFlag {
+		what = "critpath: Table 2 (scaled)"
+		ex = report.Experiment{Scaled: true}
+	}
+	report.Banner(os.Stdout, what, scale.String())
+	for _, p := range progs {
+		rows, err := report.Run(p, ex)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "critpath:", err)
+			os.Exit(1)
+		}
+		report.WriteCritPaths(os.Stdout, p.Name, rows, *scaledFlag)
+	}
+}

@@ -1,0 +1,424 @@
+// Command isacmp regenerates every table and figure of the paper from
+// one binary:
+//
+//	isacmp pathlen  [-scale small] [-bench stream]   Figure 1
+//	isacmp critpath [-scale small] [-bench stream]   Table 1
+//	isacmp scaledcp [-scale small] [-bench stream]   Table 2
+//	isacmp windowcp [-scale small] [-bench stream]   Figure 2
+//	isacmp all      [-scale small]                   everything
+//	isacmp disasm   [-bench stream] [-kernel copy] [-target aarch64-gcc12]
+//	isacmp verify   [-scale tiny]                    simulated vs host reference
+//
+// -scale is tiny, small or paper. With no -bench, every benchmark
+// runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"isacmp"
+
+	"isacmp/internal/a64"
+	"isacmp/internal/core"
+	"isacmp/internal/elfio"
+	"isacmp/internal/ir"
+	"isacmp/internal/report"
+	"isacmp/internal/rv64"
+	"isacmp/internal/simeng"
+	"isacmp/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scaleFlag := fs.String("scale", "small", "problem size: tiny, small or paper")
+	benchFlag := fs.String("bench", "", "run a single benchmark (stream, cloverleaf, minibude, lbm, minisweep)")
+	kernelFlag := fs.String("kernel", "", "kernel to disassemble (disasm)")
+	targetFlag := fs.String("target", "aarch64-gcc12", "target for disasm: {aarch64,rv64}-{gcc9,gcc12}")
+	dirFlag := fs.String("dir", "results", "output directory (artifacts)")
+	latencyFlag := fs.String("latency-file", "", "latency config file overriding the TX2 model (scaledcp)")
+	countFlag := fs.Int("n", 32, "instructions to print (trace)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	progs, err := selectBenchmarks(*benchFlag, scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "pathlen":
+		var summaries []report.Summary
+		runExperiment(progs, scale, report.Experiment{PathLength: true}, func(p *ir.Program, rows []report.Row) {
+			report.WritePathLengths(os.Stdout, p.Name, rows)
+			summaries = append(summaries, report.Summarise(p.Name, rows)...)
+		})
+		report.WriteSummaries(os.Stdout, summaries)
+	case "critpath":
+		runExperiment(progs, scale, report.Experiment{CritPath: true}, func(p *ir.Program, rows []report.Row) {
+			report.WriteCritPaths(os.Stdout, p.Name, rows, false)
+		})
+	case "scaledcp":
+		ex := report.Experiment{Scaled: true}
+		if *latencyFlag != "" {
+			f, err := os.Open(*latencyFlag)
+			if err != nil {
+				fatal(err)
+			}
+			lat, err := simeng.ParseLatencyConfig(f, nil)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			ex.Latencies = lat
+		}
+		runExperiment(progs, scale, ex, func(p *ir.Program, rows []report.Row) {
+			report.WriteCritPaths(os.Stdout, p.Name, rows, true)
+		})
+	case "windowcp":
+		runExperiment(progs, scale, report.Experiment{Windowed: true, GCC12Only: true}, func(p *ir.Program, rows []report.Row) {
+			report.WriteWindowed(os.Stdout, p.Name, rows)
+		})
+	case "mix":
+		runExperiment(progs, scale, report.Experiment{Mix: true}, func(p *ir.Program, rows []report.Row) {
+			report.WriteMix(os.Stdout, p.Name, rows)
+		})
+	case "all":
+		report.Banner(os.Stdout, "isacmp: full reproduction", scale.String())
+		var summaries []report.Summary
+		ex := report.Experiment{PathLength: true, CritPath: true, Scaled: true, Windowed: true}
+		for _, p := range progs {
+			rows, err := report.Run(p, ex)
+			if err != nil {
+				fatal(err)
+			}
+			report.WritePathLengths(os.Stdout, p.Name, rows)
+			report.WriteCritPaths(os.Stdout, p.Name, rows, false)
+			report.WriteCritPaths(os.Stdout, p.Name, rows, true)
+			gcc12 := rows[:0:0]
+			for _, r := range rows {
+				if r.Target.Flavor == isacmp.GCC12 {
+					gcc12 = append(gcc12, r)
+				}
+			}
+			report.WriteWindowed(os.Stdout, p.Name, gcc12)
+			summaries = append(summaries, report.Summarise(p.Name, rows)...)
+		}
+		report.WriteSummaries(os.Stdout, summaries)
+	case "artifacts":
+		if err := report.WriteArtifacts(*dirFlag, progs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote kernelCounts.txt, basicCPResult.txt, scaledCPResult.txt, windowAverages.txt to %s/\n", *dirFlag)
+	case "disasm":
+		if err := disasm(progs, *kernelFlag, *targetFlag); err != nil {
+			fatal(err)
+		}
+	case "trace":
+		if err := trace(progs, *kernelFlag, *targetFlag, *countFlag); err != nil {
+			fatal(err)
+		}
+	case "blocks":
+		if err := hotBlocks(progs, *targetFlag, *countFlag); err != nil {
+			fatal(err)
+		}
+	case "verify":
+		for _, p := range progs {
+			for _, tgt := range isacmp.Targets() {
+				bin, err := isacmp.Compile(p, tgt)
+				if err != nil {
+					fatal(err)
+				}
+				if err := bin.Verify(); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%-12s %-18s OK\n", p.Name, tgt)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runExperiment(progs []*ir.Program, scale workloads.Scale, ex report.Experiment, write func(*ir.Program, []report.Row)) {
+	report.Banner(os.Stdout, "isacmp", scale.String())
+	for _, p := range progs {
+		rows, err := report.Run(p, ex)
+		if err != nil {
+			fatal(err)
+		}
+		write(p, rows)
+	}
+}
+
+func disasm(progs []*ir.Program, kernel, target string) error {
+	tgt, err := parseTarget(target)
+	if err != nil {
+		return err
+	}
+	for _, p := range progs {
+		bin, err := isacmp.Compile(p, tgt)
+		if err != nil {
+			return err
+		}
+		kernels := []string{kernel}
+		if kernel == "" {
+			kernels = kernels[:0]
+			for _, k := range p.Kernels {
+				kernels = append(kernels, k.Name)
+			}
+		}
+		for _, k := range kernels {
+			fmt.Printf("-- %s: %s (%s) --\n", p.Name, k, tgt)
+			if err := bin.Disassemble(k, os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// trace runs each benchmark and prints the first n retired
+// instructions (optionally only those inside one kernel region) with
+// their disassembly and memory effects — a SimEng-style execution
+// trace.
+func trace(progs []*ir.Program, kernel, target string, n int) error {
+	tgt, err := parseTarget(target)
+	if err != nil {
+		return err
+	}
+	for _, p := range progs {
+		bin, err := isacmp.Compile(p, tgt)
+		if err != nil {
+			return err
+		}
+		var lo, hi uint64
+		if kernel != "" {
+			for _, s := range bin.Symbols() {
+				if s.Name == kernel {
+					lo, hi = s.Value, s.Value+s.Size
+				}
+			}
+			if hi == 0 {
+				return fmt.Errorf("no kernel %q in %s", kernel, p.Name)
+			}
+		}
+		fmt.Printf("-- trace: %s (%s)%s --\n", p.Name, tgt, kernelSuffix(kernel))
+		printed := 0
+		_, err = bin.Run(isacmp.SinkFunc(func(ev *isacmp.Event) {
+			if printed >= n {
+				return
+			}
+			if hi != 0 && (ev.PC < lo || ev.PC >= hi) {
+				return
+			}
+			line := disasmWord(tgt, ev.Word)
+			mem := ""
+			if ev.LoadSize != 0 {
+				mem += fmt.Sprintf("  [load %#x/%d]", ev.LoadAddr, ev.LoadSize)
+			}
+			if ev.StoreSize != 0 {
+				mem += fmt.Sprintf("  [store %#x/%d]", ev.StoreAddr, ev.StoreSize)
+			}
+			if ev.Branch {
+				taken := "not-taken"
+				if ev.Taken {
+					taken = "taken"
+				}
+				mem += "  [" + taken + "]"
+			}
+			fmt.Printf("%#08x: %-40s%s\n", ev.PC, line, mem)
+			printed++
+		}))
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// hotBlocks prints the hottest dynamically discovered basic blocks of
+// each benchmark — the paper's "basic code block" attribution — with a
+// disassembly of the hottest one.
+func hotBlocks(progs []*ir.Program, target string, n int) error {
+	tgt, err := parseTarget(target)
+	if err != nil {
+		return err
+	}
+	for _, p := range progs {
+		bin, err := isacmp.Compile(p, tgt)
+		if err != nil {
+			return err
+		}
+		prof := core.NewBlockProfile()
+		if _, err := bin.Run(prof); err != nil {
+			return err
+		}
+		fmt.Printf("-- hottest basic blocks: %s (%s) --\n", p.Name, tgt)
+		blocks := prof.Hottest(n)
+		syms := bin.Symbols()
+		for _, blk := range blocks {
+			region := ""
+			for _, s := range syms {
+				if blk.Start >= s.Value && blk.Start < s.Value+s.Size {
+					region = s.Name
+				}
+			}
+			fmt.Printf("%#08x..%#08x  %10d execs %12d insts (%5.1f%%)  %s\n",
+				blk.Start, blk.End, blk.Execs, blk.Instructions, blk.Fraction*100, region)
+		}
+		if len(blocks) > 0 {
+			fmt.Println("\nhottest block disassembly:")
+			if err := disasmRange(bin, tgt, blocks[0].Start, blocks[0].End); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// disasmRange prints the instructions in [lo, hi).
+func disasmRange(bin *isacmp.Binary, tgt isacmp.Target, lo, hi uint64) error {
+	words, base, err := textWords(bin)
+	if err != nil {
+		return err
+	}
+	for pc := lo; pc < hi; pc += 4 {
+		idx := (pc - base) / 4
+		if idx >= uint64(len(words)) {
+			break
+		}
+		fmt.Printf("%#08x: %s\n", pc, disasmWord(tgt, words[idx]))
+	}
+	return nil
+}
+
+// textWords extracts the executable segment of the binary as words.
+func textWords(bin *isacmp.Binary) ([]uint32, uint64, error) {
+	img := bin.ELF()
+	f, err := elfio.Read(img)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, seg := range f.Segments {
+		if seg.Flags&elfio.PFX != 0 {
+			words := make([]uint32, len(seg.Data)/4)
+			for i := range words {
+				words[i] = uint32(seg.Data[i*4]) | uint32(seg.Data[i*4+1])<<8 |
+					uint32(seg.Data[i*4+2])<<16 | uint32(seg.Data[i*4+3])<<24
+			}
+			return words, seg.Vaddr, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("no text segment")
+}
+
+func kernelSuffix(kernel string) string {
+	if kernel == "" {
+		return ""
+	}
+	return ", kernel " + kernel
+}
+
+func disasmWord(tgt isacmp.Target, word uint32) string {
+	if tgt.Arch == isacmp.AArch64 {
+		inst, err := a64.Decode(word)
+		if err != nil {
+			return fmt.Sprintf(".word %#08x", word)
+		}
+		return inst.String()
+	}
+	inst, err := rv64.Decode(word)
+	if err != nil {
+		return fmt.Sprintf(".word %#08x", word)
+	}
+	return inst.String()
+}
+
+func parseScale(s string) (workloads.Scale, error) {
+	switch s {
+	case "tiny":
+		return workloads.Tiny, nil
+	case "small":
+		return workloads.Small, nil
+	case "paper":
+		return workloads.Paper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want tiny, small or paper)", s)
+}
+
+func parseTarget(s string) (isacmp.Target, error) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return isacmp.Target{}, fmt.Errorf("bad target %q (want e.g. aarch64-gcc12)", s)
+	}
+	var t isacmp.Target
+	switch parts[0] {
+	case "aarch64", "arm":
+		t.Arch = isacmp.AArch64
+	case "rv64", "riscv":
+		t.Arch = isacmp.RV64
+	default:
+		return t, fmt.Errorf("unknown architecture %q", parts[0])
+	}
+	switch parts[1] {
+	case "gcc9":
+		t.Flavor = isacmp.GCC9
+	case "gcc12":
+		t.Flavor = isacmp.GCC12
+	default:
+		return t, fmt.Errorf("unknown compiler %q", parts[1])
+	}
+	return t, nil
+}
+
+func selectBenchmarks(name string, s workloads.Scale) ([]*ir.Program, error) {
+	if name == "" {
+		return workloads.Suite(s), nil
+	}
+	p := workloads.ByName(name, s)
+	if p == nil {
+		return nil, fmt.Errorf("unknown benchmark %q (want one of %v)", name, workloads.Names())
+	}
+	return []*ir.Program{p}, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: isacmp <command> [flags]
+
+commands:
+  pathlen    per-kernel dynamic instruction counts    (Figure 1)
+  critpath   critical path, ILP, ideal 2 GHz runtime  (Table 1)
+  scaledcp   latency-scaled critical path             (Table 2)
+  windowcp   mean ILP per ROB-sized window            (Figure 2)
+  mix        instruction mix and branch density       (section 3.3)
+  artifacts  write the four result files of the paper's artifact (A.6)
+  trace      print a disassembled execution trace (-n, -kernel, -target)
+  blocks     hottest dynamically-discovered basic blocks (-n, -target)
+  all        everything above plus the ratio summary
+  disasm     disassemble benchmark kernels
+  verify     check simulated results against the host reference
+
+flags: -scale tiny|small|paper   -bench <name>   (disasm) -kernel <k> -target <a>-<c>`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "isacmp:", err)
+	os.Exit(1)
+}

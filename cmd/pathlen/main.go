@@ -1,0 +1,57 @@
+// Command pathlen regenerates Figure 1: per-kernel dynamic instruction
+// counts for every benchmark and target, normalised to GCC 9.2 /
+// AArch64, plus the cross-benchmark RISC-V/AArch64 ratio summary.
+//
+// Usage: pathlen [-scale tiny|small|paper] [-bench name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"isacmp/internal/report"
+	"isacmp/internal/workloads"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
+	benchFlag := flag.String("bench", "", "single benchmark to run")
+	flag.Parse()
+
+	scale := workloads.Small
+	switch *scaleFlag {
+	case "tiny":
+		scale = workloads.Tiny
+	case "small":
+	case "paper":
+		scale = workloads.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "pathlen: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	progs := workloads.Suite(scale)
+	if *benchFlag != "" {
+		p := workloads.ByName(*benchFlag, scale)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "pathlen: unknown benchmark %q\n", *benchFlag)
+			os.Exit(2)
+		}
+		progs = progs[:0]
+		progs = append(progs, p)
+	}
+
+	report.Banner(os.Stdout, "pathlen: Figure 1", scale.String())
+	var summaries []report.Summary
+	for _, p := range progs {
+		rows, err := report.Run(p, report.Experiment{PathLength: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pathlen:", err)
+			os.Exit(1)
+		}
+		report.WritePathLengths(os.Stdout, p.Name, rows)
+		summaries = append(summaries, report.Summarise(p.Name, rows)...)
+	}
+	report.WriteSummaries(os.Stdout, summaries)
+}

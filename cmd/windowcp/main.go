@@ -1,0 +1,54 @@
+// Command windowcp regenerates Figure 2: mean ILP per window size for
+// the GCC 12.2 binaries, sliding windows of 4 to 2000 instructions
+// over the dynamic stream with 50% overlap.
+//
+// Usage: windowcp [-scale tiny|small|paper] [-bench name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"isacmp/internal/report"
+	"isacmp/internal/workloads"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
+	benchFlag := flag.String("bench", "", "single benchmark to run")
+	flag.Parse()
+
+	scale := workloads.Small
+	switch *scaleFlag {
+	case "tiny":
+		scale = workloads.Tiny
+	case "small":
+	case "paper":
+		scale = workloads.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "windowcp: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	progs := workloads.Suite(scale)
+	if *benchFlag != "" {
+		p := workloads.ByName(*benchFlag, scale)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "windowcp: unknown benchmark %q\n", *benchFlag)
+			os.Exit(2)
+		}
+		progs = progs[:0]
+		progs = append(progs, p)
+	}
+
+	report.Banner(os.Stdout, "windowcp: Figure 2", scale.String())
+	for _, p := range progs {
+		rows, err := report.Run(p, report.Experiment{Windowed: true, GCC12Only: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "windowcp:", err)
+			os.Exit(1)
+		}
+		report.WriteWindowed(os.Stdout, p.Name, rows)
+	}
+}

@@ -1,0 +1,94 @@
+package isacmp_test
+
+import (
+	"fmt"
+	"log"
+
+	"isacmp"
+)
+
+// Compile a paper benchmark for one target, verify it against the host
+// reference, and read the Table 1 metrics.
+func Example() {
+	prog := isacmp.Workload("stream", isacmp.Tiny)
+	bin, err := isacmp.Compile(prog, isacmp.Target{
+		Arch:   isacmp.AArch64,
+		Flavor: isacmp.GCC12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bin.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := bin.Analyse(isacmp.Analyses{CritPath: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instructions:", res.Stats.Instructions)
+	fmt.Println("critical path:", res.CP)
+	// Output:
+	// instructions: 3647
+	// critical path: 87
+}
+
+// Author a new workload against the public API and compare the two
+// instruction sets.
+func Example_customWorkload() {
+	p := isacmp.NewProgram("saxpy")
+	x := p.Array("x", isacmp.F64, 16)
+	y := p.Array("y", isacmp.F64, 16)
+	for i := 0; i < 16; i++ {
+		x.InitF = append(x.InitF, float64(i))
+		y.InitF = append(y.InitF, 1.0)
+	}
+	i := isacmp.NewVar("i", isacmp.I64)
+	p.Kernel("saxpy").Add(&isacmp.Loop{
+		Var: i, Start: isacmp.CI(0), End: isacmp.CI(16),
+		Body: []isacmp.Stmt{
+			&isacmp.Store{Arr: y, Index: isacmp.V(i),
+				Val: isacmp.AddE(isacmp.MulE(isacmp.CF(2), isacmp.Ld(x, isacmp.V(i))),
+					isacmp.Ld(y, isacmp.V(i)))},
+		},
+	})
+
+	for _, tgt := range isacmp.Targets() {
+		bin, err := isacmp.Compile(p, tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bin.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		stats, err := bin.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d instructions\n", tgt, stats.Instructions)
+	}
+	// Output:
+	// AArch64/GCC 9.2: 122 instructions
+	// RISC-V/GCC 9.2: 128 instructions
+	// AArch64/GCC 12.2: 119 instructions
+	// RISC-V/GCC 12.2: 125 instructions
+}
+
+// Stream custom consumers over every retired instruction.
+func Example_customSink() {
+	prog := isacmp.Workload("minisweep", isacmp.Tiny)
+	bin, err := isacmp.Compile(prog, isacmp.Target{Arch: isacmp.RV64, Flavor: isacmp.GCC12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var divides uint64
+	if _, err := bin.Run(isacmp.SinkFunc(func(ev *isacmp.Event) {
+		if ev.Group.String() == "fp-div" {
+			divides++
+		}
+	})); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fp divides:", divides)
+	// Output:
+	// fp divides: 576
+}

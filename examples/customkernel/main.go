@@ -1,0 +1,105 @@
+// Custom kernel: author a new workload against the public API, compile
+// it for both instruction sets and both compiler flavours, verify it,
+// and compare all four of the paper's metrics — the workflow for
+// extending the study beyond its five benchmarks (the paper's
+// section A.7, "Experiment customization").
+//
+// The kernel is a dot product followed by an axpy, chosen because the
+// dot product's loop-carried FP add chain and the axpy's fully
+// parallel body sit at opposite ends of the ILP spectrum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"isacmp"
+)
+
+func buildProgram(n int64) *isacmp.Program {
+	p := isacmp.NewProgram("dotaxpy")
+	x := p.Array("x", isacmp.F64, int(n))
+	y := p.Array("y", isacmp.F64, int(n))
+	out := p.Array("out", isacmp.F64, int(n))
+	dot := p.Array("dot", isacmp.F64, 1)
+
+	// Setup: x[i] = i/7, y[i] = 2 - i/13.
+	i0 := isacmp.NewVar("i0", isacmp.I64)
+	p.SetupKernel("init").Add(&isacmp.Loop{
+		Var: i0, Start: isacmp.CI(0), End: isacmp.CI(n),
+		Body: []isacmp.Stmt{
+			&isacmp.Store{Arr: x, Index: isacmp.V(i0),
+				Val: isacmp.DivE(isacmp.I2F(isacmp.V(i0)), isacmp.CF(7))},
+			&isacmp.Store{Arr: y, Index: isacmp.V(i0),
+				Val: isacmp.SubE(isacmp.CF(2), isacmp.DivE(isacmp.I2F(isacmp.V(i0)), isacmp.CF(13)))},
+		},
+	})
+
+	// Kernel 1: dot = sum x[i]*y[i] — a serial FP dependency chain.
+	i1 := isacmp.NewVar("i1", isacmp.I64)
+	acc := isacmp.NewVar("acc", isacmp.F64)
+	p.Kernel("dot").Add(
+		&isacmp.Assign{Var: acc, Val: isacmp.CF(0)},
+		&isacmp.Loop{
+			Var: i1, Start: isacmp.CI(0), End: isacmp.CI(n),
+			Body: []isacmp.Stmt{
+				&isacmp.Assign{Var: acc, Val: isacmp.AddE(isacmp.V(acc),
+					isacmp.MulE(isacmp.Ld(x, isacmp.V(i1)), isacmp.Ld(y, isacmp.V(i1))))},
+			},
+		},
+		&isacmp.Store{Arr: dot, Index: isacmp.CI(0), Val: isacmp.V(acc)},
+	)
+
+	// Kernel 2: out[i] = dot*x[i] + y[i] — embarrassingly parallel.
+	i2 := isacmp.NewVar("i2", isacmp.I64)
+	s := isacmp.NewVar("s", isacmp.F64)
+	p.Kernel("axpy").Add(
+		&isacmp.Assign{Var: s, Val: isacmp.Ld(dot, isacmp.CI(0))},
+		&isacmp.Loop{
+			Var: i2, Start: isacmp.CI(0), End: isacmp.CI(n),
+			Body: []isacmp.Stmt{
+				&isacmp.Store{Arr: out, Index: isacmp.V(i2),
+					Val: isacmp.AddE(isacmp.MulE(isacmp.V(s), isacmp.Ld(x, isacmp.V(i2))),
+						isacmp.Ld(y, isacmp.V(i2)))},
+			},
+		},
+	)
+	return p
+}
+
+func main() {
+	prog := buildProgram(5000)
+
+	fmt.Println("custom kernel: dot product + axpy, N=5000")
+	fmt.Println()
+	fmt.Printf("%-18s %12s %10s %8s %12s %10s\n",
+		"target", "path length", "CP", "ILP", "scaled CP", "ILP(win64)")
+
+	for _, tgt := range isacmp.Targets() {
+		bin, err := isacmp.Compile(prog, tgt)
+		if err != nil {
+			log.Fatalf("%s: %v", tgt, err)
+		}
+		if err := bin.Verify(); err != nil {
+			log.Fatalf("%s: %v", tgt, err)
+		}
+		res, err := bin.Analyse(isacmp.Analyses{
+			PathLength:     true,
+			CritPath:       true,
+			ScaledCritPath: true,
+			Windowed:       true,
+			WindowSizes:    []int{64},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %12d %10d %8.1f %12d %10.2f\n",
+			tgt, res.Stats.Instructions, res.CP, res.ILP,
+			res.ScaledCP, res.Windows[0].MeanILP)
+	}
+
+	fmt.Println()
+	fmt.Println("The dot kernel's loop-carried sum bounds the critical path;")
+	fmt.Println("under TX2 latencies each chain link costs an FMA (6 cycles),")
+	fmt.Println("so the scaled CP is ~6x the plain CP on both ISAs.")
+}

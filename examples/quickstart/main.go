@@ -1,0 +1,56 @@
+// Quickstart: compile one benchmark for both instruction sets, verify
+// the simulated results against the host reference, and print the
+// paper's four headline metrics for each target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"isacmp"
+)
+
+func main() {
+	prog := isacmp.Workload("stream", isacmp.Tiny)
+	if prog == nil {
+		log.Fatal("unknown workload")
+	}
+
+	fmt.Println("STREAM (tiny) on all four paper targets")
+	fmt.Println()
+
+	for _, tgt := range isacmp.Targets() {
+		bin, err := isacmp.Compile(prog, tgt)
+		if err != nil {
+			log.Fatalf("%s: compile: %v", tgt, err)
+		}
+
+		// Prove the simulated binary computes the right answer.
+		if err := bin.Verify(); err != nil {
+			log.Fatalf("%s: verify: %v", tgt, err)
+		}
+
+		res, err := bin.Analyse(isacmp.Analyses{
+			PathLength:     true,
+			CritPath:       true,
+			ScaledCritPath: true,
+		})
+		if err != nil {
+			log.Fatalf("%s: analyse: %v", tgt, err)
+		}
+
+		fmt.Printf("%s\n", tgt)
+		fmt.Printf("  path length      %d instructions\n", res.Stats.Instructions)
+		fmt.Printf("  critical path    %d  (ILP %.1f, ideal 2 GHz time %.3f us)\n",
+			res.CP, res.ILP, res.RuntimeSeconds*1e6)
+		fmt.Printf("  scaled CP (TX2)  %d  (ILP %.1f)\n", res.ScaledCP, res.ScaledILP)
+		fmt.Printf("  per kernel:")
+		for _, rc := range res.Regions {
+			if rc.Count > 0 {
+				fmt.Printf(" %s=%d", rc.Name, rc.Count)
+			}
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

@@ -1,0 +1,73 @@
+// The paper's section 3.3 STREAM deep dive, regenerated: disassemble
+// the copy kernel for every target (Listings 1 and 2), show the
+// GCC 9.2 -> 12.2 AArch64 improvement, and account for the branch
+// instructions that make RISC-V's fused compare-and-branch matter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"isacmp"
+)
+
+func main() {
+	// A bound too large for a 12-bit immediate, so the GCC 9.2 AArch64
+	// back end must reproduce its sub/subs loop-exit idiom.
+	prog := isacmp.Workload("stream", isacmp.Small)
+
+	fmt.Println("=== Copy kernel disassembly (the paper's Listings 1 & 2) ===")
+	fmt.Println()
+	for _, tgt := range isacmp.Targets() {
+		bin, err := isacmp.Compile(prog, tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n", tgt)
+		if err := bin.Disassemble("copy", os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("=== Path lengths and the compiler-version delta ===")
+	fmt.Println()
+	totals := map[isacmp.Target]uint64{}
+	branches := map[isacmp.Target]uint64{}
+	for _, tgt := range isacmp.Targets() {
+		bin, err := isacmp.Compile(prog, tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var nb uint64
+		stats, err := bin.Run(isacmp.SinkFunc(func(ev *isacmp.Event) {
+			if ev.Branch {
+				nb++
+			}
+		}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		totals[tgt] = stats.Instructions
+		branches[tgt] = nb
+		fmt.Printf("%-18s  %12d instructions, %11d branches (%.1f%%)\n",
+			tgt, stats.Instructions, nb, 100*float64(nb)/float64(stats.Instructions))
+	}
+	fmt.Println()
+
+	arm9 := totals[isacmp.Target{Arch: isacmp.AArch64, Flavor: isacmp.GCC9}]
+	arm12 := totals[isacmp.Target{Arch: isacmp.AArch64, Flavor: isacmp.GCC12}]
+	fmt.Printf("AArch64 GCC 9.2 -> 12.2: %.1f%% fewer instructions\n",
+		100*(1-float64(arm12)/float64(arm9)))
+	fmt.Println("(the paper reports 12.5%, from replacing the per-iteration")
+	fmt.Println(" 'sub x1, x0, #2441, lsl #12; subs x1, x1, #1664' pair with")
+	fmt.Println(" a single 'cmp x0, x20' against a hoisted bound)")
+	fmt.Println()
+
+	rv12 := totals[isacmp.Target{Arch: isacmp.RV64, Flavor: isacmp.GCC12}]
+	fmt.Printf("RISC-V / AArch64 at GCC 12.2: %+.1f%%\n", 100*(float64(rv12)/float64(arm12)-1))
+	fmt.Println("(the paper reports ~6% for STREAM: register-offset addressing")
+	fmt.Println(" lets AArch64 walk three arrays with one index register, while")
+	fmt.Println(" RISC-V's immediate-only addressing needs one pointer each)")
+}

@@ -1,0 +1,3 @@
+module isacmp
+
+go 1.22

@@ -1,0 +1,154 @@
+package a64
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestUndefinedLabel(t *testing.T) {
+	a := NewAsm()
+	a.B("nowhere")
+	if _, err := a.Assemble(0x10000); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	a := NewAsm()
+	a.Label("x")
+	a.NOP()
+	a.Label("x")
+	if _, err := a.Assemble(0x10000); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestBranchOffsets(t *testing.T) {
+	a := NewAsm()
+	a.Label("top")
+	a.Bc(EQ, "bottom")
+	a.NOP()
+	a.CBNZx(1, "top")
+	a.Label("bottom")
+	a.NOP()
+	words, err := a.Assemble(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Decode(words[0])
+	if err != nil || bc.Imm != 12 {
+		t.Fatalf("b.eq imm = %d (%v)", bc.Imm, err)
+	}
+	cb, err := Decode(words[2])
+	if err != nil || cb.Imm != -8 {
+		t.Fatalf("cbnz imm = %d (%v)", cb.Imm, err)
+	}
+}
+
+func TestSymbolSizes(t *testing.T) {
+	a := NewAsm()
+	a.Symbol("first")
+	a.NOP()
+	a.NOP()
+	a.Symbol("second")
+	a.NOP()
+	f, err := a.Build(Program{TextBase: 0x10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Symbols) != 2 || f.Symbols[0].Size != 8 || f.Symbols[1].Value != 0x10008 {
+		t.Fatalf("symbols: %+v", f.Symbols)
+	}
+}
+
+// TestDisassemblySmoke: every encodable instruction must disassemble
+// without panicking or leaking formatting errors.
+func TestDisassemblySmoke(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 5000; i++ {
+		inst := randInst(r)
+		s := inst.String()
+		if s == "" || strings.Contains(s, "%!") {
+			t.Fatalf("bad disassembly for %s %+v: %q", inst.Op.Name(), inst, s)
+		}
+	}
+}
+
+// TestDisassemblyDecodedSmoke: the decode side of every encoding must
+// also print cleanly (covers alias selection paths).
+func TestDisassemblyDecodedSmoke(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for i := 0; i < 5000; i++ {
+		inst := randInst(r)
+		w, err := Encode(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := dec.String(); s == "" || strings.Contains(s, "%!") {
+			t.Fatalf("bad disassembly: %q", s)
+		}
+	}
+}
+
+func TestMOV64InstructionCounts(t *testing.T) {
+	cases := []struct {
+		v   int64
+		max int
+	}{
+		{0, 1},
+		{42, 1},
+		{-1, 1},      // movn
+		{0xffff, 1},  // movz
+		{0x10000, 1}, // movz lsl 16
+		{0x12345, 2}, // movz+movk
+		{-42, 1},     // movn
+		{1 << 40, 1}, // movz lsl (40 rounds to hw 2: 1<<40 has hw2=0x100: movz #256, lsl #32)
+		{0x123456789A, 3},
+	}
+	for _, c := range cases {
+		a := NewAsm()
+		a.MOV64(5, c.v)
+		if a.Len() > c.max {
+			t.Errorf("MOV64(%#x) used %d instructions, want <= %d", c.v, a.Len(), c.max)
+		}
+	}
+}
+
+func TestCondInvert(t *testing.T) {
+	pairs := map[Cond]Cond{EQ: NE, CS: CC, MI: PL, VS: VC, HI: LS, GE: LT, GT: LE}
+	for c, inv := range pairs {
+		if c.Invert() != inv {
+			t.Errorf("%v.Invert() = %v, want %v", c, c.Invert(), inv)
+		}
+		if inv.Invert() != c {
+			t.Errorf("%v.Invert() = %v, want %v", inv, inv.Invert(), c)
+		}
+	}
+}
+
+func TestShiftNames(t *testing.T) {
+	if LSL.String() != "lsl" || ASR.String() != "asr" || ROR.String() != "ror" {
+		t.Fatal("shift names wrong")
+	}
+}
+
+func TestFMOVimmFallback(t *testing.T) {
+	a := NewAsm()
+	if a.FMOVimm(0, 0.1) {
+		t.Fatal("0.1 should not be fmov-encodable")
+	}
+	if a.Len() != 0 {
+		t.Fatal("failed FMOVimm emitted instructions")
+	}
+	if !a.FMOVimm(0, 2.0) {
+		t.Fatal("2.0 should be fmov-encodable")
+	}
+	if a.Len() != 1 {
+		t.Fatal("FMOVimm should emit exactly one instruction")
+	}
+}

@@ -1,0 +1,129 @@
+package a64
+
+import "math/bits"
+
+// AArch64 logical-immediate ("bitmask immediate") encoding. A bitmask
+// immediate is a pattern of identical elements of size 2, 4, 8, 16, 32
+// or 64 bits, each element containing a contiguous run of ones,
+// rotated. This file converts between the (N, immr, imms) fields and
+// the 64-bit value they denote.
+
+// DecodeBitmask expands (n, immr, imms) into the immediate value for
+// the given register width. ok is false for reserved encodings.
+func DecodeBitmask(n, immr, imms uint8, is64 bool) (uint64, bool) {
+	// Element size: highest set bit of {N, NOT(imms)} picks the length.
+	combined := uint32(n)<<6 | uint32(^imms&0x3f)
+	if combined == 0 {
+		return 0, false
+	}
+	len := 31 - bits.LeadingZeros32(combined)
+	if len < 1 {
+		return 0, false
+	}
+	esize := uint(1) << uint(len)
+	if !is64 && esize == 64 {
+		return 0, false
+	}
+	levels := uint8(esize - 1)
+	s := imms & levels
+	r := immr & levels
+	if s == levels {
+		return 0, false // all-ones element is reserved
+	}
+	// Element: (s+1) ones, rotated right by r.
+	welem := uint64(1)<<(s+1) - 1
+	if r != 0 {
+		welem = welem>>r | welem<<(esize-uint(r))
+		if esize < 64 {
+			welem &= uint64(1)<<esize - 1
+		}
+	}
+	// Replicate to 64 bits.
+	out := welem
+	for sz := esize; sz < 64; sz *= 2 {
+		out |= out << sz
+	}
+	if !is64 {
+		out &= 0xffffffff
+	}
+	return out, true
+}
+
+// EncodeBitmask finds the (n, immr, imms) fields encoding v for the
+// given register width, or ok=false if v is not a bitmask immediate.
+func EncodeBitmask(v uint64, is64 bool) (n, immr, imms uint8, ok bool) {
+	if !is64 {
+		if v>>32 != 0 {
+			return 0, 0, 0, false
+		}
+		v |= v << 32 // replicate so the 64-bit search applies
+	}
+	if v == 0 || v == ^uint64(0) {
+		return 0, 0, 0, false
+	}
+	// Find the smallest element size whose replication yields v.
+	for esize := uint(2); esize <= 64; esize *= 2 {
+		if esize == 64 && !is64 {
+			break
+		}
+		mask := uint64(1)<<esize - 1
+		if esize == 64 {
+			mask = ^uint64(0)
+		}
+		elem := v & mask
+		// Check replication.
+		repl := elem
+		for sz := esize; sz < 64; sz *= 2 {
+			repl |= repl << sz
+		}
+		if repl != v {
+			continue
+		}
+		// elem must be a rotated run of ones.
+		ones := uint8(bits.OnesCount64(elem))
+		if ones == 0 || uint(ones) == esize {
+			continue
+		}
+		// Rotate left until the run is right-aligned: elem ror r ==
+		// (ones low bits). Find rotation r such that rotr(run, r) == elem,
+		// i.e. rotl(elem, r) == run.
+		run := uint64(1)<<ones - 1
+		for r := uint(0); r < esize; r++ {
+			rot := elem
+			if r != 0 {
+				rot = (elem<<r | elem>>(esize-r)) & mask
+				if esize == 64 {
+					rot = elem<<r | elem>>(64-r)
+				}
+			}
+			if rot == run {
+				immsVal := uint8(ones-1) | immsHiBits(esize)
+				nVal := uint8(0)
+				if esize == 64 {
+					nVal = 1
+				}
+				return nVal, uint8(r), immsVal, true
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// immsHiBits returns the fixed high bits of the imms field that encode
+// the element size.
+func immsHiBits(esize uint) uint8 {
+	switch esize {
+	case 2:
+		return 0x3c // 1111 0x
+	case 4:
+		return 0x38 // 1110 xx
+	case 8:
+		return 0x30 // 110x xx
+	case 16:
+		return 0x20 // 10xx xx
+	case 32:
+		return 0x00 // 0xxx xx
+	default: // 64
+		return 0x00
+	}
+}

@@ -1,0 +1,415 @@
+package a64
+
+import (
+	"fmt"
+	"math"
+)
+
+// DecodeError reports a word that is not a supported AArch64
+// instruction.
+type DecodeError struct {
+	Word uint32
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("a64: cannot decode %#08x", e.Word)
+}
+
+func bitfield(w uint32, hi, lo uint) uint32 { return w >> lo & (1<<(hi-lo+1) - 1) }
+
+func signExtend(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// Decode parses a 32-bit word into an Inst. It is the inverse of
+// Encode over the supported subset.
+func Decode(w uint32) (Inst, error) {
+	sf := w>>31 == 1
+
+	switch {
+	case w == 0xD503201F:
+		return Inst{Op: NOP}, nil
+	case w&0xFFE0001F == 0xD4000001:
+		return Inst{Op: SVC, Imm: int64(bitfield(w, 20, 5))}, nil
+	case w&0xFFFFFC1F == 0xD61F0000:
+		return Inst{Op: BR, Rn: uint8(bitfield(w, 9, 5))}, nil
+	case w&0xFFFFFC1F == 0xD63F0000:
+		return Inst{Op: BLR, Rn: uint8(bitfield(w, 9, 5))}, nil
+	case w&0xFFFFFC1F == 0xD65F0000:
+		return Inst{Op: RET, Rn: uint8(bitfield(w, 9, 5))}, nil
+	case w&0x7C000000 == 0x14000000:
+		op := B
+		if w>>31 == 1 {
+			op = BL
+		}
+		return Inst{Op: op, Imm: signExtend(w&0x03ffffff, 26) * 4}, nil
+	case w&0xFF000010 == 0x54000000:
+		return Inst{Op: Bcond, Cond: Cond(w & 0xf), Imm: signExtend(bitfield(w, 23, 5), 19) * 4}, nil
+	case w&0x7E000000 == 0x34000000:
+		op := CBZ
+		if w>>24&1 == 1 {
+			op = CBNZ
+		}
+		return Inst{Op: op, Sf: sf, Rd: uint8(w & 0x1f), Imm: signExtend(bitfield(w, 23, 5), 19) * 4}, nil
+	}
+
+	switch {
+	case w&0x1F800000 == 0x11000000: // add/sub immediate
+		ops := [4]Op{ADDi, ADDSi, SUBi, SUBSi}
+		return Inst{
+			Op: ops[bitfield(w, 30, 29)], Sf: sf,
+			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)),
+			Imm: int64(bitfield(w, 21, 10)), ShiftHi: w>>22&1 == 1,
+		}, nil
+	case w&0x1F800000 == 0x12000000: // logical immediate
+		ops := [4]Op{ANDi, ORRi, EORi, ANDSi}
+		v, ok := DecodeBitmask(uint8(w>>22&1), uint8(bitfield(w, 21, 16)), uint8(bitfield(w, 15, 10)), sf)
+		if !ok {
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{
+			Op: ops[bitfield(w, 30, 29)], Sf: sf,
+			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)), Imm: int64(v),
+		}, nil
+	case w&0x1F800000 == 0x12800000: // move wide
+		var op Op
+		switch bitfield(w, 30, 29) {
+		case 0:
+			op = MOVN
+		case 2:
+			op = MOVZ
+		case 3:
+			op = MOVK
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{
+			Op: op, Sf: sf, Rd: uint8(w & 0x1f),
+			Imm: int64(bitfield(w, 20, 5)), Hw: uint8(bitfield(w, 22, 21)),
+		}, nil
+	case w&0x1F800000 == 0x13000000: // bitfield
+		var op Op
+		switch bitfield(w, 30, 29) {
+		case 0:
+			op = SBFM
+		case 2:
+			op = UBFM
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{
+			Op: op, Sf: sf, Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)),
+			ImmR: uint8(bitfield(w, 21, 16)), ImmS: uint8(bitfield(w, 15, 10)),
+		}, nil
+	case w&0x1F200000 == 0x0B000000: // add/sub shifted register
+		ops := [4]Op{ADDr, ADDSr, SUBr, SUBSr}
+		return Inst{
+			Op: ops[bitfield(w, 30, 29)], Sf: sf,
+			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)), Rm: uint8(bitfield(w, 20, 16)),
+			ShiftKind: Shift(bitfield(w, 23, 22)), ShiftAmt: uint8(bitfield(w, 15, 10)),
+		}, nil
+	case w&0x1F000000 == 0x0A000000: // logical shifted register
+		var op Op
+		opc, n := bitfield(w, 30, 29), w>>21&1
+		switch {
+		case opc == 0 && n == 0:
+			op = ANDr
+		case opc == 0 && n == 1:
+			op = BICr
+		case opc == 1 && n == 0:
+			op = ORRr
+		case opc == 2 && n == 0:
+			op = EORr
+		case opc == 3 && n == 0:
+			op = ANDSr
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{
+			Op: op, Sf: sf,
+			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)), Rm: uint8(bitfield(w, 20, 16)),
+			ShiftKind: Shift(bitfield(w, 23, 22)), ShiftAmt: uint8(bitfield(w, 15, 10)),
+		}, nil
+	case w&0x7FE00000 == 0x1B000000: // madd/msub
+		op := MADD
+		if w>>15&1 == 1 {
+			op = MSUB
+		}
+		return Inst{
+			Op: op, Sf: sf,
+			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)),
+			Rm: uint8(bitfield(w, 20, 16)), Ra: uint8(bitfield(w, 14, 10)),
+		}, nil
+	case w&0x7FE00000 == 0x1AC00000: // 2-source data processing
+		var op Op
+		switch bitfield(w, 15, 10) {
+		case 0x02:
+			op = UDIV
+		case 0x03:
+			op = SDIV
+		case 0x08:
+			op = LSLV
+		case 0x09:
+			op = LSRV
+		case 0x0A:
+			op = ASRV
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{
+			Op: op, Sf: sf,
+			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)), Rm: uint8(bitfield(w, 20, 16)),
+		}, nil
+	case w&0x3FE00800 == 0x1A800000: // conditional select
+		var op Op
+		hi := w >> 30 & 1
+		o2 := w >> 10 & 1
+		switch {
+		case hi == 0 && o2 == 0:
+			op = CSEL
+		case hi == 0 && o2 == 1:
+			op = CSINC
+		case hi == 1 && o2 == 0:
+			op = CSINV
+		default:
+			op = CSNEG
+		}
+		return Inst{
+			Op: op, Sf: sf, Cond: Cond(bitfield(w, 15, 12)),
+			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)), Rm: uint8(bitfield(w, 20, 16)),
+		}, nil
+	}
+
+	// Loads and stores: pairs have bits 29..27 = 101, single registers
+	// have bits 29..27 = 111.
+	if w&0x38000000 == 0x28000000 {
+		return decodePair(w)
+	}
+	if w&0x38000000 == 0x38000000 {
+		return decodeLoadStore(w)
+	}
+
+	// Floating point.
+	if w&0x7F200000 == 0x1E200000 {
+		return decodeFP(w)
+	}
+	if w&0xFF000000 == 0x1F000000 { // fmadd family
+		dbl := w>>22&1 == 1
+		o1, o0 := w>>21&1, w>>15&1
+		var op Op
+		switch {
+		case o1 == 0 && o0 == 0:
+			op = FMADD
+		case o1 == 0 && o0 == 1:
+			op = FMSUB
+		case o1 == 1 && o0 == 0:
+			op = FNMADD
+		default:
+			op = FNMSUB
+		}
+		return Inst{
+			Op: op, Dbl: dbl,
+			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)),
+			Rm: uint8(bitfield(w, 20, 16)), Ra: uint8(bitfield(w, 14, 10)),
+		}, nil
+	}
+
+	return Inst{}, &DecodeError{Word: w}
+}
+
+func decodeLoadStore(w uint32) (Inst, error) {
+	size2 := bitfield(w, 31, 30)
+	v := w>>26&1 == 1
+	opc := bitfield(w, 23, 22)
+	size := uint8(1) << size2
+	i := Inst{FP: v, Size: size, Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5))}
+	switch {
+	case opc == 0:
+		i.Op = STR
+	case opc == 1:
+		i.Op = LDR
+	case opc == 2 && !v && size2 == 2:
+		i.Op = LDRSW
+	default:
+		return Inst{}, &DecodeError{Word: w}
+	}
+	switch bitfield(w, 25, 24) {
+	case 1: // unsigned immediate
+		i.Mode = ModeUImm
+		i.Imm = int64(bitfield(w, 21, 10)) * int64(size)
+		return i, nil
+	case 0:
+		if w>>21&1 == 1 { // register offset
+			if bitfield(w, 11, 10) != 2 || bitfield(w, 15, 13) != 3 {
+				return Inst{}, &DecodeError{Word: w}
+			}
+			i.Mode = ModeReg
+			i.Rm = uint8(bitfield(w, 20, 16))
+			if w>>12&1 == 1 {
+				i.ShiftAmt = uint8(size2)
+			}
+			return i, nil
+		}
+		switch bitfield(w, 11, 10) {
+		case 1:
+			i.Mode = ModePost
+		case 3:
+			i.Mode = ModePre
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		i.Imm = signExtend(bitfield(w, 20, 12), 9)
+		return i, nil
+	}
+	return Inst{}, &DecodeError{Word: w}
+}
+
+func decodePair(w uint32) (Inst, error) {
+	opc2 := bitfield(w, 31, 30)
+	v := w>>26&1 == 1
+	i := Inst{
+		FP: v,
+		Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)), Rt2: uint8(bitfield(w, 14, 10)),
+	}
+	switch {
+	case v && opc2 == 1:
+		i.Size = 8
+	case !v && opc2 == 2:
+		i.Size = 8
+	case !v && opc2 == 0:
+		i.Size = 4
+	default:
+		return Inst{}, &DecodeError{Word: w}
+	}
+	if w>>22&1 == 1 {
+		i.Op = LDP
+	} else {
+		i.Op = STP
+	}
+	switch bitfield(w, 25, 23) {
+	case 2:
+		i.Mode = ModeUImm
+	case 1:
+		i.Mode = ModePost
+	case 3:
+		i.Mode = ModePre
+	default:
+		return Inst{}, &DecodeError{Word: w}
+	}
+	i.Imm = signExtend(bitfield(w, 21, 15), 7) * int64(i.Size)
+	return i, nil
+}
+
+func decodeFP(w uint32) (Inst, error) {
+	dbl := w>>22&1 == 1
+	ft := bitfield(w, 23, 22)
+	if ft > 1 {
+		return Inst{}, &DecodeError{Word: w}
+	}
+	sf := w>>31 == 1
+	rd := uint8(w & 0x1f)
+	rn := uint8(bitfield(w, 9, 5))
+	rm := uint8(bitfield(w, 20, 16))
+
+	switch {
+	case bitfield(w, 15, 10) == 0: // FP <-> integer
+		rmode, opc := bitfield(w, 20, 19), bitfield(w, 18, 16)
+		var op Op
+		switch {
+		case rmode == 0 && opc == 2:
+			op = SCVTF
+		case rmode == 0 && opc == 3:
+			op = UCVTF
+		case rmode == 3 && opc == 0:
+			op = FCVTZS
+		case rmode == 3 && opc == 1:
+			op = FCVTZU
+		case rmode == 0 && opc == 6:
+			op = FMOVxf
+		case rmode == 0 && opc == 7:
+			op = FMOVfx
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{Op: op, Sf: sf, Dbl: dbl, Rd: rd, Rn: rn}, nil
+
+	case bitfield(w, 15, 10) == 0x08: // FP compare; opcode2 in bits 4..0
+		if sf {
+			return Inst{}, &DecodeError{Word: w}
+		}
+		var op Op
+		switch w & 0x1f {
+		case 0:
+			op = FCMP
+		case 0x10:
+			op = FCMPE
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{Op: op, Dbl: dbl, Rn: rn, Rm: rm}, nil
+
+	case bitfield(w, 14, 10) == 0x10: // 1-source
+		if sf {
+			return Inst{}, &DecodeError{Word: w}
+		}
+		var op Op
+		switch bitfield(w, 20, 15) {
+		case 0:
+			op = FMOVr
+		case 1:
+			op = FABS
+		case 2:
+			op = FNEG
+		case 3:
+			op = FSQRT
+		case 4:
+			op = FCVTsd
+		case 5:
+			op = FCVTds
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{Op: op, Dbl: dbl, Rd: rd, Rn: rn}, nil
+
+	case bitfield(w, 11, 10) == 3: // fcsel
+		if sf {
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{Op: FCSEL, Dbl: dbl, Rd: rd, Rn: rn, Rm: rm, Cond: Cond(bitfield(w, 15, 12))}, nil
+
+	case bitfield(w, 12, 10) == 4 && bitfield(w, 9, 5) == 0: // fmov immediate
+		if sf {
+			return Inst{}, &DecodeError{Word: w}
+		}
+		v := decodeFPImm8(uint8(bitfield(w, 20, 13)), dbl)
+		return Inst{Op: FMOVi, Dbl: dbl, Rd: rd, Imm: int64(math.Float64bits(v))}, nil
+
+	case bitfield(w, 11, 10) == 2: // 2-source
+		if sf {
+			return Inst{}, &DecodeError{Word: w}
+		}
+		var op Op
+		switch bitfield(w, 15, 12) {
+		case 0:
+			op = FMUL
+		case 1:
+			op = FDIV
+		case 2:
+			op = FADD
+		case 3:
+			op = FSUB
+		case 4:
+			op = FMAX
+		case 5:
+			op = FMIN
+		case 8:
+			op = FNMUL
+		default:
+			return Inst{}, &DecodeError{Word: w}
+		}
+		return Inst{Op: op, Dbl: dbl, Rd: rd, Rn: rn, Rm: rm}, nil
+	}
+	return Inst{}, &DecodeError{Word: w}
+}

@@ -1,0 +1,231 @@
+package a64
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// xName names a 64-bit integer register in a zero-register context.
+func xName(r uint8, sf bool) string {
+	c := "x"
+	if !sf {
+		c = "w"
+	}
+	if r == ZR {
+		return c + "zr"
+	}
+	return fmt.Sprintf("%s%d", c, r)
+}
+
+// spName names a register in an SP context.
+func spName(r uint8) string {
+	if r == ZR {
+		return "sp"
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+// fName names an FP register of the instruction's precision.
+func fName(r uint8, dbl bool) string {
+	c := "s"
+	if dbl {
+		c = "d"
+	}
+	return fmt.Sprintf("%s%d", c, r)
+}
+
+// memOperand renders the addressing-mode operand of a load or store.
+func (i Inst) memOperand() string {
+	switch i.Mode {
+	case ModeUImm:
+		if i.Imm == 0 {
+			return fmt.Sprintf("[%s]", spName(i.Rn))
+		}
+		return fmt.Sprintf("[%s, #%d]", spName(i.Rn), i.Imm)
+	case ModePost:
+		return fmt.Sprintf("[%s], #%d", spName(i.Rn), i.Imm)
+	case ModePre:
+		return fmt.Sprintf("[%s, #%d]!", spName(i.Rn), i.Imm)
+	case ModeReg:
+		if i.ShiftAmt != 0 {
+			return fmt.Sprintf("[%s, %s, lsl #%d]", spName(i.Rn), xName(i.Rm, true), i.ShiftAmt)
+		}
+		return fmt.Sprintf("[%s, %s]", spName(i.Rn), xName(i.Rm, true))
+	}
+	return "[?]"
+}
+
+// ldrMnemonic picks the width-qualified mnemonic for integer accesses.
+func (i Inst) ldrMnemonic() string {
+	base := i.Op.Name()
+	if i.FP || i.Op == LDRSW || i.Op == LDP || i.Op == STP {
+		return base
+	}
+	switch i.Size {
+	case 1:
+		return base + "b"
+	case 2:
+		return base + "h"
+	}
+	return base
+}
+
+// targetReg renders the transferred register of a load/store.
+func (i Inst) targetReg(r uint8) string {
+	if i.FP {
+		return fName(r, i.Size == 8)
+	}
+	return xName(r, i.Size == 8)
+}
+
+// String disassembles the instruction in conventional syntax, using
+// aliases (cmp, mov, lsl, mul, cset) where GNU tools would.
+func (i Inst) String() string {
+	shiftSuffix := func() string {
+		if i.ShiftAmt == 0 {
+			return ""
+		}
+		return fmt.Sprintf(", %s #%d", i.ShiftKind, i.ShiftAmt)
+	}
+	switch i.Op {
+	case ADDi, SUBi:
+		n := i.Op.Name()
+		sh := ""
+		if i.ShiftHi {
+			sh = ", lsl #12"
+		}
+		if i.Imm == 0 && !i.ShiftHi && (i.Rd == ZR || i.Rn == ZR) {
+			return fmt.Sprintf("mov %s, %s", spName(i.Rd), spName(i.Rn))
+		}
+		return fmt.Sprintf("%s %s, %s, #%d%s", n, spName(i.Rd), spName(i.Rn), i.Imm, sh)
+	case ADDSi, SUBSi:
+		sh := ""
+		if i.ShiftHi {
+			sh = ", lsl #12"
+		}
+		if i.Rd == ZR {
+			alias := "cmp"
+			if i.Op == ADDSi {
+				alias = "cmn"
+			}
+			return fmt.Sprintf("%s %s, #%d%s", alias, xName(i.Rn, i.Sf), i.Imm, sh)
+		}
+		return fmt.Sprintf("%s %s, %s, #%d%s", i.Op.Name(), xName(i.Rd, i.Sf), spName(i.Rn), i.Imm, sh)
+	case ANDi, ORRi, EORi, ANDSi:
+		if i.Op == ANDSi && i.Rd == ZR {
+			return fmt.Sprintf("tst %s, #%#x", xName(i.Rn, i.Sf), uint64(i.Imm))
+		}
+		return fmt.Sprintf("%s %s, %s, #%#x", i.Op.Name(), xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), uint64(i.Imm))
+	case MOVZ:
+		if i.Hw == 0 {
+			return fmt.Sprintf("mov %s, #%d", xName(i.Rd, i.Sf), i.Imm)
+		}
+		return fmt.Sprintf("movz %s, #%d, lsl #%d", xName(i.Rd, i.Sf), i.Imm, int(i.Hw)*16)
+	case MOVN:
+		return fmt.Sprintf("movn %s, #%d, lsl #%d", xName(i.Rd, i.Sf), i.Imm, int(i.Hw)*16)
+	case MOVK:
+		return fmt.Sprintf("movk %s, #%d, lsl #%d", xName(i.Rd, i.Sf), i.Imm, int(i.Hw)*16)
+	case SBFM, UBFM:
+		lim := uint8(31)
+		if i.Sf {
+			lim = 63
+		}
+		// Common aliases.
+		if i.Op == UBFM && i.ImmS == lim {
+			return fmt.Sprintf("lsr %s, %s, #%d", xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), i.ImmR)
+		}
+		if i.Op == UBFM && i.ImmS+1 == i.ImmR {
+			return fmt.Sprintf("lsl %s, %s, #%d", xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), lim-i.ImmS)
+		}
+		if i.Op == SBFM && i.ImmS == lim {
+			return fmt.Sprintf("asr %s, %s, #%d", xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), i.ImmR)
+		}
+		if i.Op == SBFM && i.Sf && i.ImmR == 0 && i.ImmS == 31 {
+			return fmt.Sprintf("sxtw %s, w%d", xName(i.Rd, true), i.Rn)
+		}
+		return fmt.Sprintf("%s %s, %s, #%d, #%d", i.Op.Name(), xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), i.ImmR, i.ImmS)
+	case ADDr, SUBr, ANDr, EORr, ANDSr, BICr:
+		return fmt.Sprintf("%s %s, %s, %s%s", i.Op.Name(), xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), xName(i.Rm, i.Sf), shiftSuffix())
+	case ORRr:
+		if i.Rn == ZR && i.ShiftAmt == 0 {
+			return fmt.Sprintf("mov %s, %s", xName(i.Rd, i.Sf), xName(i.Rm, i.Sf))
+		}
+		return fmt.Sprintf("orr %s, %s, %s%s", xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), xName(i.Rm, i.Sf), shiftSuffix())
+	case ADDSr, SUBSr:
+		if i.Rd == ZR {
+			alias := "cmp"
+			if i.Op == ADDSr {
+				alias = "cmn"
+			}
+			return fmt.Sprintf("%s %s, %s%s", alias, xName(i.Rn, i.Sf), xName(i.Rm, i.Sf), shiftSuffix())
+		}
+		return fmt.Sprintf("%s %s, %s, %s%s", i.Op.Name(), xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), xName(i.Rm, i.Sf), shiftSuffix())
+	case MADD:
+		if i.Ra == ZR {
+			return fmt.Sprintf("mul %s, %s, %s", xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), xName(i.Rm, i.Sf))
+		}
+		return fmt.Sprintf("madd %s, %s, %s, %s", xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), xName(i.Rm, i.Sf), xName(i.Ra, i.Sf))
+	case MSUB:
+		return fmt.Sprintf("msub %s, %s, %s, %s", xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), xName(i.Rm, i.Sf), xName(i.Ra, i.Sf))
+	case SDIV, UDIV, LSLV, LSRV, ASRV:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), xName(i.Rm, i.Sf))
+	case CSEL, CSINC, CSINV, CSNEG:
+		if i.Op == CSINC && i.Rn == ZR && i.Rm == ZR {
+			return fmt.Sprintf("cset %s, %s", xName(i.Rd, i.Sf), i.Cond.Invert())
+		}
+		return fmt.Sprintf("%s %s, %s, %s, %s", i.Op.Name(), xName(i.Rd, i.Sf), xName(i.Rn, i.Sf), xName(i.Rm, i.Sf), i.Cond)
+	case B, BL:
+		return fmt.Sprintf("%s %+d", i.Op.Name(), i.Imm)
+	case Bcond:
+		return fmt.Sprintf("b.%s %+d", i.Cond, i.Imm)
+	case CBZ, CBNZ:
+		return fmt.Sprintf("%s %s, %+d", i.Op.Name(), xName(i.Rd, i.Sf), i.Imm)
+	case BR, BLR, RET:
+		if i.Op == RET && i.Rn == 30 {
+			return "ret"
+		}
+		return fmt.Sprintf("%s %s", i.Op.Name(), xName(i.Rn, true))
+	case SVC:
+		return fmt.Sprintf("svc #%d", i.Imm)
+	case NOP:
+		return "nop"
+	case LDR, STR, LDRSW:
+		return fmt.Sprintf("%s %s, %s", i.ldrMnemonic(), i.targetReg(i.Rd), i.memOperand())
+	case LDP, STP:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), i.targetReg(i.Rd), i.targetReg(i.Rt2), i.memOperand())
+	case FADD, FSUB, FMUL, FDIV, FNMUL, FMAX, FMIN:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), fName(i.Rd, i.Dbl), fName(i.Rn, i.Dbl), fName(i.Rm, i.Dbl))
+	case FMOVr, FABS, FNEG, FSQRT:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), fName(i.Rd, i.Dbl), fName(i.Rn, i.Dbl))
+	case FCVTsd:
+		return fmt.Sprintf("fcvt %s, %s", fName(i.Rd, false), fName(i.Rn, true))
+	case FCVTds:
+		return fmt.Sprintf("fcvt %s, %s", fName(i.Rd, true), fName(i.Rn, false))
+	case FCMP, FCMPE:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), fName(i.Rn, i.Dbl), fName(i.Rm, i.Dbl))
+	case FCSEL:
+		return fmt.Sprintf("fcsel %s, %s, %s, %s", fName(i.Rd, i.Dbl), fName(i.Rn, i.Dbl), fName(i.Rm, i.Dbl), i.Cond)
+	case SCVTF, UCVTF:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), fName(i.Rd, i.Dbl), xName(i.Rn, i.Sf))
+	case FCVTZS, FCVTZU:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), xName(i.Rd, i.Sf), fName(i.Rn, i.Dbl))
+	case FMOVxf:
+		return fmt.Sprintf("fmov %s, %s", xName(i.Rd, i.Sf), fName(i.Rn, i.Dbl))
+	case FMOVfx:
+		return fmt.Sprintf("fmov %s, %s", fName(i.Rd, i.Dbl), xName(i.Rn, i.Sf))
+	case FMOVi:
+		return fmt.Sprintf("fmov %s, #%s", fName(i.Rd, i.Dbl), trimFloat(math.Float64frombits(uint64(i.Imm))))
+	case FMADD, FMSUB, FNMADD, FNMSUB:
+		return fmt.Sprintf("%s %s, %s, %s, %s", i.Op.Name(), fName(i.Rd, i.Dbl), fName(i.Rn, i.Dbl), fName(i.Rm, i.Dbl), fName(i.Ra, i.Dbl))
+	}
+	return i.Op.Name()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".e") {
+		s += ".0"
+	}
+	return s
+}

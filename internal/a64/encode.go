@@ -1,0 +1,502 @@
+package a64
+
+import (
+	"fmt"
+	"math"
+)
+
+// EncodeError reports an instruction that cannot be encoded.
+type EncodeError struct {
+	Inst Inst
+	Why  string
+}
+
+// Error implements the error interface.
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("a64: cannot encode %s: %s", e.Inst.Op.Name(), e.Why)
+}
+
+func encErr(i Inst, why string) error { return &EncodeError{Inst: i, Why: why} }
+
+func sfBit(sf bool) uint32 {
+	if sf {
+		return 1 << 31
+	}
+	return 0
+}
+
+func ftype(dbl bool) uint32 {
+	if dbl {
+		return 1 << 22
+	}
+	return 0
+}
+
+func checkRegs(i Inst) error {
+	if i.Rd > 31 || i.Rn > 31 || i.Rm > 31 || i.Ra > 31 || i.Rt2 > 31 {
+		return encErr(i, "register out of range")
+	}
+	return nil
+}
+
+// log2Size maps an access width in bytes to the size2 field.
+func log2Size(size uint8) (uint32, bool) {
+	switch size {
+	case 1:
+		return 0, true
+	case 2:
+		return 1, true
+	case 4:
+		return 2, true
+	case 8:
+		return 3, true
+	}
+	return 0, false
+}
+
+// Encode produces the 32-bit word for a decoded instruction. It is the
+// exact inverse of Decode for every representable instruction.
+func Encode(i Inst) (uint32, error) {
+	if err := checkRegs(i); err != nil {
+		return 0, err
+	}
+	rd, rn, rm, ra := uint32(i.Rd), uint32(i.Rn), uint32(i.Rm), uint32(i.Ra)
+	switch i.Op {
+	case ADDi, ADDSi, SUBi, SUBSi:
+		if i.Imm < 0 || i.Imm > 4095 {
+			return 0, encErr(i, "imm12 out of range")
+		}
+		var opS uint32
+		switch i.Op {
+		case ADDSi:
+			opS = 1 << 29
+		case SUBi:
+			opS = 1 << 30
+		case SUBSi:
+			opS = 1<<30 | 1<<29
+		}
+		var sh uint32
+		if i.ShiftHi {
+			sh = 1 << 22
+		}
+		return sfBit(i.Sf) | opS | 0x11000000 | sh | uint32(i.Imm)<<10 | rn<<5 | rd, nil
+
+	case ANDi, ORRi, EORi, ANDSi:
+		n, immr, imms, ok := EncodeBitmask(uint64(i.Imm), i.Sf)
+		if !ok {
+			return 0, encErr(i, fmt.Sprintf("%#x is not a bitmask immediate", uint64(i.Imm)))
+		}
+		var opc uint32
+		switch i.Op {
+		case ORRi:
+			opc = 1 << 29
+		case EORi:
+			opc = 2 << 29
+		case ANDSi:
+			opc = 3 << 29
+		}
+		return sfBit(i.Sf) | opc | 0x12000000 | uint32(n)<<22 | uint32(immr)<<16 | uint32(imms)<<10 | rn<<5 | rd, nil
+
+	case MOVZ, MOVN, MOVK:
+		if i.Imm < 0 || i.Imm > 0xffff {
+			return 0, encErr(i, "imm16 out of range")
+		}
+		maxHw := uint8(1)
+		if i.Sf {
+			maxHw = 3
+		}
+		if i.Hw > maxHw {
+			return 0, encErr(i, "hw out of range")
+		}
+		var opc uint32
+		switch i.Op {
+		case MOVZ:
+			opc = 2 << 29
+		case MOVK:
+			opc = 3 << 29
+		}
+		return sfBit(i.Sf) | opc | 0x12800000 | uint32(i.Hw)<<21 | uint32(i.Imm)<<5 | rd, nil
+
+	case SBFM, UBFM:
+		lim := uint8(31)
+		var n uint32
+		if i.Sf {
+			lim = 63
+			n = 1 << 22
+		}
+		if i.ImmR > lim || i.ImmS > lim {
+			return 0, encErr(i, "bitfield position out of range")
+		}
+		var opc uint32
+		if i.Op == UBFM {
+			opc = 2 << 29
+		}
+		return sfBit(i.Sf) | opc | 0x13000000 | n | uint32(i.ImmR)<<16 | uint32(i.ImmS)<<10 | rn<<5 | rd, nil
+
+	case ADDr, ADDSr, SUBr, SUBSr:
+		lim := uint8(31)
+		if i.Sf {
+			lim = 63
+		}
+		if i.ShiftAmt > lim || i.ShiftKind > ASR {
+			return 0, encErr(i, "shift out of range")
+		}
+		var opS uint32
+		switch i.Op {
+		case ADDSr:
+			opS = 1 << 29
+		case SUBr:
+			opS = 1 << 30
+		case SUBSr:
+			opS = 1<<30 | 1<<29
+		}
+		return sfBit(i.Sf) | opS | 0x0B000000 | uint32(i.ShiftKind)<<22 | rm<<16 | uint32(i.ShiftAmt)<<10 | rn<<5 | rd, nil
+
+	case ANDr, ORRr, EORr, ANDSr, BICr:
+		lim := uint8(31)
+		if i.Sf {
+			lim = 63
+		}
+		if i.ShiftAmt > lim {
+			return 0, encErr(i, "shift out of range")
+		}
+		var opcN uint32
+		switch i.Op {
+		case ORRr:
+			opcN = 1 << 29
+		case EORr:
+			opcN = 2 << 29
+		case ANDSr:
+			opcN = 3 << 29
+		case BICr:
+			opcN = 1 << 21
+		}
+		return sfBit(i.Sf) | opcN | 0x0A000000 | uint32(i.ShiftKind)<<22 | rm<<16 | uint32(i.ShiftAmt)<<10 | rn<<5 | rd, nil
+
+	case MADD, MSUB:
+		var o0 uint32
+		if i.Op == MSUB {
+			o0 = 1 << 15
+		}
+		return sfBit(i.Sf) | 0x1B000000 | rm<<16 | o0 | ra<<10 | rn<<5 | rd, nil
+
+	case UDIV, SDIV, LSLV, LSRV, ASRV:
+		var opc uint32
+		switch i.Op {
+		case UDIV:
+			opc = 0x02
+		case SDIV:
+			opc = 0x03
+		case LSLV:
+			opc = 0x08
+		case LSRV:
+			opc = 0x09
+		case ASRV:
+			opc = 0x0A
+		}
+		return sfBit(i.Sf) | 0x1AC00000 | rm<<16 | opc<<10 | rn<<5 | rd, nil
+
+	case CSEL, CSINC, CSINV, CSNEG:
+		var opO2 uint32
+		switch i.Op {
+		case CSINC:
+			opO2 = 1 << 10
+		case CSINV:
+			opO2 = 1 << 30
+		case CSNEG:
+			opO2 = 1<<30 | 1<<10
+		}
+		return sfBit(i.Sf) | opO2 | 0x1A800000 | rm<<16 | uint32(i.Cond)<<12 | rn<<5 | rd, nil
+
+	case B, BL:
+		if i.Imm%4 != 0 || i.Imm < -(1<<27) || i.Imm >= 1<<27 {
+			return 0, encErr(i, "branch offset out of range")
+		}
+		w := uint32(0x14000000) | uint32(i.Imm>>2)&0x03ffffff
+		if i.Op == BL {
+			w |= 1 << 31
+		}
+		return w, nil
+
+	case Bcond:
+		if i.Imm%4 != 0 || i.Imm < -(1<<20) || i.Imm >= 1<<20 {
+			return 0, encErr(i, "branch offset out of range")
+		}
+		return 0x54000000 | uint32(i.Imm>>2)&0x7ffff<<5 | uint32(i.Cond), nil
+
+	case CBZ, CBNZ:
+		if i.Imm%4 != 0 || i.Imm < -(1<<20) || i.Imm >= 1<<20 {
+			return 0, encErr(i, "branch offset out of range")
+		}
+		w := sfBit(i.Sf) | 0x34000000 | uint32(i.Imm>>2)&0x7ffff<<5 | rd
+		if i.Op == CBNZ {
+			w |= 1 << 24
+		}
+		return w, nil
+
+	case BR:
+		return 0xD61F0000 | rn<<5, nil
+	case BLR:
+		return 0xD63F0000 | rn<<5, nil
+	case RET:
+		return 0xD65F0000 | rn<<5, nil
+	case SVC:
+		if i.Imm < 0 || i.Imm > 0xffff {
+			return 0, encErr(i, "svc imm16 out of range")
+		}
+		return 0xD4000001 | uint32(i.Imm)<<5, nil
+	case NOP:
+		return 0xD503201F, nil
+
+	case LDR, STR, LDRSW:
+		return encodeLoadStore(i)
+
+	case LDP, STP:
+		return encodeLoadStorePair(i)
+
+	case FADD, FSUB, FMUL, FDIV, FNMUL, FMAX, FMIN:
+		var opc uint32
+		switch i.Op {
+		case FMUL:
+			opc = 0
+		case FDIV:
+			opc = 1
+		case FADD:
+			opc = 2
+		case FSUB:
+			opc = 3
+		case FMAX:
+			opc = 4
+		case FMIN:
+			opc = 5
+		case FNMUL:
+			opc = 8
+		}
+		return 0x1E200800 | ftype(i.Dbl) | rm<<16 | opc<<12 | rn<<5 | rd, nil
+
+	case FMOVr, FABS, FNEG, FSQRT, FCVTsd, FCVTds:
+		var opc uint32
+		switch i.Op {
+		case FMOVr:
+			opc = 0
+		case FABS:
+			opc = 1
+		case FNEG:
+			opc = 2
+		case FSQRT:
+			opc = 3
+		case FCVTsd: // double source -> single dest; ftype describes source
+			if !i.Dbl {
+				return 0, encErr(i, "fcvt to single requires double source")
+			}
+			opc = 4
+		case FCVTds:
+			if i.Dbl {
+				return 0, encErr(i, "fcvt to double requires single source")
+			}
+			opc = 5
+		}
+		return 0x1E204000 | ftype(i.Dbl) | opc<<15 | rn<<5 | rd, nil
+
+	case FCMP, FCMPE:
+		var op2 uint32
+		if i.Op == FCMPE {
+			op2 = 0x10
+		}
+		return 0x1E202000 | ftype(i.Dbl) | rm<<16 | rn<<5 | op2, nil
+
+	case FCSEL:
+		return 0x1E200C00 | ftype(i.Dbl) | rm<<16 | uint32(i.Cond)<<12 | rn<<5 | rd, nil
+
+	case SCVTF, UCVTF, FCVTZS, FCVTZU, FMOVxf, FMOVfx:
+		var rmode, opc uint32
+		switch i.Op {
+		case SCVTF:
+			rmode, opc = 0, 2
+		case UCVTF:
+			rmode, opc = 0, 3
+		case FCVTZS:
+			rmode, opc = 3, 0
+		case FCVTZU:
+			rmode, opc = 3, 1
+		case FMOVxf:
+			rmode, opc = 0, 6
+			if i.Sf != i.Dbl {
+				return 0, encErr(i, "fmov between mismatched widths")
+			}
+		case FMOVfx:
+			rmode, opc = 0, 7
+			if i.Sf != i.Dbl {
+				return 0, encErr(i, "fmov between mismatched widths")
+			}
+		}
+		return sfBit(i.Sf) | 0x1E200000 | ftype(i.Dbl) | rmode<<19 | opc<<16 | rn<<5 | rd, nil
+
+	case FMOVi:
+		imm8, ok := encodeFPImm8(math.Float64frombits(uint64(i.Imm)), i.Dbl)
+		if !ok {
+			return 0, encErr(i, "value not representable as fmov immediate")
+		}
+		return 0x1E201000 | ftype(i.Dbl) | uint32(imm8)<<13 | rd, nil
+
+	case FMADD, FMSUB, FNMADD, FNMSUB:
+		var o1, o0 uint32
+		switch i.Op {
+		case FMSUB:
+			o0 = 1 << 15
+		case FNMADD:
+			o1 = 1 << 21
+		case FNMSUB:
+			o1, o0 = 1<<21, 1<<15
+		}
+		return 0x1F000000 | ftype(i.Dbl) | o1 | rm<<16 | o0 | ra<<10 | rn<<5 | rd, nil
+	}
+	return 0, encErr(i, "unknown op")
+}
+
+func encodeLoadStore(i Inst) (uint32, error) {
+	size2, ok := log2Size(i.Size)
+	if !ok {
+		return 0, encErr(i, "bad access size")
+	}
+	rn, rt, rm := uint32(i.Rn), uint32(i.Rd), uint32(i.Rm)
+	var v uint32
+	if i.FP {
+		if i.Size != 4 && i.Size != 8 {
+			return 0, encErr(i, "FP access must be 4 or 8 bytes")
+		}
+		v = 1 << 26
+	}
+	var opc uint32
+	switch {
+	case i.Op == STR:
+		opc = 0
+	case i.Op == LDR:
+		opc = 1
+	case i.Op == LDRSW:
+		if i.FP || i.Size != 4 {
+			return 0, encErr(i, "ldrsw is a 4-byte integer load")
+		}
+		opc = 2
+	}
+	base := size2<<30 | 0x38000000 | v | opc<<22
+	switch i.Mode {
+	case ModeUImm:
+		if i.Imm < 0 || i.Imm%int64(i.Size) != 0 || i.Imm/int64(i.Size) > 4095 {
+			return 0, encErr(i, fmt.Sprintf("unsigned offset %d unencodable", i.Imm))
+		}
+		return base | 1<<24 | uint32(i.Imm/int64(i.Size))<<10 | rn<<5 | rt, nil
+	case ModePost, ModePre:
+		if i.Imm < -256 || i.Imm > 255 {
+			return 0, encErr(i, "pre/post offset out of range")
+		}
+		mode := uint32(1) << 10 // post
+		if i.Mode == ModePre {
+			mode = 3 << 10
+		}
+		return base | uint32(i.Imm)&0x1ff<<12 | mode | rn<<5 | rt, nil
+	case ModeReg:
+		var s uint32
+		switch i.ShiftAmt {
+		case 0:
+			// no shift
+		case uint8(size2):
+			s = 1 << 12
+		default:
+			return 0, encErr(i, "register-offset shift must be 0 or log2(size)")
+		}
+		// option = LSL (UXTX) = 011
+		return base | 1<<21 | rm<<16 | 3<<13 | s | 2<<10 | rn<<5 | rt, nil
+	}
+	return 0, encErr(i, "bad addressing mode")
+}
+
+func encodeLoadStorePair(i Inst) (uint32, error) {
+	rn, rt, rt2 := uint32(i.Rn), uint32(i.Rd), uint32(i.Rt2)
+	var base uint32
+	switch {
+	case i.FP && i.Size == 8:
+		base = 1<<30 | 1<<26
+	case !i.FP && i.Size == 8:
+		base = 2 << 30
+	case !i.FP && i.Size == 4:
+		base = 0
+	default:
+		return 0, encErr(i, "unsupported pair width")
+	}
+	base |= 0x28000000
+	if i.Op == LDP {
+		base |= 1 << 22
+	}
+	var mode uint32
+	switch i.Mode {
+	case ModeUImm:
+		mode = 2 << 23
+	case ModePost:
+		mode = 1 << 23
+	case ModePre:
+		mode = 3 << 23
+	default:
+		return 0, encErr(i, "pair cannot use register offset")
+	}
+	scale := int64(i.Size)
+	if i.Imm%scale != 0 || i.Imm/scale < -64 || i.Imm/scale > 63 {
+		return 0, encErr(i, fmt.Sprintf("pair offset %d unencodable", i.Imm))
+	}
+	return base | mode | uint32(i.Imm/scale)&0x7f<<15 | rt2<<10 | rn<<5 | rt, nil
+}
+
+// MustEncode encodes i, panicking on error.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// encodeFPImm8 converts a float into the 8-bit FMOV immediate encoding
+// (sign, 3-bit exponent, 4-bit mantissa), if representable.
+func encodeFPImm8(v float64, dbl bool) (uint8, bool) {
+	if !dbl {
+		v = float64(float32(v))
+	}
+	bits := math.Float64bits(v)
+	sign := uint8(bits >> 63)
+	exp := int(bits>>52&0x7ff) - 1023
+	frac := bits & (1<<52 - 1)
+	if exp < -3 || exp > 4 {
+		return 0, false
+	}
+	if frac&(1<<48-1) != 0 {
+		return 0, false // more than 4 mantissa bits
+	}
+	mant := uint8(frac >> 48)
+	// exponent field: NOT(b) b b (for 64-bit: replicated) -> 3-bit biased
+	// field e where exp = e - 3 with e in [0,7] excluding representations
+	// handled by the NOT(b) scheme; the canonical mapping:
+	e := uint8(exp + 3) // 0..7
+	b := ^e >> 2 & 1    // top bit of field is NOT(exp sign-ish bit)
+	return sign<<7 | b<<6 | (e&3)<<4 | mant, true
+}
+
+// decodeFPImm8 expands the 8-bit immediate into a float (VFPExpandImm).
+func decodeFPImm8(imm8 uint8, dbl bool) float64 {
+	sign := uint64(imm8 >> 7)
+	b6 := uint64(imm8 >> 6 & 1)
+	exp2 := uint64(imm8 >> 4 & 3)
+	mant := uint64(imm8 & 0xf)
+	// 64-bit: exp = NOT(b6) : replicate(b6, 8) : exp2 (11 bits)
+	var exp uint64
+	if b6 == 1 {
+		exp = 0<<10 | 0xff<<2 | exp2
+	} else {
+		exp = 1<<10 | 0x00<<2 | exp2
+	}
+	bits := sign<<63 | exp<<52 | mant<<48
+	v := math.Float64frombits(bits)
+	if !dbl {
+		return float64(float32(v))
+	}
+	return v
+}

@@ -1,0 +1,474 @@
+package a64
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Golden encodings cross-checked against GNU as/objdump output.
+func TestGoldenEncodings(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want uint32
+	}{
+		// add x0, x0, #1
+		{Inst{Op: ADDi, Sf: true, Rd: 0, Rn: 0, Imm: 1}, 0x91000400},
+		// sub x1, x0, #2441, lsl #12  (the paper's GCC 9.2 STREAM idiom)
+		{Inst{Op: SUBi, Sf: true, Rd: 1, Rn: 0, Imm: 2441, ShiftHi: true}, 0xD1662401},
+		// subs x1, x1, #1664 (other half of the idiom)
+		{Inst{Op: SUBSi, Sf: true, Rd: 1, Rn: 1, Imm: 1664}, 0xF11A0021},
+		// cmp x0, x20 (the GCC 12.2 replacement)
+		{Inst{Op: SUBSr, Sf: true, Rd: ZR, Rn: 0, Rm: 20}, 0xEB14001F},
+		// ldr d1, [x22, x0, lsl #3] (paper Listing 1)
+		{Inst{Op: LDR, Size: 8, FP: true, Rd: 1, Rn: 22, Rm: 0, Mode: ModeReg, ShiftAmt: 3}, 0xFC607AC1},
+		// str d1, [x19, x0, lsl #3]
+		{Inst{Op: STR, Size: 8, FP: true, Rd: 1, Rn: 19, Rm: 0, Mode: ModeReg, ShiftAmt: 3}, 0xFC207A61},
+		// ldr x1, [sp, #8]
+		{Inst{Op: LDR, Size: 8, Rd: 1, Rn: 31, Imm: 8}, 0xF94007E1},
+		// str w2, [x3]
+		{Inst{Op: STR, Size: 4, Rd: 2, Rn: 3}, 0xB9000062},
+		// ldr d0, [x1], #8 (post-index)
+		{Inst{Op: LDR, Size: 8, FP: true, Rd: 0, Rn: 1, Imm: 8, Mode: ModePost}, 0xFC408420},
+		// stp x29, x30, [sp, #-16]!
+		{Inst{Op: STP, Size: 8, Rd: 29, Rt2: 30, Rn: 31, Imm: -16, Mode: ModePre}, 0xA9BF7BFD},
+		// ldp x29, x30, [sp], #16
+		{Inst{Op: LDP, Size: 8, Rd: 29, Rt2: 30, Rn: 31, Imm: 16, Mode: ModePost}, 0xA8C17BFD},
+		// mov x0, #42 (movz)
+		{Inst{Op: MOVZ, Sf: true, Rd: 0, Imm: 42}, 0xD2800540},
+		// movk x0, #1, lsl #16
+		{Inst{Op: MOVK, Sf: true, Rd: 0, Imm: 1, Hw: 1}, 0xF2A00020},
+		// b.ne -20
+		{Inst{Op: Bcond, Cond: NE, Imm: -20}, 0x54FFFF61},
+		// b +8
+		{Inst{Op: B, Imm: 8}, 0x14000002},
+		// cbnz x5, -8
+		{Inst{Op: CBNZ, Sf: true, Rd: 5, Imm: -8}, 0xB5FFFFC5},
+		// ret
+		{Inst{Op: RET, Rn: 30}, 0xD65F03C0},
+		// svc #0
+		{Inst{Op: SVC}, 0xD4000001},
+		// nop
+		{Inst{Op: NOP}, 0xD503201F},
+		// fadd d0, d1, d2
+		{Inst{Op: FADD, Dbl: true, Rd: 0, Rn: 1, Rm: 2}, 0x1E622820},
+		// fmul d3, d4, d5
+		{Inst{Op: FMUL, Dbl: true, Rd: 3, Rn: 4, Rm: 5}, 0x1E650883},
+		// fmadd d0, d1, d2, d3
+		{Inst{Op: FMADD, Dbl: true, Rd: 0, Rn: 1, Rm: 2, Ra: 3}, 0x1F420C20},
+		// fsqrt d0, d1
+		{Inst{Op: FSQRT, Dbl: true, Rd: 0, Rn: 1}, 0x1E61C020},
+		// fcmp d0, d1
+		{Inst{Op: FCMP, Dbl: true, Rn: 0, Rm: 1}, 0x1E612000},
+		// scvtf d0, x1
+		{Inst{Op: SCVTF, Sf: true, Dbl: true, Rd: 0, Rn: 1}, 0x9E620020},
+		// fcvtzs x0, d1
+		{Inst{Op: FCVTZS, Sf: true, Dbl: true, Rd: 0, Rn: 1}, 0x9E780020},
+		// fmov x0, d1
+		{Inst{Op: FMOVxf, Sf: true, Dbl: true, Rd: 0, Rn: 1}, 0x9E660020},
+		// mul x0, x1, x2 (madd with xzr)
+		{Inst{Op: MADD, Sf: true, Rd: 0, Rn: 1, Rm: 2, Ra: ZR}, 0x9B027C20},
+		// sdiv x0, x1, x2
+		{Inst{Op: SDIV, Sf: true, Rd: 0, Rn: 1, Rm: 2}, 0x9AC20C20},
+		// csel x0, x1, x2, eq
+		{Inst{Op: CSEL, Sf: true, Rd: 0, Rn: 1, Rm: 2, Cond: EQ}, 0x9A820020},
+		// and x0, x1, #0xff
+		{Inst{Op: ANDi, Sf: true, Rd: 0, Rn: 1, Imm: 0xff}, 0x92401C20},
+		// orr x0, xzr, x1 (mov x0, x1)
+		{Inst{Op: ORRr, Sf: true, Rd: 0, Rn: ZR, Rm: 1}, 0xAA0103E0},
+		// lsl x0, x1, #3 (ubfm x0, x1, #61, #60)
+		{Inst{Op: UBFM, Sf: true, Rd: 0, Rn: 1, ImmR: 61, ImmS: 60}, 0xD37DF020},
+		// add x0, x1, x2, lsl #3
+		{Inst{Op: ADDr, Sf: true, Rd: 0, Rn: 1, Rm: 2, ShiftAmt: 3}, 0x8B020C20},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.inst)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", c.inst, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Encode(%s) = %#08x, want %#08x", c.inst, got, c.want)
+		}
+		back, err := Decode(c.want)
+		if err != nil {
+			t.Errorf("Decode(%#08x): %v", c.want, err)
+			continue
+		}
+		if back != c.inst {
+			t.Errorf("Decode(%#08x) = %+v, want %+v", c.want, back, c.inst)
+		}
+	}
+}
+
+func TestBitmaskRoundTrip(t *testing.T) {
+	// Exhaustive over all valid field combinations: decode then
+	// re-encode must reproduce a pattern that decodes identically.
+	for n := uint8(0); n <= 1; n++ {
+		for immr := uint8(0); immr < 64; immr++ {
+			for imms := uint8(0); imms < 64; imms++ {
+				v, ok := DecodeBitmask(n, immr, imms, true)
+				if !ok {
+					continue
+				}
+				n2, immr2, imms2, ok := EncodeBitmask(v, true)
+				if !ok {
+					t.Fatalf("EncodeBitmask(%#x) failed (from n=%d immr=%d imms=%d)", v, n, immr, imms)
+				}
+				v2, ok := DecodeBitmask(n2, immr2, imms2, true)
+				if !ok || v2 != v {
+					t.Fatalf("bitmask not canonical: %#x -> (%d,%d,%d) -> %#x", v, n2, immr2, imms2, v2)
+				}
+			}
+		}
+	}
+}
+
+func TestBitmaskKnownValues(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		is64 bool
+		ok   bool
+	}{
+		{0xff, true, true},
+		{0xf0f0f0f0f0f0f0f0, true, true},
+		{0x5555555555555555, true, true},
+		{0x0000ffff0000ffff, true, true},
+		{0x7, true, true},
+		{0, true, false},
+		{^uint64(0), true, false},
+		{0x123456789abcdef0, true, false},
+		{0xff, false, true},
+		{0x100000001, false, false}, // >32 bits in 32-bit mode
+	}
+	for _, c := range cases {
+		n, immr, imms, ok := EncodeBitmask(c.v, c.is64)
+		if ok != c.ok {
+			t.Errorf("EncodeBitmask(%#x, %v) ok = %v, want %v", c.v, c.is64, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		got, ok := DecodeBitmask(n, immr, imms, c.is64)
+		if !ok || got != c.v {
+			t.Errorf("DecodeBitmask(EncodeBitmask(%#x)) = %#x", c.v, got)
+		}
+	}
+}
+
+// randInst builds random valid instructions covering every op.
+func randInst(r *rand.Rand) Inst {
+	reg := func() uint8 { return uint8(r.Intn(32)) }
+	cond := func() Cond { return Cond(r.Intn(16)) }
+	for {
+		op := Op(1 + r.Intn(int(numOps)-1))
+		i := Inst{Op: op}
+		switch op {
+		case ADDi, ADDSi, SUBi, SUBSi:
+			i.Sf = r.Intn(2) == 0
+			i.Rd, i.Rn = reg(), reg()
+			i.Imm = int64(r.Intn(4096))
+			i.ShiftHi = r.Intn(2) == 0
+		case ANDi, ORRi, EORi, ANDSi:
+			i.Sf = true
+			i.Rd, i.Rn = reg(), reg()
+			// Build a guaranteed-valid bitmask immediate from fields.
+			for {
+				v, ok := DecodeBitmask(uint8(r.Intn(2)), uint8(r.Intn(64)), uint8(r.Intn(64)), true)
+				if ok {
+					i.Imm = int64(v)
+					break
+				}
+			}
+		case MOVZ, MOVN, MOVK:
+			i.Sf = r.Intn(2) == 0
+			i.Rd = reg()
+			i.Imm = int64(r.Intn(0x10000))
+			if i.Sf {
+				i.Hw = uint8(r.Intn(4))
+			} else {
+				i.Hw = uint8(r.Intn(2))
+			}
+		case SBFM, UBFM:
+			i.Sf = r.Intn(2) == 0
+			i.Rd, i.Rn = reg(), reg()
+			lim := 32
+			if i.Sf {
+				lim = 64
+			}
+			i.ImmR, i.ImmS = uint8(r.Intn(lim)), uint8(r.Intn(lim))
+		case ADDr, ADDSr, SUBr, SUBSr:
+			i.Sf = r.Intn(2) == 0
+			i.Rd, i.Rn, i.Rm = reg(), reg(), reg()
+			i.ShiftKind = Shift(r.Intn(3))
+			lim := 32
+			if i.Sf {
+				lim = 64
+			}
+			i.ShiftAmt = uint8(r.Intn(lim))
+		case ANDr, ORRr, EORr, ANDSr, BICr:
+			i.Sf = r.Intn(2) == 0
+			i.Rd, i.Rn, i.Rm = reg(), reg(), reg()
+			i.ShiftKind = Shift(r.Intn(4))
+			lim := 32
+			if i.Sf {
+				lim = 64
+			}
+			i.ShiftAmt = uint8(r.Intn(lim))
+		case MADD, MSUB:
+			i.Sf = r.Intn(2) == 0
+			i.Rd, i.Rn, i.Rm, i.Ra = reg(), reg(), reg(), reg()
+		case SDIV, UDIV, LSLV, LSRV, ASRV:
+			i.Sf = r.Intn(2) == 0
+			i.Rd, i.Rn, i.Rm = reg(), reg(), reg()
+		case CSEL, CSINC, CSINV, CSNEG:
+			i.Sf = r.Intn(2) == 0
+			i.Rd, i.Rn, i.Rm, i.Cond = reg(), reg(), reg(), cond()
+		case B, BL:
+			i.Imm = int64(r.Intn(1<<26)-1<<25) * 4
+		case Bcond:
+			i.Cond = cond()
+			i.Imm = int64(r.Intn(1<<19)-1<<18) * 4
+		case CBZ, CBNZ:
+			i.Sf = r.Intn(2) == 0
+			i.Rd = reg()
+			i.Imm = int64(r.Intn(1<<19)-1<<18) * 4
+		case BR, BLR, RET:
+			i.Rn = reg()
+		case SVC:
+			i.Imm = int64(r.Intn(0x10000))
+		case NOP:
+		case LDR, STR, LDRSW:
+			i.Rd, i.Rn = reg(), reg()
+			if op == LDRSW {
+				i.Size = 4
+			} else {
+				i.FP = r.Intn(2) == 0
+				if i.FP {
+					i.Size = []uint8{4, 8}[r.Intn(2)]
+				} else {
+					i.Size = []uint8{1, 2, 4, 8}[r.Intn(4)]
+				}
+			}
+			switch AddrMode(r.Intn(4)) {
+			case ModeUImm:
+				i.Mode = ModeUImm
+				i.Imm = int64(r.Intn(4096)) * int64(i.Size)
+			case ModePost:
+				i.Mode = ModePost
+				i.Imm = int64(r.Intn(512) - 256)
+			case ModePre:
+				i.Mode = ModePre
+				i.Imm = int64(r.Intn(512) - 256)
+			case ModeReg:
+				i.Mode = ModeReg
+				i.Rm = reg()
+				if r.Intn(2) == 0 {
+					switch i.Size {
+					case 2:
+						i.ShiftAmt = 1
+					case 4:
+						i.ShiftAmt = 2
+					case 8:
+						i.ShiftAmt = 3
+					}
+				}
+			}
+		case LDP, STP:
+			i.Rd, i.Rt2, i.Rn = reg(), reg(), reg()
+			if r.Intn(2) == 0 {
+				i.FP = true
+				i.Size = 8
+			} else {
+				i.Size = []uint8{4, 8}[r.Intn(2)]
+			}
+			i.Mode = []AddrMode{ModeUImm, ModePost, ModePre}[r.Intn(3)]
+			i.Imm = int64(r.Intn(128)-64) * int64(i.Size)
+		case FADD, FSUB, FMUL, FDIV, FNMUL, FMAX, FMIN:
+			i.Dbl = r.Intn(2) == 0
+			i.Rd, i.Rn, i.Rm = reg(), reg(), reg()
+		case FMOVr, FABS, FNEG, FSQRT:
+			i.Dbl = r.Intn(2) == 0
+			i.Rd, i.Rn = reg(), reg()
+		case FCVTsd:
+			i.Dbl = true
+			i.Rd, i.Rn = reg(), reg()
+		case FCVTds:
+			i.Dbl = false
+			i.Rd, i.Rn = reg(), reg()
+		case FCMP, FCMPE:
+			i.Dbl = r.Intn(2) == 0
+			i.Rn, i.Rm = reg(), reg()
+		case FCSEL:
+			i.Dbl = r.Intn(2) == 0
+			i.Rd, i.Rn, i.Rm, i.Cond = reg(), reg(), reg(), cond()
+		case SCVTF, UCVTF, FCVTZS, FCVTZU:
+			i.Sf = r.Intn(2) == 0
+			i.Dbl = r.Intn(2) == 0
+			i.Rd, i.Rn = reg(), reg()
+		case FMOVxf, FMOVfx:
+			i.Sf = r.Intn(2) == 0
+			i.Dbl = i.Sf
+			i.Rd, i.Rn = reg(), reg()
+		case FMOVi:
+			i.Dbl = r.Intn(2) == 0
+			i.Rd = reg()
+			mant := r.Intn(16)
+			exp := r.Intn(8) - 3
+			sign := float64(1 - 2*r.Intn(2))
+			v := sign * (1 + float64(mant)/16) * math.Pow(2, float64(exp))
+			i.Imm = int64(math.Float64bits(v))
+		case FMADD, FMSUB, FNMADD, FNMSUB:
+			i.Dbl = r.Intn(2) == 0
+			i.Rd, i.Rn, i.Rm, i.Ra = reg(), reg(), reg(), reg()
+		default:
+			continue
+		}
+		return i
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for n := 0; n < 20000; n++ {
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) of %s %+v: %v", w, in.Op.Name(), in, err)
+		}
+		if out != in {
+			t.Fatalf("round trip %s: %+v -> %#08x -> %+v", in.Op.Name(), in, w, out)
+		}
+	}
+}
+
+func TestEveryOpRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	covered := map[Op]bool{}
+	for n := 0; n < 200000 && len(covered) < int(numOps)-1; n++ {
+		in := randInst(r)
+		covered[in.Op] = true
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil || out != in {
+			t.Fatalf("round trip failed for %s: %+v -> %+v (%v)", in.Op.Name(), in, out, err)
+		}
+	}
+	for op := Op(1); op < numOps; op++ {
+		if !covered[op] {
+			t.Errorf("op %s never exercised", op.Name())
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: OpInvalid},
+		{Op: ADDi, Imm: 4096},
+		{Op: ADDi, Imm: -1},
+		{Op: ANDi, Imm: 0}, // 0 is not a bitmask immediate
+		{Op: MOVZ, Imm: 0x10000},
+		{Op: MOVZ, Sf: false, Hw: 2, Imm: 1},
+		{Op: B, Imm: 2},
+		{Op: Bcond, Imm: 1 << 21},
+		{Op: LDR, Size: 3},
+		{Op: LDR, Size: 8, Mode: ModeUImm, Imm: 12}, // not 8-aligned
+		{Op: LDR, Size: 8, Mode: ModePost, Imm: 300},
+		{Op: LDR, Size: 8, Mode: ModeReg, ShiftAmt: 2},
+		{Op: LDP, Size: 8, Mode: ModeReg},
+		{Op: LDP, Size: 8, Imm: 4},
+		{Op: SBFM, Sf: false, ImmR: 40},
+		{Op: FMOVi, Imm: int64(math.Float64bits(0.1))},
+		{Op: FMOVxf, Sf: true, Dbl: false},
+		{Op: ADDr, ShiftKind: ROR, ShiftAmt: 1}, // ROR invalid for add/sub
+	}
+	for _, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("Encode(%+v) unexpectedly succeeded", c)
+		}
+	}
+}
+
+func TestFPImm8(t *testing.T) {
+	representable := []float64{1.0, 2.0, 0.5, -1.0, 3.0, 0.125, 31.0, -0.5, 1.9375, 10.0}
+	for _, v := range representable {
+		imm8, ok := encodeFPImm8(v, true)
+		if !ok {
+			t.Errorf("encodeFPImm8(%v) failed", v)
+			continue
+		}
+		if got := decodeFPImm8(imm8, true); got != v {
+			t.Errorf("fpimm8 round trip %v -> %#x -> %v", v, imm8, got)
+		}
+	}
+	for _, v := range []float64{0, 0.1, 33.0, 1e10, math.NaN(), math.Inf(1), 0.0625} {
+		if _, ok := encodeFPImm8(v, true); ok {
+			t.Errorf("encodeFPImm8(%v) should fail", v)
+		}
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want string
+	}{
+		{Inst{Op: LDR, Size: 8, FP: true, Rd: 1, Rn: 22, Rm: 0, Mode: ModeReg, ShiftAmt: 3}, "ldr d1, [x22, x0, lsl #3]"},
+		{Inst{Op: STR, Size: 8, FP: true, Rd: 1, Rn: 19, Rm: 0, Mode: ModeReg, ShiftAmt: 3}, "str d1, [x19, x0, lsl #3]"},
+		{Inst{Op: ADDi, Sf: true, Rd: 0, Rn: 0, Imm: 1}, "add x0, x0, #1"},
+		{Inst{Op: SUBSr, Sf: true, Rd: ZR, Rn: 0, Rm: 20}, "cmp x0, x20"},
+		{Inst{Op: Bcond, Cond: NE, Imm: -20}, "b.ne -20"},
+		{Inst{Op: SUBi, Sf: true, Rd: 1, Rn: 0, Imm: 2441, ShiftHi: true}, "sub x1, x0, #2441, lsl #12"},
+		{Inst{Op: SUBSi, Sf: true, Rd: 1, Rn: 1, Imm: 1664}, "subs x1, x1, #1664"},
+		{Inst{Op: MADD, Sf: true, Rd: 0, Rn: 1, Rm: 2, Ra: ZR}, "mul x0, x1, x2"},
+		{Inst{Op: MOVZ, Sf: true, Rd: 3, Imm: 7}, "mov x3, #7"},
+		{Inst{Op: ORRr, Sf: true, Rd: 0, Rn: ZR, Rm: 1}, "mov x0, x1"},
+		{Inst{Op: UBFM, Sf: true, Rd: 0, Rn: 1, ImmR: 61, ImmS: 60}, "lsl x0, x1, #3"},
+		{Inst{Op: UBFM, Sf: true, Rd: 0, Rn: 1, ImmR: 3, ImmS: 63}, "lsr x0, x1, #3"},
+		{Inst{Op: CSINC, Sf: true, Rd: 0, Rn: ZR, Rm: ZR, Cond: NE}, "cset x0, eq"},
+		{Inst{Op: FMADD, Dbl: true, Rd: 0, Rn: 1, Rm: 2, Ra: 3}, "fmadd d0, d1, d2, d3"},
+		{Inst{Op: LDP, Size: 8, Rd: 29, Rt2: 30, Rn: 31, Imm: 16, Mode: ModePost}, "ldp x29, x30, [sp], #16"},
+		{Inst{Op: STR, Size: 8, FP: true, Rd: 0, Rn: 1, Imm: 8, Mode: ModePre}, "str d0, [x1, #8]!"},
+		{Inst{Op: RET, Rn: 30}, "ret"},
+		{Inst{Op: FMOVi, Dbl: true, Rd: 1, Imm: int64(math.Float64bits(1.0))}, "fmov d1, #1.0"},
+		{Inst{Op: LDR, Size: 1, Rd: 2, Rn: 3}, "ldrb w2, [x3]"},
+	}
+	for _, c := range cases {
+		if got := c.inst.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.inst, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsJunk(t *testing.T) {
+	for _, w := range []uint32{0, 0xffffffff, 0x00000013} {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) accepted", w)
+		}
+	}
+}
+
+func TestQuickBitmaskAgainstDecode(t *testing.T) {
+	// Property: every value EncodeBitmask accepts decodes back to
+	// itself.
+	f := func(v uint64) bool {
+		n, immr, imms, ok := EncodeBitmask(v, true)
+		if !ok {
+			return true // not representable: fine
+		}
+		got, ok := DecodeBitmask(n, immr, imms, true)
+		return ok && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,922 @@
+package a64
+
+import (
+	"fmt"
+	"math"
+
+	"isacmp/internal/isa"
+)
+
+// Step retires one instruction, updating architectural state and
+// filling ev with the execution record. It returns done=true once the
+// program has exited.
+func (m *Machine) Step(ev *isa.Event) (done bool, err error) {
+	if m.exited {
+		return true, nil
+	}
+	idx := (m.PCReg - m.textBase) / 4
+	if m.PCReg < m.textBase || idx >= uint64(len(m.prog)) || m.PCReg%4 != 0 {
+		return false, &fetchErr{pc: m.PCReg}
+	}
+	i := m.prog[idx]
+
+	ev.Reset()
+	ev.PC = m.PCReg
+	ev.Word = m.words[idx]
+	ev.Group = m.groups[idx]
+
+	nextPC := m.PCReg + 4
+
+	switch i.Op {
+	case ADDi, SUBi:
+		// SP-context for both Rn and Rd (this form moves to/from SP).
+		addSPSrc(ev, i.Rn)
+		imm := uint64(i.Imm)
+		if i.ShiftHi {
+			imm <<= 12
+		}
+		v := m.X[i.Rn] + imm
+		if i.Op == SUBi {
+			v = m.X[i.Rn] - imm
+		}
+		if !i.Sf {
+			v = uint64(uint32(v))
+		}
+		m.X[i.Rd] = v
+		addSPDst(ev, i.Rd)
+
+	case ADDSi, SUBSi:
+		addSPSrc(ev, i.Rn)
+		imm := uint64(i.Imm)
+		if i.ShiftHi {
+			imm <<= 12
+		}
+		a := m.X[i.Rn]
+		var v uint64
+		if i.Op == ADDSi {
+			v = m.addWithFlags(a, imm, 0, i.Sf)
+		} else {
+			v = m.addWithFlags(a, ^imm, 1, i.Sf)
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+		ev.AddDst(isa.RegNZCV)
+
+	case ANDi, ORRi, EORi, ANDSi:
+		addSrc(ev, i.Rn)
+		a := m.xr(i.Rn)
+		b := uint64(i.Imm)
+		var v uint64
+		switch i.Op {
+		case ANDi, ANDSi:
+			v = a & b
+		case ORRi:
+			v = a | b
+		case EORi:
+			v = a ^ b
+		}
+		if !i.Sf {
+			v = uint64(uint32(v))
+		}
+		if i.Op == ANDSi {
+			m.logicFlags(v, i.Sf)
+			ev.AddDst(isa.RegNZCV)
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+
+	case MOVZ:
+		m.setX(i.Rd, uint64(i.Imm)<<(16*uint(i.Hw)), i.Sf)
+		addDst(ev, i.Rd)
+	case MOVN:
+		m.setX(i.Rd, ^(uint64(i.Imm) << (16 * uint(i.Hw))), i.Sf)
+		addDst(ev, i.Rd)
+	case MOVK:
+		addSrc(ev, i.Rd) // movk merges into the destination
+		sh := 16 * uint(i.Hw)
+		v := m.xr(i.Rd)&^(0xffff<<sh) | uint64(i.Imm)<<sh
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+
+	case SBFM, UBFM:
+		addSrc(ev, i.Rn)
+		regsize := uint(32)
+		if i.Sf {
+			regsize = 64
+		}
+		m.setX(i.Rd, bfm(m.xr(i.Rn), i.ImmR, i.ImmS, regsize, i.Op == SBFM), i.Sf)
+		addDst(ev, i.Rd)
+
+	case ADDr, SUBr:
+		addSrc(ev, i.Rn)
+		addSrc(ev, i.Rm)
+		b := shiftedOperand(m.xr(i.Rm), i.ShiftKind, i.ShiftAmt, i.Sf)
+		v := m.xr(i.Rn) + b
+		if i.Op == SUBr {
+			v = m.xr(i.Rn) - b
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+
+	case ADDSr, SUBSr:
+		addSrc(ev, i.Rn)
+		addSrc(ev, i.Rm)
+		b := shiftedOperand(m.xr(i.Rm), i.ShiftKind, i.ShiftAmt, i.Sf)
+		var v uint64
+		if i.Op == ADDSr {
+			v = m.addWithFlags(m.xr(i.Rn), b, 0, i.Sf)
+		} else {
+			v = m.addWithFlags(m.xr(i.Rn), ^b, 1, i.Sf)
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+		ev.AddDst(isa.RegNZCV)
+
+	case ANDr, ORRr, EORr, ANDSr, BICr:
+		addSrc(ev, i.Rn)
+		addSrc(ev, i.Rm)
+		b := shiftedOperand(m.xr(i.Rm), i.ShiftKind, i.ShiftAmt, i.Sf)
+		a := m.xr(i.Rn)
+		var v uint64
+		switch i.Op {
+		case ANDr, ANDSr:
+			v = a & b
+		case ORRr:
+			v = a | b
+		case EORr:
+			v = a ^ b
+		case BICr:
+			v = a &^ b
+		}
+		if !i.Sf {
+			v = uint64(uint32(v))
+		}
+		if i.Op == ANDSr {
+			m.logicFlags(v, i.Sf)
+			ev.AddDst(isa.RegNZCV)
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+
+	case MADD, MSUB:
+		addSrc(ev, i.Rn)
+		addSrc(ev, i.Rm)
+		addSrc(ev, i.Ra)
+		p := m.xr(i.Rn) * m.xr(i.Rm)
+		var v uint64
+		if i.Op == MADD {
+			v = m.xr(i.Ra) + p
+		} else {
+			v = m.xr(i.Ra) - p
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+
+	case SDIV, UDIV:
+		addSrc(ev, i.Rn)
+		addSrc(ev, i.Rm)
+		m.setX(i.Rd, divide(i.Op == SDIV, m.xr(i.Rn), m.xr(i.Rm), i.Sf), i.Sf)
+		addDst(ev, i.Rd)
+
+	case LSLV, LSRV, ASRV:
+		addSrc(ev, i.Rn)
+		addSrc(ev, i.Rm)
+		bits := uint64(63)
+		if !i.Sf {
+			bits = 31
+		}
+		amt := uint(m.xr(i.Rm) & bits)
+		var v uint64
+		switch i.Op {
+		case LSLV:
+			v = m.xr(i.Rn) << amt
+		case LSRV:
+			a := m.xr(i.Rn)
+			if !i.Sf {
+				a = uint64(uint32(a))
+			}
+			v = a >> amt
+		case ASRV:
+			if i.Sf {
+				v = uint64(int64(m.xr(i.Rn)) >> amt)
+			} else {
+				v = uint64(uint32(int32(uint32(m.xr(i.Rn))) >> amt))
+			}
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+
+	case CSEL, CSINC, CSINV, CSNEG:
+		addSrc(ev, i.Rn)
+		addSrc(ev, i.Rm)
+		ev.AddSrc(isa.RegNZCV)
+		var v uint64
+		if m.condHolds(i.Cond) {
+			v = m.xr(i.Rn)
+		} else {
+			b := m.xr(i.Rm)
+			switch i.Op {
+			case CSEL:
+				v = b
+			case CSINC:
+				v = b + 1
+			case CSINV:
+				v = ^b
+			case CSNEG:
+				v = -b
+			}
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+
+	case B:
+		ev.Branch, ev.Taken = true, true
+		nextPC = m.PCReg + uint64(i.Imm)
+	case BL:
+		ev.Branch, ev.Taken = true, true
+		m.X[30] = m.PCReg + 4
+		ev.AddDst(isa.IntReg(30))
+		nextPC = m.PCReg + uint64(i.Imm)
+	case Bcond:
+		ev.Branch = true
+		ev.AddSrc(isa.RegNZCV)
+		if m.condHolds(i.Cond) {
+			ev.Taken = true
+			nextPC = m.PCReg + uint64(i.Imm)
+		}
+	case CBZ, CBNZ:
+		ev.Branch = true
+		addSrc(ev, i.Rd)
+		v := m.xr(i.Rd)
+		if !i.Sf {
+			v = uint64(uint32(v))
+		}
+		if (v == 0) == (i.Op == CBZ) {
+			ev.Taken = true
+			nextPC = m.PCReg + uint64(i.Imm)
+		}
+	case BR, RET:
+		ev.Branch, ev.Taken = true, true
+		addSrc(ev, i.Rn)
+		nextPC = m.xr(i.Rn)
+	case BLR:
+		ev.Branch, ev.Taken = true, true
+		addSrc(ev, i.Rn)
+		m.X[30] = m.PCReg + 4
+		ev.AddDst(isa.IntReg(30))
+		nextPC = m.xr(i.Rn)
+	case SVC:
+		done, err = m.svc()
+		if err != nil {
+			return false, err
+		}
+		if done {
+			return true, nil
+		}
+	case NOP:
+		// nothing
+
+	case LDR, STR, LDRSW:
+		if err := m.loadStore(&i, ev); err != nil {
+			return false, err
+		}
+	case LDP, STP:
+		if err := m.loadStorePair(&i, ev); err != nil {
+			return false, err
+		}
+
+	case FADD, FSUB, FMUL, FDIV, FNMUL, FMAX, FMIN:
+		addFSrc(ev, i.Rn)
+		addFSrc(ev, i.Rm)
+		m.fpBin(&i)
+		addFDst(ev, i.Rd)
+	case FMOVr, FABS, FNEG, FSQRT, FCVTsd, FCVTds:
+		addFSrc(ev, i.Rn)
+		m.fpUn(&i)
+		addFDst(ev, i.Rd)
+	case FCMP, FCMPE:
+		addFSrc(ev, i.Rn)
+		addFSrc(ev, i.Rm)
+		a, b := m.fr(i.Rn, i.Dbl), m.fr(i.Rm, i.Dbl)
+		switch {
+		case math.IsNaN(a) || math.IsNaN(b):
+			m.setFlags(0b0011)
+		case a == b:
+			m.setFlags(0b0110)
+		case a < b:
+			m.setFlags(0b1000)
+		default:
+			m.setFlags(0b0010)
+		}
+		ev.AddDst(isa.RegNZCV)
+	case FCSEL:
+		addFSrc(ev, i.Rn)
+		addFSrc(ev, i.Rm)
+		ev.AddSrc(isa.RegNZCV)
+		if m.condHolds(i.Cond) {
+			m.F[i.Rd] = m.F[i.Rn]
+		} else {
+			m.F[i.Rd] = m.F[i.Rm]
+		}
+		if !i.Dbl {
+			m.F[i.Rd] = uint64(uint32(m.F[i.Rd]))
+		}
+		addFDst(ev, i.Rd)
+	case SCVTF, UCVTF:
+		addSrc(ev, i.Rn)
+		v := m.xr(i.Rn)
+		var f float64
+		if i.Op == SCVTF {
+			if i.Sf {
+				f = float64(int64(v))
+			} else {
+				f = float64(int32(uint32(v)))
+			}
+		} else {
+			if i.Sf {
+				f = float64(v)
+			} else {
+				f = float64(uint32(v))
+			}
+		}
+		m.setF(i.Rd, f, i.Dbl)
+		addFDst(ev, i.Rd)
+	case FCVTZS, FCVTZU:
+		addFSrc(ev, i.Rn)
+		f := math.Trunc(m.fr(i.Rn, i.Dbl))
+		var v uint64
+		if i.Op == FCVTZS {
+			if i.Sf {
+				v = uint64(satS64(f))
+			} else {
+				v = uint64(uint32(satS32(f)))
+			}
+		} else {
+			if i.Sf {
+				v = satU64(f)
+			} else {
+				v = uint64(satU32(f))
+			}
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+	case FMOVxf:
+		addFSrc(ev, i.Rn)
+		v := m.F[i.Rn]
+		if !i.Sf {
+			v = uint64(uint32(v))
+		}
+		m.setX(i.Rd, v, i.Sf)
+		addDst(ev, i.Rd)
+	case FMOVfx:
+		addSrc(ev, i.Rn)
+		v := m.xr(i.Rn)
+		if !i.Dbl {
+			v = uint64(uint32(v))
+		}
+		m.F[i.Rd] = v
+		addFDst(ev, i.Rd)
+	case FMOVi:
+		m.setF(i.Rd, math.Float64frombits(uint64(i.Imm)), i.Dbl)
+		addFDst(ev, i.Rd)
+	case FMADD, FMSUB, FNMADD, FNMSUB:
+		addFSrc(ev, i.Rn)
+		addFSrc(ev, i.Rm)
+		addFSrc(ev, i.Ra)
+		a, b, c := m.fr(i.Rn, i.Dbl), m.fr(i.Rm, i.Dbl), m.fr(i.Ra, i.Dbl)
+		var r float64
+		switch i.Op {
+		case FMADD:
+			r = math.FMA(a, b, c)
+		case FMSUB:
+			r = math.FMA(-a, b, c)
+		case FNMADD:
+			r = math.FMA(-a, b, -c)
+		case FNMSUB:
+			r = math.FMA(a, b, -c)
+		}
+		m.setF(i.Rd, r, i.Dbl)
+		addFDst(ev, i.Rd)
+
+	default:
+		return false, fmt.Errorf("a64: unimplemented op %s at %#x", i.Op.Name(), m.PCReg)
+	}
+
+	m.PCReg = nextPC
+	m.steps++
+	return false, nil
+}
+
+// addWithFlags computes a + b + carry, setting NZCV.
+func (m *Machine) addWithFlags(a, b uint64, carry uint64, sf bool) uint64 {
+	if !sf {
+		a32, b32 := uint32(a), uint32(b)
+		r := uint64(a32) + uint64(b32) + carry
+		v := uint32(r)
+		m.N = int32(v) < 0
+		m.Z = v == 0
+		m.C = r>>32 != 0
+		m.V = (^(a32 ^ b32) & (a32 ^ v) >> 31) != 0
+		return uint64(v)
+	}
+	r := a + b + carry
+	m.N = int64(r) < 0
+	m.Z = r == 0
+	// Carry out of unsigned 64-bit addition.
+	m.C = r < a || (carry == 1 && r == a)
+	m.V = (^(a ^ b) & (a ^ r) >> 63) != 0
+	return r
+}
+
+// logicFlags sets flags for ANDS/TST: N and Z from the result, C=V=0.
+func (m *Machine) logicFlags(v uint64, sf bool) {
+	if sf {
+		m.N = int64(v) < 0
+	} else {
+		m.N = int32(uint32(v)) < 0
+	}
+	m.Z = v == 0
+	m.C, m.V = false, false
+}
+
+// shiftedOperand applies the shift of a shifted-register operand.
+func shiftedOperand(v uint64, kind Shift, amt uint8, sf bool) uint64 {
+	if !sf {
+		v = uint64(uint32(v))
+	}
+	if amt == 0 && kind == LSL {
+		return v
+	}
+	width := uint(64)
+	if !sf {
+		width = 32
+	}
+	a := uint(amt) % width
+	var r uint64
+	switch kind {
+	case LSL:
+		r = v << a
+	case LSR:
+		r = v >> a
+	case ASR:
+		if sf {
+			r = uint64(int64(v) >> a)
+		} else {
+			r = uint64(uint32(int32(uint32(v)) >> a))
+		}
+	case ROR:
+		r = v>>a | v<<(width-a)
+	}
+	if !sf {
+		r = uint64(uint32(r))
+	}
+	return r
+}
+
+// bfm implements the SBFM/UBFM bitfield move.
+func bfm(src uint64, immr, imms uint8, regsize uint, signed bool) uint64 {
+	mask := func(w uint) uint64 {
+		if w >= 64 {
+			return ^uint64(0)
+		}
+		return uint64(1)<<w - 1
+	}
+	var v uint64
+	if imms >= immr {
+		width := uint(imms-immr) + 1
+		v = src >> immr & mask(width)
+		if signed && v>>(width-1)&1 == 1 {
+			v |= ^mask(width)
+		}
+	} else {
+		width := uint(imms) + 1
+		pos := regsize - uint(immr)
+		v = (src & mask(width)) << pos
+		if signed && src>>imms&1 == 1 {
+			v |= ^mask(pos + width)
+		}
+	}
+	if regsize == 32 {
+		v = uint64(uint32(v))
+	}
+	return v
+}
+
+func divide(signed bool, a, b uint64, sf bool) uint64 {
+	if !sf {
+		a, b = uint64(uint32(a)), uint64(uint32(b))
+		if signed {
+			x, y := int32(uint32(a)), int32(uint32(b))
+			if y == 0 {
+				return 0
+			}
+			if x == math.MinInt32 && y == -1 {
+				return uint64(uint32(x))
+			}
+			return uint64(uint32(x / y))
+		}
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	if signed {
+		x, y := int64(a), int64(b)
+		if y == 0 {
+			return 0
+		}
+		if x == math.MinInt64 && y == -1 {
+			return a
+		}
+		return uint64(x / y)
+	}
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// fr reads an FP register at the instruction's precision as float64.
+func (m *Machine) fr(r uint8, dbl bool) float64 {
+	if dbl {
+		return math.Float64frombits(m.F[r])
+	}
+	return float64(math.Float32frombits(uint32(m.F[r])))
+}
+
+// setF writes an FP register at the instruction's precision.
+func (m *Machine) setF(r uint8, v float64, dbl bool) {
+	if dbl {
+		m.F[r] = math.Float64bits(v)
+	} else {
+		m.F[r] = uint64(math.Float32bits(float32(v)))
+	}
+}
+
+func (m *Machine) fpBin(i *Inst) {
+	a, b := m.fr(i.Rn, i.Dbl), m.fr(i.Rm, i.Dbl)
+	var r float64
+	switch i.Op {
+	case FADD:
+		r = a + b
+	case FSUB:
+		r = a - b
+	case FMUL:
+		r = a * b
+	case FDIV:
+		r = a / b
+	case FNMUL:
+		r = -(a * b)
+	case FMAX:
+		r = fmax64(a, b)
+	case FMIN:
+		r = fmin64(a, b)
+	}
+	if !i.Dbl {
+		r = float64(float32(r))
+	}
+	m.setF(i.Rd, r, i.Dbl)
+}
+
+func (m *Machine) fpUn(i *Inst) {
+	switch i.Op {
+	case FMOVr:
+		if i.Dbl {
+			m.F[i.Rd] = m.F[i.Rn]
+		} else {
+			m.F[i.Rd] = uint64(uint32(m.F[i.Rn]))
+		}
+		return
+	case FCVTsd: // double -> single
+		m.setF(i.Rd, m.fr(i.Rn, true), false)
+		return
+	case FCVTds: // single -> double
+		m.setF(i.Rd, m.fr(i.Rn, false), true)
+		return
+	}
+	v := m.fr(i.Rn, i.Dbl)
+	switch i.Op {
+	case FABS:
+		v = math.Abs(v)
+	case FNEG:
+		v = -v
+	case FSQRT:
+		v = math.Sqrt(v)
+	}
+	m.setF(i.Rd, v, i.Dbl)
+}
+
+func fmin64(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return math.NaN()
+	case a < b || (a == 0 && b == 0 && math.Signbit(a)):
+		return a
+	default:
+		return b
+	}
+}
+
+func fmax64(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return math.NaN()
+	case a > b || (a == 0 && b == 0 && !math.Signbit(a)):
+		return a
+	default:
+		return b
+	}
+}
+
+func satS32(v float64) int32 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v >= math.MaxInt32:
+		return math.MaxInt32
+	case v <= math.MinInt32:
+		return math.MinInt32
+	default:
+		return int32(v)
+	}
+}
+
+func satU32(v float64) uint32 {
+	switch {
+	case math.IsNaN(v), v <= 0:
+		return 0
+	case v >= math.MaxUint32:
+		return math.MaxUint32
+	default:
+		return uint32(v)
+	}
+}
+
+func satS64(v float64) int64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v >= math.MaxInt64:
+		return math.MaxInt64
+	case v <= math.MinInt64:
+		return math.MinInt64
+	default:
+		return int64(v)
+	}
+}
+
+func satU64(v float64) uint64 {
+	switch {
+	case math.IsNaN(v), v <= 0:
+		return 0
+	case v >= math.MaxUint64:
+		return math.MaxUint64
+	default:
+		return uint64(v)
+	}
+}
+
+// loadStore executes single-register loads and stores in every
+// addressing mode.
+func (m *Machine) loadStore(i *Inst, ev *isa.Event) error {
+	var addr uint64
+	addSPSrc(ev, i.Rn)
+	switch i.Mode {
+	case ModeUImm:
+		addr = m.X[i.Rn] + uint64(i.Imm)
+	case ModePost:
+		addr = m.X[i.Rn]
+		m.X[i.Rn] += uint64(i.Imm)
+		addSPDst(ev, i.Rn)
+	case ModePre:
+		addr = m.X[i.Rn] + uint64(i.Imm)
+		m.X[i.Rn] = addr
+		addSPDst(ev, i.Rn)
+	case ModeReg:
+		addSrc(ev, i.Rm)
+		addr = m.X[i.Rn] + m.xr(i.Rm)<<i.ShiftAmt
+	}
+
+	if i.Op == STR {
+		ev.StoreAddr, ev.StoreSize = addr, i.Size
+		if i.FP {
+			addFSrc(ev, i.Rd)
+			if i.Size == 8 {
+				return m.Mem.Write64(addr, m.F[i.Rd])
+			}
+			return m.Mem.Write32(addr, uint32(m.F[i.Rd]))
+		}
+		addSrc(ev, i.Rd)
+		v := m.xr(i.Rd)
+		switch i.Size {
+		case 1:
+			return m.Mem.Write8(addr, uint8(v))
+		case 2:
+			return m.Mem.Write16(addr, uint16(v))
+		case 4:
+			return m.Mem.Write32(addr, uint32(v))
+		default:
+			return m.Mem.Write64(addr, v)
+		}
+	}
+
+	ev.LoadAddr, ev.LoadSize = addr, i.Size
+	if i.FP {
+		if i.Size == 8 {
+			v, err := m.Mem.Read64(addr)
+			if err != nil {
+				return err
+			}
+			m.F[i.Rd] = v
+		} else {
+			v, err := m.Mem.Read32(addr)
+			if err != nil {
+				return err
+			}
+			m.F[i.Rd] = uint64(v)
+		}
+		addFDst(ev, i.Rd)
+		return nil
+	}
+	var v uint64
+	var err error
+	switch i.Size {
+	case 1:
+		var b uint8
+		b, err = m.Mem.Read8(addr)
+		v = uint64(b)
+	case 2:
+		var h uint16
+		h, err = m.Mem.Read16(addr)
+		v = uint64(h)
+	case 4:
+		var w uint32
+		w, err = m.Mem.Read32(addr)
+		if i.Op == LDRSW {
+			v = uint64(int64(int32(w)))
+		} else {
+			v = uint64(w)
+		}
+	default:
+		v, err = m.Mem.Read64(addr)
+	}
+	if err != nil {
+		return err
+	}
+	if i.Rd != ZR {
+		m.X[i.Rd] = v
+	}
+	addDst(ev, i.Rd)
+	return nil
+}
+
+// loadStorePair executes LDP/STP. The event reports the full two-
+// register span as a single access.
+func (m *Machine) loadStorePair(i *Inst, ev *isa.Event) error {
+	var addr uint64
+	addSPSrc(ev, i.Rn)
+	switch i.Mode {
+	case ModeUImm:
+		addr = m.X[i.Rn] + uint64(i.Imm)
+	case ModePost:
+		addr = m.X[i.Rn]
+		m.X[i.Rn] += uint64(i.Imm)
+		addSPDst(ev, i.Rn)
+	case ModePre:
+		addr = m.X[i.Rn] + uint64(i.Imm)
+		m.X[i.Rn] = addr
+		addSPDst(ev, i.Rn)
+	default:
+		return fmt.Errorf("a64: pair with register offset")
+	}
+	sz := uint64(i.Size)
+	if i.Op == STP {
+		ev.StoreAddr, ev.StoreSize = addr, i.Size*2
+		write := func(off uint64, r uint8) error {
+			if i.FP {
+				addFSrc(ev, r)
+				if i.Size == 8 {
+					return m.Mem.Write64(addr+off, m.F[r])
+				}
+				return m.Mem.Write32(addr+off, uint32(m.F[r]))
+			}
+			addSrc(ev, r)
+			if i.Size == 8 {
+				return m.Mem.Write64(addr+off, m.xr(r))
+			}
+			return m.Mem.Write32(addr+off, uint32(m.xr(r)))
+		}
+		if err := write(0, i.Rd); err != nil {
+			return err
+		}
+		return write(sz, i.Rt2)
+	}
+	ev.LoadAddr, ev.LoadSize = addr, i.Size*2
+	read := func(off uint64, r uint8) error {
+		if i.FP {
+			if i.Size == 8 {
+				v, err := m.Mem.Read64(addr + off)
+				if err != nil {
+					return err
+				}
+				m.F[r] = v
+			} else {
+				v, err := m.Mem.Read32(addr + off)
+				if err != nil {
+					return err
+				}
+				m.F[r] = uint64(v)
+			}
+			addFDst(ev, r)
+			return nil
+		}
+		if i.Size == 8 {
+			v, err := m.Mem.Read64(addr + off)
+			if err != nil {
+				return err
+			}
+			if r != ZR {
+				m.X[r] = v
+			}
+		} else {
+			v, err := m.Mem.Read32(addr + off)
+			if err != nil {
+				return err
+			}
+			if r != ZR {
+				m.X[r] = uint64(v)
+			}
+		}
+		addDst(ev, r)
+		return nil
+	}
+	if err := read(0, i.Rd); err != nil {
+		return err
+	}
+	return read(sz, i.Rt2)
+}
+
+// svc dispatches the Linux system calls via x8.
+func (m *Machine) svc() (done bool, err error) {
+	switch m.X[regX8] {
+	case sysExit:
+		m.exited = true
+		m.exitCode = int64(m.X[regX0])
+		m.steps++
+		return true, nil
+	case sysWrite:
+		buf, rerr := m.Mem.ReadBytes(m.X[regX1], int(m.X[regX2]))
+		if rerr != nil {
+			return false, rerr
+		}
+		n, werr := m.Stdout.Write(buf)
+		if werr != nil {
+			return false, werr
+		}
+		m.X[regX0] = uint64(n)
+		return false, nil
+	case sysBrk:
+		req := m.X[regX0]
+		if req != 0 && req >= m.Mem.Base() && req < m.Mem.Base()+m.Mem.Size() {
+			m.Mem.SetBrk(req)
+		}
+		m.X[regX0] = m.Mem.Brk()
+		return false, nil
+	default:
+		return false, fmt.Errorf("a64: unsupported syscall %d at %#x", m.X[regX8], m.PCReg)
+	}
+}
+
+// OpGroup returns the latency class of an instruction.
+func OpGroup(i *Inst) isa.Group {
+	switch i.Op {
+	case LDR, LDRSW, LDP:
+		return isa.GroupLoad
+	case STR, STP:
+		return isa.GroupStore
+	case B, BL, Bcond, CBZ, CBNZ, BR, BLR, RET:
+		return isa.GroupBranch
+	case MADD, MSUB:
+		return isa.GroupIntMul
+	case SDIV, UDIV:
+		return isa.GroupIntDiv
+	case FADD, FSUB:
+		return isa.GroupFPAdd
+	case FMUL, FNMUL:
+		return isa.GroupFPMul
+	case FMADD, FMSUB, FNMADD, FNMSUB:
+		return isa.GroupFPFMA
+	case FDIV:
+		return isa.GroupFPDiv
+	case FSQRT:
+		return isa.GroupFPSqrt
+	case FMOVr, FABS, FNEG, FMAX, FMIN, FCMP, FCMPE, FCSEL, FMOVi:
+		return isa.GroupFPSimple
+	case FCVTsd, FCVTds, SCVTF, UCVTF, FCVTZS, FCVTZU, FMOVxf, FMOVfx:
+		return isa.GroupFPCvt
+	case SVC, NOP:
+		return isa.GroupSystem
+	default:
+		return isa.GroupIntSimple
+	}
+}

@@ -1,0 +1,250 @@
+// Package a64 implements the scalar subset of the Armv8-a AArch64
+// instruction set that the paper studies (-march=armv8-a+nosimd): an
+// assembler/encoder, a decoder, a disassembler and an architectural
+// executor with full NZCV flag semantics and the addressing modes the
+// paper's analysis turns on (register-offset with shift, pre/post
+// indexing, register pairs).
+package a64
+
+import "fmt"
+
+// Op enumerates the supported operations. Integer operations carry a
+// separate Sf (64-bit) flag in Inst; FP operations carry Dbl.
+type Op uint16
+
+// Operations.
+const (
+	OpInvalid Op = iota
+
+	// Data processing, immediate.
+	ADDi  // add  Rd, Rn, #imm{, lsl #12}
+	ADDSi // adds Rd, Rn, #imm (cmn alias when Rd=zr)
+	SUBi  // sub  Rd, Rn, #imm
+	SUBSi // subs Rd, Rn, #imm (cmp alias when Rd=zr)
+	ANDi  // and  Rd, Rn, #bimm
+	ORRi  // orr  Rd, Rn, #bimm
+	EORi  // eor  Rd, Rn, #bimm
+	ANDSi // ands Rd, Rn, #bimm (tst alias)
+	MOVZ  // movz Rd, #imm16, lsl #(hw*16)
+	MOVN  // movn Rd, #imm16, lsl #(hw*16)
+	MOVK  // movk Rd, #imm16, lsl #(hw*16)
+	SBFM  // sbfm Rd, Rn, #immr, #imms (asr/sxtw aliases)
+	UBFM  // ubfm Rd, Rn, #immr, #imms (lsl/lsr aliases)
+
+	// Data processing, register.
+	ADDr  // add  Rd, Rn, Rm{, shift #amt}
+	ADDSr // adds
+	SUBr  // sub
+	SUBSr // subs (cmp alias when Rd=zr)
+	ANDr  // and
+	ORRr  // orr (mov alias when Rn=zr)
+	EORr  // eor
+	ANDSr // ands
+	BICr  // bic
+	MADD  // madd Rd, Rn, Rm, Ra (mul alias when Ra=zr)
+	MSUB  // msub (mneg alias)
+	SDIV
+	UDIV
+	LSLV
+	LSRV
+	ASRV
+	CSEL  // csel Rd, Rn, Rm, cond
+	CSINC // csinc (cset/cinc aliases)
+	CSINV
+	CSNEG
+
+	// Branches and system.
+	B     // b label
+	BL    // bl label
+	Bcond // b.cond label
+	CBZ
+	CBNZ
+	BR
+	BLR
+	RET
+	SVC
+	NOP
+
+	// Loads and stores (integer or FP selected by Inst.FP; width by
+	// Inst.Size; addressing mode by Inst.Mode).
+	LDR // also ldrb/ldrh/ldr w via Size
+	STR
+	LDRSW // ldrsw Xt, [..] (32-bit load, sign-extended)
+	LDP
+	STP
+
+	// Floating point (scalar; Inst.Dbl selects S/D).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNMUL
+	FMAX
+	FMIN
+	FMOVr // fmov Fd, Fn
+	FABS
+	FNEG
+	FSQRT
+	FCVTds // fcvt Dd, Sn (single to double)
+	FCVTsd // fcvt Sd, Dn (double to single)
+	FCMP
+	FCMPE
+	FCSEL
+	SCVTF // scvtf Fd, Xn
+	UCVTF
+	FCVTZS // fcvtzs Xd, Fn
+	FCVTZU
+	FMOVxf // fmov Xd, Dn / Wd, Sn (FP to int bits)
+	FMOVfx // fmov Dd, Xn / Sd, Wn
+	FMOVi  // fmov Fd, #imm8
+	FMADD  // fmadd Fd, Fn, Fm, Fa
+	FMSUB
+	FNMADD
+	FNMSUB
+
+	numOps
+)
+
+// Cond is an AArch64 condition code.
+type Cond uint8
+
+// Condition codes.
+const (
+	EQ Cond = iota
+	NE
+	CS
+	CC
+	MI
+	PL
+	VS
+	VC
+	HI
+	LS
+	GE
+	LT
+	GT
+	LE
+	AL
+	NV
+)
+
+var condNames = [16]string{
+	"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "al", "nv",
+}
+
+// String returns the mnemonic suffix for the condition.
+func (c Cond) String() string { return condNames[c&15] }
+
+// Invert returns the opposite condition.
+func (c Cond) Invert() Cond { return c ^ 1 }
+
+// Shift identifies the shift type of a shifted-register operand.
+type Shift uint8
+
+// Shift kinds for shifted-register forms.
+const (
+	LSL Shift = iota
+	LSR
+	ASR
+	ROR // logical ops only
+)
+
+var shiftNames = [4]string{"lsl", "lsr", "asr", "ror"}
+
+// String returns the shift mnemonic.
+func (s Shift) String() string { return shiftNames[s&3] }
+
+// AddrMode selects the addressing mode of a load or store.
+type AddrMode uint8
+
+// Addressing modes.
+const (
+	// ModeUImm is base plus scaled unsigned immediate: [Xn, #imm].
+	ModeUImm AddrMode = iota
+	// ModePost is post-index: [Xn], #imm.
+	ModePost
+	// ModePre is pre-index: [Xn, #imm]!.
+	ModePre
+	// ModeReg is register offset: [Xn, Xm{, lsl #amt}].
+	ModeReg
+)
+
+// Inst is a decoded AArch64 instruction.
+type Inst struct {
+	Op Op
+
+	// Rd, Rn, Rm, Ra are register fields; meaning 31 depends on
+	// context (SP for addressing and add/sub immediate, otherwise the
+	// zero register).
+	Rd, Rn, Rm, Ra uint8
+	// Rt2 is the second register of LDP/STP.
+	Rt2 uint8
+
+	// Sf selects 64-bit (true) or 32-bit (false) integer operation.
+	Sf bool
+	// Dbl selects double (true) or single (false) precision FP.
+	Dbl bool
+	// FP marks a load/store touching the FP register file.
+	FP bool
+	// Size is the access width in bytes for loads/stores (1, 2, 4, 8).
+	Size uint8
+	// Mode is the addressing mode for loads/stores.
+	Mode AddrMode
+
+	// Imm carries the immediate: add/sub value, move-wide imm16,
+	// branch byte offset, load/store offset, shift amount for
+	// shifted-register forms, or the raw bitmask-immediate value for
+	// logical immediates.
+	Imm int64
+	// ShiftHi marks the 'lsl #12' form of add/sub immediate.
+	ShiftHi bool
+	// Hw is the half-word index of move-wide immediates.
+	Hw uint8
+	// ImmR, ImmS are the bitfield positions of SBFM/UBFM.
+	ImmR, ImmS uint8
+	// ShiftKind and ShiftAmt describe shifted-register operands; for
+	// ModeReg loads/stores ShiftAmt is the index shift (0 or log2 size).
+	ShiftKind Shift
+	ShiftAmt  uint8
+	// Cond is the condition for Bcond, CSEL-family and FCSEL.
+	Cond Cond
+}
+
+// Name returns the base mnemonic of the operation.
+func (op Op) Name() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint16(op))
+}
+
+// String implements fmt.Stringer.
+func (op Op) String() string { return op.Name() }
+
+var opNames = [numOps]string{
+	ADDi: "add", ADDSi: "adds", SUBi: "sub", SUBSi: "subs",
+	ANDi: "and", ORRi: "orr", EORi: "eor", ANDSi: "ands",
+	MOVZ: "movz", MOVN: "movn", MOVK: "movk",
+	SBFM: "sbfm", UBFM: "ubfm",
+	ADDr: "add", ADDSr: "adds", SUBr: "sub", SUBSr: "subs",
+	ANDr: "and", ORRr: "orr", EORr: "eor", ANDSr: "ands", BICr: "bic",
+	MADD: "madd", MSUB: "msub", SDIV: "sdiv", UDIV: "udiv",
+	LSLV: "lsl", LSRV: "lsr", ASRV: "asr",
+	CSEL: "csel", CSINC: "csinc", CSINV: "csinv", CSNEG: "csneg",
+	B: "b", BL: "bl", Bcond: "b.", CBZ: "cbz", CBNZ: "cbnz",
+	BR: "br", BLR: "blr", RET: "ret", SVC: "svc", NOP: "nop",
+	LDR: "ldr", STR: "str", LDRSW: "ldrsw", LDP: "ldp", STP: "stp",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FNMUL: "fnmul", FMAX: "fmax", FMIN: "fmin",
+	FMOVr: "fmov", FABS: "fabs", FNEG: "fneg", FSQRT: "fsqrt",
+	FCVTds: "fcvt", FCVTsd: "fcvt", FCMP: "fcmp", FCMPE: "fcmpe",
+	FCSEL: "fcsel", SCVTF: "scvtf", UCVTF: "ucvtf",
+	FCVTZS: "fcvtzs", FCVTZU: "fcvtzu",
+	FMOVxf: "fmov", FMOVfx: "fmov", FMOVi: "fmov",
+	FMADD: "fmadd", FMSUB: "fmsub", FNMADD: "fnmadd", FNMSUB: "fnmsub",
+}
+
+// ZR is the encoding of the zero register (and of SP in addressing
+// contexts).
+const ZR = 31

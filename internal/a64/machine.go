@@ -1,0 +1,227 @@
+package a64
+
+import (
+	"fmt"
+	"io"
+
+	"isacmp/internal/elfio"
+	"isacmp/internal/isa"
+	"isacmp/internal/mem"
+)
+
+// Machine is the architectural state of a single AArch64 core together
+// with its predecoded program. It mirrors the rv64.Machine interface.
+type Machine struct {
+	// X is the integer register file; X[31] stores SP. The zero
+	// register is materialised by the read helpers.
+	X [32]uint64
+	// F is the floating-point register file (raw bits; single-
+	// precision values occupy the low 32 bits, upper bits zero).
+	F [32]uint64
+	// NZCV condition flags.
+	N, Z, C, V bool
+	// PCReg is the program counter.
+	PCReg uint64
+
+	// Mem is the memory image.
+	Mem *mem.Memory
+
+	prog     []Inst
+	words    []uint32
+	groups   []isa.Group
+	textBase uint64
+
+	exited   bool
+	exitCode int64
+
+	// Stdout receives bytes written through the write system call.
+	Stdout io.Writer
+
+	steps uint64
+}
+
+// AArch64 Linux syscall ABI registers.
+const (
+	regX0 = 0
+	regX1 = 1
+	regX2 = 2
+	regX8 = 8
+	regSP = 31
+)
+
+// Linux generic syscall numbers (shared with riscv64).
+const (
+	sysWrite = 64
+	sysExit  = 93
+	sysBrk   = 214
+)
+
+// NewMachine loads the ELF file into memory and predecodes the text
+// segment.
+func NewMachine(f *elfio.File, m *mem.Memory) (*Machine, error) {
+	if f.Machine != elfio.EMAarch64 {
+		return nil, fmt.Errorf("a64: ELF machine %d is not AArch64", f.Machine)
+	}
+	mach := &Machine{Mem: m, PCReg: f.Entry, Stdout: io.Discard}
+	var text *elfio.Segment
+	maxEnd := m.Base()
+	for i := range f.Segments {
+		s := &f.Segments[i]
+		if err := m.WriteBytes(s.Vaddr, s.Data); err != nil {
+			return nil, fmt.Errorf("a64: loading segment at %#x: %w", s.Vaddr, err)
+		}
+		if end := s.Vaddr + uint64(len(s.Data)); end > maxEnd {
+			maxEnd = end
+		}
+		if s.Flags&elfio.PFX != 0 {
+			if text != nil {
+				return nil, fmt.Errorf("a64: multiple executable segments")
+			}
+			text = s
+		}
+	}
+	if text == nil {
+		return nil, fmt.Errorf("a64: no executable segment")
+	}
+	m.SetBrk((maxEnd + 15) &^ 15)
+	mach.textBase = text.Vaddr
+	n := len(text.Data) / 4
+	mach.prog = make([]Inst, n)
+	mach.words = make([]uint32, n)
+	mach.groups = make([]isa.Group, n)
+	for i := 0; i < n; i++ {
+		w := uint32(text.Data[i*4]) | uint32(text.Data[i*4+1])<<8 |
+			uint32(text.Data[i*4+2])<<16 | uint32(text.Data[i*4+3])<<24
+		inst, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("a64: predecode at %#x: %w", text.Vaddr+uint64(i*4), err)
+		}
+		mach.prog[i] = inst
+		mach.words[i] = w
+		mach.groups[i] = OpGroup(&inst)
+	}
+	mach.X[regSP] = m.StackTop()
+	return mach, nil
+}
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint64 { return m.PCReg }
+
+// Exited reports whether the program has invoked exit.
+func (m *Machine) Exited() bool { return m.exited }
+
+// ExitCode returns the status passed to exit.
+func (m *Machine) ExitCode() int64 { return m.exitCode }
+
+// Steps returns the number of retired instructions.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Arch returns isa.AArch64.
+func (m *Machine) Arch() isa.Arch { return isa.AArch64 }
+
+// InstAt returns the predecoded instruction at pc, for disassembly.
+func (m *Machine) InstAt(pc uint64) (Inst, bool) {
+	idx := (pc - m.textBase) / 4
+	if pc < m.textBase || idx >= uint64(len(m.prog)) || pc%4 != 0 {
+		return Inst{}, false
+	}
+	return m.prog[idx], true
+}
+
+type fetchErr struct{ pc uint64 }
+
+func (e *fetchErr) Error() string {
+	return fmt.Sprintf("a64: PC %#x outside text segment", e.pc)
+}
+
+// xr reads register r in a zero-register context.
+func (m *Machine) xr(r uint8) uint64 {
+	if r == ZR {
+		return 0
+	}
+	return m.X[r]
+}
+
+// setX writes register r in a zero-register context.
+func (m *Machine) setX(r uint8, v uint64, sf bool) {
+	if r == ZR {
+		return
+	}
+	if !sf {
+		v = uint64(uint32(v))
+	}
+	m.X[r] = v
+}
+
+// flags packs NZCV into the conventional nibble (N=8, Z=4, C=2, V=1).
+func (m *Machine) flags() uint8 {
+	var f uint8
+	if m.N {
+		f |= 8
+	}
+	if m.Z {
+		f |= 4
+	}
+	if m.C {
+		f |= 2
+	}
+	if m.V {
+		f |= 1
+	}
+	return f
+}
+
+// setFlags unpacks the NZCV nibble.
+func (m *Machine) setFlags(f uint8) {
+	m.N, m.Z, m.C, m.V = f&8 != 0, f&4 != 0, f&2 != 0, f&1 != 0
+}
+
+// condHolds evaluates a condition code against the current flags.
+func (m *Machine) condHolds(c Cond) bool {
+	var r bool
+	switch c &^ 1 {
+	case EQ:
+		r = m.Z
+	case CS:
+		r = m.C
+	case MI:
+		r = m.N
+	case VS:
+		r = m.V
+	case HI:
+		r = m.C && !m.Z
+	case GE:
+		r = m.N == m.V
+	case GT:
+		r = !m.Z && m.N == m.V
+	case AL:
+		return true // AL and NV both execute unconditionally
+	}
+	if c&1 == 1 {
+		return !r
+	}
+	return r
+}
+
+// gpr-source helpers for event recording: the zero register is never
+// reported, matching the paper's chain-breaking rule.
+func addSrc(ev *isa.Event, r uint8) {
+	if r != ZR {
+		ev.AddSrc(isa.IntReg(r))
+	}
+}
+
+func addDst(ev *isa.Event, r uint8) {
+	if r != ZR {
+		ev.AddDst(isa.IntReg(r))
+	}
+}
+
+// addSPSrc records r as a source in an SP context (SP is a real
+// dependency, unlike the zero register).
+func addSPSrc(ev *isa.Event, r uint8) { ev.AddSrc(isa.IntReg(r)) }
+
+func addSPDst(ev *isa.Event, r uint8) { ev.AddDst(isa.IntReg(r)) }
+
+func addFSrc(ev *isa.Event, r uint8) { ev.AddSrc(isa.FPReg(r)) }
+func addFDst(ev *isa.Event, r uint8) { ev.AddDst(isa.FPReg(r)) }

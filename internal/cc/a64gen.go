@@ -1,0 +1,530 @@
+package cc
+
+import (
+	"fmt"
+
+	"isacmp/internal/a64"
+	"isacmp/internal/elfio"
+	"isacmp/internal/ir"
+)
+
+// a64Gen holds the state of one AArch64 compilation.
+type a64Gen struct {
+	asm    *a64.Asm
+	flavor Flavor
+	lay    *dataLayout
+	opts   Options
+
+	intPool *regPool
+	fpPool  *regPool
+
+	vars    map[*ir.Var]uint8
+	arrBase map[*ir.Array]uint8
+	constFP map[float64]uint8
+
+	loops  []*a64LoopCtx
+	labelN int
+	err    error
+}
+
+type a64LoopCtx struct {
+	lv  *ir.Var
+	reg uint8
+	// bases holds hoisted per-stream base registers: for an access
+	// arr[inv + lv], the register holds &arr[inv] so the access itself
+	// is a single register-offset load/store — GCC's loop-invariant
+	// address hoisting.
+	bases map[stream]uint8
+}
+
+// compileA64 lowers the program for the scalar AArch64 subset. Loops
+// keep an element-index register and use register-offset addressing
+// ("ldr d1, [x22, x0, lsl #3]"); the flavour decides how loop-exit
+// comparisons against large constant bounds are generated (see the
+// package comment).
+func compileA64(p *ir.Program, flavor Flavor, lay *dataLayout, opts Options) (*elfio.File, error) {
+	g := &a64Gen{
+		asm:    a64.NewAsm(),
+		flavor: flavor,
+		lay:    lay,
+		opts:   opts,
+		// x8 is the syscall number register; x16-x18 are reserved by
+		// the platform ABI. The generated code is one leaf function
+		// with no frame, so x29/x30 join the pool as GCC's
+		// -fomit-frame-pointer leaf allocation would use them.
+		intPool: newRegPool("integer", []uint8{
+			9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7,
+			19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30,
+		}),
+		fpPool: newRegPool("floating-point", []uint8{
+			0, 1, 2, 3, 4, 5, 6, 7, 16, 17, 18, 19, 20, 21, 22, 23,
+			8, 9, 10, 11, 12, 13, 14, 15, 24, 25, 26, 27, 28, 29, 30, 31,
+		}),
+		vars:    map[*ir.Var]uint8{},
+		arrBase: map[*ir.Array]uint8{},
+		constFP: map[float64]uint8{},
+	}
+
+	g.asm.Symbol("_start")
+	if flavor == GCC9 {
+		// Model GCC 9.2's slightly chattier startup (the statically
+		// linked binaries the paper measures differ mainly here, plus
+		// the NEON register zeroing it could not eliminate).
+		for _, r := range []uint8{0, 1, 2} {
+			g.asm.MOV64(r, 0)
+		}
+	}
+
+	for _, k := range p.Setup {
+		if err := g.kernel(k); err != nil {
+			return nil, fmt.Errorf("setup kernel %q: %w", k.Name, err)
+		}
+	}
+
+	repeatReg := uint8(noReg)
+	if p.Repeat > 1 {
+		r, err := g.intPool.alloc()
+		if err != nil {
+			return nil, err
+		}
+		repeatReg = r
+		g.asm.MOV64(repeatReg, int64(p.Repeat))
+		g.asm.Label("repeat")
+	}
+
+	for _, k := range p.Kernels {
+		if err := g.kernel(k); err != nil {
+			return nil, fmt.Errorf("kernel %q: %w", k.Name, err)
+		}
+	}
+
+	if p.Repeat > 1 {
+		g.asm.Symbol("_loop_overhead")
+		g.asm.SUBSi(repeatReg, repeatReg, 1)
+		g.asm.Bc(a64.NE, "repeat")
+	}
+
+	g.asm.Symbol("_exit")
+	g.asm.MOV64(0, 0)
+	g.asm.MOV64(8, 93)
+	g.asm.SVC()
+
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.asm.Build(a64.Program{
+		TextBase: TextBase,
+		DataBase: DataBase,
+		Data:     lay.data,
+	})
+}
+
+func (g *a64Gen) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf("%s%d", prefix, g.labelN)
+}
+
+func (g *a64Gen) fail(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+func (g *a64Gen) kernel(k *ir.Kernel) error {
+	g.asm.Symbol(k.Name)
+	var scoped []func()
+
+	for _, arr := range collectArrays(k.Body) {
+		r, err := g.intPool.alloc()
+		if err != nil {
+			return err
+		}
+		g.asm.MOV64(r, int64(g.lay.base[arr.Name]))
+		g.arrBase[arr] = r
+		arr := arr
+		scoped = append(scoped, func() { delete(g.arrBase, arr); g.intPool.free(r) })
+	}
+	consts := collectFPConsts(k.Body)
+	if len(consts) > 10 {
+		consts = consts[:10]
+	}
+	for _, c := range consts {
+		fr, err := g.fpPool.alloc()
+		if err != nil {
+			return err
+		}
+		g.materialiseF(c, fr)
+		g.constFP[c] = fr
+		c := c
+		scoped = append(scoped, func() { delete(g.constFP, c); g.fpPool.free(fr) })
+	}
+
+	if err := g.stmts(k.Body); err != nil {
+		return err
+	}
+
+	for vr, r := range g.vars {
+		if vr.Type == ir.F64 {
+			g.fpPool.free(r)
+		} else {
+			g.intPool.free(r)
+		}
+		delete(g.vars, vr)
+	}
+	for i := len(scoped) - 1; i >= 0; i-- {
+		scoped[i]()
+	}
+	return nil
+}
+
+// materialiseF loads an FP constant into fr, preferring the FMOV
+// immediate form.
+func (g *a64Gen) materialiseF(c float64, fr uint8) {
+	if g.asm.FMOVimm(fr, c) {
+		return
+	}
+	t, err := g.intPool.alloc()
+	if err != nil {
+		g.fail(err)
+		return
+	}
+	g.asm.MOV64(t, int64(f64bitsOf(c)))
+	g.asm.FMOVDX(fr, t)
+	g.intPool.free(t)
+}
+
+func (g *a64Gen) stmts(body []ir.Stmt) error {
+	for _, s := range body {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return g.err
+}
+
+func (g *a64Gen) stmt(s ir.Stmt) error {
+	switch st := s.(type) {
+	case *ir.Loop:
+		return g.loop(st)
+	case *ir.Assign:
+		return g.assign(st)
+	case *ir.Store:
+		return g.store(st)
+	case *ir.If:
+		return g.ifStmt(st)
+	}
+	return fmt.Errorf("a64gen: unknown statement %T", s)
+}
+
+// prebindVars allocates registers for every variable assigned in the
+// statement list (recursively).
+func (g *a64Gen) prebindVars(stmts []ir.Stmt) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.Assign:
+			if _, err := g.varReg(st.Var); err != nil {
+				return err
+			}
+		case *ir.Loop:
+			if err := g.prebindVars(st.Body); err != nil {
+				return err
+			}
+		case *ir.If:
+			if err := g.prebindVars(st.Then); err != nil {
+				return err
+			}
+			if err := g.prebindVars(st.Else); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *a64Gen) varReg(v *ir.Var) (uint8, error) {
+	if r, ok := g.vars[v]; ok {
+		return r, nil
+	}
+	var r uint8
+	var err error
+	if v.Type == ir.F64 {
+		r, err = g.fpPool.alloc()
+	} else {
+		r, err = g.intPool.alloc()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("variable %q: %w", v.Name, err)
+	}
+	g.vars[v] = r
+	return r, nil
+}
+
+func (g *a64Gen) assign(st *ir.Assign) error {
+	r, err := g.varReg(st.Var)
+	if err != nil {
+		return err
+	}
+	if st.Var.Type == ir.F64 {
+		got, owned, err := g.evalF(st.Val, r)
+		if err != nil {
+			return err
+		}
+		if got != r {
+			g.asm.FMOV(r, got)
+			if owned {
+				g.fpPool.free(got)
+			}
+		}
+		return nil
+	}
+	got, owned, err := g.evalI(st.Val, r)
+	if err != nil {
+		return err
+	}
+	if got != r {
+		g.asm.MOV(r, got)
+		if owned {
+			g.intPool.free(got)
+		}
+	}
+	return nil
+}
+
+// access emits a load or store of arr[idx], exploiting AArch64's
+// addressing modes: unsigned scaled immediates for constant indexes
+// and register-offset with lsl #3 otherwise (the paper's Listing 1
+// form); accesses matching a hoisted stream base use it directly.
+// valReg is the data register; isLoad selects the direction.
+func (g *a64Gen) access(arr *ir.Array, idx ir.Expr, valReg uint8, isLoad bool) error {
+	fp := arr.Elem == ir.F64
+	op := a64.STR
+	if isLoad {
+		op = a64.LDR
+	}
+	if c, ok := constFold(idx); ok {
+		off := c * 8
+		if off >= 0 && off <= 4095*8 {
+			g.asm.Emit(a64.Inst{Op: op, Size: 8, FP: fp, Rd: valReg, Rn: g.arrBase[arr], Imm: off})
+			return nil
+		}
+	}
+	// Hoisted stream base: one register-offset access.
+	for i := len(g.loops) - 1; i >= 0; i-- {
+		ctx := g.loops[i]
+		if s, ok := matchStream(arr, idx, ctx.lv); ok {
+			if base, ok := ctx.bases[s]; ok {
+				g.asm.Emit(a64.Inst{
+					Op: op, Size: 8, FP: fp, Rd: valReg, Rn: base,
+					Rm: g.vars[ctx.lv], Mode: a64.ModeReg, ShiftAmt: 3,
+				})
+				return nil
+			}
+			break
+		}
+	}
+	r, owned, err := g.evalI(idx, noReg)
+	if err != nil {
+		return err
+	}
+	g.asm.Emit(a64.Inst{
+		Op: op, Size: 8, FP: fp, Rd: valReg, Rn: g.arrBase[arr], Rm: r,
+		Mode: a64.ModeReg, ShiftAmt: 3,
+	})
+	if owned {
+		g.intPool.free(r)
+	}
+	return nil
+}
+
+func (g *a64Gen) store(st *ir.Store) error {
+	if st.Arr.Elem == ir.F64 {
+		v, owned, err := g.evalF(st.Val, noReg)
+		if err != nil {
+			return err
+		}
+		if err := g.access(st.Arr, st.Index, v, false); err != nil {
+			return err
+		}
+		if owned {
+			g.fpPool.free(v)
+		}
+		return nil
+	}
+	v, owned, err := g.evalI(st.Val, noReg)
+	if err != nil {
+		return err
+	}
+	if err := g.access(st.Arr, st.Index, v, false); err != nil {
+		return err
+	}
+	if owned {
+		g.intPool.free(v)
+	}
+	return nil
+}
+
+// loop generates a counted loop in the AArch64 style: an element index
+// register incremented each iteration, with the flavour-specific exit
+// comparison the paper analyses in section 3.3.
+func (g *a64Gen) loop(l *ir.Loop) error {
+	startC, startConst := constFold(l.Start)
+	endC, endConst := constFold(l.End)
+	if startConst && endConst && endC <= startC {
+		return nil
+	}
+
+	idxReg, err := g.varReg(l.Var)
+	if err != nil {
+		return err
+	}
+	if startConst {
+		g.asm.MOV64(idxReg, startC)
+	} else {
+		r, owned, err := g.evalI(l.Start, idxReg)
+		if err != nil {
+			return err
+		}
+		if r != idxReg {
+			g.asm.MOV(idxReg, r)
+			if owned {
+				g.intPool.free(r)
+			}
+		}
+	}
+
+	// Decide the exit-comparison strategy.
+	type exitKind uint8
+	const (
+		exitCmpReg  exitKind = iota // cmp xI, xEnd
+		exitCmpImm                  // cmp xI, #imm
+		exitSubSubs                 // sub xT, xI, #hi, lsl 12; subs xT, xT, #lo
+	)
+	kind := exitCmpReg
+	var endReg, scratch uint8 = noReg, noReg
+	endOwned := false
+	var hi, lo int64
+	switch {
+	case endConst && endC >= 0 && endC <= 4095:
+		kind = exitCmpImm
+	case endConst && g.flavor == GCC9 && endC >= 0 && endC < 1<<24:
+		// The GCC 9.2 idiom: recompute (i - end) each iteration.
+		kind = exitSubSubs
+		hi, lo = endC>>12, endC&0xfff
+		scratch, err = g.intPool.alloc()
+		if err != nil {
+			return err
+		}
+	case endConst:
+		// GCC 12.2 (and 9.2 for >24-bit bounds): hoist the bound.
+		endReg, err = g.intPool.alloc()
+		if err != nil {
+			return err
+		}
+		endOwned = true
+		g.asm.MOV64(endReg, endC)
+	default:
+		r, owned, err := g.evalI(l.End, noReg)
+		if err != nil {
+			return err
+		}
+		endReg, endOwned = r, owned
+	}
+
+	doneL := g.label("done")
+	loopL := g.label("loop")
+	if !(startConst && endConst) {
+		// Guard against empty loops.
+		switch kind {
+		case exitCmpImm:
+			g.asm.CMPi(idxReg, endC)
+		case exitSubSubs:
+			g.asm.SUBiHi(scratch, idxReg, hi)
+			g.asm.SUBSi(scratch, scratch, lo)
+		default:
+			g.asm.CMP(idxReg, endReg)
+		}
+		g.asm.Bc(a64.GE, doneL)
+	}
+
+	// Bind every variable the body assigns before hoisting stream
+	// bases, so the spare-register margin only has to cover expression
+	// temporaries.
+	if err := g.prebindVars(l.Body); err != nil {
+		return err
+	}
+
+	// Hoist loop-invariant stream bases (&arr[inv]) so grid accesses
+	// like xvel[rowN + ii] stay single register-offset instructions,
+	// as GCC's invariant-address motion keeps them.
+	ctx := &a64LoopCtx{lv: l.Var, reg: idxReg, bases: map[stream]uint8{}}
+	var hoisted []uint8
+	if !hasInnerLoop(l.Body) && !g.opts.NoHoisting {
+		info := analyseLoop(l.Body, l.Var)
+		for _, s := range info.streams {
+			if s.invVar == nil && s.invConst == 0 {
+				continue // the plain array base already serves
+			}
+			if s.invVar != nil {
+				if _, bound := g.vars[s.invVar]; !bound || assignedIn(l.Body, s.invVar) {
+					continue
+				}
+			}
+			if len(g.intPool.order)-g.intPool.inUse() <= 3 {
+				break
+			}
+			base, err := g.intPool.alloc()
+			if err != nil {
+				break
+			}
+			if s.invVar != nil {
+				g.asm.ADDshift(base, g.arrBase[s.arr], g.vars[s.invVar], a64.LSL, 3)
+			} else {
+				off := s.invConst * 8
+				switch {
+				case off >= 0 && off <= 4095:
+					g.asm.ADDi(base, g.arrBase[s.arr], off)
+				case off < 0 && -off <= 4095:
+					g.asm.SUBi(base, g.arrBase[s.arr], -off)
+				default:
+					g.asm.MOV64(base, off)
+					g.asm.ADD(base, base, g.arrBase[s.arr])
+				}
+			}
+			ctx.bases[s] = base
+			hoisted = append(hoisted, base)
+		}
+	}
+
+	g.asm.Label(loopL)
+	g.loops = append(g.loops, ctx)
+	if err := g.stmts(l.Body); err != nil {
+		return err
+	}
+	g.loops = g.loops[:len(g.loops)-1]
+	for _, r := range hoisted {
+		g.intPool.free(r)
+	}
+
+	// Increment and exit test: AArch64 pays a separate NZCV-setting
+	// instruction before every conditional branch.
+	g.asm.ADDi(idxReg, idxReg, 1)
+	switch kind {
+	case exitCmpImm:
+		g.asm.CMPi(idxReg, endC)
+	case exitSubSubs:
+		g.asm.SUBiHi(scratch, idxReg, hi)
+		g.asm.SUBSi(scratch, scratch, lo)
+	default:
+		g.asm.CMP(idxReg, endReg)
+	}
+	g.asm.Bc(a64.NE, loopL)
+	g.asm.Label(doneL)
+
+	if scratch != noReg {
+		g.intPool.free(scratch)
+	}
+	if endOwned && endReg != noReg {
+		g.intPool.free(endReg)
+	}
+	return g.err
+}

@@ -1,0 +1,517 @@
+package cc
+
+import (
+	"fmt"
+
+	"isacmp/internal/ir"
+	"isacmp/internal/rv64"
+)
+
+// evalI evaluates an integer expression. dest, when not noReg, is a
+// register the caller owns and would like the result in; the result
+// may still land elsewhere (e.g. a borrowed variable register), so
+// callers check the returned register. owned reports whether the
+// caller must free the returned register back to the pool.
+func (g *rvGen) evalI(e ir.Expr, dest uint8) (reg uint8, owned bool, err error) {
+	switch ex := e.(type) {
+	case ir.ConstI:
+		r, owned, err := g.intoI(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		g.asm.LI(r, ex.V)
+		return r, owned, nil
+
+	case ir.VarRef:
+		r, ok := g.vars[ex.Var]
+		if !ok {
+			return 0, false, fmt.Errorf("rv64gen: variable %q read before assignment", ex.Var.Name)
+		}
+		return r, false, nil
+
+	case ir.LoadExpr:
+		base, off, release, err := g.addr(ex.Arr, ex.Index)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoI(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		g.asm.LD(r, base, off)
+		release()
+		return r, owned, nil
+
+	case ir.Cvt:
+		if ex.To != ir.I64 {
+			return 0, false, fmt.Errorf("rv64gen: float conversion in integer context")
+		}
+		f, fOwned, err := g.evalF(ex.A, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoI(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		g.asm.FCVTLD(r, f)
+		if fOwned {
+			g.fpPool.free(f)
+		}
+		return r, owned, nil
+
+	case ir.Un:
+		a, aOwned, err := g.evalI(ex.A, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoI(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		switch ex.Op {
+		case ir.Neg:
+			g.asm.SUB(r, 0, a)
+		case ir.Abs:
+			// srai t, a, 63; xor r, a, t; sub r, r, t
+			t, err := g.intPool.alloc()
+			if err != nil {
+				return 0, false, err
+			}
+			g.asm.SRAI(t, a, 63)
+			g.asm.XOR(r, a, t)
+			g.asm.SUB(r, r, t)
+			g.intPool.free(t)
+		default:
+			return 0, false, fmt.Errorf("rv64gen: unary op %d on i64", ex.Op)
+		}
+		if aOwned {
+			g.intPool.free(a)
+		}
+		return r, owned, nil
+
+	case ir.Bin:
+		return g.evalBinI(ex, dest)
+	}
+	return 0, false, fmt.Errorf("rv64gen: expression %T in integer context", e)
+}
+
+// intoI resolves the destination register for an integer result.
+func (g *rvGen) intoI(dest uint8) (uint8, bool, error) {
+	if dest != noReg {
+		return dest, false, nil
+	}
+	r, err := g.intPool.alloc()
+	return r, true, err
+}
+
+func (g *rvGen) intoF(dest uint8) (uint8, bool, error) {
+	if dest != noReg {
+		return dest, false, nil
+	}
+	r, err := g.fpPool.alloc()
+	return r, true, err
+}
+
+// evalBinI lowers integer binary operators, folding small immediates
+// into I-type instructions.
+func (g *rvGen) evalBinI(ex ir.Bin, dest uint8) (uint8, bool, error) {
+	if ex.Op >= ir.Lt && ex.Op <= ir.Ge {
+		return g.evalCmp(ex, dest)
+	}
+
+	// Immediate folding; commutative operators fold a constant on
+	// either side.
+	if c, ok := constFold(ex.A); ok {
+		switch ex.Op {
+		case ir.Add, ir.And, ir.Or, ir.Mul:
+			ex = ir.Bin{Op: ex.Op, A: ex.B, B: ir.ConstI{V: c}}
+		}
+	}
+	if c, ok := constFold(ex.B); ok {
+		fold := false
+		var imm int64
+		switch ex.Op {
+		case ir.Add:
+			fold, imm = c >= -2048 && c < 2048, c
+		case ir.Sub:
+			fold, imm = -c >= -2048 && -c < 2048, -c
+		case ir.And:
+			fold, imm = c >= -2048 && c < 2048, c
+		case ir.Or:
+			fold, imm = c >= -2048 && c < 2048, c
+		case ir.Shl, ir.Shr:
+			fold, imm = c >= 0 && c < 64, c
+		}
+		if fold {
+			a, aOwned, err := g.evalI(ex.A, noReg)
+			if err != nil {
+				return 0, false, err
+			}
+			r, owned, err := g.intoI(dest)
+			if err != nil {
+				return 0, false, err
+			}
+			switch ex.Op {
+			case ir.Add, ir.Sub:
+				g.asm.ADDI(r, a, imm)
+			case ir.And:
+				g.asm.ANDI(r, a, imm)
+			case ir.Or:
+				g.asm.ORI(r, a, imm)
+			case ir.Shl:
+				g.asm.SLLI(r, a, imm)
+			case ir.Shr:
+				g.asm.SRLI(r, a, imm)
+			}
+			if aOwned {
+				g.intPool.free(a)
+			}
+			return r, owned, nil
+		}
+	}
+
+	a, aOwned, err := g.evalI(ex.A, noReg)
+	if err != nil {
+		return 0, false, err
+	}
+	b, bOwned, err := g.evalI(ex.B, noReg)
+	if err != nil {
+		return 0, false, err
+	}
+	r, owned, err := g.intoI(dest)
+	if err != nil {
+		return 0, false, err
+	}
+	switch ex.Op {
+	case ir.Add:
+		g.asm.ADD(r, a, b)
+	case ir.Sub:
+		g.asm.SUB(r, a, b)
+	case ir.Mul:
+		g.asm.MUL(r, a, b)
+	case ir.Div:
+		g.asm.DIV(r, a, b)
+	case ir.Rem:
+		g.asm.REM(r, a, b)
+	case ir.And:
+		g.asm.AND(r, a, b)
+	case ir.Or:
+		g.asm.OR(r, a, b)
+	case ir.Shl:
+		g.asm.SLL(r, a, b)
+	case ir.Shr:
+		g.asm.SRL(r, a, b)
+	default:
+		return 0, false, fmt.Errorf("rv64gen: op %d invalid on i64", ex.Op)
+	}
+	if aOwned {
+		g.intPool.free(a)
+	}
+	if bOwned {
+		g.intPool.free(b)
+	}
+	return r, owned, nil
+}
+
+// evalCmp materialises a comparison as 0/1, using slt/sltu for the
+// integer orders and flt/fle/feq for FP.
+func (g *rvGen) evalCmp(ex ir.Bin, dest uint8) (uint8, bool, error) {
+	if ex.A.Type() == ir.F64 {
+		a, aOwned, err := g.evalF(ex.A, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		b, bOwned, err := g.evalF(ex.B, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoI(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		negate := false
+		switch ex.Op {
+		case ir.Lt:
+			g.asm.FLTD(r, a, b)
+		case ir.Le:
+			g.asm.FLED(r, a, b)
+		case ir.Gt:
+			g.asm.FLTD(r, b, a)
+		case ir.Ge:
+			g.asm.FLED(r, b, a)
+		case ir.Eq:
+			g.asm.FEQD(r, a, b)
+		case ir.Ne:
+			g.asm.FEQD(r, a, b)
+			negate = true
+		}
+		if negate {
+			g.asm.XORI(r, r, 1)
+		}
+		if aOwned {
+			g.fpPool.free(a)
+		}
+		if bOwned {
+			g.fpPool.free(b)
+		}
+		return r, owned, nil
+	}
+
+	a, aOwned, err := g.evalI(ex.A, noReg)
+	if err != nil {
+		return 0, false, err
+	}
+	b, bOwned, err := g.evalI(ex.B, noReg)
+	if err != nil {
+		return 0, false, err
+	}
+	r, owned, err := g.intoI(dest)
+	if err != nil {
+		return 0, false, err
+	}
+	switch ex.Op {
+	case ir.Lt:
+		g.asm.SLT(r, a, b)
+	case ir.Gt:
+		g.asm.SLT(r, b, a)
+	case ir.Ge:
+		g.asm.SLT(r, a, b)
+		g.asm.XORI(r, r, 1)
+	case ir.Le:
+		g.asm.SLT(r, b, a)
+		g.asm.XORI(r, r, 1)
+	case ir.Eq:
+		g.asm.XOR(r, a, b)
+		g.asm.SLTIU(r, r, 1)
+	case ir.Ne:
+		g.asm.XOR(r, a, b)
+		g.asm.SLTU(r, 0, r)
+	}
+	if aOwned {
+		g.intPool.free(a)
+	}
+	if bOwned {
+		g.intPool.free(b)
+	}
+	return r, owned, nil
+}
+
+// evalF evaluates a floating-point expression.
+func (g *rvGen) evalF(e ir.Expr, dest uint8) (reg uint8, owned bool, err error) {
+	// Fused multiply-add contraction.
+	if a, b, c, kind := ir.MatchFMA(e); kind != ir.FMANone && !g.opts.NoFMA {
+		ra, aOwned, err := g.evalF(a, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		rb, bOwned, err := g.evalF(b, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		rc, cOwned, err := g.evalF(c, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoF(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		switch kind {
+		case ir.FMAAdd: // a*b + c
+			g.asm.FMADDD(r, ra, rb, rc)
+		case ir.FMASub: // a*b - c
+			g.asm.FMSUBD(r, ra, rb, rc)
+		default: // c - a*b
+			g.asm.Emit(rv64.Inst{Op: rv64.FNMSUBD, Rd: r, Rs1: ra, Rs2: rb, Rs3: rc})
+		}
+		if aOwned {
+			g.fpPool.free(ra)
+		}
+		if bOwned {
+			g.fpPool.free(rb)
+		}
+		if cOwned {
+			g.fpPool.free(rc)
+		}
+		return r, owned, nil
+	}
+
+	switch ex := e.(type) {
+	case ir.ConstF:
+		if r, ok := g.constFP[ex.V]; ok {
+			return r, false, nil
+		}
+		r, owned, err := g.intoF(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		g.materialiseF(ex.V, r)
+		return r, owned, g.err
+
+	case ir.VarRef:
+		r, ok := g.vars[ex.Var]
+		if !ok {
+			return 0, false, fmt.Errorf("rv64gen: variable %q read before assignment", ex.Var.Name)
+		}
+		return r, false, nil
+
+	case ir.LoadExpr:
+		base, off, release, err := g.addr(ex.Arr, ex.Index)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoF(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		g.asm.FLD(r, base, off)
+		release()
+		return r, owned, nil
+
+	case ir.Cvt:
+		if ex.To != ir.F64 {
+			return 0, false, fmt.Errorf("rv64gen: integer conversion in float context")
+		}
+		a, aOwned, err := g.evalI(ex.A, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoF(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		g.asm.FCVTDL(r, a)
+		if aOwned {
+			g.intPool.free(a)
+		}
+		return r, owned, nil
+
+	case ir.Un:
+		a, aOwned, err := g.evalF(ex.A, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoF(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		switch ex.Op {
+		case ir.Neg:
+			g.asm.FNEGD(r, a)
+		case ir.Sqrt:
+			g.asm.FSQRTD(r, a)
+		case ir.Abs:
+			g.asm.FABSD(r, a)
+		}
+		if aOwned {
+			g.fpPool.free(a)
+		}
+		return r, owned, nil
+
+	case ir.Bin:
+		a, aOwned, err := g.evalF(ex.A, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		b, bOwned, err := g.evalF(ex.B, noReg)
+		if err != nil {
+			return 0, false, err
+		}
+		r, owned, err := g.intoF(dest)
+		if err != nil {
+			return 0, false, err
+		}
+		switch ex.Op {
+		case ir.Add:
+			g.asm.FADDD(r, a, b)
+		case ir.Sub:
+			g.asm.FSUBD(r, a, b)
+		case ir.Mul:
+			g.asm.FMULD(r, a, b)
+		case ir.Div:
+			g.asm.FDIVD(r, a, b)
+		case ir.Min:
+			g.asm.FMIND(r, a, b)
+		case ir.Max:
+			g.asm.FMAXD(r, a, b)
+		default:
+			return 0, false, fmt.Errorf("rv64gen: op %d invalid on f64", ex.Op)
+		}
+		if aOwned {
+			g.fpPool.free(a)
+		}
+		if bOwned {
+			g.fpPool.free(b)
+		}
+		return r, owned, nil
+	}
+	return 0, false, fmt.Errorf("rv64gen: expression %T in float context", e)
+}
+
+// ifStmt lowers a conditional, branching directly on the fused
+// compare-and-branch instructions when the condition is an integer
+// comparison — the RISC-V branching advantage the paper quantifies.
+func (g *rvGen) ifStmt(st *ir.If) error {
+	elseL := g.label("else")
+	endL := g.label("endif")
+	target := elseL
+	if len(st.Else) == 0 {
+		target = endL
+	}
+
+	if cmp, ok := st.Cond.(ir.Bin); ok && cmp.Op >= ir.Lt && cmp.Op <= ir.Ge && cmp.A.Type() == ir.I64 {
+		// Branch on the negated condition.
+		a, aOwned, err := g.evalI(cmp.A, noReg)
+		if err != nil {
+			return err
+		}
+		b, bOwned, err := g.evalI(cmp.B, noReg)
+		if err != nil {
+			return err
+		}
+		switch cmp.Op {
+		case ir.Lt:
+			g.asm.BGE(a, b, target)
+		case ir.Ge:
+			g.asm.BLT(a, b, target)
+		case ir.Gt:
+			g.asm.BGE(b, a, target)
+		case ir.Le:
+			g.asm.BLT(b, a, target)
+		case ir.Eq:
+			g.asm.BNE(a, b, target)
+		case ir.Ne:
+			g.asm.BEQ(a, b, target)
+		}
+		if aOwned {
+			g.intPool.free(a)
+		}
+		if bOwned {
+			g.intPool.free(b)
+		}
+	} else {
+		// Materialise the condition and branch on zero.
+		c, owned, err := g.evalI(st.Cond, noReg)
+		if err != nil {
+			return err
+		}
+		g.asm.BEQ(c, 0, target)
+		if owned {
+			g.intPool.free(c)
+		}
+	}
+
+	if err := g.stmts(st.Then); err != nil {
+		return err
+	}
+	if len(st.Else) > 0 {
+		g.asm.J(endL)
+		g.asm.Label(elseL)
+		if err := g.stmts(st.Else); err != nil {
+			return err
+		}
+	}
+	g.asm.Label(endL)
+	return g.err
+}

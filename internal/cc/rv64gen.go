@@ -1,0 +1,637 @@
+package cc
+
+import (
+	"fmt"
+	"math"
+
+	"isacmp/internal/elfio"
+	"isacmp/internal/ir"
+	"isacmp/internal/rv64"
+)
+
+// maxPointerStreams caps how many unit-stride access streams a loop
+// may strength-reduce into pointer walks before register pressure
+// forces computed addressing, mirroring GCC's induction-variable
+// selection under pressure.
+const maxPointerStreams = 6
+
+// noReg marks "no destination register requested".
+const noReg = 0xff
+
+// rvGen holds the state of one RV64G compilation.
+type rvGen struct {
+	asm    *rv64.Asm
+	flavor Flavor
+	lay    *dataLayout
+	opts   Options
+
+	intPool *regPool
+	fpPool  *regPool
+
+	vars    map[*ir.Var]uint8
+	arrBase map[*ir.Array]uint8
+	constFP map[float64]uint8
+
+	loops  []*rvLoopCtx
+	labelN int
+	err    error
+}
+
+type rvLoopCtx struct {
+	lv   *ir.Var
+	ptrs map[stream]uint8
+	// scaledIdx, when not noReg, holds lv*8 as an extra induction
+	// variable shared by computed accesses (GCC materialises the same
+	// thing when several arrays are indexed by one variable).
+	scaledIdx uint8
+}
+
+// compileRV64 lowers the program for RV64G. GCC 9.2 and 12.2 generate
+// the same inner-loop code on RISC-V (the paper found the main kernels
+// identical between the two); the flavour only changes the prologue,
+// where GCC 9.2 re-zeroes the argument registers redundantly.
+func compileRV64(p *ir.Program, flavor Flavor, lay *dataLayout, opts Options) (*elfio.File, error) {
+	g := &rvGen{
+		asm:    rv64.NewAsm(),
+		flavor: flavor,
+		lay:    lay,
+		opts:   opts,
+		// Temporaries first, then saved registers. x2/x3/x4 are
+		// sp/gp/tp; everything else is fair game — the generated code
+		// is one leaf function, so ra (x1) and the syscall argument
+		// registers (a0/a1/a7) are free until the exit sequence
+		// overwrites them, exactly as GCC allocates in leaf code.
+		intPool: newRegPool("integer", []uint8{
+			5, 6, 7, 28, 29, 30, 31, 12, 13, 14, 15, 16,
+			8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27,
+			10, 11, 17, 1,
+		}),
+		fpPool: newRegPool("floating-point", []uint8{
+			0, 1, 2, 3, 4, 5, 6, 7, 28, 29, 30, 31,
+			10, 11, 12, 13, 14, 15, 16, 17,
+			8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27,
+		}),
+		vars:    map[*ir.Var]uint8{},
+		arrBase: map[*ir.Array]uint8{},
+		constFP: map[float64]uint8{},
+	}
+
+	// Prologue. GCC 9.2's crt0-level code is a touch more verdant;
+	// model the paper's small whole-binary deltas with a few extra
+	// register-clearing instructions.
+	g.asm.Symbol("_start")
+	if flavor == GCC9 {
+		for _, r := range []uint8{10, 11, 12} {
+			g.asm.MV(r, 0)
+		}
+	}
+
+	for _, k := range p.Setup {
+		if err := g.kernel(k); err != nil {
+			return nil, fmt.Errorf("setup kernel %q: %w", k.Name, err)
+		}
+	}
+
+	repeatReg := uint8(noReg)
+	if p.Repeat > 1 {
+		r, err := g.intPool.alloc()
+		if err != nil {
+			return nil, err
+		}
+		repeatReg = r
+		g.asm.LI(repeatReg, int64(p.Repeat))
+		g.asm.Label("repeat")
+	}
+
+	for _, k := range p.Kernels {
+		if err := g.kernel(k); err != nil {
+			return nil, fmt.Errorf("kernel %q: %w", k.Name, err)
+		}
+	}
+
+	if p.Repeat > 1 {
+		g.asm.Symbol("_loop_overhead")
+		g.asm.ADDI(repeatReg, repeatReg, -1)
+		g.asm.BNE(repeatReg, 0, "repeat")
+	}
+
+	// Exit.
+	g.asm.Symbol("_exit")
+	g.asm.LI(10, 0)
+	g.asm.LI(17, 93)
+	g.asm.ECALL()
+
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.asm.Build(rv64.Program{
+		TextBase: TextBase,
+		DataBase: DataBase,
+		Data:     lay.data,
+	})
+}
+
+func (g *rvGen) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf("%s%d", prefix, g.labelN)
+}
+
+// kernel emits one kernel: array bases and FP constants are hoisted
+// into registers, then the body is generated; all kernel-scoped
+// registers are released afterwards.
+func (g *rvGen) kernel(k *ir.Kernel) error {
+	g.asm.Symbol(k.Name)
+	var scoped []func()
+
+	for _, arr := range collectArrays(k.Body) {
+		r, err := g.intPool.alloc()
+		if err != nil {
+			return err
+		}
+		g.asm.LI(r, int64(g.lay.base[arr.Name]))
+		g.arrBase[arr] = r
+		arr := arr
+		scoped = append(scoped, func() { delete(g.arrBase, arr); g.intPool.free(r) })
+	}
+	consts := collectFPConsts(k.Body)
+	if len(consts) > 10 {
+		consts = consts[:10] // the rest materialise inline at each use
+	}
+	for _, c := range consts {
+		fr, err := g.fpPool.alloc()
+		if err != nil {
+			return err
+		}
+		g.materialiseF(c, fr)
+		g.constFP[c] = fr
+		c := c
+		scoped = append(scoped, func() { delete(g.constFP, c); g.fpPool.free(fr) })
+	}
+
+	if err := g.stmts(k.Body); err != nil {
+		return err
+	}
+
+	// Release variable registers bound during this kernel.
+	for vr, r := range g.vars {
+		if vr.Type == ir.F64 {
+			g.fpPool.free(r)
+		} else {
+			g.intPool.free(r)
+		}
+		delete(g.vars, vr)
+	}
+	for i := len(scoped) - 1; i >= 0; i-- {
+		scoped[i]()
+	}
+	return nil
+}
+
+// materialiseF loads an FP constant into fr.
+func (g *rvGen) materialiseF(c float64, fr uint8) {
+	bits := int64(f64bitsOf(c))
+	if bits == 0 {
+		g.asm.FMVDX(fr, 0)
+		return
+	}
+	t, err := g.intPool.alloc()
+	if err != nil {
+		g.fail(err)
+		return
+	}
+	g.asm.LI(t, bits)
+	g.asm.FMVDX(fr, t)
+	g.intPool.free(t)
+}
+
+func (g *rvGen) fail(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+func (g *rvGen) stmts(body []ir.Stmt) error {
+	for _, s := range body {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return g.err
+}
+
+func (g *rvGen) stmt(s ir.Stmt) error {
+	switch st := s.(type) {
+	case *ir.Loop:
+		return g.loop(st)
+	case *ir.Assign:
+		return g.assign(st)
+	case *ir.Store:
+		return g.store(st)
+	case *ir.If:
+		return g.ifStmt(st)
+	}
+	return fmt.Errorf("rv64gen: unknown statement %T", s)
+}
+
+// varReg returns (allocating on demand) the register pinned to v.
+func (g *rvGen) varReg(v *ir.Var) (uint8, error) {
+	if r, ok := g.vars[v]; ok {
+		return r, nil
+	}
+	var r uint8
+	var err error
+	if v.Type == ir.F64 {
+		r, err = g.fpPool.alloc()
+	} else {
+		r, err = g.intPool.alloc()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("variable %q: %w", v.Name, err)
+	}
+	g.vars[v] = r
+	return r, nil
+}
+
+func (g *rvGen) assign(st *ir.Assign) error {
+	r, err := g.varReg(st.Var)
+	if err != nil {
+		return err
+	}
+	if st.Var.Type == ir.F64 {
+		got, owned, err := g.evalF(st.Val, r)
+		if err != nil {
+			return err
+		}
+		if got != r {
+			g.asm.FMVD(r, got)
+			if owned {
+				g.fpPool.free(got)
+			}
+		}
+		return nil
+	}
+	got, owned, err := g.evalI(st.Val, r)
+	if err != nil {
+		return err
+	}
+	if got != r {
+		g.asm.MV(r, got)
+		if owned {
+			g.intPool.free(got)
+		}
+	}
+	return nil
+}
+
+// addr prepares the (base register, immediate) pair for an array
+// access, using a loop pointer when the index matches a strength-
+// reduced stream, a folded immediate when the index is constant, and
+// computed addressing otherwise. The returned release function frees
+// any temporary.
+func (g *rvGen) addr(arr *ir.Array, idx ir.Expr) (base uint8, off int64, release func(), err error) {
+	nop := func() {}
+	// Innermost matching pointer stream, or the shared scaled index.
+	for i := len(g.loops) - 1; i >= 0; i-- {
+		ctx := g.loops[i]
+		if s, ok := matchStream(arr, idx, ctx.lv); ok {
+			if ptr, ok := ctx.ptrs[s]; ok {
+				return ptr, 0, nop, nil
+			}
+			if ctx.scaledIdx != noReg && s.invVar == nil {
+				byteOff := s.invConst * 8
+				if byteOff >= -2048 && byteOff < 2048 {
+					t, err := g.intPool.alloc()
+					if err != nil {
+						break
+					}
+					g.asm.ADD(t, g.arrBase[arr], ctx.scaledIdx)
+					return t, byteOff, func() { g.intPool.free(t) }, nil
+				}
+			}
+			break
+		}
+	}
+	// Constant index with a reachable immediate.
+	if c, ok := constFold(idx); ok {
+		byteOff := c * 8
+		if byteOff >= -2048 && byteOff < 2048 {
+			return g.arrBase[arr], byteOff, nop, nil
+		}
+	}
+	// Computed: slli t, idx, 3; add t, t, base.
+	r, owned, err := g.evalI(idx, noReg)
+	if err != nil {
+		return 0, 0, nop, err
+	}
+	t, err := g.intPool.alloc()
+	if err != nil {
+		return 0, 0, nop, err
+	}
+	g.asm.SLLI(t, r, 3)
+	if owned {
+		g.intPool.free(r)
+	}
+	g.asm.ADD(t, t, g.arrBase[arr])
+	return t, 0, func() { g.intPool.free(t) }, nil
+}
+
+func (g *rvGen) store(st *ir.Store) error {
+	if st.Arr.Elem == ir.F64 {
+		v, owned, err := g.evalF(st.Val, noReg)
+		if err != nil {
+			return err
+		}
+		base, off, release, err := g.addr(st.Arr, st.Index)
+		if err != nil {
+			return err
+		}
+		g.asm.FSD(v, base, off)
+		release()
+		if owned {
+			g.fpPool.free(v)
+		}
+		return nil
+	}
+	v, owned, err := g.evalI(st.Val, noReg)
+	if err != nil {
+		return err
+	}
+	base, off, release, err := g.addr(st.Arr, st.Index)
+	if err != nil {
+		return err
+	}
+	g.asm.SD(v, base, off)
+	release()
+	if owned {
+		g.intPool.free(v)
+	}
+	return nil
+}
+
+// loop generates a counted loop, choosing pointer mode when the loop
+// variable is used only through unit-stride accesses (the paper's
+// Listing 2 shape) and index mode otherwise.
+func (g *rvGen) loop(l *ir.Loop) error {
+	startC, startConst := constFold(l.Start)
+	endC, endConst := constFold(l.End)
+	if startConst && endConst && endC <= startC {
+		return nil // statically empty
+	}
+
+	info := analyseLoop(l.Body, l.Var)
+	// Strength-reduce only innermost loops: outer loops run rarely and
+	// their pointers would starve the inner loops of registers (GCC's
+	// induction-variable optimisation makes the same trade).
+	if hasInnerLoop(l.Body) || g.opts.NoStrengthReduction {
+		info.streams = nil
+		info.otherUses = true
+	}
+	// Validate stream invariants and apply the pointer cap.
+	var streams []stream
+	needIndex := info.otherUses
+	for _, s := range info.streams {
+		if s.invVar != nil && assignedIn(l.Body, s.invVar) {
+			needIndex = true // access must be computed, uses the index
+			continue
+		}
+		if len(streams) == maxPointerStreams {
+			needIndex = true
+			continue
+		}
+		streams = append(streams, s)
+	}
+	if len(streams) == 0 {
+		needIndex = true
+	}
+
+	// Evaluate bounds.
+	var startReg uint8
+	startOwned := false
+	if !startConst {
+		r, owned, err := g.evalI(l.Start, noReg)
+		if err != nil {
+			return err
+		}
+		startReg, startOwned = r, owned
+	}
+	endReg, endOwned, err := g.evalI(l.End, noReg)
+	if err != nil {
+		return err
+	}
+
+	// Guard for possibly-empty loops.
+	doneL := g.label("done")
+	loopL := g.label("loop")
+	if !(startConst && endConst) {
+		if startConst {
+			t, err := g.intPool.alloc()
+			if err != nil {
+				return err
+			}
+			g.asm.LI(t, startC)
+			g.asm.BGE(t, endReg, doneL)
+			g.intPool.free(t)
+		} else {
+			g.asm.BGE(startReg, endReg, doneL)
+		}
+	}
+
+	// Bind every variable the body assigns (and the loop variable when
+	// an index is needed) before taking pointer registers, so the
+	// spare-register margin below only has to cover expression
+	// temporaries.
+	if err := g.prebindVars(l.Body); err != nil {
+		return err
+	}
+	if needIndex {
+		if _, err := g.varReg(l.Var); err != nil {
+			return err
+		}
+	}
+
+	// Pointer setup: best-effort under register pressure. A stream
+	// that cannot get a pointer register falls back to computed
+	// addressing, which requires the index register — mirroring GCC's
+	// induction-variable selection giving up under pressure. Keep
+	// registers spare for expression temporaries.
+	ctx := &rvLoopCtx{lv: l.Var, ptrs: map[stream]uint8{}, scaledIdx: noReg}
+	ptrOrder := make([]uint8, 0, len(streams))
+	kept := streams[:0]
+	for _, s := range streams {
+		if len(g.intPool.order)-g.intPool.inUse() <= 3 {
+			needIndex = true
+			break
+		}
+		ptr, err := g.intPool.alloc()
+		if err != nil {
+			needIndex = true
+			break
+		}
+		g.leaStream(ptr, s, startReg, startC, startConst)
+		ctx.ptrs[s] = ptr
+		ptrOrder = append(ptrOrder, ptr)
+		kept = append(kept, s)
+	}
+	streams = kept
+	if len(streams) == 0 {
+		needIndex = true
+	}
+
+	// Termination: either an index register or an end pointer.
+	var idxReg, endPtr uint8 = noReg, noReg
+	if needIndex {
+		r, err := g.varReg(l.Var)
+		if err != nil {
+			return err
+		}
+		idxReg = r
+		if startConst {
+			g.asm.LI(idxReg, startC)
+		} else {
+			g.asm.MV(idxReg, startReg)
+		}
+		// If plain unit-stride accesses were left without pointers,
+		// share one scaled-index induction variable among them.
+		plainLeftover := false
+		for _, s := range info.streams {
+			if s.invVar == nil {
+				if _, got := ctx.ptrs[s]; !got {
+					plainLeftover = true
+					break
+				}
+			}
+		}
+		if plainLeftover && !g.opts.NoStrengthReduction && len(g.intPool.order)-g.intPool.inUse() > 2 {
+			if si, err := g.intPool.alloc(); err == nil {
+				ctx.scaledIdx = si
+				g.asm.SLLI(si, idxReg, 3)
+			}
+		}
+	} else {
+		endPtr, err = g.intPool.alloc()
+		if err != nil {
+			return err
+		}
+		g.leaStream(endPtr, streams[0], endReg, endC, false)
+	}
+	if startOwned {
+		g.intPool.free(startReg)
+	}
+
+	g.asm.Label(loopL)
+	g.loops = append(g.loops, ctx)
+	if err := g.stmts(l.Body); err != nil {
+		return err
+	}
+	g.loops = g.loops[:len(g.loops)-1]
+
+	// Increment and branch: fused compare-and-branch, the RISC-V
+	// advantage the paper highlights.
+	for _, ptr := range ptrOrder {
+		g.asm.ADDI(ptr, ptr, 8)
+	}
+	if ctx.scaledIdx != noReg {
+		g.asm.ADDI(ctx.scaledIdx, ctx.scaledIdx, 8)
+	}
+	if needIndex {
+		g.asm.ADDI(idxReg, idxReg, 1)
+		g.asm.BNE(idxReg, endReg, loopL)
+	} else {
+		g.asm.BNE(ctx.ptrs[streams[0]], endPtr, loopL)
+	}
+	g.asm.Label(doneL)
+
+	if ctx.scaledIdx != noReg {
+		g.intPool.free(ctx.scaledIdx)
+	}
+	for _, ptr := range ptrOrder {
+		g.intPool.free(ptr)
+	}
+	if endPtr != noReg {
+		g.intPool.free(endPtr)
+	}
+	if endOwned {
+		g.intPool.free(endReg)
+	}
+	// The loop variable register (if bound) stays allocated: it is a
+	// kernel-scoped variable and may be read after the loop.
+	return g.err
+}
+
+// prebindVars allocates registers for every variable assigned in the
+// statement list (recursively), so later pointer allocation sees the
+// true residual pressure.
+func (g *rvGen) prebindVars(stmts []ir.Stmt) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.Assign:
+			if _, err := g.varReg(st.Var); err != nil {
+				return err
+			}
+		case *ir.Loop:
+			if err := g.prebindVars(st.Body); err != nil {
+				return err
+			}
+		case *ir.If:
+			if err := g.prebindVars(st.Then); err != nil {
+				return err
+			}
+			if err := g.prebindVars(st.Else); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// leaStream computes ptr = arrayBase + (bound + inv)*8, where bound is
+// either a constant (boundConst true) or a register.
+func (g *rvGen) leaStream(ptr uint8, s stream, boundReg uint8, boundC int64, boundConst bool) {
+	base := g.arrBase[s.arr]
+	switch {
+	case s.invVar == nil && boundConst:
+		total := (boundC + s.invConst) * 8
+		if total == 0 {
+			g.asm.MV(ptr, base)
+		} else if total >= -2048 && total < 2048 {
+			g.asm.ADDI(ptr, base, total)
+		} else {
+			g.asm.LI(ptr, total)
+			g.asm.ADD(ptr, ptr, base)
+		}
+	case s.invVar == nil:
+		g.asm.SLLI(ptr, boundReg, 3)
+		g.asm.ADD(ptr, ptr, base)
+		if s.invConst != 0 {
+			off := s.invConst * 8
+			if off >= -2048 && off < 2048 {
+				g.asm.ADDI(ptr, ptr, off)
+			} else {
+				t, err := g.intPool.alloc()
+				if err != nil {
+					g.fail(err)
+					return
+				}
+				g.asm.LI(t, off)
+				g.asm.ADD(ptr, ptr, t)
+				g.intPool.free(t)
+			}
+		}
+	default:
+		inv := g.vars[s.invVar]
+		if boundConst {
+			if boundC >= -2048 && boundC < 2048 {
+				g.asm.ADDI(ptr, inv, boundC)
+			} else {
+				g.asm.LI(ptr, boundC)
+				g.asm.ADD(ptr, ptr, inv)
+			}
+		} else {
+			g.asm.ADD(ptr, inv, boundReg)
+		}
+		g.asm.SLLI(ptr, ptr, 3)
+		g.asm.ADD(ptr, ptr, base)
+	}
+}
+
+func f64bitsOf(v float64) uint64 { return math.Float64bits(v) }

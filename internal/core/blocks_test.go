@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"isacmp/internal/isa"
+)
+
+func TestBlockProfileLoop(t *testing.T) {
+	b := NewBlockProfile()
+	// Simulate a 3-instruction loop body ending in a taken branch,
+	// executed 10 times, then a 2-instruction exit path.
+	for iter := 0; iter < 10; iter++ {
+		b.Event(&isa.Event{PC: 0x100})
+		b.Event(&isa.Event{PC: 0x104})
+		b.Event(&isa.Event{PC: 0x108, Branch: true, Taken: iter < 9})
+	}
+	b.Event(&isa.Event{PC: 0x10C})
+	b.Event(&isa.Event{PC: 0x110})
+
+	blocks := b.Hottest(0)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d: %+v", len(blocks), blocks)
+	}
+	hot := blocks[0]
+	if hot.Start != 0x100 || hot.Execs != 10 || hot.Instructions != 30 {
+		t.Fatalf("hot block: %+v", hot)
+	}
+	if hot.End != 0x100+3*4 {
+		t.Fatalf("hot block end: %#x", hot.End)
+	}
+	if hot.Fraction < 0.9 {
+		t.Fatalf("hot fraction: %v", hot.Fraction)
+	}
+	cold := blocks[1]
+	if cold.Start != 0x10C || cold.Execs != 1 || cold.Instructions != 2 {
+		t.Fatalf("cold block: %+v", cold)
+	}
+}
+
+func TestBlockProfileTopN(t *testing.T) {
+	b := NewBlockProfile()
+	for blk := 0; blk < 8; blk++ {
+		for k := 0; k <= blk; k++ { // block i runs i+1 instructions
+			b.Event(&isa.Event{PC: uint64(0x1000 + blk*64 + k*4)})
+		}
+		b.Event(&isa.Event{PC: uint64(0x1000 + blk*64 + 60), Branch: true, Taken: true})
+	}
+	top := b.Hottest(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if top[0].Instructions < top[1].Instructions || top[1].Instructions < top[2].Instructions {
+		t.Fatalf("not sorted: %+v", top)
+	}
+}
+
+func TestBlockProfileEmpty(t *testing.T) {
+	b := NewBlockProfile()
+	if got := b.Hottest(5); len(got) != 0 {
+		t.Fatalf("empty profile returned %+v", got)
+	}
+}

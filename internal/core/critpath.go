@@ -1,0 +1,149 @@
+// Package core implements the paper's four trace analyses: per-kernel
+// path length (Figure 1), critical path / ILP / ideal runtime
+// (Table 1), latency-scaled critical path (Table 2) and windowed
+// critical path (Figure 2). All analyses are streaming sinks over the
+// per-instruction event stream produced by a simeng core; no trace is
+// ever materialised.
+package core
+
+import (
+	"isacmp/internal/isa"
+	"isacmp/internal/simeng"
+)
+
+// ClockHz is the clock speed the paper assumes when converting cycle
+// counts to run times ("a 2GHz clockspeed, similar to that of modern
+// day application level processors").
+const ClockHz = 2e9
+
+// CritPath tracks the longest chain of read-after-write dependencies
+// through registers and memory, exactly as described in the paper's
+// section 4.1: an array maintains the critical path length to the
+// value held in each register and a map does the same per memory
+// address; each instruction extends the longest chain among its
+// sources by its own weight and records the result at its
+// destinations. The zero register always reads zero chains and
+// discards writes (the ISA executors never report it in events).
+//
+// With a nil Latencies model every instruction weighs 1 (the Table 1
+// analysis). With a model, each instruction weighs its group's
+// latency, except loads and stores which weigh 1 because the paper
+// assumes store forwarding (the Table 2 analysis).
+type CritPath struct {
+	// Latencies, when non-nil, selects the scaled analysis.
+	Latencies *simeng.LatencyModel
+
+	reg [isa.NumRegs]uint64
+	mem map[uint64]uint64
+	// dense covers [denseBase, denseBase+8*len(dense)) with a flat
+	// array — the data segment of a paper-scale run holds tens of
+	// millions of words, far beyond what a map handles economically.
+	dense     []uint64
+	denseBase uint64
+	max       uint64
+	insts     uint64
+}
+
+// NewCritPath returns the unscaled (Table 1) analysis.
+func NewCritPath() *CritPath {
+	return &CritPath{mem: make(map[uint64]uint64, 1<<12)}
+}
+
+// NewScaledCritPath returns the latency-scaled (Table 2) analysis.
+func NewScaledCritPath(l *simeng.LatencyModel) *CritPath {
+	return &CritPath{Latencies: l, mem: make(map[uint64]uint64, 1<<12)}
+}
+
+// SetDenseRange switches memory-chain tracking for [base, base+size)
+// to a flat array. Call before the first event; addresses outside the
+// range still use the map. At paper-scale problem sizes (hundreds of
+// megabytes of arrays) this is the difference between a slice of the
+// data-segment's size and a multi-gigabyte map.
+func (c *CritPath) SetDenseRange(base, size uint64) {
+	c.denseBase = base &^ 7
+	c.dense = make([]uint64, (size+7)/8)
+}
+
+// memGet reads the chain length recorded at an 8-byte-aligned word.
+func (c *CritPath) memGet(w uint64) uint64 {
+	if c.dense != nil {
+		if i := (w - c.denseBase) / 8; i < uint64(len(c.dense)) {
+			return c.dense[i]
+		}
+	}
+	return c.mem[w]
+}
+
+// memSet records the chain length at an 8-byte-aligned word.
+func (c *CritPath) memSet(w, v uint64) {
+	if c.dense != nil {
+		if i := (w - c.denseBase) / 8; i < uint64(len(c.dense)) {
+			c.dense[i] = v
+			return
+		}
+	}
+	c.mem[w] = v
+}
+
+// Event extends dependency chains with one retired instruction.
+func (c *CritPath) Event(ev *isa.Event) {
+	c.insts++
+	var longest uint64
+	for k := uint8(0); k < ev.NSrcs; k++ {
+		if v := c.reg[ev.Srcs[k]]; v > longest {
+			longest = v
+		}
+	}
+	if ev.LoadSize != 0 {
+		first, last := wordSpan(ev.LoadAddr, ev.LoadSize)
+		for w := first; w <= last; w += 8 {
+			if v := c.memGet(w); v > longest {
+				longest = v
+			}
+		}
+	}
+
+	weight := uint64(1)
+	if c.Latencies != nil && ev.Group != isa.GroupLoad && ev.Group != isa.GroupStore {
+		weight = uint64(c.Latencies.Latency(ev.Group))
+	}
+	v := longest + weight
+
+	for k := uint8(0); k < ev.NDsts; k++ {
+		c.reg[ev.Dsts[k]] = v
+	}
+	if ev.StoreSize != 0 {
+		first, last := wordSpan(ev.StoreAddr, ev.StoreSize)
+		for w := first; w <= last; w += 8 {
+			c.memSet(w, v)
+		}
+	}
+	if v > c.max {
+		c.max = v
+	}
+}
+
+// CP returns the length of the critical path observed so far.
+func (c *CritPath) CP() uint64 { return c.max }
+
+// Instructions returns the number of events observed.
+func (c *CritPath) Instructions() uint64 { return c.insts }
+
+// ILP returns the paper's instruction-level-parallelism metric,
+// path length divided by critical path.
+func (c *CritPath) ILP() float64 {
+	if c.max == 0 {
+		return 0
+	}
+	return float64(c.insts) / float64(c.max)
+}
+
+// RuntimeSeconds returns the ideal run time at the paper's 2 GHz
+// clock: one cycle per critical-path step.
+func (c *CritPath) RuntimeSeconds() float64 { return float64(c.max) / ClockHz }
+
+// wordSpan returns the first and last 8-byte-aligned words covered by
+// an access.
+func wordSpan(addr uint64, size uint8) (first, last uint64) {
+	return addr &^ 7, (addr + uint64(size) - 1) &^ 7
+}

@@ -1,0 +1,113 @@
+package core
+
+import "isacmp/internal/isa"
+
+// DepDistance measures the distance, in retired instructions, between
+// each register value's producer and its consumers — a diagnostic for
+// the dependency locality the paper's Figure 2 discussion reasons
+// about ("local dependent instructions are more distantly spread for
+// RISC-V"). Note that window ILP is bounded by the *depth* of chains
+// inside the window, not the raw count of short edges, so this
+// histogram complements rather than replaces the windowed
+// critical-path analysis.
+//
+// Distances are bucketed in powers of two up to 2^16; memory-carried
+// dependencies are tracked the same way through store/load addresses.
+type DepDistance struct {
+	// lastWrite[r] is the instruction index that last produced r.
+	lastWrite [isa.NumRegs]uint64
+	written   [isa.NumRegs]bool
+	memWrite  map[uint64]uint64
+
+	idx     uint64
+	buckets [17]uint64 // bucket i: distance in [2^i, 2^(i+1)); last bucket: larger
+	count   uint64
+	sum     uint64
+}
+
+// NewDepDistance returns an empty measurement.
+func NewDepDistance() *DepDistance {
+	return &DepDistance{memWrite: make(map[uint64]uint64, 1<<10)}
+}
+
+// Event observes one retired instruction.
+func (d *DepDistance) Event(ev *isa.Event) {
+	d.idx++
+	for k := uint8(0); k < ev.NSrcs; k++ {
+		r := ev.Srcs[k]
+		if d.written[r] {
+			d.record(d.idx - d.lastWrite[r])
+		}
+	}
+	if ev.LoadSize != 0 {
+		first, last := wordSpan(ev.LoadAddr, ev.LoadSize)
+		for w := first; w <= last; w += 8 {
+			if prod, ok := d.memWrite[w]; ok {
+				d.record(d.idx - prod)
+			}
+		}
+	}
+	for k := uint8(0); k < ev.NDsts; k++ {
+		d.lastWrite[ev.Dsts[k]] = d.idx
+		d.written[ev.Dsts[k]] = true
+	}
+	if ev.StoreSize != 0 {
+		first, last := wordSpan(ev.StoreAddr, ev.StoreSize)
+		for w := first; w <= last; w += 8 {
+			d.memWrite[w] = d.idx
+		}
+	}
+}
+
+func (d *DepDistance) record(dist uint64) {
+	d.count++
+	d.sum += dist
+	b := 0
+	for dist > 1 && b < len(d.buckets)-1 {
+		dist >>= 1
+		b++
+	}
+	d.buckets[b]++
+}
+
+// Count returns the number of dependency edges observed.
+func (d *DepDistance) Count() uint64 { return d.count }
+
+// Mean returns the mean producer→consumer distance.
+func (d *DepDistance) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.count)
+}
+
+// ShortFraction returns the fraction of dependency edges with distance
+// strictly below n instructions — the "local dependency" mass that
+// limits ILP inside a reorder window of size n.
+func (d *DepDistance) ShortFraction(n uint64) float64 {
+	if d.count == 0 {
+		return 0
+	}
+	var short uint64
+	lo := uint64(1)
+	for b := 0; b < len(d.buckets); b++ {
+		hi := lo * 2
+		if hi <= n {
+			short += d.buckets[b]
+		} else if lo < n {
+			// Partial bucket: approximate uniformly.
+			frac := float64(n-lo) / float64(hi-lo)
+			short += uint64(float64(d.buckets[b]) * frac)
+		}
+		lo = hi
+	}
+	return float64(short) / float64(d.count)
+}
+
+// Buckets returns the power-of-two histogram: Buckets()[i] counts
+// distances in [2^i, 2^(i+1)), with the final bucket open-ended.
+func (d *DepDistance) Buckets() []uint64 {
+	out := make([]uint64, len(d.buckets))
+	copy(out, d.buckets[:])
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"isacmp/internal/isa"
+)
+
+func TestDepDistanceSerialChain(t *testing.T) {
+	d := NewDepDistance()
+	// x1 = x1 + 1 repeatedly: every edge has distance exactly 1.
+	for i := 0; i < 100; i++ {
+		d.Event(evAdd(isa.IntReg(1), isa.IntReg(1)))
+	}
+	if d.Count() != 99 {
+		t.Fatalf("edges = %d, want 99 (first has no producer)", d.Count())
+	}
+	if d.Mean() != 1 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if f := d.ShortFraction(4); f != 1 {
+		t.Fatalf("short fraction = %v, want 1", f)
+	}
+}
+
+func TestDepDistanceSpread(t *testing.T) {
+	d := NewDepDistance()
+	// Producer at instruction 1, consumer at instruction 10: one edge
+	// of distance 9; everything between is independent.
+	d.Event(evAdd(isa.IntReg(1)))
+	for i := 0; i < 8; i++ {
+		d.Event(evAdd(isa.IntReg(uint8(i) + 2)))
+	}
+	ev := &isa.Event{Group: isa.GroupIntSimple}
+	ev.AddSrc(isa.IntReg(1))
+	ev.AddDst(isa.IntReg(10))
+	d.Event(ev)
+	if d.Count() != 1 {
+		t.Fatalf("edges = %d", d.Count())
+	}
+	if d.Mean() != 9 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if f := d.ShortFraction(4); f != 0 {
+		t.Fatalf("short(4) = %v, want 0", f)
+	}
+	if f := d.ShortFraction(1024); f != 1 {
+		t.Fatalf("short(1024) = %v, want 1", f)
+	}
+}
+
+func TestDepDistanceThroughMemory(t *testing.T) {
+	d := NewDepDistance()
+	d.Event(evStore(isa.IntReg(1), isa.IntReg(5), 0x100))
+	d.Event(evAdd(isa.IntReg(7)))
+	d.Event(evLoad(isa.IntReg(2), isa.IntReg(6), 0x100))
+	// The load consumes the store's memory value at distance 2 (plus
+	// no register edges because srcs 5/6/1 were never produced).
+	if d.Count() != 1 {
+		t.Fatalf("edges = %d", d.Count())
+	}
+	if d.Mean() != 2 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+}
+
+func TestDepDistanceBuckets(t *testing.T) {
+	d := NewDepDistance()
+	d.record(1)    // bucket 0
+	d.record(2)    // bucket 1
+	d.record(3)    // bucket 1
+	d.record(4)    // bucket 2
+	d.record(1000) // bucket 9
+	b := d.Buckets()
+	if b[0] != 1 || b[1] != 2 || b[2] != 1 || b[9] != 1 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if d.Count() != 5 {
+		t.Fatalf("count = %d", d.Count())
+	}
+}
+
+func TestDepDistanceEmpty(t *testing.T) {
+	d := NewDepDistance()
+	if d.Mean() != 0 || d.ShortFraction(64) != 0 {
+		t.Fatal("empty measurement not zero")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+
+	"isacmp/internal/elfio"
+	"isacmp/internal/isa"
+)
+
+// PathLength counts retired instructions, attributing each to the
+// source region (benchmark kernel) containing its PC. Regions come
+// from ELF symbols, mirroring the paper's "path lengths for each
+// benchmark broken down by kernel or basic code block" (Figure 1).
+type PathLength struct {
+	starts []uint64
+	ends   []uint64
+	names  []string
+	counts []uint64
+	other  uint64
+	total  uint64
+	last   int // cache of the last region hit; loops stay in one region
+}
+
+// RegionCount is one row of the per-kernel breakdown.
+type RegionCount struct {
+	Name  string
+	Count uint64
+}
+
+// NewPathLength builds the analysis from ELF symbols (already sorted
+// by address by elfio.Read). Symbols with zero size extend to the next
+// symbol.
+func NewPathLength(syms []elfio.Symbol) *PathLength {
+	p := &PathLength{}
+	sorted := append([]elfio.Symbol(nil), syms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Value < sorted[j].Value })
+	for i, s := range sorted {
+		end := s.Value + s.Size
+		if s.Size == 0 {
+			if i+1 < len(sorted) {
+				end = sorted[i+1].Value
+			} else {
+				end = ^uint64(0)
+			}
+		}
+		p.starts = append(p.starts, s.Value)
+		p.ends = append(p.ends, end)
+		p.names = append(p.names, s.Name)
+	}
+	p.counts = make([]uint64, len(p.starts))
+	return p
+}
+
+// Event attributes one retired instruction.
+func (p *PathLength) Event(ev *isa.Event) {
+	p.total++
+	// Fast path: same region as the previous instruction.
+	if p.last < len(p.starts) && ev.PC >= p.starts[p.last] && ev.PC < p.ends[p.last] {
+		p.counts[p.last]++
+		return
+	}
+	// Binary search for the region containing PC.
+	i := sort.Search(len(p.starts), func(i int) bool { return p.starts[i] > ev.PC })
+	if i > 0 && ev.PC < p.ends[i-1] {
+		p.last = i - 1
+		p.counts[i-1]++
+		return
+	}
+	p.other++
+}
+
+// Total returns the full dynamic instruction count (the path length).
+func (p *PathLength) Total() uint64 { return p.total }
+
+// Other returns instructions outside any named region.
+func (p *PathLength) Other() uint64 { return p.other }
+
+// Counts returns the per-region breakdown in address order.
+func (p *PathLength) Counts() []RegionCount {
+	out := make([]RegionCount, len(p.names))
+	for i := range p.names {
+		out[i] = RegionCount{Name: p.names[i], Count: p.counts[i]}
+	}
+	return out
+}
+
+// Count returns the count for one named region (0 if unknown).
+func (p *PathLength) Count(name string) uint64 {
+	for i, n := range p.names {
+		if n == name {
+			return p.counts[i]
+		}
+	}
+	return 0
+}

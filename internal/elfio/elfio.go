@@ -1,0 +1,311 @@
+// Package elfio implements the minimal subset of ELF64 needed to make
+// the simulated toolchain honest: the assembler writes real statically
+// linked executables (program headers, sections, a symbol table) and
+// the simulator loads them back through a real parser. Only what a
+// static freestanding binary needs is supported: ET_EXEC files with
+// PT_LOAD segments and an optional .symtab used for kernel-region
+// attribution in the path-length analysis.
+package elfio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ELF machine numbers for the two architectures under study.
+const (
+	EMAarch64 uint16 = 183 // EM_AARCH64
+	EMRiscV   uint16 = 243 // EM_RISCV
+)
+
+// Segment is a loadable program segment.
+type Segment struct {
+	// Vaddr is the virtual load address.
+	Vaddr uint64
+	// Data is the segment image.
+	Data []byte
+	// Flags is the PF_* permission mask (PF_X=1, PF_W=2, PF_R=4).
+	Flags uint32
+	// Name is the section name used for the matching section header
+	// (".text", ".data").
+	Name string
+}
+
+// Segment permission flags.
+const (
+	PFX = 1
+	PFW = 2
+	PFR = 4
+)
+
+// Symbol is a named address range; the analyses use symbols to
+// attribute dynamic instructions to source kernels.
+type Symbol struct {
+	Name  string
+	Value uint64
+	Size  uint64
+}
+
+// File is an in-memory representation of a minimal static executable.
+type File struct {
+	Machine  uint16
+	Entry    uint64
+	Segments []Segment
+	Symbols  []Symbol
+}
+
+const (
+	ehsize    = 64
+	phentsize = 56
+	shentsize = 64
+	symsize   = 24
+)
+
+// Write serialises the file as a valid ELF64 little-endian ET_EXEC
+// image.
+func (f *File) Write() []byte {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+
+	nseg := len(f.Segments)
+	// Sections: null, one per segment, .symtab, .strtab, .shstrtab.
+	nsec := 1 + nseg + 3
+
+	// File layout: ehdr, phdrs, segment data..., symtab, strtab,
+	// shstrtab, shdrs.
+	off := uint64(ehsize + nseg*phentsize)
+	segOff := make([]uint64, nseg)
+	for i, s := range f.Segments {
+		// Keep file offset congruent with vaddr modulo a small page so
+		// strict loaders stay happy; our own loader doesn't care.
+		off = align(off, 8)
+		segOff[i] = off
+		off += uint64(len(s.Data))
+	}
+
+	symtabOff := align(off, 8)
+	nsyms := len(f.Symbols) + 1 // leading null symbol
+	symtabSize := uint64(nsyms * symsize)
+
+	// String table for symbol names.
+	var strtab bytes.Buffer
+	strtab.WriteByte(0)
+	symNameOff := make([]uint32, len(f.Symbols))
+	for i, s := range f.Symbols {
+		symNameOff[i] = uint32(strtab.Len())
+		strtab.WriteString(s.Name)
+		strtab.WriteByte(0)
+	}
+	strtabOff := symtabOff + symtabSize
+
+	// Section-header string table.
+	var shstr bytes.Buffer
+	shstr.WriteByte(0)
+	shname := func(n string) uint32 {
+		o := uint32(shstr.Len())
+		shstr.WriteString(n)
+		shstr.WriteByte(0)
+		return o
+	}
+	segShName := make([]uint32, nseg)
+	for i, s := range f.Segments {
+		segShName[i] = shname(s.Name)
+	}
+	symtabName := shname(".symtab")
+	strtabName := shname(".strtab")
+	shstrName := shname(".shstrtab")
+
+	shstrOff := strtabOff + uint64(strtab.Len())
+	shoff := align(shstrOff+uint64(shstr.Len()), 8)
+
+	// ELF header.
+	var eh [ehsize]byte
+	copy(eh[:], "\x7fELF")
+	eh[4] = 2                // ELFCLASS64
+	eh[5] = 1                // ELFDATA2LSB
+	eh[6] = 1                // EV_CURRENT
+	le.PutUint16(eh[16:], 2) // ET_EXEC
+	le.PutUint16(eh[18:], f.Machine)
+	le.PutUint32(eh[20:], 1) // version
+	le.PutUint64(eh[24:], f.Entry)
+	le.PutUint64(eh[32:], ehsize) // phoff
+	le.PutUint64(eh[40:], shoff)
+	le.PutUint16(eh[52:], ehsize)
+	le.PutUint16(eh[54:], phentsize)
+	le.PutUint16(eh[56:], uint16(nseg))
+	le.PutUint16(eh[58:], shentsize)
+	le.PutUint16(eh[60:], uint16(nsec))
+	le.PutUint16(eh[62:], uint16(nsec-1)) // shstrndx: last section
+	buf.Write(eh[:])
+
+	// Program headers.
+	for i, s := range f.Segments {
+		var ph [phentsize]byte
+		le.PutUint32(ph[0:], 1) // PT_LOAD
+		le.PutUint32(ph[4:], s.Flags)
+		le.PutUint64(ph[8:], segOff[i])
+		le.PutUint64(ph[16:], s.Vaddr)
+		le.PutUint64(ph[24:], s.Vaddr)
+		le.PutUint64(ph[32:], uint64(len(s.Data)))
+		le.PutUint64(ph[40:], uint64(len(s.Data)))
+		le.PutUint64(ph[48:], 8) // align
+		buf.Write(ph[:])
+	}
+
+	// Segment data.
+	for i, s := range f.Segments {
+		pad(&buf, segOff[i])
+		buf.Write(s.Data)
+	}
+
+	// Symbol table. First entry is the mandatory null symbol.
+	pad(&buf, symtabOff)
+	buf.Write(make([]byte, symsize))
+	for i, s := range f.Symbols {
+		var sym [symsize]byte
+		le.PutUint32(sym[0:], symNameOff[i])
+		sym[4] = (1 << 4) | 2 // STB_GLOBAL, STT_FUNC
+		le.PutUint16(sym[6:], 1)
+		le.PutUint64(sym[8:], s.Value)
+		le.PutUint64(sym[16:], s.Size)
+		buf.Write(sym[:])
+	}
+
+	buf.Write(strtab.Bytes())
+	buf.Write(shstr.Bytes())
+
+	// Section headers.
+	pad(&buf, shoff)
+	writeShdr := func(name uint32, typ uint32, flags, addr, off, size uint64, link uint32, entsize uint64) {
+		var sh [shentsize]byte
+		le.PutUint32(sh[0:], name)
+		le.PutUint32(sh[4:], typ)
+		le.PutUint64(sh[8:], flags)
+		le.PutUint64(sh[16:], addr)
+		le.PutUint64(sh[24:], off)
+		le.PutUint64(sh[32:], size)
+		le.PutUint32(sh[40:], link)
+		le.PutUint64(sh[48:], 8)
+		le.PutUint64(sh[56:], entsize)
+		buf.Write(sh[:])
+	}
+	writeShdr(0, 0, 0, 0, 0, 0, 0, 0) // null section
+	for i, s := range f.Segments {
+		var flags uint64 = 0x2 // SHF_ALLOC
+		if s.Flags&PFX != 0 {
+			flags |= 0x4 // SHF_EXECINSTR
+		}
+		if s.Flags&PFW != 0 {
+			flags |= 0x1 // SHF_WRITE
+		}
+		writeShdr(segShName[i], 1 /*SHT_PROGBITS*/, flags, s.Vaddr, segOff[i], uint64(len(s.Data)), 0, 0)
+	}
+	strtabIdx := uint32(1 + nseg + 1)
+	writeShdr(symtabName, 2 /*SHT_SYMTAB*/, 0, 0, symtabOff, symtabSize, strtabIdx, symsize)
+	writeShdr(strtabName, 3 /*SHT_STRTAB*/, 0, 0, strtabOff, uint64(strtab.Len()), 0, 0)
+	writeShdr(shstrName, 3 /*SHT_STRTAB*/, 0, 0, shstrOff, uint64(shstr.Len()), 0, 0)
+
+	return buf.Bytes()
+}
+
+// Read parses an ELF64 little-endian executable produced by Write (or
+// any static binary using the same minimal feature set).
+func Read(b []byte) (*File, error) {
+	le := binary.LittleEndian
+	if len(b) < ehsize || string(b[:4]) != "\x7fELF" {
+		return nil, fmt.Errorf("elfio: bad magic")
+	}
+	if b[4] != 2 || b[5] != 1 {
+		return nil, fmt.Errorf("elfio: only ELF64 little-endian supported")
+	}
+	f := &File{
+		Machine: le.Uint16(b[18:]),
+		Entry:   le.Uint64(b[24:]),
+	}
+	phoff := le.Uint64(b[32:])
+	shoff := le.Uint64(b[40:])
+	phnum := int(le.Uint16(b[56:]))
+	shnum := int(le.Uint16(b[60:]))
+
+	for i := 0; i < phnum; i++ {
+		p := phoff + uint64(i*phentsize)
+		if p+phentsize > uint64(len(b)) {
+			return nil, fmt.Errorf("elfio: program header %d out of range", i)
+		}
+		ph := b[p : p+phentsize]
+		if le.Uint32(ph[0:]) != 1 { // PT_LOAD
+			continue
+		}
+		off := le.Uint64(ph[8:])
+		filesz := le.Uint64(ph[32:])
+		if off+filesz > uint64(len(b)) {
+			return nil, fmt.Errorf("elfio: segment %d data out of range", i)
+		}
+		seg := Segment{
+			Vaddr: le.Uint64(ph[16:]),
+			Flags: le.Uint32(ph[4:]),
+			Data:  append([]byte(nil), b[off:off+filesz]...),
+		}
+		f.Segments = append(f.Segments, seg)
+	}
+
+	// Locate .symtab and its string table.
+	for i := 0; i < shnum; i++ {
+		p := shoff + uint64(i*shentsize)
+		if p+shentsize > uint64(len(b)) {
+			return nil, fmt.Errorf("elfio: section header %d out of range", i)
+		}
+		sh := b[p : p+shentsize]
+		if le.Uint32(sh[4:]) != 2 { // SHT_SYMTAB
+			continue
+		}
+		symOff := le.Uint64(sh[24:])
+		symSize := le.Uint64(sh[32:])
+		link := le.Uint32(sh[40:])
+		strp := shoff + uint64(link)*shentsize
+		if strp+shentsize > uint64(len(b)) {
+			return nil, fmt.Errorf("elfio: symtab string table header out of range")
+		}
+		strsh := b[strp : strp+shentsize]
+		strOff := le.Uint64(strsh[24:])
+		strSize := le.Uint64(strsh[32:])
+		if strOff+strSize > uint64(len(b)) || symOff+symSize > uint64(len(b)) {
+			return nil, fmt.Errorf("elfio: symtab data out of range")
+		}
+		strs := b[strOff : strOff+strSize]
+		for o := uint64(0); o+symsize <= symSize; o += symsize {
+			sym := b[symOff+o : symOff+o+symsize]
+			nameOff := le.Uint32(sym[0:])
+			val := le.Uint64(sym[8:])
+			size := le.Uint64(sym[16:])
+			name := cstr(strs, nameOff)
+			if name == "" {
+				continue
+			}
+			f.Symbols = append(f.Symbols, Symbol{Name: name, Value: val, Size: size})
+		}
+	}
+	sort.Slice(f.Symbols, func(i, j int) bool { return f.Symbols[i].Value < f.Symbols[j].Value })
+	return f, nil
+}
+
+func cstr(b []byte, off uint32) string {
+	if uint64(off) >= uint64(len(b)) {
+		return ""
+	}
+	end := off
+	for end < uint32(len(b)) && b[end] != 0 {
+		end++
+	}
+	return string(b[off:end])
+}
+
+func align(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+func pad(buf *bytes.Buffer, to uint64) {
+	for uint64(buf.Len()) < to {
+		buf.WriteByte(0)
+	}
+}

@@ -1,0 +1,52 @@
+package ir
+
+// FMAKind classifies a floating-point add/sub tree that a -ffp-contract
+// compiler would fuse into one multiply-add instruction. The compiler
+// back ends and the host interpreter share this single matcher so that
+// simulated and reference results agree bit for bit.
+type FMAKind uint8
+
+// Fusion kinds.
+const (
+	// FMANone: not fusable.
+	FMANone FMAKind = iota
+	// FMAAdd: a*b + c.
+	FMAAdd
+	// FMASub: a*b - c.
+	FMASub
+	// FMARevSub: c - a*b.
+	FMARevSub
+)
+
+// MatchFMA recognises fusable float multiply-add shapes. When kind is
+// not FMANone, the expression equals, in order: a*b+c, a*b-c or c-a*b.
+func MatchFMA(e Expr) (a, b, c Expr, kind FMAKind) {
+	bin, ok := e.(Bin)
+	if !ok || bin.Type() != F64 {
+		return nil, nil, nil, FMANone
+	}
+	asMul := func(x Expr) (Expr, Expr, bool) {
+		m, ok := x.(Bin)
+		if ok && m.Op == Mul && m.Type() == F64 {
+			return m.A, m.B, true
+		}
+		return nil, nil, false
+	}
+	switch bin.Op {
+	case Add:
+		if ma, mb, ok := asMul(bin.A); ok {
+			return ma, mb, bin.B, FMAAdd
+		}
+		if ma, mb, ok := asMul(bin.B); ok {
+			return ma, mb, bin.A, FMAAdd
+		}
+	case Sub:
+		if ma, mb, ok := asMul(bin.A); ok {
+			return ma, mb, bin.B, FMASub
+		}
+		if ma, mb, ok := asMul(bin.B); ok {
+			return ma, mb, bin.A, FMARevSub
+		}
+	}
+	return nil, nil, nil, FMANone
+}

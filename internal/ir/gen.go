@@ -1,0 +1,335 @@
+package ir
+
+import "math/rand"
+
+// RandomProgram generates a random but well-defined IR program for
+// differential testing: compiled output on every target must match the
+// host interpreter bit for bit. The generator avoids the few
+// constructs whose results are not identical across the two ISAs and
+// the host (integer division by zero or by -1 at the overflow point,
+// FP min/max with NaNs, float-to-int casts out of range) and keeps all
+// array indexes in bounds by masking against power-of-two lengths.
+func RandomProgram(r *rand.Rand) *Program {
+	g := &gen{r: r, p: NewProgram("fuzz")}
+	narr := 2 + r.Intn(3)
+	for i := 0; i < narr; i++ {
+		g.addArray()
+	}
+	// At least one array of each type keeps both expression grammars
+	// productive.
+	if len(g.farrs) == 0 {
+		g.addTypedArray(F64)
+	}
+	if len(g.iarrs) == 0 {
+		g.addTypedArray(I64)
+	}
+	nk := 1 + r.Intn(3)
+	for i := 0; i < nk; i++ {
+		g.addKernel(i)
+	}
+	if r.Intn(3) == 0 {
+		g.p.Repeat = 1 + r.Intn(3)
+	}
+	return g.p
+}
+
+type gen struct {
+	r *rand.Rand
+	p *Program
+
+	farrs []*Array
+	iarrs []*Array
+
+	fvars []*Var
+	ivars []*Var
+	// activeLoops holds enclosing loop variables: readable, but never
+	// valid assignment targets.
+	activeLoops []*Var
+	nvar        int
+}
+
+func (g *gen) addArray() {
+	if g.r.Intn(3) == 0 {
+		g.addTypedArray(I64)
+	} else {
+		g.addTypedArray(F64)
+	}
+}
+
+func (g *gen) addTypedArray(t Type) {
+	size := 8 << g.r.Intn(3) // 8, 16 or 32: power of two for masking
+	name := string(rune('a' + len(g.p.Arrays)))
+	a := g.p.Array(name, t, size)
+	if t == F64 {
+		for i := 0; i < size; i++ {
+			a.InitF = append(a.InitF, float64(g.r.Intn(64)-32)/4)
+		}
+		g.farrs = append(g.farrs, a)
+	} else {
+		for i := 0; i < size; i++ {
+			a.InitI = append(a.InitI, int64(g.r.Intn(128)-64))
+		}
+		g.iarrs = append(g.iarrs, a)
+	}
+}
+
+func (g *gen) addKernel(n int) {
+	k := g.p.Kernel("kern" + string(rune('0'+n)))
+	// Fresh variable scope per kernel.
+	g.fvars, g.ivars = nil, nil
+	k.Add(g.stmts(2, 2+g.r.Intn(3))...)
+}
+
+// stmts generates a statement list; depth limits loop/if nesting.
+func (g *gen) stmts(depth, n int) []Stmt {
+	var out []Stmt
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth))
+	}
+	return out
+}
+
+func (g *gen) stmt(depth int) Stmt {
+	choice := g.r.Intn(10)
+	switch {
+	case choice < 3 && depth > 0:
+		return g.loop(depth)
+	case choice < 5 && depth > 0:
+		return g.ifStmt(depth)
+	case choice < 8:
+		return g.store()
+	default:
+		return g.assign()
+	}
+}
+
+func (g *gen) loop(depth int) Stmt {
+	lv := g.newVar(I64)
+	bound := int64(2 + g.r.Intn(8))
+	start := int64(g.r.Intn(2))
+	// Bounds guarantee at least one iteration, so variables assigned in
+	// the body are definitely assigned for any statement after the
+	// loop. The loop variable itself leaves scope with the loop: a
+	// pointer-strength-reduced loop has no register for it afterwards.
+	g.activeLoops = append(g.activeLoops, lv)
+	body := g.stmts(depth-1, 1+g.r.Intn(3))
+	g.activeLoops = g.activeLoops[:len(g.activeLoops)-1]
+	// Sometimes index an array by the loop variable for stream-shaped
+	// accesses (masked to stay in bounds).
+	if g.r.Intn(2) == 0 && len(g.farrs) > 0 {
+		arr := g.farrs[g.r.Intn(len(g.farrs))]
+		idx := Bin{Op: And, A: V(lv), B: CI(int64(arr.Len - 1))}
+		body = append(body, &Store{Arr: arr, Index: idx, Val: g.fexpr(2)})
+	}
+	g.dropVar(lv)
+	return &Loop{Var: lv, Start: CI(start), End: CI(bound), Body: body}
+}
+
+// dropVar removes a variable from the readable pools.
+func (g *gen) dropVar(v *Var) {
+	for i, x := range g.ivars {
+		if x == v {
+			g.ivars = append(g.ivars[:i], g.ivars[i+1:]...)
+			return
+		}
+	}
+	for i, x := range g.fvars {
+		if x == v {
+			g.fvars = append(g.fvars[:i], g.fvars[i+1:]...)
+			return
+		}
+	}
+}
+
+func (g *gen) ifStmt(depth int) Stmt {
+	// Variables first assigned inside a branch may never be assigned
+	// at run time, so they must not be readable after the If.
+	fsave, isave := len(g.fvars), len(g.ivars)
+	st := &If{Cond: g.cond(), Then: g.stmts(depth-1, 1+g.r.Intn(2))}
+	g.fvars, g.ivars = g.fvars[:fsave], g.ivars[:isave]
+	if g.r.Intn(2) == 0 {
+		st.Else = g.stmts(depth-1, 1+g.r.Intn(2))
+		g.fvars, g.ivars = g.fvars[:fsave], g.ivars[:isave]
+	}
+	return st
+}
+
+func (g *gen) store() Stmt {
+	if g.r.Intn(3) == 0 {
+		arr := g.iarrs[g.r.Intn(len(g.iarrs))]
+		return &Store{Arr: arr, Index: g.index(arr), Val: g.iexpr(2)}
+	}
+	arr := g.farrs[g.r.Intn(len(g.farrs))]
+	return &Store{Arr: arr, Index: g.index(arr), Val: g.fexpr(3)}
+}
+
+func (g *gen) assign() Stmt {
+	// Generate the value before choosing the target: a freshly created
+	// target must not be readable inside its own initialiser.
+	if g.r.Intn(2) == 0 {
+		val := g.iexpr(2)
+		return &Assign{Var: g.pickOrNewVar(I64), Val: val}
+	}
+	val := g.fexpr(3)
+	return &Assign{Var: g.pickOrNewVar(F64), Val: val}
+}
+
+func (g *gen) newVar(t Type) *Var {
+	g.nvar++
+	v := NewVar("v"+string(rune('0'+g.nvar%10))+string(rune('a'+g.nvar/10%26)), t)
+	if t == F64 {
+		g.fvars = append(g.fvars, v)
+	} else {
+		g.ivars = append(g.ivars, v)
+	}
+	return v
+}
+
+func (g *gen) pickOrNewVar(t Type) *Var {
+	pool := g.ivars
+	if t == F64 {
+		pool = g.fvars
+	}
+	// Exclude active loop variables: assigning them is invalid IR.
+	var eligible []*Var
+	for _, v := range pool {
+		active := false
+		for _, lv := range g.activeLoops {
+			if v == lv {
+				active = true
+				break
+			}
+		}
+		if !active {
+			eligible = append(eligible, v)
+		}
+	}
+	if len(eligible) > 0 && g.r.Intn(2) == 0 {
+		return eligible[g.r.Intn(len(eligible))]
+	}
+	return g.newVar(t)
+}
+
+// assignedVar picks a variable that has certainly been assigned (we
+// track by construction: variables enter the pools only via assign or
+// loop). Loop variables may be read after their loop, so they qualify.
+func (g *gen) assignedVar(t Type) *Var {
+	pool := g.ivars
+	if t == F64 {
+		pool = g.fvars
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	return pool[g.r.Intn(len(pool))]
+}
+
+// index produces an always-in-bounds index expression for arr.
+func (g *gen) index(arr *Array) Expr {
+	return Bin{Op: And, A: g.iexpr(1), B: CI(int64(arr.Len - 1))}
+}
+
+// cond produces an i64 condition.
+func (g *gen) cond() Expr {
+	ops := []BinOp{Lt, Le, Eq, Ne, Gt, Ge}
+	op := ops[g.r.Intn(len(ops))]
+	if g.r.Intn(2) == 0 {
+		return Bin{Op: op, A: g.fexpr(1), B: g.fexpr(1)}
+	}
+	return Bin{Op: op, A: g.iexpr(1), B: g.iexpr(1)}
+}
+
+// iexpr generates an integer expression of bounded depth with
+// cross-platform-deterministic semantics.
+func (g *gen) iexpr(depth int) Expr {
+	if depth == 0 || g.r.Intn(4) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return CI(int64(g.r.Intn(256) - 128))
+		case 1:
+			if v := g.assignedVar(I64); v != nil {
+				return V(v)
+			}
+			return CI(int64(g.r.Intn(16)))
+		default:
+			arr := g.iarrs[g.r.Intn(len(g.iarrs))]
+			return Ld(arr, g.index(arr))
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return Bin{Op: Add, A: g.iexpr(depth - 1), B: g.iexpr(depth - 1)}
+	case 1:
+		return Bin{Op: Sub, A: g.iexpr(depth - 1), B: g.iexpr(depth - 1)}
+	case 2:
+		return Bin{Op: Mul, A: g.iexpr(depth - 1), B: g.iexpr(depth - 1)}
+	case 3:
+		// Safe division: divisor masked into [1, 256).
+		div := Bin{Op: Or, A: Bin{Op: And, A: g.iexpr(depth - 1), B: CI(0xFF)}, B: CI(1)}
+		op := Div
+		if g.r.Intn(2) == 0 {
+			op = Rem
+		}
+		return Bin{Op: op, A: g.iexpr(depth - 1), B: div}
+	case 4:
+		op := Shl
+		if g.r.Intn(2) == 0 {
+			op = Shr
+		}
+		return Bin{Op: op, A: g.iexpr(depth - 1), B: CI(int64(g.r.Intn(8)))}
+	case 5:
+		op := And
+		if g.r.Intn(2) == 0 {
+			op = Or
+		}
+		return Bin{Op: op, A: g.iexpr(depth - 1), B: g.iexpr(depth - 1)}
+	case 6:
+		return g.cond()
+	default:
+		return Un{Op: Neg, A: g.iexpr(depth - 1)}
+	}
+}
+
+// fexpr generates a float expression. NaNs may arise (0/0, sqrt of
+// negative) and are bit-identical across the interpreter and both
+// ISAs, so they are allowed; Min/Max are excluded because RISC-V and
+// AArch64 disagree on NaN propagation.
+func (g *gen) fexpr(depth int) Expr {
+	if depth == 0 || g.r.Intn(4) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return CF(float64(g.r.Intn(64)-32) / 8)
+		case 1:
+			if v := g.assignedVar(F64); v != nil {
+				return V(v)
+			}
+			return CF(1.5)
+		case 2:
+			return I2F(g.iexpr(1))
+		default:
+			arr := g.farrs[g.r.Intn(len(g.farrs))]
+			return Ld(arr, g.index(arr))
+		}
+	}
+	switch g.r.Intn(7) {
+	case 0:
+		return Bin{Op: Add, A: g.fexpr(depth - 1), B: g.fexpr(depth - 1)}
+	case 1:
+		return Bin{Op: Sub, A: g.fexpr(depth - 1), B: g.fexpr(depth - 1)}
+	case 2:
+		return Bin{Op: Mul, A: g.fexpr(depth - 1), B: g.fexpr(depth - 1)}
+	case 3:
+		return Bin{Op: Div, A: g.fexpr(depth - 1), B: g.fexpr(depth - 1)}
+	case 4:
+		return Un{Op: Sqrt, A: Un{Op: Abs, A: g.fexpr(depth - 1)}}
+	case 5:
+		return Un{Op: Neg, A: g.fexpr(depth - 1)}
+	default:
+		// A fusable multiply-add shape, to exercise contraction.
+		return Bin{Op: Add, A: Bin{Op: Mul, A: g.fexpr(depth - 1), B: g.fexpr(depth - 1)}, B: g.fexpr(depth - 1)}
+	}
+}
+
+// newRand is a tiny indirection so tests can build seeded sources
+// without importing math/rand themselves.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,404 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interp executes an IR program on the host, serving as the reference
+// oracle the simulated binaries are verified against. It applies the
+// same FMA contraction the compiler back ends do, so results match the
+// simulators exactly.
+type Interp struct {
+	prog *Program
+	// ArrF / ArrI hold the array contents by name.
+	ArrF map[string][]float64
+	ArrI map[string][]int64
+
+	// NoFMA disables multiply-add contraction, for verifying binaries
+	// compiled with the matching ablation option.
+	NoFMA bool
+
+	varF map[*Var]float64
+	varI map[*Var]int64
+}
+
+// NewInterp allocates and initialises the arrays of p.
+func NewInterp(p *Program) *Interp {
+	in := &Interp{
+		prog: p,
+		ArrF: map[string][]float64{},
+		ArrI: map[string][]int64{},
+		varF: map[*Var]float64{},
+		varI: map[*Var]int64{},
+	}
+	for _, a := range p.Arrays {
+		if a.Elem == F64 {
+			s := make([]float64, a.Len)
+			copy(s, a.InitF)
+			in.ArrF[a.Name] = s
+		} else {
+			s := make([]int64, a.Len)
+			copy(s, a.InitI)
+			in.ArrI[a.Name] = s
+		}
+	}
+	return in
+}
+
+// Run executes the whole program: setup kernels once, then the main
+// kernels Repeat times.
+func (in *Interp) Run() error {
+	for _, k := range in.prog.Setup {
+		if err := in.stmts(k.Body); err != nil {
+			return fmt.Errorf("ir: setup kernel %q: %w", k.Name, err)
+		}
+	}
+	for r := 0; r < in.prog.Repeat; r++ {
+		for _, k := range in.prog.Kernels {
+			if err := in.stmts(k.Body); err != nil {
+				return fmt.Errorf("ir: kernel %q: %w", k.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (in *Interp) stmts(body []Stmt) error {
+	for _, s := range body {
+		if err := in.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Loop:
+		start, err := in.evalI(st.Start)
+		if err != nil {
+			return err
+		}
+		end, err := in.evalI(st.End)
+		if err != nil {
+			return err
+		}
+		for i := start; i < end; i++ {
+			in.varI[st.Var] = i
+			if err := in.stmts(st.Body); err != nil {
+				return err
+			}
+		}
+		in.varI[st.Var] = end
+		return nil
+	case *Store:
+		idx, err := in.evalI(st.Index)
+		if err != nil {
+			return err
+		}
+		if idx < 0 || idx >= int64(st.Arr.Len) {
+			return fmt.Errorf("store %s[%d] out of bounds (len %d)", st.Arr.Name, idx, st.Arr.Len)
+		}
+		if st.Arr.Elem == F64 {
+			v, err := in.evalF(st.Val)
+			if err != nil {
+				return err
+			}
+			in.ArrF[st.Arr.Name][idx] = v
+		} else {
+			v, err := in.evalI(st.Val)
+			if err != nil {
+				return err
+			}
+			in.ArrI[st.Arr.Name][idx] = v
+		}
+		return nil
+	case *Assign:
+		if st.Var.Type == F64 {
+			v, err := in.evalF(st.Val)
+			if err != nil {
+				return err
+			}
+			in.varF[st.Var] = v
+		} else {
+			v, err := in.evalI(st.Val)
+			if err != nil {
+				return err
+			}
+			in.varI[st.Var] = v
+		}
+		return nil
+	case *If:
+		c, err := in.evalI(st.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return in.stmts(st.Then)
+		}
+		return in.stmts(st.Else)
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (in *Interp) evalI(e Expr) (int64, error) {
+	switch ex := e.(type) {
+	case ConstI:
+		return ex.V, nil
+	case VarRef:
+		if ex.Var.Type != I64 {
+			return 0, fmt.Errorf("var %q is not i64", ex.Var.Name)
+		}
+		return in.varI[ex.Var], nil
+	case LoadExpr:
+		idx, err := in.evalI(ex.Index)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || idx >= int64(ex.Arr.Len) {
+			return 0, fmt.Errorf("load %s[%d] out of bounds", ex.Arr.Name, idx)
+		}
+		if ex.Arr.Elem != I64 {
+			return 0, fmt.Errorf("array %q is not i64", ex.Arr.Name)
+		}
+		return in.ArrI[ex.Arr.Name][idx], nil
+	case Cvt:
+		if ex.To != I64 {
+			return 0, fmt.Errorf("cvt to %v in integer context", ex.To)
+		}
+		f, err := in.evalF(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		return int64(f), nil
+	case Un:
+		v, err := in.evalI(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case Neg:
+			return -v, nil
+		case Abs:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		}
+		return 0, fmt.Errorf("unary op %d on i64", ex.Op)
+	case Bin:
+		if ex.Op >= Lt && ex.Op <= Ge {
+			return in.compare(ex)
+		}
+		a, err := in.evalI(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := in.evalI(ex.B)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case Add:
+			return a + b, nil
+		case Sub:
+			return a - b, nil
+		case Mul:
+			return a * b, nil
+		case Div:
+			if b == 0 {
+				return -1, nil // RISC-V convention; kernels avoid /0
+			}
+			return a / b, nil
+		case Rem:
+			if b == 0 {
+				return a, nil
+			}
+			return a % b, nil
+		case And:
+			return a & b, nil
+		case Or:
+			return a | b, nil
+		case Shl:
+			return a << uint(b&63), nil
+		case Shr:
+			return int64(uint64(a) >> uint(b&63)), nil
+		}
+		return 0, fmt.Errorf("op %d invalid on i64", ex.Op)
+	}
+	return 0, fmt.Errorf("expression %T in integer context", e)
+}
+
+func (in *Interp) compare(ex Bin) (int64, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	if ex.A.Type() == F64 {
+		a, err := in.evalF(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := in.evalF(ex.B)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case Lt:
+			return b2i(a < b), nil
+		case Le:
+			return b2i(a <= b), nil
+		case Eq:
+			return b2i(a == b), nil
+		case Ne:
+			return b2i(a != b), nil
+		case Gt:
+			return b2i(a > b), nil
+		case Ge:
+			return b2i(a >= b), nil
+		}
+	}
+	a, err := in.evalI(ex.A)
+	if err != nil {
+		return 0, err
+	}
+	b, err := in.evalI(ex.B)
+	if err != nil {
+		return 0, err
+	}
+	switch ex.Op {
+	case Lt:
+		return b2i(a < b), nil
+	case Le:
+		return b2i(a <= b), nil
+	case Eq:
+		return b2i(a == b), nil
+	case Ne:
+		return b2i(a != b), nil
+	case Gt:
+		return b2i(a > b), nil
+	case Ge:
+		return b2i(a >= b), nil
+	}
+	return 0, fmt.Errorf("bad comparison")
+}
+
+func (in *Interp) evalF(e Expr) (float64, error) {
+	// Contract multiply-adds exactly as the back ends do.
+	if a, b, c, kind := MatchFMA(e); kind != FMANone && !in.NoFMA {
+		av, err := in.evalF(a)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := in.evalF(b)
+		if err != nil {
+			return 0, err
+		}
+		cv, err := in.evalF(c)
+		if err != nil {
+			return 0, err
+		}
+		switch kind {
+		case FMAAdd:
+			return math.FMA(av, bv, cv), nil
+		case FMASub:
+			return math.FMA(av, bv, -cv), nil
+		default: // FMARevSub
+			return math.FMA(-av, bv, cv), nil
+		}
+	}
+	switch ex := e.(type) {
+	case ConstF:
+		return ex.V, nil
+	case VarRef:
+		if ex.Var.Type != F64 {
+			return 0, fmt.Errorf("var %q is not f64", ex.Var.Name)
+		}
+		return in.varF[ex.Var], nil
+	case LoadExpr:
+		idx, err := in.evalI(ex.Index)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || idx >= int64(ex.Arr.Len) {
+			return 0, fmt.Errorf("load %s[%d] out of bounds", ex.Arr.Name, idx)
+		}
+		if ex.Arr.Elem != F64 {
+			return 0, fmt.Errorf("array %q is not f64", ex.Arr.Name)
+		}
+		return in.ArrF[ex.Arr.Name][idx], nil
+	case Cvt:
+		if ex.To != F64 {
+			return 0, fmt.Errorf("cvt to %v in float context", ex.To)
+		}
+		v, err := in.evalI(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		return float64(v), nil
+	case Un:
+		v, err := in.evalF(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case Neg:
+			return -v, nil
+		case Sqrt:
+			return math.Sqrt(v), nil
+		case Abs:
+			return math.Abs(v), nil
+		}
+		return 0, fmt.Errorf("unknown unary op %d", ex.Op)
+	case Bin:
+		a, err := in.evalF(ex.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := in.evalF(ex.B)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case Add:
+			return a + b, nil
+		case Sub:
+			return a - b, nil
+		case Mul:
+			return a * b, nil
+		case Div:
+			return a / b, nil
+		case Min:
+			return fmin(a, b), nil
+		case Max:
+			return fmax(a, b), nil
+		}
+		return 0, fmt.Errorf("op %d invalid on f64", ex.Op)
+	}
+	return 0, fmt.Errorf("expression %T in float context", e)
+}
+
+func fmin(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return math.NaN()
+	case a < b || (a == 0 && b == 0 && math.Signbit(a)):
+		return a
+	default:
+		return b
+	}
+}
+
+func fmax(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return math.NaN()
+	case a > b || (a == 0 && b == 0 && !math.Signbit(a)):
+		return a
+	default:
+		return b
+	}
+}

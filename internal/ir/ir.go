@@ -1,0 +1,407 @@
+// Package ir defines the small typed intermediate representation the
+// benchmark kernels are written in. The compiler (package cc) lowers
+// IR programs to AArch64 or RV64G with the code-generation idioms of
+// the two GCC versions the paper studies, and package hostref executes
+// the same IR on the host for verification.
+//
+// The IR is deliberately close to what -O2 compilers see after
+// inlining: flat kernels of counted loops over arrays with scalar
+// locals. Kernel authors hoist loop-invariant subexpressions into
+// locals themselves (as the C sources of the original benchmarks
+// effectively do after GCC's LICM).
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type is an IR value type.
+type Type uint8
+
+// The two IR value types: 64-bit signed integers and IEEE doubles.
+const (
+	I64 Type = iota
+	F64
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	if t == I64 {
+		return "i64"
+	}
+	return "f64"
+}
+
+// Program is a complete benchmark: arrays, kernels, and a repeat count
+// for the whole kernel sequence (STREAM-style outer iterations).
+type Program struct {
+	Name   string
+	Arrays []*Array
+	// Setup kernels run once, before the repeated sequence
+	// (initialisation loops).
+	Setup   []*Kernel
+	Kernels []*Kernel
+	// Repeat runs the main kernel sequence this many times (>= 1).
+	Repeat int
+}
+
+// NewProgram returns an empty program with Repeat 1.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Repeat: 1}
+}
+
+// Array declares a named array and returns it.
+func (p *Program) Array(name string, elem Type, n int) *Array {
+	a := &Array{Name: name, Elem: elem, Len: n}
+	p.Arrays = append(p.Arrays, a)
+	return a
+}
+
+// Kernel appends a named kernel and returns it.
+func (p *Program) Kernel(name string) *Kernel {
+	k := &Kernel{Name: name}
+	p.Kernels = append(p.Kernels, k)
+	return k
+}
+
+// SetupKernel appends a named setup kernel (run once) and returns it.
+func (p *Program) SetupKernel(name string) *Kernel {
+	k := &Kernel{Name: name}
+	p.Setup = append(p.Setup, k)
+	return k
+}
+
+// Validate checks structural invariants of the whole program.
+func (p *Program) Validate() error {
+	if p.Repeat < 1 {
+		return fmt.Errorf("ir: program %q: repeat %d < 1", p.Name, p.Repeat)
+	}
+	names := map[string]bool{}
+	for _, a := range p.Arrays {
+		if a.Len <= 0 {
+			return fmt.Errorf("ir: array %q has length %d", a.Name, a.Len)
+		}
+		if names[a.Name] {
+			return fmt.Errorf("ir: duplicate array %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	kn := map[string]bool{}
+	for _, k := range append(append([]*Kernel(nil), p.Setup...), p.Kernels...) {
+		if kn[k.Name] {
+			return fmt.Errorf("ir: duplicate kernel %q", k.Name)
+		}
+		kn[k.Name] = true
+		for _, s := range k.Body {
+			if err := validateStmt(s, nil); err != nil {
+				return fmt.Errorf("ir: kernel %q: %w", k.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// validateStmt checks one statement; active holds the loop variables
+// of enclosing loops, which must not be reassigned (loops are counted;
+// the back ends rely on the induction variable being theirs alone).
+func validateStmt(s Stmt, active []*Var) error {
+	switch st := s.(type) {
+	case *Loop:
+		if st.Var == nil || st.Var.Type != I64 {
+			return fmt.Errorf("loop variable must be a declared i64 var")
+		}
+		if st.Start == nil || st.End == nil {
+			return fmt.Errorf("loop bounds missing")
+		}
+		for _, lv := range active {
+			if lv == st.Var {
+				return fmt.Errorf("loop variable %q reused by nested loop", st.Var.Name)
+			}
+		}
+		inner := append(active, st.Var)
+		for _, b := range st.Body {
+			if err := validateStmt(b, inner); err != nil {
+				return err
+			}
+		}
+	case *Store:
+		if st.Arr == nil || st.Index == nil || st.Val == nil {
+			return fmt.Errorf("incomplete store")
+		}
+		if st.Val.Type() != st.Arr.Elem {
+			return fmt.Errorf("store to %q: value type %v != element type %v",
+				st.Arr.Name, st.Val.Type(), st.Arr.Elem)
+		}
+		if st.Index.Type() != I64 {
+			return fmt.Errorf("store to %q: index must be i64", st.Arr.Name)
+		}
+	case *Assign:
+		if st.Var == nil || st.Val == nil {
+			return fmt.Errorf("incomplete assign")
+		}
+		if st.Val.Type() != st.Var.Type {
+			return fmt.Errorf("assign to %q: type %v != %v", st.Var.Name, st.Val.Type(), st.Var.Type)
+		}
+		for _, lv := range active {
+			if lv == st.Var {
+				return fmt.Errorf("assignment to active loop variable %q", st.Var.Name)
+			}
+		}
+	case *If:
+		if st.Cond == nil {
+			return fmt.Errorf("if without condition")
+		}
+		if st.Cond.Type() != I64 {
+			return fmt.Errorf("if condition must be i64 (0/1)")
+		}
+		for _, b := range st.Then {
+			if err := validateStmt(b, active); err != nil {
+				return err
+			}
+		}
+		for _, b := range st.Else {
+			if err := validateStmt(b, active); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown statement %T", s)
+	}
+	return nil
+}
+
+// Array is a statically sized global array. InitF/InitI give optional
+// initial contents (shorter slices zero-fill the rest).
+type Array struct {
+	Name  string
+	Elem  Type
+	Len   int
+	InitF []float64
+	InitI []int64
+}
+
+// Bytes returns the array's initial memory image (little-endian).
+func (a *Array) Bytes() []byte {
+	out := make([]byte, a.Len*8)
+	put := func(i int, v uint64) {
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	if a.Elem == F64 {
+		for i, v := range a.InitF {
+			put(i, f64bits(v))
+		}
+	} else {
+		for i, v := range a.InitI {
+			put(i, uint64(v))
+		}
+	}
+	return out
+}
+
+// Kernel is one named code region (the unit of the paper's Figure 1
+// breakdown).
+type Kernel struct {
+	Name string
+	Body []Stmt
+}
+
+// Add appends statements to the kernel body.
+func (k *Kernel) Add(stmts ...Stmt) *Kernel {
+	k.Body = append(k.Body, stmts...)
+	return k
+}
+
+// Var is a scalar local variable.
+type Var struct {
+	Name string
+	Type Type
+}
+
+// NewVar declares a scalar local.
+func NewVar(name string, t Type) *Var { return &Var{Name: name, Type: t} }
+
+// Stmt is an IR statement.
+type Stmt interface{ stmt() }
+
+// Loop is a counted loop: for Var = Start; Var != End; Var++ { Body }.
+// Bounds are evaluated once at loop entry; Start <= End is required.
+type Loop struct {
+	Var   *Var
+	Start Expr
+	End   Expr
+	Body  []Stmt
+}
+
+// Store writes Val to Arr[Index].
+type Store struct {
+	Arr   *Array
+	Index Expr
+	Val   Expr
+}
+
+// Assign sets a scalar local.
+type Assign struct {
+	Var *Var
+	Val Expr
+}
+
+// If executes Then when Cond != 0, else Else.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*Loop) stmt()   {}
+func (*Store) stmt()  {}
+func (*Assign) stmt() {}
+func (*If) stmt()     {}
+
+// Expr is a typed IR expression.
+type Expr interface {
+	Type() Type
+}
+
+// ConstI is an integer literal.
+type ConstI struct{ V int64 }
+
+// ConstF is a floating-point literal.
+type ConstF struct{ V float64 }
+
+// VarRef reads a scalar local.
+type VarRef struct{ Var *Var }
+
+// LoadExpr reads Arr[Index].
+type LoadExpr struct {
+	Arr   *Array
+	Index Expr
+}
+
+// BinOp is a binary operator.
+type BinOp uint8
+
+// Binary operators. Arithmetic operators are typed by their operands;
+// comparisons yield i64 0/1. Min/Max are FP only; Rem is integer only.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	Min
+	Max
+	Lt
+	Le
+	Eq
+	Ne
+	Gt
+	Ge
+	And
+	Or
+	Shl
+	Shr
+)
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	A, B Expr
+}
+
+// UnOp is a unary operator.
+type UnOp uint8
+
+// Unary operators.
+const (
+	Neg UnOp = iota
+	Sqrt
+	Abs
+)
+
+// Un applies a unary operator.
+type Un struct {
+	Op UnOp
+	A  Expr
+}
+
+// Cvt converts between I64 and F64.
+type Cvt struct {
+	To Type
+	A  Expr
+}
+
+// Type implementations.
+
+// Type returns I64.
+func (ConstI) Type() Type { return I64 }
+
+// Type returns F64.
+func (ConstF) Type() Type { return F64 }
+
+// Type returns the variable's type.
+func (v VarRef) Type() Type { return v.Var.Type }
+
+// Type returns the element type of the array.
+func (l LoadExpr) Type() Type { return l.Arr.Elem }
+
+// Type returns the result type of the operator.
+func (b Bin) Type() Type {
+	switch b.Op {
+	case Lt, Le, Eq, Ne, Gt, Ge:
+		return I64
+	default:
+		return b.A.Type()
+	}
+}
+
+// Type returns the operand type.
+func (u Un) Type() Type { return u.A.Type() }
+
+// Type returns the target type.
+func (c Cvt) Type() Type { return c.To }
+
+// Convenience constructors, used pervasively by the workloads.
+
+// CI builds an integer constant.
+func CI(v int64) Expr { return ConstI{V: v} }
+
+// CF builds a float constant.
+func CF(v float64) Expr { return ConstF{V: v} }
+
+// V reads a variable.
+func V(x *Var) Expr { return VarRef{Var: x} }
+
+// Ld reads arr[idx].
+func Ld(arr *Array, idx Expr) Expr { return LoadExpr{Arr: arr, Index: idx} }
+
+// B2 applies a binary operator.
+func B2(op BinOp, a, b Expr) Expr { return Bin{Op: op, A: a, B: b} }
+
+// AddE returns a+b.
+func AddE(a, b Expr) Expr { return Bin{Op: Add, A: a, B: b} }
+
+// SubE returns a-b.
+func SubE(a, b Expr) Expr { return Bin{Op: Sub, A: a, B: b} }
+
+// MulE returns a*b.
+func MulE(a, b Expr) Expr { return Bin{Op: Mul, A: a, B: b} }
+
+// DivE returns a/b.
+func DivE(a, b Expr) Expr { return Bin{Op: Div, A: a, B: b} }
+
+// NegE returns -a.
+func NegE(a Expr) Expr { return Un{Op: Neg, A: a} }
+
+// SqrtE returns sqrt(a).
+func SqrtE(a Expr) Expr { return Un{Op: Sqrt, A: a} }
+
+// I2F converts an integer expression to float.
+func I2F(a Expr) Expr { return Cvt{To: F64, A: a} }
+
+// F2I converts (truncates) a float expression to integer.
+func F2I(a Expr) Expr { return Cvt{To: I64, A: a} }
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,152 @@
+// Package mem provides the flat little-endian memory image that the
+// simulation cores execute against. A Memory is a single contiguous
+// region starting at a base virtual address, with the conventional
+// static-binary layout: text at the bottom, data above it, a heap
+// growing upward and a stack growing down from the top.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AccessError describes an out-of-range or misaligned memory access.
+type AccessError struct {
+	Addr uint64
+	Size int
+	Op   string // "read" or "write"
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("mem: %s of %d bytes at %#x out of range", e.Op, e.Size, e.Addr)
+}
+
+// Memory is a flat byte-addressable memory image.
+type Memory struct {
+	base uint64
+	data []byte
+
+	brk      uint64 // current program break (heap top)
+	stackTop uint64
+}
+
+// New creates a memory image of size bytes based at virtual address
+// base. The stack pointer starts at the top of the region, 16-byte
+// aligned.
+func New(base, size uint64) *Memory {
+	m := &Memory{base: base, data: make([]byte, size)}
+	m.stackTop = (base + size) &^ 15
+	m.brk = base
+	return m
+}
+
+// Base returns the lowest mapped virtual address.
+func (m *Memory) Base() uint64 { return m.base }
+
+// Size returns the number of mapped bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+// StackTop returns the initial stack pointer value.
+func (m *Memory) StackTop() uint64 { return m.stackTop }
+
+// Brk returns the current program break (one past the highest
+// statically placed byte).
+func (m *Memory) Brk() uint64 { return m.brk }
+
+// SetBrk raises the program break; the loader calls this after placing
+// segments so the heap starts above them.
+func (m *Memory) SetBrk(brk uint64) { m.brk = brk }
+
+// in reports whether [addr, addr+size) lies inside the image.
+func (m *Memory) in(addr uint64, size int) bool {
+	off := addr - m.base // wraps for addr < base, caught by the bound check
+	return off <= uint64(len(m.data)) && uint64(size) <= uint64(len(m.data))-off
+}
+
+// WriteBytes copies b into memory at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	if !m.in(addr, len(b)) {
+		return &AccessError{Addr: addr, Size: len(b), Op: "write"}
+	}
+	copy(m.data[addr-m.base:], b)
+	return nil
+}
+
+// ReadBytes copies size bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, size int) ([]byte, error) {
+	if !m.in(addr, size) {
+		return nil, &AccessError{Addr: addr, Size: size, Op: "read"}
+	}
+	out := make([]byte, size)
+	copy(out, m.data[addr-m.base:])
+	return out, nil
+}
+
+// Read8 loads one byte.
+func (m *Memory) Read8(addr uint64) (uint8, error) {
+	if !m.in(addr, 1) {
+		return 0, &AccessError{Addr: addr, Size: 1, Op: "read"}
+	}
+	return m.data[addr-m.base], nil
+}
+
+// Read16 loads a little-endian 16-bit value.
+func (m *Memory) Read16(addr uint64) (uint16, error) {
+	if !m.in(addr, 2) {
+		return 0, &AccessError{Addr: addr, Size: 2, Op: "read"}
+	}
+	return binary.LittleEndian.Uint16(m.data[addr-m.base:]), nil
+}
+
+// Read32 loads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint64) (uint32, error) {
+	if !m.in(addr, 4) {
+		return 0, &AccessError{Addr: addr, Size: 4, Op: "read"}
+	}
+	return binary.LittleEndian.Uint32(m.data[addr-m.base:]), nil
+}
+
+// Read64 loads a little-endian 64-bit value.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	if !m.in(addr, 8) {
+		return 0, &AccessError{Addr: addr, Size: 8, Op: "read"}
+	}
+	return binary.LittleEndian.Uint64(m.data[addr-m.base:]), nil
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v uint8) error {
+	if !m.in(addr, 1) {
+		return &AccessError{Addr: addr, Size: 1, Op: "write"}
+	}
+	m.data[addr-m.base] = v
+	return nil
+}
+
+// Write16 stores a little-endian 16-bit value.
+func (m *Memory) Write16(addr uint64, v uint16) error {
+	if !m.in(addr, 2) {
+		return &AccessError{Addr: addr, Size: 2, Op: "write"}
+	}
+	binary.LittleEndian.PutUint16(m.data[addr-m.base:], v)
+	return nil
+}
+
+// Write32 stores a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) error {
+	if !m.in(addr, 4) {
+		return &AccessError{Addr: addr, Size: 4, Op: "write"}
+	}
+	binary.LittleEndian.PutUint32(m.data[addr-m.base:], v)
+	return nil
+}
+
+// Write64 stores a little-endian 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) error {
+	if !m.in(addr, 8) {
+		return &AccessError{Addr: addr, Size: 8, Op: "write"}
+	}
+	binary.LittleEndian.PutUint64(m.data[addr-m.base:], v)
+	return nil
+}

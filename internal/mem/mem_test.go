@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New(0x1000, 0x1000)
+	if err := m.Write64(0x1008, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	v64, err := m.Read64(0x1008)
+	if err != nil || v64 != 0x1122334455667788 {
+		t.Fatalf("Read64 = %#x, %v", v64, err)
+	}
+	// Little-endian byte order.
+	b, err := m.Read8(0x1008)
+	if err != nil || b != 0x88 {
+		t.Fatalf("Read8 = %#x, %v (want 0x88: little-endian)", b, err)
+	}
+	v16, err := m.Read16(0x1008)
+	if err != nil || v16 != 0x7788 {
+		t.Fatalf("Read16 = %#x, %v", v16, err)
+	}
+	v32, err := m.Read32(0x1008)
+	if err != nil || v32 != 0x55667788 {
+		t.Fatalf("Read32 = %#x, %v", v32, err)
+	}
+
+	if err := m.Write8(0x1010, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write16(0x1012, 0xCDEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write32(0x1014, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read8(0x1010); v != 0xAB {
+		t.Fatalf("Write8/Read8 mismatch: %#x", v)
+	}
+	if v, _ := m.Read16(0x1012); v != 0xCDEF {
+		t.Fatalf("Write16/Read16 mismatch: %#x", v)
+	}
+	if v, _ := m.Read32(0x1014); v != 0xDEADBEEF {
+		t.Fatalf("Write32/Read32 mismatch: %#x", v)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	m := New(0x1000, 0x100)
+	cases := []struct {
+		addr uint64
+		op   func() error
+	}{
+		{0x0fff, func() error { _, err := m.Read8(0x0fff); return err }},
+		{0x10ff, func() error { _, err := m.Read16(0x10ff); return err }},
+		{0x10fd, func() error { _, err := m.Read32(0x10fd); return err }},
+		{0x10f9, func() error { _, err := m.Read64(0x10f9); return err }},
+		{0x1100, func() error { return m.Write8(0x1100, 0) }},
+		{0x10ff, func() error { return m.Write64(0x10ff, 0) }},
+		{0, func() error { return m.Write32(0, 0) }},
+		{^uint64(0), func() error { _, err := m.Read8(^uint64(0)); return err }},
+		{^uint64(0) - 3, func() error { _, err := m.Read64(^uint64(0) - 3); return err }},
+	}
+	for _, c := range cases {
+		err := c.op()
+		var ae *AccessError
+		if err == nil || !errors.As(err, &ae) {
+			t.Errorf("access at %#x: got %v, want AccessError", c.addr, err)
+		}
+	}
+	// Edge-of-region accesses must succeed.
+	if err := m.Write64(0x10f8, 1); err != nil {
+		t.Errorf("Write64 at last valid slot: %v", err)
+	}
+	if err := m.Write8(0x10ff, 1); err != nil {
+		t.Errorf("Write8 at last byte: %v", err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	m := New(0x4000, 0x1000)
+	in := []byte{1, 2, 3, 4, 5}
+	if err := m.WriteBytes(0x4100, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ReadBytes(0x4100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("byte %d: %d != %d", i, in[i], out[i])
+		}
+	}
+	if _, err := m.ReadBytes(0x4ffe, 5); err == nil {
+		t.Fatal("ReadBytes past end should fail")
+	}
+	if err := m.WriteBytes(0x4fff, in); err == nil {
+		t.Fatal("WriteBytes past end should fail")
+	}
+}
+
+func TestStackTopAligned(t *testing.T) {
+	m := New(0x1000, 0x10007)
+	if m.StackTop()%16 != 0 {
+		t.Fatalf("stack top %#x not 16-byte aligned", m.StackTop())
+	}
+	if m.StackTop() > m.Base()+m.Size() {
+		t.Fatalf("stack top outside memory")
+	}
+}
+
+func TestBrk(t *testing.T) {
+	m := New(0x1000, 0x1000)
+	if m.Brk() != 0x1000 {
+		t.Fatalf("initial brk = %#x", m.Brk())
+	}
+	m.SetBrk(0x1800)
+	if m.Brk() != 0x1800 {
+		t.Fatalf("brk after SetBrk = %#x", m.Brk())
+	}
+}
+
+func TestQuick64RoundTrip(t *testing.T) {
+	m := New(0, 1<<16)
+	f := func(off uint16, v uint64) bool {
+		addr := uint64(off)
+		if addr+8 > m.Size() {
+			addr = m.Size() - 8
+		}
+		if err := m.Write64(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read64(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessErrorMessage(t *testing.T) {
+	e := &AccessError{Addr: 0x42, Size: 8, Op: "read"}
+	if e.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -1,0 +1,380 @@
+// Package report drives the paper's experiments end to end and
+// renders their tables and figure series as text: Figure 1 (per-kernel
+// path lengths), Table 1 (critical paths), Table 2 (scaled critical
+// paths) and Figure 2 (mean ILP per window). The cmd/ tools and the
+// benchmark harness are thin wrappers around this package.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"isacmp/internal/a64"
+	"isacmp/internal/cc"
+	"isacmp/internal/core"
+	"isacmp/internal/ir"
+	"isacmp/internal/isa"
+	"isacmp/internal/mem"
+	"isacmp/internal/rv64"
+	"isacmp/internal/simeng"
+)
+
+// Row is one (target, analysis results) pair for a benchmark.
+type Row struct {
+	Target        cc.Target
+	PathLen       uint64
+	Regions       []core.RegionCount
+	Other         uint64
+	CP            uint64
+	ILP           float64
+	Runtime       float64 // seconds at 2 GHz
+	ScaledCP      uint64
+	ScaledILP     float64
+	ScaledRuntime float64
+	Windows       []core.WindowResult
+	MixCounts     []core.GroupCount
+	BranchDensity float64
+	BranchTaken   float64
+}
+
+// Experiment selects which analyses Run attaches.
+type Experiment struct {
+	PathLength bool
+	CritPath   bool
+	Scaled     bool
+	Windowed   bool
+	Mix        bool
+	// GCC12Only restricts targets to the GCC 12.2 pair (Figure 2).
+	GCC12Only bool
+	// WindowSizes overrides the paper's window sizes.
+	WindowSizes []int
+	// Latencies overrides the TX2 latency model.
+	Latencies *simeng.LatencyModel
+}
+
+// Run compiles and executes prog for every target and collects the
+// selected analyses. Targets are fully independent (each gets its own
+// machine and memory image), so they run concurrently.
+func Run(prog *ir.Program, ex Experiment) ([]Row, error) {
+	var targets []cc.Target
+	for _, tgt := range cc.Targets() {
+		if ex.GCC12Only && tgt.Flavor != cc.GCC12 {
+			continue
+		}
+		targets = append(targets, tgt)
+	}
+
+	rows := make([]Row, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt cc.Target) {
+			defer wg.Done()
+			row, err := runOne(prog, tgt, ex)
+			if err != nil {
+				errs[i] = fmt.Errorf("report: %s: %s: %w", prog.Name, tgt, err)
+				return
+			}
+			rows[i] = row
+		}(i, tgt)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
+	row := Row{Target: tgt}
+	compiled, err := cc.Compile(prog, tgt)
+	if err != nil {
+		return row, err
+	}
+	m := mem.New(cc.TextBase, compiled.MemSize)
+	var mach simeng.Machine
+	if tgt.Arch == isa.AArch64 {
+		mach, err = a64.NewMachine(compiled.File, m)
+	} else {
+		mach, err = rv64.NewMachine(compiled.File, m)
+	}
+	if err != nil {
+		return row, err
+	}
+
+	var sinks isa.MultiSink
+	var pl *core.PathLength
+	if ex.PathLength {
+		pl = core.NewPathLength(compiled.File.Symbols)
+		sinks = append(sinks, pl)
+	}
+	var cp, scp *core.CritPath
+	if ex.CritPath {
+		cp = core.NewCritPath()
+		cp.SetDenseRange(cc.TextBase, compiled.MemSize)
+		sinks = append(sinks, cp)
+	}
+	if ex.Scaled {
+		lat := ex.Latencies
+		if lat == nil {
+			lat = simeng.TX2Latencies()
+		}
+		scp = core.NewScaledCritPath(lat)
+		scp.SetDenseRange(cc.TextBase, compiled.MemSize)
+		sinks = append(sinks, scp)
+	}
+	var win *core.WindowedCritPath
+	if ex.Windowed {
+		sizes := ex.WindowSizes
+		if sizes == nil {
+			sizes = core.PaperWindowSizes()
+		}
+		win = core.NewWindowedCritPath(sizes)
+		sinks = append(sinks, win)
+	}
+
+	var mix *core.Mix
+	var br *core.BranchProfile
+	if ex.Mix {
+		mix = core.NewMix()
+		br = core.NewBranchProfile(nil)
+		sinks = append(sinks, mix, br)
+	}
+
+	var sink isa.Sink
+	if len(sinks) > 0 {
+		sink = sinks
+	}
+	stats, err := (&simeng.EmulationCore{}).Run(mach, sink)
+	if err != nil {
+		return row, err
+	}
+	row.PathLen = stats.Instructions
+	if pl != nil {
+		row.Regions = pl.Counts()
+		row.Other = pl.Other()
+	}
+	if cp != nil {
+		row.CP, row.ILP, row.Runtime = cp.CP(), cp.ILP(), cp.RuntimeSeconds()
+	}
+	if scp != nil {
+		row.ScaledCP, row.ScaledILP, row.ScaledRuntime = scp.CP(), scp.ILP(), scp.RuntimeSeconds()
+	}
+	if win != nil {
+		row.Windows = win.Results()
+	}
+	if mix != nil {
+		row.MixCounts = mix.Counts()
+		row.BranchDensity = br.Density()
+		row.BranchTaken = br.TakenRate()
+	}
+	return row, nil
+}
+
+// WriteMix renders the per-group instruction histogram for every
+// target side by side, plus the branch summary.
+func WriteMix(w io.Writer, name string, rows []Row) {
+	fmt.Fprintf(w, "== %s: instruction mix ==\n", name)
+	if len(rows) == 0 || len(rows[0].MixCounts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-14s", "group")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%24s", r.Target.String())
+	}
+	fmt.Fprintln(w)
+	for gi := range rows[0].MixCounts {
+		nonzero := false
+		for _, r := range rows {
+			if r.MixCounts[gi].Count > 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s", rows[0].MixCounts[gi].Group.String())
+		for _, r := range rows {
+			gc := r.MixCounts[gi]
+			fmt.Fprintf(w, "%16d (%4.1f%%)", gc.Count, gc.Fraction*100)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-14s", "branch dens.")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%23.1f%%", r.BranchDensity*100)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s", "taken rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%23.1f%%", r.BranchTaken*100)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}
+
+// WritePathLengths renders the Figure 1 data: per-kernel dynamic
+// counts for each target, normalised to the GCC 9.2 / AArch64 total.
+func WritePathLengths(w io.Writer, name string, rows []Row) {
+	fmt.Fprintf(w, "== %s: path length per kernel (Figure 1) ==\n", name)
+	var baseline float64
+	for _, r := range rows {
+		if r.Target.Flavor == cc.GCC9 && r.Target.Arch == isa.AArch64 {
+			baseline = float64(r.PathLen)
+		}
+	}
+	// Collect kernel names in region order from the first row.
+	if len(rows) == 0 {
+		return
+	}
+	var kernels []string
+	for _, rc := range rows[0].Regions {
+		kernels = append(kernels, rc.Name)
+	}
+	fmt.Fprintf(w, "%-22s", "kernel")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%24s", r.Target.String())
+	}
+	fmt.Fprintln(w)
+	for _, k := range kernels {
+		fmt.Fprintf(w, "%-22s", k)
+		for _, r := range rows {
+			var c uint64
+			for _, rc := range r.Regions {
+				if rc.Name == k {
+					c = rc.Count
+				}
+			}
+			fmt.Fprintf(w, "%24d", c)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-22s", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%24d", r.PathLen)
+	}
+	fmt.Fprintln(w)
+	if baseline > 0 {
+		fmt.Fprintf(w, "%-22s", "normalised")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%24.4f", float64(r.PathLen)/baseline)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCritPaths renders the Table 1 (and, when scaled data is
+// present, Table 2) rows for one benchmark.
+func WriteCritPaths(w io.Writer, name string, rows []Row, scaled bool) {
+	label := "critical path (Table 1)"
+	if scaled {
+		label = "scaled critical path (Table 2)"
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", name, label)
+	fmt.Fprintf(w, "%-18s%18s%14s%10s%16s\n", "target", "path length", "CP", "ILP", "2GHz time (ms)")
+	for _, r := range rows {
+		cp, ilp, rt := r.CP, r.ILP, r.Runtime
+		if scaled {
+			cp, ilp, rt = r.ScaledCP, r.ScaledILP, r.ScaledRuntime
+		}
+		fmt.Fprintf(w, "%-18s%18d%14d%10.1f%16.4f\n",
+			r.Target.String(), r.PathLen, cp, ilp, rt*1e3)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteWindowed renders the Figure 2 series: mean ILP per window size
+// for the GCC 12.2 binaries.
+func WriteWindowed(w io.Writer, name string, rows []Row) {
+	fmt.Fprintf(w, "== %s: mean ILP per window (Figure 2) ==\n", name)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-14s", "window")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%20s", r.Target.String())
+	}
+	fmt.Fprintln(w)
+	for i := range rows[0].Windows {
+		fmt.Fprintf(w, "%-14d", rows[0].Windows[i].Size)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%20.3f", r.Windows[i].MeanILP)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// Summary compares the two ISAs at one compiler version, mirroring the
+// sentences of the paper's section 3.2 ("for 6 out of 10
+// mini-app+compiler pairs, Arm has a shorter path length...").
+type Summary struct {
+	Benchmark string
+	Flavor    cc.Flavor
+	// RVOverArm is RISC-V path length / AArch64 path length.
+	RVOverArm float64
+}
+
+// Summarise derives the per-pair path-length ratios from rows.
+func Summarise(name string, rows []Row) []Summary {
+	byKey := map[cc.Target]uint64{}
+	for _, r := range rows {
+		byKey[r.Target] = r.PathLen
+	}
+	var out []Summary
+	for _, fl := range []cc.Flavor{cc.GCC9, cc.GCC12} {
+		arm := byKey[cc.Target{Arch: isa.AArch64, Flavor: fl}]
+		rv := byKey[cc.Target{Arch: isa.RV64, Flavor: fl}]
+		if arm == 0 || rv == 0 {
+			continue
+		}
+		out = append(out, Summary{
+			Benchmark: name,
+			Flavor:    fl,
+			RVOverArm: float64(rv) / float64(arm),
+		})
+	}
+	return out
+}
+
+// WriteSummaries prints the cross-benchmark ratio table and the
+// overall mean, the paper's headline "2.3% longer for RISC-V" metric.
+func WriteSummaries(w io.Writer, all []Summary) {
+	fmt.Fprintln(w, "== path-length ratios (RISC-V / AArch64) ==")
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Benchmark != all[j].Benchmark {
+			return all[i].Benchmark < all[j].Benchmark
+		}
+		return all[i].Flavor < all[j].Flavor
+	})
+	var sum float64
+	armShorter := 0
+	for _, s := range all {
+		fmt.Fprintf(w, "%-14s %-9s %8.4f (%+.1f%%)\n",
+			s.Benchmark, s.Flavor.String(), s.RVOverArm, (s.RVOverArm-1)*100)
+		sum += s.RVOverArm
+		if s.RVOverArm > 1 {
+			armShorter++
+		}
+	}
+	if len(all) > 0 {
+		mean := sum / float64(len(all))
+		fmt.Fprintf(w, "%-14s %-9s %8.4f (%+.1f%%)\n", "mean", "", mean, (mean-1)*100)
+		fmt.Fprintf(w, "AArch64 shorter for %d of %d benchmark+compiler pairs\n",
+			armShorter, len(all))
+	}
+	fmt.Fprintln(w)
+}
+
+// Banner writes a run header.
+func Banner(w io.Writer, what, scale string) {
+	line := strings.Repeat("-", 72)
+	fmt.Fprintf(w, "%s\n%s (scale: %s)\n%s\n", line, what, scale, line)
+}

@@ -1,0 +1,226 @@
+package rv64
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"isacmp/internal/isa"
+	"isacmp/internal/mem"
+)
+
+func TestUndefinedLabel(t *testing.T) {
+	a := NewAsm()
+	a.BNE(1, 2, "nowhere")
+	if _, err := a.Assemble(0x10000); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	a := NewAsm()
+	a.Label("x")
+	a.NOP()
+	a.Label("x")
+	if _, err := a.Assemble(0x10000); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	a := NewAsm()
+	a.Label("top")
+	a.BEQ(0, 0, "bottom") // forward
+	a.NOP()
+	a.BNE(1, 0, "top") // backward
+	a.Label("bottom")
+	a.NOP()
+	words, err := a.Assemble(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 4 {
+		t.Fatalf("words = %d", len(words))
+	}
+	// Decode and check offsets.
+	beq, err := Decode(words[0])
+	if err != nil || beq.Imm != 12 {
+		t.Fatalf("forward branch imm = %d (%v)", beq.Imm, err)
+	}
+	bne, err := Decode(words[2])
+	if err != nil || bne.Imm != -8 {
+		t.Fatalf("backward branch imm = %d (%v)", bne.Imm, err)
+	}
+}
+
+func TestSymbolSizes(t *testing.T) {
+	a := NewAsm()
+	a.Symbol("first")
+	a.NOP()
+	a.NOP()
+	a.Symbol("second")
+	a.NOP()
+	f, err := a.Build(Program{TextBase: 0x10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Symbols) != 2 {
+		t.Fatalf("symbols = %d", len(f.Symbols))
+	}
+	if f.Symbols[0].Name != "first" || f.Symbols[0].Size != 8 {
+		t.Fatalf("first: %+v", f.Symbols[0])
+	}
+	if f.Symbols[1].Value != 0x10008 || f.Symbols[1].Size != 4 {
+		t.Fatalf("second: %+v", f.Symbols[1])
+	}
+}
+
+// TestDisassemblySmoke: every encodable instruction must disassemble
+// to non-empty text without panicking.
+func TestDisassemblySmoke(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		inst := randInst(r)
+		s := inst.String()
+		if s == "" || strings.Contains(s, "%!") {
+			t.Fatalf("bad disassembly for %+v: %q", inst, s)
+		}
+	}
+}
+
+// TestDisassemblyHasMnemonic: the first token must be the op name.
+func TestDisassemblyHasMnemonic(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		inst := randInst(r)
+		s := inst.String()
+		if !strings.HasPrefix(s, inst.Op.Name()) {
+			t.Fatalf("%q does not start with %q", s, inst.Op.Name())
+		}
+	}
+}
+
+func TestLIInstructionCounts(t *testing.T) {
+	cases := []struct {
+		v   int64
+		max int
+	}{
+		{0, 1},
+		{1, 1},
+		{-1, 1},
+		{2047, 1},
+		{-2048, 1},
+		{2048, 2},
+		{1 << 20, 1}, // lui only
+		{(1 << 20) + 5, 2},
+		{1 << 40, 4},
+	}
+	for _, c := range cases {
+		a := NewAsm()
+		a.LI(5, c.v)
+		if a.Len() > c.max {
+			t.Errorf("LI(%d) used %d instructions, want <= %d", c.v, a.Len(), c.max)
+		}
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if IntRegName(0) != "zero" || IntRegName(2) != "sp" || IntRegName(10) != "a0" {
+		t.Fatal("int reg names wrong")
+	}
+	if FPRegName(10) != "fa0" || FPRegName(8) != "fs0" {
+		t.Fatal("fp reg names wrong")
+	}
+}
+
+// TestBuilderMethodSweep exercises every assembler convenience method
+// in one executable program and checks the architectural results.
+func TestBuilderMethodSweep(t *testing.T) {
+	a := NewAsm()
+	a.LI(5, 12)
+	a.LI(6, 5)
+	a.REM(7, 5, 6)  // 2
+	a.AND(28, 5, 6) // 4
+	a.OR(29, 5, 6)  // 13
+	a.XOR(30, 5, 6) // 9
+	a.SLT(31, 6, 5) // 1
+	a.SLTU(8, 5, 6) // 0
+	a.LI(9, 1)
+	a.SLL(18, 9, 6)  // 32
+	a.SRL(19, 18, 9) // 16
+	a.LI(20, -32)
+	a.SRA(21, 20, 9)  // -16
+	a.ANDI(22, 5, 6)  // 4
+	a.ORI(23, 5, 1)   // 13
+	a.XORI(24, 5, 1)  // 13
+	a.SRLI(25, 18, 4) // 2
+	a.SRAI(26, 20, 4) // -2
+	a.SLTIU(27, 5, 100)
+
+	// Memory ops.
+	a.LI(10, 0x20000)
+	a.SW(5, 10, 0)
+	a.LW(11, 10, 0)
+
+	// FP method sweep.
+	a.FCVTDL(0, 5)       // 12.0
+	a.FCVTDL(1, 6)       // 5.0
+	a.FMSUBD(2, 0, 1, 1) // 12*5-5 = 55
+	a.FMVD(3, 2)
+	a.FNEGD(4, 3)    // -55
+	a.FABSD(5, 4)    // 55
+	a.FMIND(6, 4, 5) // -55
+	a.FMAXD(7, 4, 5) // 55
+	a.FLTD(12, 4, 5) // 1
+	a.FLED(13, 5, 5) // 1
+	a.FEQD(14, 4, 5) // 0
+	a.FMVXD(15, 7)
+	a.FMVDX(8, 15)
+	a.FCVTLD(16, 7) // 55
+
+	// Branch method sweep: fall-through checks.
+	a.BLT(6, 5, "L1") // 5<12 taken
+	a.LI(16, 0)
+	a.Label("L1")
+	a.BGE(5, 6, "L2") // 12>=5 taken
+	a.LI(16, 0)
+	a.Label("L2")
+	a.BLTU(6, 5, "L3")
+	a.LI(16, 0)
+	a.Label("L3")
+	a.BGEU(5, 6, "L4")
+	a.LI(16, 0)
+	a.Label("L4")
+	a.MV(10, 16)
+	a.LI(17, 93)
+	a.ECALL()
+
+	f, err := a.Build(Program{TextBase: 0x10000, DataBase: 0x20000, Data: make([]byte, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(f, mem.New(0x10000, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev isa.Event
+	for i := 0; i < 1000; i++ {
+		done, err := m.Step(&ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if m.ExitCode() != 55 {
+		t.Fatalf("exit = %d, want 55 (branches or fcvt broken)", m.ExitCode())
+	}
+	wantX := map[int]int64{7: 2, 28: 4, 29: 13, 30: 9, 31: 1, 8: 0, 18: 32, 19: 16,
+		21: -16, 22: 4, 23: 13, 24: 13, 25: 2, 26: -2, 27: 1, 11: 12, 12: 1, 13: 1, 14: 0}
+	for r, v := range wantX {
+		if int64(m.X[r]) != v {
+			t.Errorf("x%d = %d, want %d", r, int64(m.X[r]), v)
+		}
+	}
+}

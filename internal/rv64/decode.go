@@ -1,0 +1,281 @@
+package rv64
+
+import "fmt"
+
+// DecodeError reports a word that is not a recognised RV64G
+// instruction.
+type DecodeError struct {
+	Word uint32
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("rv64: cannot decode %#08x", e.Word)
+}
+
+// Decode lookup tables, built once from the encoder's spec table so the
+// two directions can never disagree.
+var (
+	decSys map[uint32]Op // fixed whole words
+	decI   map[uint32]Op // opcode | f3<<12
+	decIS  map[uint32]Op // opcode | f3<<12 | funct6<<26
+	decISW map[uint32]Op // opcode | f3<<12 | f7<<25
+	decSB  map[uint32]Op // opcode | f3<<12 (stores and branches)
+	decU   map[uint32]Op // opcode
+	decR   map[uint32]Op // opcode | f3<<12 | f7<<25
+	decR4  map[uint32]Op // opcode | fmt2<<25
+	decRF  map[uint32]Op // opcode | f7<<25
+	decR2  map[uint32]Op // opcode | f7<<25 | rs2<<20
+	decR2F map[uint32]Op // opcode | f7<<25 | rs2<<20 | f3<<12
+	decAMO map[uint32]Op // opcode | f3<<12 | funct5<<27
+)
+
+func init() {
+	decSys = map[uint32]Op{}
+	decI = map[uint32]Op{}
+	decIS = map[uint32]Op{}
+	decISW = map[uint32]Op{}
+	decSB = map[uint32]Op{}
+	decU = map[uint32]Op{}
+	decR = map[uint32]Op{}
+	decR4 = map[uint32]Op{}
+	decRF = map[uint32]Op{}
+	decR2 = map[uint32]Op{}
+	decR2F = map[uint32]Op{}
+	decAMO = map[uint32]Op{}
+	put := func(m map[uint32]Op, key uint32, op Op) {
+		if prev, dup := m[key]; dup {
+			panic(fmt.Sprintf("rv64: decode key collision: %s vs %s", prev.Name(), op.Name()))
+		}
+		m[key] = op
+	}
+	for op := Op(1); op < numOps; op++ {
+		s := specs[op]
+		if s.name == "" {
+			continue
+		}
+		switch s.fmt {
+		case fmtSYS:
+			put(decSys, s.fixed, op)
+		case fmtI:
+			put(decI, s.opcode|s.f3<<12, op)
+		case fmtIS:
+			put(decIS, s.opcode|s.f3<<12|(s.f7>>1)<<26, op)
+		case fmtISW:
+			put(decISW, s.opcode|s.f3<<12|s.f7<<25, op)
+		case fmtS, fmtB:
+			put(decSB, s.opcode|s.f3<<12, op)
+		case fmtU, fmtJ:
+			put(decU, s.opcode, op)
+		case fmtR:
+			put(decR, s.opcode|s.f3<<12|s.f7<<25, op)
+		case fmtR4:
+			put(decR4, s.opcode|(s.f7&3)<<25, op)
+		case fmtRF:
+			put(decRF, s.opcode|s.f7<<25, op)
+		case fmtR2:
+			put(decR2, s.opcode|s.f7<<25|s.rs2fix<<20, op)
+		case fmtR2F:
+			put(decR2F, s.opcode|s.f7<<25|s.rs2fix<<20|s.f3<<12, op)
+		case fmtAMO:
+			put(decAMO, s.opcode|s.f3<<12|(s.f7>>2)<<27, op)
+		}
+	}
+}
+
+// field extractors
+func fRd(w uint32) uint8  { return uint8(w >> 7 & 0x1f) }
+func fRs1(w uint32) uint8 { return uint8(w >> 15 & 0x1f) }
+func fRs2(w uint32) uint8 { return uint8(w >> 20 & 0x1f) }
+func fRs3(w uint32) uint8 { return uint8(w >> 27 & 0x1f) }
+func fF3(w uint32) uint32 { return w >> 12 & 7 }
+func fF7(w uint32) uint32 { return w >> 25 }
+
+func immI(w uint32) int64 { return int64(int32(w) >> 20) }
+func immS(w uint32) int64 {
+	v := (w>>25)<<5 | (w >> 7 & 0x1f)
+	return int64(int32(v<<20) >> 20)
+}
+func immB(w uint32) int64 {
+	v := (w>>31)<<12 | (w >> 7 & 1 << 11) | (w >> 25 & 0x3f << 5) | (w >> 8 & 0xf << 1)
+	return int64(int32(v<<19) >> 19)
+}
+func immU(w uint32) int64 { return int64(int32(w & 0xfffff000)) }
+func immJ(w uint32) int64 {
+	v := (w>>31)<<20 | (w >> 12 & 0xff << 12) | (w >> 20 & 1 << 11) | (w >> 21 & 0x3ff << 1)
+	return int64(int32(v<<11) >> 11)
+}
+
+// Decode parses a 32-bit word into an Inst. It is the inverse of
+// Encode.
+func Decode(w uint32) (Inst, error) {
+	if op, ok := decSys[w]; ok {
+		return Inst{Op: op}, nil
+	}
+	opcode := w & 0x7f
+	f3 := fF3(w)
+	switch opcode {
+	case opMISCMEM:
+		if f3 == 0 {
+			return Inst{Op: FENCE}, nil // accept any fence operand sets
+		}
+	case opLUI, opAUIPC:
+		if op, ok := decU[opcode]; ok {
+			return Inst{Op: op, Rd: fRd(w), Imm: immU(w)}, nil
+		}
+	case opJAL:
+		if op, ok := decU[opcode]; ok {
+			return Inst{Op: op, Rd: fRd(w), Imm: immJ(w)}, nil
+		}
+	case opJALR, opLOAD, opLOADFP:
+		if op, ok := decI[opcode|f3<<12]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Imm: immI(w)}, nil
+		}
+	case opOPIMM:
+		if f3 == 1 || f3 == 5 {
+			key := opcode | f3<<12 | (w >> 26 << 26)
+			if op, ok := decIS[key]; ok {
+				return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Imm: int64(w >> 20 & 0x3f)}, nil
+			}
+		} else if op, ok := decI[opcode|f3<<12]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Imm: immI(w)}, nil
+		}
+	case opOPIMM32:
+		if f3 == 1 || f3 == 5 {
+			key := opcode | f3<<12 | fF7(w)<<25
+			if op, ok := decISW[key]; ok {
+				return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Imm: int64(w >> 20 & 0x1f)}, nil
+			}
+		} else if op, ok := decI[opcode|f3<<12]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Imm: immI(w)}, nil
+		}
+	case opSTORE, opSTOREFP:
+		if op, ok := decSB[opcode|f3<<12]; ok {
+			return Inst{Op: op, Rs1: fRs1(w), Rs2: fRs2(w), Imm: immS(w)}, nil
+		}
+	case opBRANCH:
+		if op, ok := decSB[opcode|f3<<12]; ok {
+			return Inst{Op: op, Rs1: fRs1(w), Rs2: fRs2(w), Imm: immB(w)}, nil
+		}
+	case opOP, opOP32:
+		if op, ok := decR[opcode|f3<<12|fF7(w)<<25]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Rs2: fRs2(w)}, nil
+		}
+	case opMADD, opMSUB, opNMSUB, opNMADD:
+		if op, ok := decR4[opcode|(w>>25&3)<<25]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Rs2: fRs2(w), Rs3: fRs3(w), RM: uint8(f3)}, nil
+		}
+	case opOPFP:
+		f7 := fF7(w)
+		base := opcode | f7<<25
+		if op, ok := decR2F[base|uint32(fRs2(w))<<20|f3<<12]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w)}, nil
+		}
+		if op, ok := decR2[base|uint32(fRs2(w))<<20]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), RM: uint8(f3)}, nil
+		}
+		if op, ok := decRF[base]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Rs2: fRs2(w), RM: uint8(f3)}, nil
+		}
+		if op, ok := decR[opcode|f3<<12|f7<<25]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Rs2: fRs2(w)}, nil
+		}
+	case opAMO:
+		key := opcode | f3<<12 | (w >> 27 << 27)
+		if op, ok := decAMO[key]; ok {
+			return Inst{Op: op, Rd: fRd(w), Rs1: fRs1(w), Rs2: fRs2(w)}, nil
+		}
+	}
+	return Inst{}, &DecodeError{Word: w}
+}
+
+// intRegNames are the ABI names used by the disassembler, matching the
+// paper's listings (a5, s0, ...).
+var intRegNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+var fpRegNames = [32]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+// IntRegName returns the ABI name of integer register r.
+func IntRegName(r uint8) string { return intRegNames[r&31] }
+
+// FPRegName returns the ABI name of FP register r.
+func FPRegName(r uint8) string { return fpRegNames[r&31] }
+
+// isIntRdFP reports whether an FP-family op writes an integer
+// destination register, for disassembly register naming.
+func isIntRdFP(op Op) bool {
+	switch op {
+	case FCVTWS, FCVTWUS, FCVTLS, FCVTLUS, FMVXW, FEQS, FLTS, FLES, FCLASSS,
+		FCVTWD, FCVTWUD, FCVTLD, FCVTLUD, FMVXD, FEQD, FLTD, FLED, FCLASSD:
+		return true
+	}
+	return false
+}
+
+// String disassembles the instruction in conventional GNU syntax.
+func (i Inst) String() string {
+	s := specs[i.Op]
+	name := i.Op.Name()
+	switch s.fmt {
+	case fmtSYS:
+		return name
+	case fmtU, fmtJ:
+		if s.fmt == fmtJ {
+			return fmt.Sprintf("%s %s, %d", name, IntRegName(i.Rd), i.Imm)
+		}
+		return fmt.Sprintf("%s %s, %#x", name, IntRegName(i.Rd), uint32(i.Imm)>>12)
+	case fmtI:
+		switch i.Op {
+		case FLW, FLD:
+			return fmt.Sprintf("%s %s, %d(%s)", name, FPRegName(i.Rd), i.Imm, IntRegName(i.Rs1))
+		case LB, LH, LW, LD, LBU, LHU, LWU, JALR:
+			return fmt.Sprintf("%s %s, %d(%s)", name, IntRegName(i.Rd), i.Imm, IntRegName(i.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %s, %d", name, IntRegName(i.Rd), IntRegName(i.Rs1), i.Imm)
+	case fmtIS, fmtISW:
+		return fmt.Sprintf("%s %s, %s, %d", name, IntRegName(i.Rd), IntRegName(i.Rs1), i.Imm)
+	case fmtS:
+		if i.Op == FSW || i.Op == FSD {
+			return fmt.Sprintf("%s %s, %d(%s)", name, FPRegName(i.Rs2), i.Imm, IntRegName(i.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", name, IntRegName(i.Rs2), i.Imm, IntRegName(i.Rs1))
+	case fmtB:
+		return fmt.Sprintf("%s %s, %s, %d", name, IntRegName(i.Rs1), IntRegName(i.Rs2), i.Imm)
+	case fmtR4:
+		return fmt.Sprintf("%s %s, %s, %s, %s", name, FPRegName(i.Rd), FPRegName(i.Rs1), FPRegName(i.Rs2), FPRegName(i.Rs3))
+	case fmtRF:
+		return fmt.Sprintf("%s %s, %s, %s", name, FPRegName(i.Rd), FPRegName(i.Rs1), FPRegName(i.Rs2))
+	case fmtR2, fmtR2F:
+		rdName, rs1Name := FPRegName(i.Rd), FPRegName(i.Rs1)
+		if isIntRdFP(i.Op) {
+			rdName = IntRegName(i.Rd)
+		}
+		switch i.Op {
+		case FMVWX, FMVDX, FCVTSW, FCVTSWU, FCVTSL, FCVTSLU, FCVTDW, FCVTDWU, FCVTDL, FCVTDLU:
+			rs1Name = IntRegName(i.Rs1)
+		}
+		return fmt.Sprintf("%s %s, %s", name, rdName, rs1Name)
+	case fmtAMO:
+		return fmt.Sprintf("%s %s, %s, (%s)", name, IntRegName(i.Rd), IntRegName(i.Rs2), IntRegName(i.Rs1))
+	case fmtR:
+		if i.Op >= FSGNJS && int(i.Op) < len(specs) && specs[i.Op].opcode == opOPFP {
+			rd := FPRegName(i.Rd)
+			if isIntRdFP(i.Op) {
+				rd = IntRegName(i.Rd)
+			}
+			return fmt.Sprintf("%s %s, %s, %s", name, rd, FPRegName(i.Rs1), FPRegName(i.Rs2))
+		}
+		return fmt.Sprintf("%s %s, %s, %s", name, IntRegName(i.Rd), IntRegName(i.Rs1), IntRegName(i.Rs2))
+	}
+	return name
+}

@@ -1,0 +1,109 @@
+package rv64
+
+import "fmt"
+
+// EncodeError reports an instruction that cannot be encoded.
+type EncodeError struct {
+	Inst Inst
+	Why  string
+}
+
+// Error implements the error interface.
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("rv64: cannot encode %s: %s", e.Inst.Op.Name(), e.Why)
+}
+
+func encErr(i Inst, why string) error { return &EncodeError{Inst: i, Why: why} }
+
+// fitsSigned reports whether v fits in a signed immediate of the given
+// bit width.
+func fitsSigned(v int64, bits uint) bool {
+	min := int64(-1) << (bits - 1)
+	max := int64(1)<<(bits-1) - 1
+	return v >= min && v <= max
+}
+
+// Encode produces the 32-bit word for a decoded instruction. It is the
+// exact inverse of Decode for every representable instruction.
+func Encode(i Inst) (uint32, error) {
+	if int(i.Op) >= len(specs) || specs[i.Op].name == "" {
+		return 0, encErr(i, "unknown op")
+	}
+	s := specs[i.Op]
+	if i.Rd > 31 || i.Rs1 > 31 || i.Rs2 > 31 || i.Rs3 > 31 {
+		return 0, encErr(i, "register out of range")
+	}
+	if i.RM > 7 {
+		return 0, encErr(i, "rounding mode out of range")
+	}
+	rd, rs1, rs2, rs3 := uint32(i.Rd), uint32(i.Rs1), uint32(i.Rs2), uint32(i.Rs3)
+	rm := uint32(i.RM)
+	switch s.fmt {
+	case fmtR, fmtAMO:
+		return s.f7<<25 | rs2<<20 | rs1<<15 | s.f3<<12 | rd<<7 | s.opcode, nil
+	case fmtR4:
+		return rs3<<27 | (s.f7&3)<<25 | rs2<<20 | rs1<<15 | rm<<12 | rd<<7 | s.opcode, nil
+	case fmtRF:
+		return s.f7<<25 | rs2<<20 | rs1<<15 | rm<<12 | rd<<7 | s.opcode, nil
+	case fmtR2:
+		return s.f7<<25 | s.rs2fix<<20 | rs1<<15 | rm<<12 | rd<<7 | s.opcode, nil
+	case fmtR2F:
+		return s.f7<<25 | s.rs2fix<<20 | rs1<<15 | s.f3<<12 | rd<<7 | s.opcode, nil
+	case fmtI:
+		if !fitsSigned(i.Imm, 12) {
+			return 0, encErr(i, fmt.Sprintf("immediate %d exceeds 12 bits", i.Imm))
+		}
+		return uint32(i.Imm&0xfff)<<20 | rs1<<15 | s.f3<<12 | rd<<7 | s.opcode, nil
+	case fmtIS:
+		if i.Imm < 0 || i.Imm > 63 {
+			return 0, encErr(i, "shift amount out of range")
+		}
+		return (s.f7>>1)<<26 | uint32(i.Imm)<<20 | rs1<<15 | s.f3<<12 | rd<<7 | s.opcode, nil
+	case fmtISW:
+		if i.Imm < 0 || i.Imm > 31 {
+			return 0, encErr(i, "shift amount out of range")
+		}
+		return s.f7<<25 | uint32(i.Imm)<<20 | rs1<<15 | s.f3<<12 | rd<<7 | s.opcode, nil
+	case fmtS:
+		if !fitsSigned(i.Imm, 12) {
+			return 0, encErr(i, fmt.Sprintf("immediate %d exceeds 12 bits", i.Imm))
+		}
+		imm := uint32(i.Imm & 0xfff)
+		return (imm>>5)<<25 | rs2<<20 | rs1<<15 | s.f3<<12 | (imm&0x1f)<<7 | s.opcode, nil
+	case fmtB:
+		if !fitsSigned(i.Imm, 13) || i.Imm&1 != 0 {
+			return 0, encErr(i, fmt.Sprintf("branch offset %d invalid", i.Imm))
+		}
+		imm := uint32(i.Imm & 0x1fff)
+		return (imm>>12)<<31 | ((imm>>5)&0x3f)<<25 | rs2<<20 | rs1<<15 | s.f3<<12 |
+			((imm>>1)&0xf)<<8 | ((imm>>11)&1)<<7 | s.opcode, nil
+	case fmtU:
+		if i.Imm&0xfff != 0 {
+			return 0, encErr(i, "U-type immediate must be a multiple of 4096")
+		}
+		if !fitsSigned(i.Imm, 32) {
+			return 0, encErr(i, "U-type immediate exceeds 32 bits")
+		}
+		return uint32(i.Imm) | rd<<7 | s.opcode, nil
+	case fmtJ:
+		if !fitsSigned(i.Imm, 21) || i.Imm&1 != 0 {
+			return 0, encErr(i, fmt.Sprintf("jump offset %d invalid", i.Imm))
+		}
+		imm := uint32(i.Imm & 0x1fffff)
+		return (imm>>20)<<31 | ((imm>>1)&0x3ff)<<21 | ((imm>>11)&1)<<20 |
+			((imm>>12)&0xff)<<12 | rd<<7 | s.opcode, nil
+	case fmtSYS:
+		return s.fixed, nil
+	}
+	return 0, encErr(i, "unhandled format")
+}
+
+// MustEncode encodes i, panicking on error; intended for compiler
+// back ends whose output is validated by construction.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,251 @@
+package rv64
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// golden encodings checked against the RISC-V ISA manual / GNU as.
+func TestGoldenEncodings(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want uint32
+	}{
+		// addi a0, a1, 42
+		{Inst{Op: ADDI, Rd: 10, Rs1: 11, Imm: 42}, 0x02a58513},
+		// addi x0, x0, 0 (nop)
+		{Inst{Op: ADDI}, 0x00000013},
+		// add a5, a5, a4
+		{Inst{Op: ADD, Rd: 15, Rs1: 15, Rs2: 14}, 0x00e787b3},
+		// sub s0, s1, s2
+		{Inst{Op: SUB, Rd: 8, Rs1: 9, Rs2: 18}, 0x4124843b ^ 0x4124843b ^ 0x41248433},
+		// ld a0, 8(sp)
+		{Inst{Op: LD, Rd: 10, Rs1: 2, Imm: 8}, 0x00813503},
+		// sd a0, 16(sp)
+		{Inst{Op: SD, Rs1: 2, Rs2: 10, Imm: 16}, 0x00a13823},
+		// beq a0, a1, +8
+		{Inst{Op: BEQ, Rs1: 10, Rs2: 11, Imm: 8}, 0x00b50463},
+		// bne a5, s0, -20
+		{Inst{Op: BNE, Rs1: 15, Rs2: 8, Imm: -20}, 0xfe8796e3},
+		// lui a0, 0x12345
+		{Inst{Op: LUI, Rd: 10, Imm: 0x12345000}, 0x12345537},
+		// jal ra, +2048
+		{Inst{Op: JAL, Rd: 1, Imm: 2048}, 0x001000ef},
+		// jalr x0, 0(ra)
+		{Inst{Op: JALR, Rd: 0, Rs1: 1, Imm: 0}, 0x00008067},
+		// ecall
+		{Inst{Op: ECALL}, 0x00000073},
+		// slli a0, a0, 3
+		{Inst{Op: SLLI, Rd: 10, Rs1: 10, Imm: 3}, 0x00351513},
+		// srai a0, a0, 63
+		{Inst{Op: SRAI, Rd: 10, Rs1: 10, Imm: 63}, 0x43f55513},
+		// mul a0, a1, a2
+		{Inst{Op: MUL, Rd: 10, Rs1: 11, Rs2: 12}, 0x02c58533},
+		// fld fa5, 0(a5)
+		{Inst{Op: FLD, Rd: 15, Rs1: 15, Imm: 0}, 0x0007b787},
+		// fsd fa5, 0(a4)
+		{Inst{Op: FSD, Rs1: 14, Rs2: 15, Imm: 0}, 0x00f73027},
+		// fadd.d fa0, fa1, fa2 (rm=0)
+		{Inst{Op: FADDD, Rd: 10, Rs1: 11, Rs2: 12}, 0x02c58553},
+		// fmadd.d fa0, fa1, fa2, fa3 (rm=0)
+		{Inst{Op: FMADDD, Rd: 10, Rs1: 11, Rs2: 12, Rs3: 13}, 0x6ac58543},
+		// fcvt.d.l fa0, a0
+		{Inst{Op: FCVTDL, Rd: 10, Rs1: 10}, 0xd2250553},
+		// fsqrt.d fa0, fa1
+		{Inst{Op: FSQRTD, Rd: 10, Rs1: 11}, 0x5a058553},
+		// fmv.d.x fa0, a0
+		{Inst{Op: FMVDX, Rd: 10, Rs1: 10}, 0xf2050553},
+		// amoadd.w a0, a1, (a2)
+		{Inst{Op: AMOADDW, Rd: 10, Rs1: 12, Rs2: 11}, 0x00b6252f},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.inst)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", c.inst, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Encode(%s) = %#08x, want %#08x", c.inst, got, c.want)
+		}
+		// And the word must decode back to the same instruction.
+		back, err := Decode(c.want)
+		if err != nil {
+			t.Errorf("Decode(%#08x): %v", c.want, err)
+			continue
+		}
+		if back != c.inst {
+			t.Errorf("Decode(%#08x) = %+v, want %+v", c.want, back, c.inst)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: OpInvalid},
+		{Op: numOps},
+		{Op: ADD, Rd: 32},
+		{Op: ADDI, Rd: 1, Rs1: 1, Imm: 2048},
+		{Op: ADDI, Rd: 1, Rs1: 1, Imm: -2049},
+		{Op: SLLI, Rd: 1, Rs1: 1, Imm: 64},
+		{Op: SLLIW, Rd: 1, Rs1: 1, Imm: 32},
+		{Op: BEQ, Imm: 1},           // odd branch offset
+		{Op: BEQ, Imm: 4096},        // too far
+		{Op: JAL, Imm: 1 << 20},     // too far
+		{Op: LUI, Rd: 1, Imm: 4097}, // not 4096-aligned
+		{Op: SD, Imm: 1 << 12},
+		{Op: FADDD, RM: 8},
+	}
+	for _, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("Encode(%+v) unexpectedly succeeded", c)
+		}
+	}
+}
+
+// instFuzzer builds random-but-valid instructions for round-trip
+// property testing, covering every opcode and format.
+func randInst(r *rand.Rand) Inst {
+	for {
+		op := Op(1 + r.Intn(int(numOps)-1))
+		s := specs[op]
+		if s.name == "" {
+			continue
+		}
+		i := Inst{Op: op}
+		reg := func() uint8 { return uint8(r.Intn(32)) }
+		switch s.fmt {
+		case fmtR, fmtAMO:
+			i.Rd, i.Rs1, i.Rs2 = reg(), reg(), reg()
+		case fmtR4:
+			i.Rd, i.Rs1, i.Rs2, i.Rs3 = reg(), reg(), reg(), reg()
+			i.RM = uint8(r.Intn(8))
+		case fmtRF:
+			i.Rd, i.Rs1, i.Rs2 = reg(), reg(), reg()
+			i.RM = uint8(r.Intn(8))
+		case fmtR2:
+			i.Rd, i.Rs1 = reg(), reg()
+			i.RM = uint8(r.Intn(8))
+		case fmtR2F:
+			i.Rd, i.Rs1 = reg(), reg()
+		case fmtI:
+			i.Rd, i.Rs1 = reg(), reg()
+			i.Imm = int64(r.Intn(4096) - 2048)
+		case fmtIS:
+			i.Rd, i.Rs1 = reg(), reg()
+			i.Imm = int64(r.Intn(64))
+		case fmtISW:
+			i.Rd, i.Rs1 = reg(), reg()
+			i.Imm = int64(r.Intn(32))
+		case fmtS:
+			i.Rs1, i.Rs2 = reg(), reg()
+			i.Imm = int64(r.Intn(4096) - 2048)
+		case fmtB:
+			i.Rs1, i.Rs2 = reg(), reg()
+			i.Imm = int64(r.Intn(4096)-2048) * 2
+		case fmtU:
+			i.Rd = reg()
+			i.Imm = int64(int32(r.Uint32())) &^ 0xfff
+		case fmtJ:
+			i.Rd = reg()
+			i.Imm = int64(r.Intn(1<<20)-1<<19) * 2
+		case fmtSYS:
+			// no fields
+		}
+		return i
+	}
+}
+
+// TestRoundTripProperty: Decode(Encode(i)) == i for every valid
+// instruction, across all formats.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for n := 0; n < 20000; n++ {
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) of %+v: %v", w, in, err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v -> %#08x -> %+v", in, w, out)
+		}
+	}
+}
+
+// TestEveryOpRoundTrips guarantees coverage of every single opcode,
+// not just the randomly sampled ones.
+func TestEveryOpRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	covered := map[Op]bool{}
+	for n := 0; n < 100000 && len(covered) < int(numOps)-1; n++ {
+		in := randInst(r)
+		covered[in.Op] = true
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil || out != in {
+			t.Fatalf("round trip failed for %s: %+v -> %+v (%v)", in.Op.Name(), in, out, err)
+		}
+	}
+	for op := Op(1); op < numOps; op++ {
+		if specs[op].name != "" && !covered[op] {
+			t.Errorf("op %s never exercised", op.Name())
+		}
+	}
+}
+
+func TestDecodeRejectsJunk(t *testing.T) {
+	junk := []uint32{
+		0x00000000,
+		0xffffffff,
+		0x0000007f,         // unknown major opcode
+		0x00007013 | 8<<12, // can't happen: f3 masked, skip
+		0xfe00705b,         // reserved opcode space
+	}
+	for _, w := range junk {
+		if inst, err := Decode(w); err == nil {
+			// A few junk patterns may alias to valid encodings; only
+			// all-zeros and all-ones are guaranteed invalid.
+			if w == 0 || w == 0xffffffff {
+				t.Errorf("Decode(%#08x) = %v, want error", w, inst)
+			}
+		}
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		inst Inst
+		want string
+	}{
+		{Inst{Op: FLD, Rd: 15, Rs1: 15, Imm: 0}, "fld fa5, 0(a5)"},
+		{Inst{Op: FSD, Rs1: 14, Rs2: 15, Imm: 0}, "fsd fa5, 0(a4)"},
+		{Inst{Op: ADDI, Rd: 15, Rs1: 15, Imm: 8}, "addi a5, a5, 8"},
+		{Inst{Op: BNE, Rs1: 15, Rs2: 8, Imm: -16}, "bne a5, s0, -16"},
+		{Inst{Op: ADD, Rd: 15, Rs1: 15, Rs2: 14}, "add a5, a5, a4"},
+		{Inst{Op: ECALL}, "ecall"},
+		{Inst{Op: FMADDD, Rd: 10, Rs1: 11, Rs2: 12, Rs3: 13}, "fmadd.d fa0, fa1, fa2, fa3"},
+		{Inst{Op: FCVTDL, Rd: 10, Rs1: 11}, "fcvt.d.l fa0, a1"},
+		{Inst{Op: FMVXD, Rd: 10, Rs1: 11}, "fmv.x.d a0, fa1"},
+		{Inst{Op: LUI, Rd: 10, Imm: 0x12345000}, "lui a0, 0x12345"},
+	}
+	for _, c := range cases {
+		if got := c.inst.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.inst, got, c.want)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEncode of invalid inst did not panic")
+		}
+	}()
+	MustEncode(Inst{Op: ADDI, Imm: 1 << 40})
+}

@@ -1,0 +1,975 @@
+package rv64
+
+import (
+	"fmt"
+	"math"
+
+	"isacmp/internal/isa"
+)
+
+// Step retires one instruction, updating architectural state and
+// filling ev with the execution record. It returns done=true once the
+// program has exited. ev must not be nil.
+func (m *Machine) Step(ev *isa.Event) (done bool, err error) {
+	if m.exited {
+		return true, nil
+	}
+	idx := (m.PCReg - m.textBase) / 4
+	if m.PCReg < m.textBase || idx >= uint64(len(m.prog)) || m.PCReg%4 != 0 {
+		return false, &fetchErr{pc: m.PCReg}
+	}
+	i := m.prog[idx]
+
+	ev.Reset()
+	ev.PC = m.PCReg
+	ev.Word = m.words[idx]
+	ev.Group = m.groups[idx]
+
+	nextPC := m.PCReg + 4
+	x := &m.X
+
+	// setX writes an integer destination, honouring the zero register.
+	setX := func(r uint8, v uint64) {
+		if r != 0 {
+			x[r] = v
+		}
+		addDst(ev, r)
+	}
+
+	switch i.Op {
+	case LUI:
+		setX(i.Rd, uint64(i.Imm))
+	case AUIPC:
+		setX(i.Rd, m.PCReg+uint64(i.Imm))
+	case JAL:
+		ev.Branch, ev.Taken = true, true
+		setX(i.Rd, m.PCReg+4)
+		nextPC = m.PCReg + uint64(i.Imm)
+	case JALR:
+		ev.Branch, ev.Taken = true, true
+		addSrc(ev, i.Rs1)
+		t := (x[i.Rs1] + uint64(i.Imm)) &^ 1
+		setX(i.Rd, m.PCReg+4)
+		nextPC = t
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		ev.Branch = true
+		addSrc(ev, i.Rs1)
+		addSrc(ev, i.Rs2)
+		a, b := x[i.Rs1], x[i.Rs2]
+		var take bool
+		switch i.Op {
+		case BEQ:
+			take = a == b
+		case BNE:
+			take = a != b
+		case BLT:
+			take = int64(a) < int64(b)
+		case BGE:
+			take = int64(a) >= int64(b)
+		case BLTU:
+			take = a < b
+		case BGEU:
+			take = a >= b
+		}
+		if take {
+			ev.Taken = true
+			nextPC = m.PCReg + uint64(i.Imm)
+		}
+
+	case LB, LH, LW, LD, LBU, LHU, LWU:
+		addSrc(ev, i.Rs1)
+		addr := x[i.Rs1] + uint64(i.Imm)
+		v, sz, lerr := m.load(i.Op, addr)
+		if lerr != nil {
+			return false, lerr
+		}
+		ev.LoadAddr, ev.LoadSize = addr, sz
+		setX(i.Rd, v)
+	case SB, SH, SW, SD:
+		addSrc(ev, i.Rs1)
+		addSrc(ev, i.Rs2)
+		addr := x[i.Rs1] + uint64(i.Imm)
+		sz, serr := m.store(i.Op, addr, x[i.Rs2])
+		if serr != nil {
+			return false, serr
+		}
+		ev.StoreAddr, ev.StoreSize = addr, sz
+
+	case ADDI:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, x[i.Rs1]+uint64(i.Imm))
+	case SLTI:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, b2u(int64(x[i.Rs1]) < i.Imm))
+	case SLTIU:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, b2u(x[i.Rs1] < uint64(i.Imm)))
+	case XORI:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, x[i.Rs1]^uint64(i.Imm))
+	case ORI:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, x[i.Rs1]|uint64(i.Imm))
+	case ANDI:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, x[i.Rs1]&uint64(i.Imm))
+	case SLLI:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, x[i.Rs1]<<uint(i.Imm))
+	case SRLI:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, x[i.Rs1]>>uint(i.Imm))
+	case SRAI:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, uint64(int64(x[i.Rs1])>>uint(i.Imm)))
+	case ADDIW:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, sext32(uint32(x[i.Rs1])+uint32(i.Imm)))
+	case SLLIW:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, sext32(uint32(x[i.Rs1])<<uint(i.Imm)))
+	case SRLIW:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, sext32(uint32(x[i.Rs1])>>uint(i.Imm)))
+	case SRAIW:
+		addSrc(ev, i.Rs1)
+		setX(i.Rd, uint64(int64(int32(x[i.Rs1])>>uint(i.Imm))))
+
+	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		ADDW, SUBW, SLLW, SRLW, SRAW,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+		MULW, DIVW, DIVUW, REMW, REMUW:
+		addSrc(ev, i.Rs1)
+		addSrc(ev, i.Rs2)
+		setX(i.Rd, intOp(i.Op, x[i.Rs1], x[i.Rs2]))
+
+	case ECALL:
+		done, err = m.ecall()
+		if err != nil {
+			return false, err
+		}
+		if done {
+			return true, nil
+		}
+	case EBREAK:
+		return false, fmt.Errorf("rv64: ebreak at %#x", m.PCReg)
+	case FENCE:
+		// No-op on a single hart.
+
+	case FLW, FLD:
+		addSrc(ev, i.Rs1)
+		addr := x[i.Rs1] + uint64(i.Imm)
+		if i.Op == FLW {
+			v, lerr := m.Mem.Read32(addr)
+			if lerr != nil {
+				return false, lerr
+			}
+			m.F[i.Rd] = nanBox(v)
+			ev.LoadAddr, ev.LoadSize = addr, 4
+		} else {
+			v, lerr := m.Mem.Read64(addr)
+			if lerr != nil {
+				return false, lerr
+			}
+			m.F[i.Rd] = v
+			ev.LoadAddr, ev.LoadSize = addr, 8
+		}
+		addFDst(ev, i.Rd)
+	case FSW, FSD:
+		addSrc(ev, i.Rs1)
+		addFSrc(ev, i.Rs2)
+		addr := x[i.Rs1] + uint64(i.Imm)
+		if i.Op == FSW {
+			if serr := m.Mem.Write32(addr, uint32(m.F[i.Rs2])); serr != nil {
+				return false, serr
+			}
+			ev.StoreAddr, ev.StoreSize = addr, 4
+		} else {
+			if serr := m.Mem.Write64(addr, m.F[i.Rs2]); serr != nil {
+				return false, serr
+			}
+			ev.StoreAddr, ev.StoreSize = addr, 8
+		}
+
+	case FMADDS, FMSUBS, FNMSUBS, FNMADDS, FMADDD, FMSUBD, FNMSUBD, FNMADDD:
+		addFSrc(ev, i.Rs1)
+		addFSrc(ev, i.Rs2)
+		addFSrc(ev, i.Rs3)
+		m.fma(i)
+		addFDst(ev, i.Rd)
+
+	case FADDS, FSUBS, FMULS, FDIVS, FSGNJS, FSGNJNS, FSGNJXS, FMINS, FMAXS,
+		FADDD, FSUBD, FMULD, FDIVD, FSGNJD, FSGNJND, FSGNJXD, FMIND, FMAXD:
+		addFSrc(ev, i.Rs1)
+		addFSrc(ev, i.Rs2)
+		m.fpBin(i)
+		addFDst(ev, i.Rd)
+
+	case FSQRTS:
+		addFSrc(ev, i.Rs1)
+		m.F[i.Rd] = nanBox(math.Float32bits(float32(math.Sqrt(float64(m.getS(i.Rs1))))))
+		addFDst(ev, i.Rd)
+	case FSQRTD:
+		addFSrc(ev, i.Rs1)
+		m.F[i.Rd] = math.Float64bits(math.Sqrt(m.getD(i.Rs1)))
+		addFDst(ev, i.Rd)
+
+	case FEQS, FLTS, FLES, FEQD, FLTD, FLED:
+		addFSrc(ev, i.Rs1)
+		addFSrc(ev, i.Rs2)
+		setX(i.Rd, m.fpCmp(i))
+
+	case FCVTWS, FCVTWUS, FCVTLS, FCVTLUS, FCVTWD, FCVTWUD, FCVTLD, FCVTLUD:
+		addFSrc(ev, i.Rs1)
+		setX(i.Rd, m.fpToInt(i))
+	case FCVTSW, FCVTSWU, FCVTSL, FCVTSLU, FCVTDW, FCVTDWU, FCVTDL, FCVTDLU:
+		addSrc(ev, i.Rs1)
+		m.intToFP(i)
+		addFDst(ev, i.Rd)
+	case FCVTSD:
+		addFSrc(ev, i.Rs1)
+		m.F[i.Rd] = nanBox(math.Float32bits(float32(m.getD(i.Rs1))))
+		addFDst(ev, i.Rd)
+	case FCVTDS:
+		addFSrc(ev, i.Rs1)
+		m.F[i.Rd] = math.Float64bits(float64(m.getS(i.Rs1)))
+		addFDst(ev, i.Rd)
+
+	case FMVXW:
+		addFSrc(ev, i.Rs1)
+		setX(i.Rd, sext32(uint32(m.F[i.Rs1])))
+	case FMVXD:
+		addFSrc(ev, i.Rs1)
+		setX(i.Rd, m.F[i.Rs1])
+	case FMVWX:
+		addSrc(ev, i.Rs1)
+		m.F[i.Rd] = nanBox(uint32(x[i.Rs1]))
+		addFDst(ev, i.Rd)
+	case FMVDX:
+		addSrc(ev, i.Rs1)
+		m.F[i.Rd] = x[i.Rs1]
+		addFDst(ev, i.Rd)
+	case FCLASSS:
+		addFSrc(ev, i.Rs1)
+		setX(i.Rd, classifyS(m.getS(i.Rs1)))
+	case FCLASSD:
+		addFSrc(ev, i.Rs1)
+		setX(i.Rd, classifyD(m.getD(i.Rs1)))
+
+	case LRW, LRD, SCW, SCD,
+		AMOSWAPW, AMOADDW, AMOXORW, AMOANDW, AMOORW, AMOMINW, AMOMAXW, AMOMINUW, AMOMAXUW,
+		AMOSWAPD, AMOADDD, AMOXORD, AMOANDD, AMOORD, AMOMIND, AMOMAXD, AMOMINUD, AMOMAXUD:
+		if aerr := m.amo(i, ev, setX); aerr != nil {
+			return false, aerr
+		}
+
+	default:
+		return false, fmt.Errorf("rv64: unimplemented op %s at %#x", i.Op.Name(), m.PCReg)
+	}
+
+	m.PCReg = nextPC
+	m.steps++
+	return false, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sext32(v uint32) uint64 { return uint64(int64(int32(v))) }
+
+// nanBox embeds a single-precision value into a 64-bit FP register.
+func nanBox(v uint32) uint64 { return 0xffffffff_00000000 | uint64(v) }
+
+const canonicalNaN32 uint32 = 0x7fc00000
+
+// getS reads a single-precision register, unboxing NaN-boxed values;
+// improperly boxed values read as the canonical NaN, per the spec.
+func (m *Machine) getS(r uint8) float32 {
+	v := m.F[r]
+	if v>>32 != 0xffffffff {
+		return math.Float32frombits(canonicalNaN32)
+	}
+	return math.Float32frombits(uint32(v))
+}
+
+// getD reads a double-precision register.
+func (m *Machine) getD(r uint8) float64 { return math.Float64frombits(m.F[r]) }
+
+func (m *Machine) load(op Op, addr uint64) (uint64, uint8, error) {
+	switch op {
+	case LB:
+		v, err := m.Mem.Read8(addr)
+		return uint64(int64(int8(v))), 1, err
+	case LBU:
+		v, err := m.Mem.Read8(addr)
+		return uint64(v), 1, err
+	case LH:
+		v, err := m.Mem.Read16(addr)
+		return uint64(int64(int16(v))), 2, err
+	case LHU:
+		v, err := m.Mem.Read16(addr)
+		return uint64(v), 2, err
+	case LW:
+		v, err := m.Mem.Read32(addr)
+		return sext32(v), 4, err
+	case LWU:
+		v, err := m.Mem.Read32(addr)
+		return uint64(v), 4, err
+	case LD:
+		v, err := m.Mem.Read64(addr)
+		return v, 8, err
+	}
+	panic("rv64: not a load")
+}
+
+func (m *Machine) store(op Op, addr, v uint64) (uint8, error) {
+	switch op {
+	case SB:
+		return 1, m.Mem.Write8(addr, uint8(v))
+	case SH:
+		return 2, m.Mem.Write16(addr, uint16(v))
+	case SW:
+		return 4, m.Mem.Write32(addr, uint32(v))
+	case SD:
+		return 8, m.Mem.Write64(addr, v)
+	}
+	panic("rv64: not a store")
+}
+
+// intOp evaluates a register-register integer operation.
+func intOp(op Op, a, b uint64) uint64 {
+	switch op {
+	case ADD:
+		return a + b
+	case SUB:
+		return a - b
+	case SLL:
+		return a << (b & 63)
+	case SLT:
+		return b2u(int64(a) < int64(b))
+	case SLTU:
+		return b2u(a < b)
+	case XOR:
+		return a ^ b
+	case SRL:
+		return a >> (b & 63)
+	case SRA:
+		return uint64(int64(a) >> (b & 63))
+	case OR:
+		return a | b
+	case AND:
+		return a & b
+	case ADDW:
+		return sext32(uint32(a) + uint32(b))
+	case SUBW:
+		return sext32(uint32(a) - uint32(b))
+	case SLLW:
+		return sext32(uint32(a) << (b & 31))
+	case SRLW:
+		return sext32(uint32(a) >> (b & 31))
+	case SRAW:
+		return uint64(int64(int32(a) >> (b & 31)))
+	case MUL:
+		return a * b
+	case MULH:
+		return uint64(mulh64(int64(a), int64(b)))
+	case MULHU:
+		return mulhu64(a, b)
+	case MULHSU:
+		return mulhsu64(int64(a), b)
+	case DIV:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return a
+		}
+		return uint64(int64(a) / int64(b))
+	case DIVU:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case REM:
+		if b == 0 {
+			return a
+		}
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case REMU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case MULW:
+		return sext32(uint32(a) * uint32(b))
+	case DIVW:
+		x, y := int32(a), int32(b)
+		if y == 0 {
+			return ^uint64(0)
+		}
+		if x == math.MinInt32 && y == -1 {
+			return sext32(uint32(x))
+		}
+		return uint64(int64(x / y))
+	case DIVUW:
+		x, y := uint32(a), uint32(b)
+		if y == 0 {
+			return ^uint64(0)
+		}
+		return sext32(x / y)
+	case REMW:
+		x, y := int32(a), int32(b)
+		if y == 0 {
+			return sext32(uint32(x))
+		}
+		if x == math.MinInt32 && y == -1 {
+			return 0
+		}
+		return uint64(int64(x % y))
+	case REMUW:
+		x, y := uint32(a), uint32(b)
+		if y == 0 {
+			return sext32(x)
+		}
+		return sext32(x % y)
+	}
+	panic("rv64: not an int op")
+}
+
+// mulh64 returns the high 64 bits of the signed 128-bit product.
+func mulh64(a, b int64) int64 {
+	h := int64(mulhu64(uint64(a), uint64(b)))
+	if a < 0 {
+		h -= b
+	}
+	if b < 0 {
+		h -= a
+	}
+	return h
+}
+
+// mulhsu64 returns the high 64 bits of signed×unsigned.
+func mulhsu64(a int64, b uint64) uint64 {
+	h := mulhu64(uint64(a), b)
+	if a < 0 {
+		h -= b
+	}
+	return h
+}
+
+// mulhu64 returns the high 64 bits of the unsigned 128-bit product.
+func mulhu64(a, b uint64) uint64 {
+	aLo, aHi := a&0xffffffff, a>>32
+	bLo, bHi := b&0xffffffff, b>>32
+	t := aLo*bLo>>32 + aHi*bLo
+	lo, hi := t&0xffffffff, t>>32
+	lo += aLo * bHi
+	return aHi*bHi + hi + lo>>32
+}
+
+// fma executes the four fused multiply-add variants.
+func (m *Machine) fma(i Inst) {
+	switch i.Op {
+	case FMADDS, FMSUBS, FNMSUBS, FNMADDS:
+		a, b, c := float64(m.getS(i.Rs1)), float64(m.getS(i.Rs2)), float64(m.getS(i.Rs3))
+		var r float64
+		switch i.Op {
+		case FMADDS:
+			r = math.FMA(a, b, c)
+		case FMSUBS:
+			r = math.FMA(a, b, -c)
+		case FNMSUBS:
+			r = math.FMA(-a, b, c)
+		case FNMADDS:
+			r = math.FMA(-a, b, -c)
+		}
+		m.F[i.Rd] = nanBox(math.Float32bits(float32(r)))
+	default:
+		a, b, c := m.getD(i.Rs1), m.getD(i.Rs2), m.getD(i.Rs3)
+		var r float64
+		switch i.Op {
+		case FMADDD:
+			r = math.FMA(a, b, c)
+		case FMSUBD:
+			r = math.FMA(a, b, -c)
+		case FNMSUBD:
+			r = math.FMA(-a, b, c)
+		case FNMADDD:
+			r = math.FMA(-a, b, -c)
+		}
+		m.F[i.Rd] = math.Float64bits(r)
+	}
+}
+
+// fpBin executes two-operand FP arithmetic and sign-injection ops.
+func (m *Machine) fpBin(i Inst) {
+	switch i.Op {
+	case FADDS, FSUBS, FMULS, FDIVS, FMINS, FMAXS:
+		a, b := m.getS(i.Rs1), m.getS(i.Rs2)
+		var r float32
+		switch i.Op {
+		case FADDS:
+			r = a + b
+		case FSUBS:
+			r = a - b
+		case FMULS:
+			r = a * b
+		case FDIVS:
+			r = a / b
+		case FMINS:
+			r = fmin32(a, b)
+		case FMAXS:
+			r = fmax32(a, b)
+		}
+		m.F[i.Rd] = nanBox(math.Float32bits(r))
+	case FSGNJS, FSGNJNS, FSGNJXS:
+		a := uint32(m.F[i.Rs1])
+		b := uint32(m.F[i.Rs2])
+		m.F[i.Rd] = nanBox(signInject32(i.Op, a, b))
+	case FADDD, FSUBD, FMULD, FDIVD, FMIND, FMAXD:
+		a, b := m.getD(i.Rs1), m.getD(i.Rs2)
+		var r float64
+		switch i.Op {
+		case FADDD:
+			r = a + b
+		case FSUBD:
+			r = a - b
+		case FMULD:
+			r = a * b
+		case FDIVD:
+			r = a / b
+		case FMIND:
+			r = fmin64(a, b)
+		case FMAXD:
+			r = fmax64(a, b)
+		}
+		m.F[i.Rd] = math.Float64bits(r)
+	case FSGNJD, FSGNJND, FSGNJXD:
+		m.F[i.Rd] = signInject64(i.Op, m.F[i.Rs1], m.F[i.Rs2])
+	}
+}
+
+func signInject32(op Op, a, b uint32) uint32 {
+	const signBit = uint32(1) << 31
+	switch op {
+	case FSGNJS:
+		return a&^signBit | b&signBit
+	case FSGNJNS:
+		return a&^signBit | ^b&signBit
+	default: // FSGNJXS
+		return a ^ b&signBit
+	}
+}
+
+func signInject64(op Op, a, b uint64) uint64 {
+	const signBit = uint64(1) << 63
+	switch op {
+	case FSGNJD:
+		return a&^signBit | b&signBit
+	case FSGNJND:
+		return a&^signBit | ^b&signBit
+	default: // FSGNJXD
+		return a ^ b&signBit
+	}
+}
+
+func fmin32(a, b float32) float32 {
+	switch {
+	case isNaN32(a):
+		return b
+	case isNaN32(b):
+		return a
+	case a < b || (a == 0 && b == 0 && math.Signbit(float64(a))):
+		return a
+	default:
+		return b
+	}
+}
+
+func fmax32(a, b float32) float32 {
+	switch {
+	case isNaN32(a):
+		return b
+	case isNaN32(b):
+		return a
+	case a > b || (a == 0 && b == 0 && !math.Signbit(float64(a))):
+		return a
+	default:
+		return b
+	}
+}
+
+func fmin64(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a < b || (a == 0 && b == 0 && math.Signbit(a)):
+		return a
+	default:
+		return b
+	}
+}
+
+func fmax64(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a > b || (a == 0 && b == 0 && !math.Signbit(a)):
+		return a
+	default:
+		return b
+	}
+}
+
+func isNaN32(f float32) bool { return f != f }
+
+// fpCmp evaluates FEQ/FLT/FLE; comparisons with NaN yield 0.
+func (m *Machine) fpCmp(i Inst) uint64 {
+	switch i.Op {
+	case FEQS:
+		return b2u(m.getS(i.Rs1) == m.getS(i.Rs2))
+	case FLTS:
+		return b2u(m.getS(i.Rs1) < m.getS(i.Rs2))
+	case FLES:
+		return b2u(m.getS(i.Rs1) <= m.getS(i.Rs2))
+	case FEQD:
+		return b2u(m.getD(i.Rs1) == m.getD(i.Rs2))
+	case FLTD:
+		return b2u(m.getD(i.Rs1) < m.getD(i.Rs2))
+	default: // FLED
+		return b2u(m.getD(i.Rs1) <= m.getD(i.Rs2))
+	}
+}
+
+// fpToInt implements FCVT to integer with RISC-V saturation semantics.
+func (m *Machine) fpToInt(i Inst) uint64 {
+	var v float64
+	switch i.Op {
+	case FCVTWS, FCVTWUS, FCVTLS, FCVTLUS:
+		v = float64(m.getS(i.Rs1))
+	default:
+		v = m.getD(i.Rs1)
+	}
+	// Honour the static rounding mode: RTZ (1, what C casts compile
+	// to) truncates; everything else is treated as the RNE default.
+	if i.RM == 1 {
+		v = math.Trunc(v)
+	} else {
+		v = math.RoundToEven(v)
+	}
+	switch i.Op {
+	case FCVTWS, FCVTWD:
+		return sext32(uint32(satS32(v)))
+	case FCVTWUS, FCVTWUD:
+		return sext32(satU32(v))
+	case FCVTLS, FCVTLD:
+		return uint64(satS64(v))
+	default: // FCVTLUS, FCVTLUD
+		return satU64(v)
+	}
+}
+
+func satS32(v float64) int32 {
+	switch {
+	case math.IsNaN(v), v >= math.MaxInt32:
+		return math.MaxInt32
+	case v <= math.MinInt32:
+		return math.MinInt32
+	default:
+		return int32(v)
+	}
+}
+
+func satU32(v float64) uint32 {
+	switch {
+	case math.IsNaN(v), v >= math.MaxUint32:
+		return math.MaxUint32
+	case v <= 0:
+		return 0
+	default:
+		return uint32(v)
+	}
+}
+
+func satS64(v float64) int64 {
+	switch {
+	case math.IsNaN(v), v >= math.MaxInt64:
+		return math.MaxInt64
+	case v <= math.MinInt64:
+		return math.MinInt64
+	default:
+		return int64(v)
+	}
+}
+
+func satU64(v float64) uint64 {
+	switch {
+	case math.IsNaN(v), v >= math.MaxUint64:
+		return math.MaxUint64
+	case v <= 0:
+		return 0
+	default:
+		return uint64(v)
+	}
+}
+
+// intToFP implements FCVT from integer.
+func (m *Machine) intToFP(i Inst) {
+	v := m.X[i.Rs1]
+	var f float64
+	switch i.Op {
+	case FCVTSW, FCVTDW:
+		f = float64(int32(v))
+	case FCVTSWU, FCVTDWU:
+		f = float64(uint32(v))
+	case FCVTSL, FCVTDL:
+		f = float64(int64(v))
+	case FCVTSLU, FCVTDLU:
+		f = float64(v)
+	}
+	switch i.Op {
+	case FCVTSW, FCVTSWU, FCVTSL, FCVTSLU:
+		m.F[i.Rd] = nanBox(math.Float32bits(float32(f)))
+	default:
+		m.F[i.Rd] = math.Float64bits(f)
+	}
+}
+
+// FP classification masks per the RISC-V spec.
+func classifyD(v float64) uint64 {
+	b := math.Float64bits(v)
+	sign := b>>63 != 0
+	exp := b >> 52 & 0x7ff
+	frac := b & (1<<52 - 1)
+	switch {
+	case exp == 0x7ff && frac != 0:
+		if frac>>51 == 1 {
+			return 1 << 9 // quiet NaN
+		}
+		return 1 << 8 // signalling NaN
+	case exp == 0x7ff && sign:
+		return 1 << 0 // -inf
+	case exp == 0x7ff:
+		return 1 << 7 // +inf
+	case exp == 0 && frac == 0 && sign:
+		return 1 << 3 // -0
+	case exp == 0 && frac == 0:
+		return 1 << 4 // +0
+	case exp == 0 && sign:
+		return 1 << 2 // negative subnormal
+	case exp == 0:
+		return 1 << 5 // positive subnormal
+	case sign:
+		return 1 << 1 // negative normal
+	default:
+		return 1 << 6 // positive normal
+	}
+}
+
+func classifyS(v float32) uint64 {
+	b := math.Float32bits(v)
+	sign := b>>31 != 0
+	exp := b >> 23 & 0xff
+	frac := b & (1<<23 - 1)
+	switch {
+	case exp == 0xff && frac != 0:
+		if frac>>22 == 1 {
+			return 1 << 9
+		}
+		return 1 << 8
+	case exp == 0xff && sign:
+		return 1 << 0
+	case exp == 0xff:
+		return 1 << 7
+	case exp == 0 && frac == 0 && sign:
+		return 1 << 3
+	case exp == 0 && frac == 0:
+		return 1 << 4
+	case exp == 0 && sign:
+		return 1 << 2
+	case exp == 0:
+		return 1 << 5
+	case sign:
+		return 1 << 1
+	default:
+		return 1 << 6
+	}
+}
+
+// amo executes the A-extension operations with single-hart semantics:
+// LR always reserves, SC always succeeds.
+func (m *Machine) amo(i Inst, ev *isa.Event, setX func(uint8, uint64)) error {
+	addr := m.X[i.Rs1]
+	addSrc(ev, i.Rs1)
+	word := specs[i.Op].f3 == 2
+	size := uint8(8)
+	if word {
+		size = 4
+	}
+	readMem := func() (uint64, error) {
+		if word {
+			v, err := m.Mem.Read32(addr)
+			return sext32(v), err
+		}
+		return m.Mem.Read64(addr)
+	}
+	writeMem := func(v uint64) error {
+		if word {
+			return m.Mem.Write32(addr, uint32(v))
+		}
+		return m.Mem.Write64(addr, v)
+	}
+
+	switch i.Op {
+	case LRW, LRD:
+		v, err := readMem()
+		if err != nil {
+			return err
+		}
+		ev.LoadAddr, ev.LoadSize = addr, size
+		setX(i.Rd, v)
+		return nil
+	case SCW, SCD:
+		addSrc(ev, i.Rs2)
+		if err := writeMem(m.X[i.Rs2]); err != nil {
+			return err
+		}
+		ev.StoreAddr, ev.StoreSize = addr, size
+		setX(i.Rd, 0) // success
+		return nil
+	}
+
+	addSrc(ev, i.Rs2)
+	old, err := readMem()
+	if err != nil {
+		return err
+	}
+	src := m.X[i.Rs2]
+	var result uint64
+	switch i.Op {
+	case AMOSWAPW, AMOSWAPD:
+		result = src
+	case AMOADDW, AMOADDD:
+		result = old + src
+	case AMOXORW, AMOXORD:
+		result = old ^ src
+	case AMOANDW, AMOANDD:
+		result = old & src
+	case AMOORW, AMOORD:
+		result = old | src
+	case AMOMINW, AMOMIND:
+		result = old
+		if int64(src) < int64(old) {
+			result = src
+		}
+	case AMOMAXW, AMOMAXD:
+		result = old
+		if int64(src) > int64(old) {
+			result = src
+		}
+	case AMOMINUW, AMOMINUD:
+		result = old
+		if src < old {
+			result = src
+		}
+	case AMOMAXUW, AMOMAXUD:
+		result = old
+		if src > old {
+			result = src
+		}
+	}
+	if word {
+		result = uint64(uint32(result))
+		old = sext32(uint32(old))
+	}
+	if err := writeMem(result); err != nil {
+		return err
+	}
+	ev.LoadAddr, ev.LoadSize = addr, size
+	ev.StoreAddr, ev.StoreSize = addr, size
+	setX(i.Rd, old)
+	return nil
+}
+
+// ecall dispatches the Linux system calls the simulated programs use.
+func (m *Machine) ecall() (done bool, err error) {
+	switch m.X[regA7] {
+	case sysExit:
+		m.exited = true
+		m.exitCode = int64(m.X[regA0])
+		m.steps++
+		return true, nil
+	case sysWrite:
+		buf, rerr := m.Mem.ReadBytes(m.X[regA1], int(m.X[regA2]))
+		if rerr != nil {
+			return false, rerr
+		}
+		n, werr := m.Stdout.Write(buf)
+		if werr != nil {
+			return false, werr
+		}
+		m.X[regA0] = uint64(n)
+		return false, nil
+	case sysBrk:
+		req := m.X[regA0]
+		if req != 0 && req >= m.Mem.Base() && req < m.Mem.Base()+m.Mem.Size() {
+			m.Mem.SetBrk(req)
+		}
+		m.X[regA0] = m.Mem.Brk()
+		return false, nil
+	default:
+		return false, fmt.Errorf("rv64: unsupported syscall %d at %#x", m.X[regA7], m.PCReg)
+	}
+}
+
+// OpGroup returns the latency class of an operation.
+func OpGroup(op Op) isa.Group {
+	switch op {
+	case LB, LH, LW, LD, LBU, LHU, LWU, FLW, FLD, LRW, LRD:
+		return isa.GroupLoad
+	case SB, SH, SW, SD, FSW, FSD, SCW, SCD:
+		return isa.GroupStore
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU, JAL, JALR:
+		return isa.GroupBranch
+	case MUL, MULH, MULHSU, MULHU, MULW:
+		return isa.GroupIntMul
+	case DIV, DIVU, REM, REMU, DIVW, DIVUW, REMW, REMUW:
+		return isa.GroupIntDiv
+	case FADDS, FSUBS, FADDD, FSUBD:
+		return isa.GroupFPAdd
+	case FMULS, FMULD:
+		return isa.GroupFPMul
+	case FMADDS, FMSUBS, FNMSUBS, FNMADDS, FMADDD, FMSUBD, FNMSUBD, FNMADDD:
+		return isa.GroupFPFMA
+	case FDIVS, FDIVD:
+		return isa.GroupFPDiv
+	case FSQRTS, FSQRTD:
+		return isa.GroupFPSqrt
+	case FSGNJS, FSGNJNS, FSGNJXS, FSGNJD, FSGNJND, FSGNJXD,
+		FMINS, FMAXS, FMIND, FMAXD, FEQS, FLTS, FLES, FEQD, FLTD, FLED,
+		FCLASSS, FCLASSD:
+		return isa.GroupFPSimple
+	case FCVTWS, FCVTWUS, FCVTLS, FCVTLUS, FCVTSW, FCVTSWU, FCVTSL, FCVTSLU,
+		FCVTWD, FCVTWUD, FCVTLD, FCVTLUD, FCVTDW, FCVTDWU, FCVTDL, FCVTDLU,
+		FCVTSD, FCVTDS, FMVXW, FMVXD, FMVWX, FMVDX:
+		return isa.GroupFPCvt
+	case ECALL, EBREAK, FENCE:
+		return isa.GroupSystem
+	case AMOSWAPW, AMOADDW, AMOXORW, AMOANDW, AMOORW, AMOMINW, AMOMAXW, AMOMINUW, AMOMAXUW,
+		AMOSWAPD, AMOADDD, AMOXORD, AMOANDD, AMOORD, AMOMIND, AMOMAXD, AMOMINUD, AMOMAXUD:
+		return isa.GroupLoad
+	default:
+		return isa.GroupIntSimple
+	}
+}

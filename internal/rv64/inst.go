@@ -1,0 +1,410 @@
+// Package rv64 implements the RV64G (RV64IMAFD) instruction set: an
+// assembler/encoder, a decoder, a disassembler and an architectural
+// executor. This is the RISC-V support the paper added to SimEng,
+// rebuilt in Go. The compressed (C) extension is deliberately omitted,
+// matching the paper's choice of -march=rv64g.
+package rv64
+
+import "fmt"
+
+// Op enumerates every RV64G operation supported by this package.
+type Op uint16
+
+// RV64I base integer instructions.
+const (
+	OpInvalid Op = iota
+	LUI
+	AUIPC
+	JAL
+	JALR
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	LB
+	LH
+	LW
+	LD
+	LBU
+	LHU
+	LWU
+	SB
+	SH
+	SW
+	SD
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+	FENCE
+	ECALL
+	EBREAK
+	ADDIW
+	SLLIW
+	SRLIW
+	SRAIW
+	ADDW
+	SUBW
+	SLLW
+	SRLW
+	SRAW
+
+	// M extension.
+	MUL
+	MULH
+	MULHSU
+	MULHU
+	DIV
+	DIVU
+	REM
+	REMU
+	MULW
+	DIVW
+	DIVUW
+	REMW
+	REMUW
+
+	// A extension (single-hart semantics: always succeed).
+	LRW
+	SCW
+	AMOSWAPW
+	AMOADDW
+	AMOXORW
+	AMOANDW
+	AMOORW
+	AMOMINW
+	AMOMAXW
+	AMOMINUW
+	AMOMAXUW
+	LRD
+	SCD
+	AMOSWAPD
+	AMOADDD
+	AMOXORD
+	AMOANDD
+	AMOORD
+	AMOMIND
+	AMOMAXD
+	AMOMINUD
+	AMOMAXUD
+
+	// F extension (single precision, NaN-boxed in 64-bit registers).
+	FLW
+	FSW
+	FMADDS
+	FMSUBS
+	FNMSUBS
+	FNMADDS
+	FADDS
+	FSUBS
+	FMULS
+	FDIVS
+	FSQRTS
+	FSGNJS
+	FSGNJNS
+	FSGNJXS
+	FMINS
+	FMAXS
+	FCVTWS
+	FCVTWUS
+	FCVTLS
+	FCVTLUS
+	FMVXW
+	FEQS
+	FLTS
+	FLES
+	FCLASSS
+	FCVTSW
+	FCVTSWU
+	FCVTSL
+	FCVTSLU
+	FMVWX
+
+	// D extension (double precision).
+	FLD
+	FSD
+	FMADDD
+	FMSUBD
+	FNMSUBD
+	FNMADDD
+	FADDD
+	FSUBD
+	FMULD
+	FDIVD
+	FSQRTD
+	FSGNJD
+	FSGNJND
+	FSGNJXD
+	FMIND
+	FMAXD
+	FCVTSD
+	FCVTDS
+	FEQD
+	FLTD
+	FLED
+	FCLASSD
+	FCVTWD
+	FCVTWUD
+	FCVTLD
+	FCVTLUD
+	FMVXD
+	FCVTDW
+	FCVTDWU
+	FCVTDL
+	FCVTDLU
+	FMVDX
+
+	numOps
+)
+
+// Inst is a decoded RV64G instruction. Which fields are meaningful
+// depends on the operation's format; unused fields are zero.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Rs3 uint8 // R4-format fused multiply-add only
+	RM  uint8 // FP rounding mode field (kept for faithful round-trips)
+	Imm int64 // sign-extended immediate (I/S/B/U/J formats)
+}
+
+// instFormat describes how an operation's fields map onto the 32-bit
+// word.
+type instFormat uint8
+
+const (
+	fmtR   instFormat = iota // rd, rs1, rs2, funct3, funct7
+	fmtR4                    // rd, rs1, rs2, rs3, rm (fused multiply-add)
+	fmtRF                    // FP R-type with rm in funct3
+	fmtR2                    // FP unary: rs2 field fixed by spec, rm in funct3
+	fmtR2F                   // FP unary with fixed funct3 (FMV/FCLASS/compare-style)
+	fmtI                     // rd, rs1, imm12
+	fmtIS                    // shift-immediate: imm is 6-bit shamt, funct7>>1 fixed
+	fmtISW                   // 32-bit shift-immediate: 5-bit shamt
+	fmtS                     // store: rs1, rs2, imm12
+	fmtB                     // branch: rs1, rs2, imm13 (even)
+	fmtU                     // rd, imm20<<12
+	fmtJ                     // rd, imm21 (even)
+	fmtAMO                   // A extension: funct5 in top bits, aq/rl zeroed
+	fmtSYS                   // fixed 32-bit word (ECALL/EBREAK/FENCE)
+)
+
+type spec struct {
+	fmt    instFormat
+	opcode uint32 // bits [6:0]
+	f3     uint32 // bits [14:12]
+	f7     uint32 // bits [31:25]; for fmtAMO this is funct5<<2; for fmtR2* includes fixed rs2 via rs2fix
+	rs2fix uint32 // fixed rs2 field for fmtR2/fmtR2F (e.g. FCVT source-type code)
+	fixed  uint32 // whole word for fmtSYS
+	name   string
+}
+
+// Major opcodes.
+const (
+	opLOAD    = 0x03
+	opLOADFP  = 0x07
+	opMISCMEM = 0x0F
+	opOPIMM   = 0x13
+	opAUIPC   = 0x17
+	opOPIMM32 = 0x1B
+	opSTORE   = 0x23
+	opSTOREFP = 0x27
+	opAMO     = 0x2F
+	opOP      = 0x33
+	opLUI     = 0x37
+	opOP32    = 0x3B
+	opMADD    = 0x43
+	opMSUB    = 0x47
+	opNMSUB   = 0x4B
+	opNMADD   = 0x4F
+	opOPFP    = 0x53
+	opBRANCH  = 0x63
+	opJALR    = 0x67
+	opJAL     = 0x6F
+	opSYSTEM  = 0x73
+)
+
+var specs = [numOps]spec{
+	LUI:    {fmt: fmtU, opcode: opLUI, name: "lui"},
+	AUIPC:  {fmt: fmtU, opcode: opAUIPC, name: "auipc"},
+	JAL:    {fmt: fmtJ, opcode: opJAL, name: "jal"},
+	JALR:   {fmt: fmtI, opcode: opJALR, f3: 0, name: "jalr"},
+	BEQ:    {fmt: fmtB, opcode: opBRANCH, f3: 0, name: "beq"},
+	BNE:    {fmt: fmtB, opcode: opBRANCH, f3: 1, name: "bne"},
+	BLT:    {fmt: fmtB, opcode: opBRANCH, f3: 4, name: "blt"},
+	BGE:    {fmt: fmtB, opcode: opBRANCH, f3: 5, name: "bge"},
+	BLTU:   {fmt: fmtB, opcode: opBRANCH, f3: 6, name: "bltu"},
+	BGEU:   {fmt: fmtB, opcode: opBRANCH, f3: 7, name: "bgeu"},
+	LB:     {fmt: fmtI, opcode: opLOAD, f3: 0, name: "lb"},
+	LH:     {fmt: fmtI, opcode: opLOAD, f3: 1, name: "lh"},
+	LW:     {fmt: fmtI, opcode: opLOAD, f3: 2, name: "lw"},
+	LD:     {fmt: fmtI, opcode: opLOAD, f3: 3, name: "ld"},
+	LBU:    {fmt: fmtI, opcode: opLOAD, f3: 4, name: "lbu"},
+	LHU:    {fmt: fmtI, opcode: opLOAD, f3: 5, name: "lhu"},
+	LWU:    {fmt: fmtI, opcode: opLOAD, f3: 6, name: "lwu"},
+	SB:     {fmt: fmtS, opcode: opSTORE, f3: 0, name: "sb"},
+	SH:     {fmt: fmtS, opcode: opSTORE, f3: 1, name: "sh"},
+	SW:     {fmt: fmtS, opcode: opSTORE, f3: 2, name: "sw"},
+	SD:     {fmt: fmtS, opcode: opSTORE, f3: 3, name: "sd"},
+	ADDI:   {fmt: fmtI, opcode: opOPIMM, f3: 0, name: "addi"},
+	SLTI:   {fmt: fmtI, opcode: opOPIMM, f3: 2, name: "slti"},
+	SLTIU:  {fmt: fmtI, opcode: opOPIMM, f3: 3, name: "sltiu"},
+	XORI:   {fmt: fmtI, opcode: opOPIMM, f3: 4, name: "xori"},
+	ORI:    {fmt: fmtI, opcode: opOPIMM, f3: 6, name: "ori"},
+	ANDI:   {fmt: fmtI, opcode: opOPIMM, f3: 7, name: "andi"},
+	SLLI:   {fmt: fmtIS, opcode: opOPIMM, f3: 1, f7: 0x00, name: "slli"},
+	SRLI:   {fmt: fmtIS, opcode: opOPIMM, f3: 5, f7: 0x00, name: "srli"},
+	SRAI:   {fmt: fmtIS, opcode: opOPIMM, f3: 5, f7: 0x20, name: "srai"},
+	ADD:    {fmt: fmtR, opcode: opOP, f3: 0, f7: 0x00, name: "add"},
+	SUB:    {fmt: fmtR, opcode: opOP, f3: 0, f7: 0x20, name: "sub"},
+	SLL:    {fmt: fmtR, opcode: opOP, f3: 1, f7: 0x00, name: "sll"},
+	SLT:    {fmt: fmtR, opcode: opOP, f3: 2, f7: 0x00, name: "slt"},
+	SLTU:   {fmt: fmtR, opcode: opOP, f3: 3, f7: 0x00, name: "sltu"},
+	XOR:    {fmt: fmtR, opcode: opOP, f3: 4, f7: 0x00, name: "xor"},
+	SRL:    {fmt: fmtR, opcode: opOP, f3: 5, f7: 0x00, name: "srl"},
+	SRA:    {fmt: fmtR, opcode: opOP, f3: 5, f7: 0x20, name: "sra"},
+	OR:     {fmt: fmtR, opcode: opOP, f3: 6, f7: 0x00, name: "or"},
+	AND:    {fmt: fmtR, opcode: opOP, f3: 7, f7: 0x00, name: "and"},
+	FENCE:  {fmt: fmtSYS, fixed: 0x0ff0000f, name: "fence"},
+	ECALL:  {fmt: fmtSYS, fixed: 0x00000073, name: "ecall"},
+	EBREAK: {fmt: fmtSYS, fixed: 0x00100073, name: "ebreak"},
+	ADDIW:  {fmt: fmtI, opcode: opOPIMM32, f3: 0, name: "addiw"},
+	SLLIW:  {fmt: fmtISW, opcode: opOPIMM32, f3: 1, f7: 0x00, name: "slliw"},
+	SRLIW:  {fmt: fmtISW, opcode: opOPIMM32, f3: 5, f7: 0x00, name: "srliw"},
+	SRAIW:  {fmt: fmtISW, opcode: opOPIMM32, f3: 5, f7: 0x20, name: "sraiw"},
+	ADDW:   {fmt: fmtR, opcode: opOP32, f3: 0, f7: 0x00, name: "addw"},
+	SUBW:   {fmt: fmtR, opcode: opOP32, f3: 0, f7: 0x20, name: "subw"},
+	SLLW:   {fmt: fmtR, opcode: opOP32, f3: 1, f7: 0x00, name: "sllw"},
+	SRLW:   {fmt: fmtR, opcode: opOP32, f3: 5, f7: 0x00, name: "srlw"},
+	SRAW:   {fmt: fmtR, opcode: opOP32, f3: 5, f7: 0x20, name: "sraw"},
+
+	MUL:    {fmt: fmtR, opcode: opOP, f3: 0, f7: 0x01, name: "mul"},
+	MULH:   {fmt: fmtR, opcode: opOP, f3: 1, f7: 0x01, name: "mulh"},
+	MULHSU: {fmt: fmtR, opcode: opOP, f3: 2, f7: 0x01, name: "mulhsu"},
+	MULHU:  {fmt: fmtR, opcode: opOP, f3: 3, f7: 0x01, name: "mulhu"},
+	DIV:    {fmt: fmtR, opcode: opOP, f3: 4, f7: 0x01, name: "div"},
+	DIVU:   {fmt: fmtR, opcode: opOP, f3: 5, f7: 0x01, name: "divu"},
+	REM:    {fmt: fmtR, opcode: opOP, f3: 6, f7: 0x01, name: "rem"},
+	REMU:   {fmt: fmtR, opcode: opOP, f3: 7, f7: 0x01, name: "remu"},
+	MULW:   {fmt: fmtR, opcode: opOP32, f3: 0, f7: 0x01, name: "mulw"},
+	DIVW:   {fmt: fmtR, opcode: opOP32, f3: 4, f7: 0x01, name: "divw"},
+	DIVUW:  {fmt: fmtR, opcode: opOP32, f3: 5, f7: 0x01, name: "divuw"},
+	REMW:   {fmt: fmtR, opcode: opOP32, f3: 6, f7: 0x01, name: "remw"},
+	REMUW:  {fmt: fmtR, opcode: opOP32, f3: 7, f7: 0x01, name: "remuw"},
+
+	LRW:      {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x02 << 2, name: "lr.w"},
+	SCW:      {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x03 << 2, name: "sc.w"},
+	AMOSWAPW: {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x01 << 2, name: "amoswap.w"},
+	AMOADDW:  {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x00 << 2, name: "amoadd.w"},
+	AMOXORW:  {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x04 << 2, name: "amoxor.w"},
+	AMOANDW:  {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x0C << 2, name: "amoand.w"},
+	AMOORW:   {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x08 << 2, name: "amoor.w"},
+	AMOMINW:  {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x10 << 2, name: "amomin.w"},
+	AMOMAXW:  {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x14 << 2, name: "amomax.w"},
+	AMOMINUW: {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x18 << 2, name: "amominu.w"},
+	AMOMAXUW: {fmt: fmtAMO, opcode: opAMO, f3: 2, f7: 0x1C << 2, name: "amomaxu.w"},
+	LRD:      {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x02 << 2, name: "lr.d"},
+	SCD:      {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x03 << 2, name: "sc.d"},
+	AMOSWAPD: {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x01 << 2, name: "amoswap.d"},
+	AMOADDD:  {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x00 << 2, name: "amoadd.d"},
+	AMOXORD:  {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x04 << 2, name: "amoxor.d"},
+	AMOANDD:  {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x0C << 2, name: "amoand.d"},
+	AMOORD:   {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x08 << 2, name: "amoor.d"},
+	AMOMIND:  {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x10 << 2, name: "amomin.d"},
+	AMOMAXD:  {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x14 << 2, name: "amomax.d"},
+	AMOMINUD: {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x18 << 2, name: "amominu.d"},
+	AMOMAXUD: {fmt: fmtAMO, opcode: opAMO, f3: 3, f7: 0x1C << 2, name: "amomaxu.d"},
+
+	FLW:     {fmt: fmtI, opcode: opLOADFP, f3: 2, name: "flw"},
+	FSW:     {fmt: fmtS, opcode: opSTOREFP, f3: 2, name: "fsw"},
+	FMADDS:  {fmt: fmtR4, opcode: opMADD, f7: 0x00, name: "fmadd.s"},
+	FMSUBS:  {fmt: fmtR4, opcode: opMSUB, f7: 0x00, name: "fmsub.s"},
+	FNMSUBS: {fmt: fmtR4, opcode: opNMSUB, f7: 0x00, name: "fnmsub.s"},
+	FNMADDS: {fmt: fmtR4, opcode: opNMADD, f7: 0x00, name: "fnmadd.s"},
+	FADDS:   {fmt: fmtRF, opcode: opOPFP, f7: 0x00, name: "fadd.s"},
+	FSUBS:   {fmt: fmtRF, opcode: opOPFP, f7: 0x04, name: "fsub.s"},
+	FMULS:   {fmt: fmtRF, opcode: opOPFP, f7: 0x08, name: "fmul.s"},
+	FDIVS:   {fmt: fmtRF, opcode: opOPFP, f7: 0x0C, name: "fdiv.s"},
+	FSQRTS:  {fmt: fmtR2, opcode: opOPFP, f7: 0x2C, rs2fix: 0, name: "fsqrt.s"},
+	FSGNJS:  {fmt: fmtR, opcode: opOPFP, f3: 0, f7: 0x10, name: "fsgnj.s"},
+	FSGNJNS: {fmt: fmtR, opcode: opOPFP, f3: 1, f7: 0x10, name: "fsgnjn.s"},
+	FSGNJXS: {fmt: fmtR, opcode: opOPFP, f3: 2, f7: 0x10, name: "fsgnjx.s"},
+	FMINS:   {fmt: fmtR, opcode: opOPFP, f3: 0, f7: 0x14, name: "fmin.s"},
+	FMAXS:   {fmt: fmtR, opcode: opOPFP, f3: 1, f7: 0x14, name: "fmax.s"},
+	FCVTWS:  {fmt: fmtR2, opcode: opOPFP, f7: 0x60, rs2fix: 0, name: "fcvt.w.s"},
+	FCVTWUS: {fmt: fmtR2, opcode: opOPFP, f7: 0x60, rs2fix: 1, name: "fcvt.wu.s"},
+	FCVTLS:  {fmt: fmtR2, opcode: opOPFP, f7: 0x60, rs2fix: 2, name: "fcvt.l.s"},
+	FCVTLUS: {fmt: fmtR2, opcode: opOPFP, f7: 0x60, rs2fix: 3, name: "fcvt.lu.s"},
+	FMVXW:   {fmt: fmtR2F, opcode: opOPFP, f3: 0, f7: 0x70, rs2fix: 0, name: "fmv.x.w"},
+	FEQS:    {fmt: fmtR, opcode: opOPFP, f3: 2, f7: 0x50, name: "feq.s"},
+	FLTS:    {fmt: fmtR, opcode: opOPFP, f3: 1, f7: 0x50, name: "flt.s"},
+	FLES:    {fmt: fmtR, opcode: opOPFP, f3: 0, f7: 0x50, name: "fle.s"},
+	FCLASSS: {fmt: fmtR2F, opcode: opOPFP, f3: 1, f7: 0x70, rs2fix: 0, name: "fclass.s"},
+	FCVTSW:  {fmt: fmtR2, opcode: opOPFP, f7: 0x68, rs2fix: 0, name: "fcvt.s.w"},
+	FCVTSWU: {fmt: fmtR2, opcode: opOPFP, f7: 0x68, rs2fix: 1, name: "fcvt.s.wu"},
+	FCVTSL:  {fmt: fmtR2, opcode: opOPFP, f7: 0x68, rs2fix: 2, name: "fcvt.s.l"},
+	FCVTSLU: {fmt: fmtR2, opcode: opOPFP, f7: 0x68, rs2fix: 3, name: "fcvt.s.lu"},
+	FMVWX:   {fmt: fmtR2F, opcode: opOPFP, f3: 0, f7: 0x78, rs2fix: 0, name: "fmv.w.x"},
+
+	FLD:     {fmt: fmtI, opcode: opLOADFP, f3: 3, name: "fld"},
+	FSD:     {fmt: fmtS, opcode: opSTOREFP, f3: 3, name: "fsd"},
+	FMADDD:  {fmt: fmtR4, opcode: opMADD, f7: 0x01, name: "fmadd.d"},
+	FMSUBD:  {fmt: fmtR4, opcode: opMSUB, f7: 0x01, name: "fmsub.d"},
+	FNMSUBD: {fmt: fmtR4, opcode: opNMSUB, f7: 0x01, name: "fnmsub.d"},
+	FNMADDD: {fmt: fmtR4, opcode: opNMADD, f7: 0x01, name: "fnmadd.d"},
+	FADDD:   {fmt: fmtRF, opcode: opOPFP, f7: 0x01, name: "fadd.d"},
+	FSUBD:   {fmt: fmtRF, opcode: opOPFP, f7: 0x05, name: "fsub.d"},
+	FMULD:   {fmt: fmtRF, opcode: opOPFP, f7: 0x09, name: "fmul.d"},
+	FDIVD:   {fmt: fmtRF, opcode: opOPFP, f7: 0x0D, name: "fdiv.d"},
+	FSQRTD:  {fmt: fmtR2, opcode: opOPFP, f7: 0x2D, rs2fix: 0, name: "fsqrt.d"},
+	FSGNJD:  {fmt: fmtR, opcode: opOPFP, f3: 0, f7: 0x11, name: "fsgnj.d"},
+	FSGNJND: {fmt: fmtR, opcode: opOPFP, f3: 1, f7: 0x11, name: "fsgnjn.d"},
+	FSGNJXD: {fmt: fmtR, opcode: opOPFP, f3: 2, f7: 0x11, name: "fsgnjx.d"},
+	FMIND:   {fmt: fmtR, opcode: opOPFP, f3: 0, f7: 0x15, name: "fmin.d"},
+	FMAXD:   {fmt: fmtR, opcode: opOPFP, f3: 1, f7: 0x15, name: "fmax.d"},
+	FCVTSD:  {fmt: fmtR2, opcode: opOPFP, f7: 0x20, rs2fix: 1, name: "fcvt.s.d"},
+	FCVTDS:  {fmt: fmtR2, opcode: opOPFP, f7: 0x21, rs2fix: 0, name: "fcvt.d.s"},
+	FEQD:    {fmt: fmtR, opcode: opOPFP, f3: 2, f7: 0x51, name: "feq.d"},
+	FLTD:    {fmt: fmtR, opcode: opOPFP, f3: 1, f7: 0x51, name: "flt.d"},
+	FLED:    {fmt: fmtR, opcode: opOPFP, f3: 0, f7: 0x51, name: "fle.d"},
+	FCLASSD: {fmt: fmtR2F, opcode: opOPFP, f3: 1, f7: 0x71, rs2fix: 0, name: "fclass.d"},
+	FCVTWD:  {fmt: fmtR2, opcode: opOPFP, f7: 0x61, rs2fix: 0, name: "fcvt.w.d"},
+	FCVTWUD: {fmt: fmtR2, opcode: opOPFP, f7: 0x61, rs2fix: 1, name: "fcvt.wu.d"},
+	FCVTLD:  {fmt: fmtR2, opcode: opOPFP, f7: 0x61, rs2fix: 2, name: "fcvt.l.d"},
+	FCVTLUD: {fmt: fmtR2, opcode: opOPFP, f7: 0x61, rs2fix: 3, name: "fcvt.lu.d"},
+	FMVXD:   {fmt: fmtR2F, opcode: opOPFP, f3: 0, f7: 0x71, rs2fix: 0, name: "fmv.x.d"},
+	FCVTDW:  {fmt: fmtR2, opcode: opOPFP, f7: 0x69, rs2fix: 0, name: "fcvt.d.w"},
+	FCVTDWU: {fmt: fmtR2, opcode: opOPFP, f7: 0x69, rs2fix: 1, name: "fcvt.d.wu"},
+	FCVTDL:  {fmt: fmtR2, opcode: opOPFP, f7: 0x69, rs2fix: 2, name: "fcvt.d.l"},
+	FCVTDLU: {fmt: fmtR2, opcode: opOPFP, f7: 0x69, rs2fix: 3, name: "fcvt.d.lu"},
+	FMVDX:   {fmt: fmtR2F, opcode: opOPFP, f3: 0, f7: 0x79, rs2fix: 0, name: "fmv.d.x"},
+}
+
+// Name returns the canonical assembly mnemonic of the operation.
+func (op Op) Name() string {
+	if int(op) < len(specs) && specs[op].name != "" {
+		return specs[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint16(op))
+}
+
+// String implements fmt.Stringer.
+func (op Op) String() string { return op.Name() }

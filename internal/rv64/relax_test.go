@@ -1,0 +1,146 @@
+package rv64
+
+import (
+	"testing"
+
+	"isacmp/internal/isa"
+	"isacmp/internal/mem"
+)
+
+// TestBranchRelaxation builds a loop whose body exceeds the ±4 KiB
+// B-format range and checks that the assembler relaxes the backward
+// branch into an inverted branch over a jal, preserving semantics and
+// symbol layout.
+func TestBranchRelaxation(t *testing.T) {
+	a := NewAsm()
+	a.Symbol("pre")
+	a.NOP()
+	a.Symbol("big")
+	a.LI(5, 0) // counter
+	a.LI(6, 3) // bound
+	a.LI(7, 0) // work accumulator
+	a.Label("loop")
+	// > 4 KiB of filler so the bottom bne cannot reach the label.
+	for i := 0; i < 1500; i++ {
+		a.ADDI(7, 7, 1)
+	}
+	a.ADDI(5, 5, 1)
+	a.BNE(5, 6, "loop")
+	a.Symbol("post")
+	a.MV(10, 7)
+	a.LI(17, 93)
+	a.ECALL()
+
+	f, err := a.Build(Program{TextBase: 0x10000})
+	if err != nil {
+		t.Fatalf("relaxation failed: %v", err)
+	}
+	m, err := NewMachine(f, mem.New(0x10000, 1<<22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev isa.Event
+	for i := 0; i < 100_000; i++ {
+		done, err := m.Step(&ev)
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if done {
+			if m.ExitCode() != 3*1500 {
+				t.Fatalf("exit = %d, want %d", m.ExitCode(), 3*1500)
+			}
+			// Symbols must have shifted with the inserted jal.
+			bySym := map[string]uint64{}
+			for _, s := range f.Symbols {
+				bySym[s.Name] = s.Value
+			}
+			if bySym["post"] <= bySym["big"] {
+				t.Fatal("symbol order corrupted by relaxation")
+			}
+			// The loop grew by one instruction (bne -> beq+jal), so
+			// 'post' sits one word later than the unrelaxed layout.
+			wantPost := bySym["big"] + uint64(3+1500+1+2)*4
+			if bySym["post"] != wantPost {
+				t.Fatalf("post at %#x, want %#x", bySym["post"], wantPost)
+			}
+			return
+		}
+	}
+	t.Fatal("did not terminate: relaxation broke the loop")
+}
+
+// TestRelaxationForwardBranch exercises a forward out-of-range branch.
+func TestRelaxationForwardBranch(t *testing.T) {
+	a := NewAsm()
+	a.LI(5, 1)
+	a.BEQ(5, 0, "far") // never taken, but must still encode
+	for i := 0; i < 1500; i++ {
+		a.NOP()
+	}
+	a.Label("far")
+	a.LI(10, 7)
+	a.LI(17, 93)
+	a.ECALL()
+	f, err := a.Build(Program{TextBase: 0x10000})
+	if err != nil {
+		t.Fatalf("forward relaxation failed: %v", err)
+	}
+	m, err := NewMachine(f, mem.New(0x10000, 1<<22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev isa.Event
+	for i := 0; i < 10_000; i++ {
+		done, err := m.Step(&ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if m.ExitCode() != 7 {
+				t.Fatalf("exit = %d", m.ExitCode())
+			}
+			return
+		}
+	}
+	t.Fatal("did not terminate")
+}
+
+// TestRelaxationTakenPath: a relaxed branch that IS taken must reach
+// its distant target through the jal.
+func TestRelaxationTakenPath(t *testing.T) {
+	a := NewAsm()
+	a.LI(5, 1)
+	a.BEQ(5, 5, "far") // always taken, out of range
+	for i := 0; i < 1500; i++ {
+		a.NOP()
+	}
+	a.LI(10, 1) // must be skipped
+	a.LI(17, 93)
+	a.ECALL()
+	a.Label("far")
+	a.LI(10, 42)
+	a.LI(17, 93)
+	a.ECALL()
+	f, err := a.Build(Program{TextBase: 0x10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(f, mem.New(0x10000, 1<<22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev isa.Event
+	for i := 0; i < 10_000; i++ {
+		done, err := m.Step(&ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if m.ExitCode() != 42 {
+				t.Fatalf("exit = %d, want 42 (took wrong path)", m.ExitCode())
+			}
+			return
+		}
+	}
+	t.Fatal("did not terminate")
+}

@@ -1,0 +1,71 @@
+package simeng
+
+// Cache is a set-associative data-cache timing model with LRU
+// replacement, used by the finite-resource core models to refine load
+// latencies. The paper's analyses assume single-cycle memory (its
+// ideal-processor definition); this model belongs to the section 8
+// programme of adding real-world constraints one at a time.
+type Cache struct {
+	// LineSize is the block size in bytes (a power of two).
+	LineSize uint64
+	// Sets is the number of sets (a power of two).
+	Sets uint64
+	// Ways is the associativity.
+	Ways int
+	// MissPenalty is the extra latency of a miss, in cycles.
+	MissPenalty uint32
+
+	tags         [][]uint64 // per set, most-recently-used first
+	hits, misses uint64
+}
+
+// NewL1D returns a 32 KiB, 8-way, 64-byte-line cache with a 20-cycle
+// miss penalty — the shape of the L1D in the cores the paper tunes
+// for.
+func NewL1D() *Cache {
+	return &Cache{LineSize: 64, Sets: 64, Ways: 8, MissPenalty: 20}
+}
+
+// Access touches addr and returns the extra latency incurred (0 on a
+// hit, MissPenalty on a miss). The line is promoted to MRU either way.
+func (c *Cache) Access(addr uint64) uint32 {
+	if c.tags == nil {
+		c.tags = make([][]uint64, c.Sets)
+	}
+	line := addr / c.LineSize
+	set := line % c.Sets
+	tags := c.tags[set]
+	for i, t := range tags {
+		if t == line {
+			// Hit: move to front.
+			copy(tags[1:i+1], tags[:i])
+			tags[0] = line
+			c.hits++
+			return 0
+		}
+	}
+	c.misses++
+	// Miss: insert at front, evict LRU if full.
+	if len(tags) < c.Ways {
+		tags = append(tags, 0)
+	}
+	copy(tags[1:], tags)
+	tags[0] = line
+	c.tags[set] = tags
+	return c.MissPenalty
+}
+
+// Hits returns the number of cache hits observed.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of cache misses observed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses / accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}

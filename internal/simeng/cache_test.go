@@ -1,0 +1,112 @@
+package simeng
+
+import (
+	"testing"
+
+	"isacmp/internal/isa"
+)
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	c := &Cache{LineSize: 64, Sets: 4, Ways: 2, MissPenalty: 10}
+	// First touch misses, second hits.
+	if c.Access(0x1000) != 10 {
+		t.Fatal("cold access should miss")
+	}
+	if c.Access(0x1000) != 0 {
+		t.Fatal("warm access should hit")
+	}
+	// Same line, different byte: hit.
+	if c.Access(0x103F) != 0 {
+		t.Fatal("same-line access should hit")
+	}
+	// Next line: miss.
+	if c.Access(0x1040) != 10 {
+		t.Fatal("next line should miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 set, 2 ways: the third distinct line evicts the least recent.
+	c := &Cache{LineSize: 64, Sets: 1, Ways: 2, MissPenalty: 1}
+	c.Access(0)   // miss, cache: {0}
+	c.Access(64)  // miss, cache: {64, 0}
+	c.Access(0)   // hit, cache: {0, 64}
+	c.Access(128) // miss, evicts 64
+	if c.Access(0) != 0 {
+		t.Fatal("line 0 should have survived (was MRU)")
+	}
+	if c.Access(64) != 1 {
+		t.Fatal("line 64 should have been evicted")
+	}
+}
+
+func TestCacheStreamingVsResident(t *testing.T) {
+	// A working set that fits is all hits after warmup; a streaming
+	// scan of a larger array keeps missing every line.
+	resident := NewL1D()
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0); addr < 16*1024; addr += 8 {
+			resident.Access(addr)
+		}
+	}
+	if resident.MissRate() > 0.05 {
+		t.Fatalf("resident working set miss rate %v", resident.MissRate())
+	}
+
+	streaming := NewL1D()
+	for addr := uint64(0); addr < 8*1024*1024; addr += 64 {
+		streaming.Access(addr)
+	}
+	if streaming.MissRate() < 0.99 {
+		t.Fatalf("streaming miss rate %v", streaming.MissRate())
+	}
+}
+
+func TestOoOWithCache(t *testing.T) {
+	// Streaming loads over a huge range: the cached model must charge
+	// more cycles than the uncached one.
+	run := func(dcache *Cache) uint64 {
+		m := NewOoOModel()
+		m.DCache = dcache
+		for i := 0; i < 4000; i++ {
+			ev := &isa.Event{Group: isa.GroupLoad, LoadAddr: uint64(i) * 64, LoadSize: 8}
+			ev.AddDst(isa.IntReg(1))
+			dep := &isa.Event{Group: isa.GroupIntSimple}
+			dep.AddSrc(isa.IntReg(1))
+			dep.AddDst(isa.IntReg(1)) // serialise on the loads
+			m.Event(ev)
+			m.Event(dep)
+		}
+		return m.Stats().Cycles
+	}
+	plain := run(nil)
+	cached := run(NewL1D())
+	if cached <= plain {
+		t.Fatalf("cache model added no cost: %d vs %d", cached, plain)
+	}
+}
+
+func TestInOrderWithCache(t *testing.T) {
+	run := func(dcache *Cache) uint64 {
+		m := NewInOrderModel()
+		m.DCache = dcache
+		for i := 0; i < 1000; i++ {
+			ev := &isa.Event{Group: isa.GroupLoad, LoadAddr: uint64(i) * 64, LoadSize: 8}
+			ev.AddDst(isa.IntReg(1))
+			use := &isa.Event{Group: isa.GroupIntSimple}
+			use.AddSrc(isa.IntReg(1))
+			m.Event(ev)
+			m.Event(use)
+		}
+		return m.Stats().Cycles
+	}
+	if run(NewL1D()) <= run(nil) {
+		t.Fatal("in-order cache model added no cost")
+	}
+}

@@ -1,0 +1,150 @@
+// Package simeng is the simulation engine: it drives an architectural
+// machine (AArch64 or RV64G) and streams one execution record per
+// retired instruction to any number of analysis sinks. It is the Go
+// counterpart of the SimEng infrastructure the paper builds on.
+//
+// Three core models are provided:
+//
+//   - EmulationCore: the atomic model the paper uses for all four
+//     experiments — every instruction executes to completion in a
+//     single cycle, so cycles == instructions.
+//   - InOrderModel: a dual-issue in-order pipeline in the spirit of
+//     the Cortex-A55 / SiFive-7 cores the paper's -mtune flags target.
+//   - OoOModel: a superscalar out-of-order core with a finite reorder
+//     buffer, the "future work" model of the paper's section 8.
+//
+// The timing models are trace-driven: they consume the architectural
+// event stream and account cycles, which is exactly the level of
+// modelling the paper's analyses need (dependencies, latencies and
+// structural limits; no wrong-path execution).
+package simeng
+
+import (
+	"fmt"
+
+	"isacmp/internal/isa"
+)
+
+// Machine is the architectural simulator interface implemented by
+// rv64.Machine and a64.Machine.
+type Machine interface {
+	// Step retires one instruction, filling ev; done is true after the
+	// program has exited.
+	Step(ev *isa.Event) (done bool, err error)
+	// PC returns the current program counter.
+	PC() uint64
+	// Arch identifies the instruction set.
+	Arch() isa.Arch
+}
+
+// Stats summarises a completed run.
+type Stats struct {
+	// Instructions is the number of retired instructions (the paper's
+	// path length).
+	Instructions uint64
+	// Cycles is the core model's cycle count; for the emulation core
+	// it equals Instructions.
+	Cycles uint64
+}
+
+// CPI returns cycles per instruction.
+func (s Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// EmulationCore executes instructions atomically, one per cycle,
+// streaming each retirement to the sink. MaxInstructions guards
+// against runaway programs (0 means no limit).
+type EmulationCore struct {
+	// MaxInstructions aborts the run when exceeded; 0 means unlimited.
+	MaxInstructions uint64
+}
+
+// Run drives m to completion. sink may be nil to just count.
+func (c *EmulationCore) Run(m Machine, sink isa.Sink) (Stats, error) {
+	var ev isa.Event
+	var stats Stats
+	max := c.MaxInstructions
+	for {
+		done, err := m.Step(&ev)
+		if err != nil {
+			return stats, fmt.Errorf("simeng: after %d instructions: %w", stats.Instructions, err)
+		}
+		if done {
+			stats.Cycles = stats.Instructions
+			return stats, nil
+		}
+		stats.Instructions++
+		if sink != nil {
+			sink.Event(&ev)
+		}
+		if max != 0 && stats.Instructions >= max {
+			return stats, fmt.Errorf("simeng: instruction limit %d exceeded", max)
+		}
+	}
+}
+
+// LatencyModel maps each instruction group to an execution latency in
+// cycles. It is the Go analogue of the latency fields in SimEng's YAML
+// core descriptions.
+type LatencyModel [isa.NumGroups]uint32
+
+// Latency returns the latency of group g.
+func (l *LatencyModel) Latency(g isa.Group) uint32 { return l[g] }
+
+// TX2Latencies models Marvell ThunderX2-style execution latencies, the
+// "canonical superscalar RISC" model the paper scales critical paths
+// with (section 5.1): single-cycle simple integer work, mid-single-
+// digit multiplies and FP arithmetic, and long dividers.
+func TX2Latencies() *LatencyModel {
+	return &LatencyModel{
+		isa.GroupIntSimple: 1,
+		isa.GroupIntMul:    5,
+		isa.GroupIntDiv:    23,
+		isa.GroupLoad:      4,
+		isa.GroupStore:     1,
+		isa.GroupBranch:    1,
+		isa.GroupFPSimple:  5,
+		isa.GroupFPAdd:     6,
+		isa.GroupFPMul:     6,
+		isa.GroupFPFMA:     6,
+		isa.GroupFPDiv:     23,
+		isa.GroupFPSqrt:    23,
+		isa.GroupFPCvt:     7,
+		isa.GroupSystem:    1,
+	}
+}
+
+// A55Latencies models a small dual-issue in-order core (Cortex-A55 /
+// SiFive-7 class, the cores the paper's -mtune flags select).
+func A55Latencies() *LatencyModel {
+	return &LatencyModel{
+		isa.GroupIntSimple: 1,
+		isa.GroupIntMul:    3,
+		isa.GroupIntDiv:    12,
+		isa.GroupLoad:      3,
+		isa.GroupStore:     1,
+		isa.GroupBranch:    1,
+		isa.GroupFPSimple:  2,
+		isa.GroupFPAdd:     4,
+		isa.GroupFPMul:     4,
+		isa.GroupFPFMA:     4,
+		isa.GroupFPDiv:     19,
+		isa.GroupFPSqrt:    22,
+		isa.GroupFPCvt:     4,
+		isa.GroupSystem:    1,
+	}
+}
+
+// UnitLatencies gives every group a latency of one cycle; with it the
+// scaled critical path degenerates to the plain critical path.
+func UnitLatencies() *LatencyModel {
+	var l LatencyModel
+	for g := range l {
+		l[g] = 1
+	}
+	return &l
+}

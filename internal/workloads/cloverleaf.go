@@ -1,0 +1,159 @@
+package workloads
+
+import "isacmp/internal/ir"
+
+// CloverLeaf builds a serial CloverLeaf-style hydrodynamics step on an
+// nx x ny staggered Cartesian grid (the paper's second workload),
+// solving the compressible Euler equations with the code's
+// characteristic kernel set:
+//
+//   - ideal_gas: equation of state — pressure and soundspeed from
+//     density and energy (divide + sqrt per cell).
+//   - viscosity: artificial viscous pressure from velocity gradients,
+//     applied only in compressing cells (a conditional per cell).
+//   - flux_calc: face mass fluxes from face velocities.
+//   - advec_cell: first-order donor-cell advection with upwind
+//     selection (a data-dependent branch per face).
+//
+// `steps` timesteps execute via the program repeat loop. This is a
+// reduced kernel set, not the full CloverLeaf driver; DESIGN.md
+// records the substitution (the omitted kernels repeat the same
+// stencil/EOS instruction mixes).
+func CloverLeaf(nx, ny, steps int) *ir.Program {
+	p := ir.NewProgram("cloverleaf")
+	p.Repeat = steps
+	n := nx * ny
+
+	density := p.Array("density", ir.F64, n)
+	energy := p.Array("energy", ir.F64, n)
+	pressure := p.Array("pressure", ir.F64, n)
+	soundspeed := p.Array("soundspeed", ir.F64, n)
+	viscosity := p.Array("viscosity", ir.F64, n)
+	xvel := p.Array("xvel", ir.F64, n)
+	yvel := p.Array("yvel", ir.F64, n)
+	volFluxX := p.Array("vol_flux_x", ir.F64, n)
+	massFluxX := p.Array("mass_flux_x", ir.F64, n)
+
+	const gamma = 1.4
+
+	// --- setup: a smooth two-state initial condition ---
+	{
+		i := iv("cl_init_i")
+		p.SetupKernel("generate_chunk").Add(
+			loop(i, ci(0), ci(int64(n)),
+				set(density, v(i), add(cf(1.0),
+					mul(cf(0.2), div(ir.I2F(ir.B2(ir.Rem, v(i), ci(31))), cf(31))))),
+				set(energy, v(i), add(cf(2.5),
+					mul(cf(0.5), div(ir.I2F(ir.B2(ir.Rem, mul(v(i), ci(3)), ci(17))), cf(17))))),
+				set(xvel, v(i), mul(cf(0.1),
+					sub(div(ir.I2F(ir.B2(ir.Rem, v(i), ci(13))), cf(13)), cf(0.5)))),
+				set(yvel, v(i), mul(cf(0.08),
+					sub(div(ir.I2F(ir.B2(ir.Rem, mul(v(i), ci(5)), ci(11))), cf(11)), cf(0.5)))),
+			),
+		)
+	}
+
+	// --- ideal_gas: p = (gamma-1) rho e; ss = sqrt(gamma p / rho) ---
+	{
+		i := iv("ig_i")
+		rho, pe := fv("ig_rho"), fv("ig_p")
+		p.Kernel("ideal_gas").Add(
+			loop(i, ci(0), ci(int64(n)),
+				let(rho, ld(density, v(i))),
+				let(pe, mul(mul(cf(gamma-1), v(rho)), ld(energy, v(i)))),
+				set(pressure, v(i), v(pe)),
+				set(soundspeed, v(i), ir.SqrtE(div(mul(cf(gamma), v(pe)), v(rho)))),
+			),
+		)
+	}
+
+	// --- viscosity: quadratic artificial viscosity in compression ---
+	// Subscripts stay inline and row-relative (as CloverLeaf's 2D
+	// indexing macros expand), so the inner loop's accesses are
+	// unit-stride streams both back ends optimise: pointer walks on
+	// RISC-V, hoisted register-offset bases on AArch64.
+	{
+		jj, ii := iv("vi_jj"), iv("vi_ii")
+		row, rowE, rowW := iv("vi_row"), iv("vi_rowE"), iv("vi_rowW")
+		rowN, rowS := iv("vi_rowN"), iv("vi_rowS")
+		du, dv, divr := fv("vi_du"), fv("vi_dv"), fv("vi_div")
+		p.Kernel("viscosity").Add(
+			loop(jj, ci(1), ci(int64(ny-1)),
+				let(row, mul(v(jj), ci(int64(nx)))),
+				let(rowE, add(v(row), ci(1))),
+				let(rowW, sub(v(row), ci(1))),
+				let(rowN, add(v(row), ci(int64(nx)))),
+				let(rowS, sub(v(row), ci(int64(nx)))),
+				loop(ii, ci(1), ci(int64(nx-1)),
+					let(du, sub(ld(xvel, add(v(rowE), v(ii))), ld(xvel, add(v(rowW), v(ii))))),
+					let(dv, sub(ld(yvel, add(v(rowN), v(ii))), ld(yvel, add(v(rowS), v(ii))))),
+					let(divr, add(v(du), v(dv))),
+					whenElse(ir.B2(ir.Lt, v(divr), cf(0)),
+						[]ir.Stmt{set(viscosity, add(v(row), v(ii)),
+							mul(mul(cf(2.0), ld(density, add(v(row), v(ii)))), mul(v(divr), v(divr))))},
+						[]ir.Stmt{set(viscosity, add(v(row), v(ii)), cf(0))},
+					),
+				),
+			),
+		)
+	}
+
+	// --- flux_calc: face volume fluxes from face velocities ---
+	{
+		jj, ii := iv("fc_jj"), iv("fc_ii")
+		row, rowW := iv("fc_row"), iv("fc_rowW")
+		const dt = 0.04
+		p.Kernel("flux_calc").Add(
+			loop(jj, ci(0), ci(int64(ny)),
+				let(row, mul(v(jj), ci(int64(nx)))),
+				let(rowW, sub(v(row), ci(1))),
+				loop(ii, ci(1), ci(int64(nx)),
+					set(volFluxX, add(v(row), v(ii)),
+						mul(cf(0.25*dt), add(ld(xvel, add(v(row), v(ii))), ld(xvel, add(v(rowW), v(ii)))))),
+				),
+			),
+		)
+	}
+
+	// --- advec_cell: donor-cell advection along x ---
+	{
+		jj, ii := iv("ac_jj"), iv("ac_ii")
+		row, donor := iv("ac_row"), iv("ac_donor")
+		flux := fv("ac_flux")
+		p.Kernel("advec_cell").Add(
+			loop(jj, ci(0), ci(int64(ny)),
+				let(row, mul(v(jj), ci(int64(nx)))),
+				loop(ii, ci(1), ci(int64(nx)),
+					let(flux, ld(volFluxX, add(v(row), v(ii)))),
+					// Upwind donor selection: a data-dependent index
+					// no induction-variable optimisation can remove.
+					whenElse(ir.B2(ir.Gt, v(flux), cf(0)),
+						[]ir.Stmt{let(donor, sub(add(v(row), v(ii)), ci(1)))},
+						[]ir.Stmt{let(donor, add(v(row), v(ii)))},
+					),
+					set(massFluxX, add(v(row), v(ii)), mul(v(flux), ld(density, v(donor)))),
+				),
+			),
+		)
+		// Density update from the face fluxes (interior cells only).
+		jj2, ii2 := iv("ac2_jj"), iv("ac2_ii")
+		row2, rowE2 := iv("ac2_row"), iv("ac2_rowE")
+		p.Kernel("advec_update").Add(
+			loop(jj2, ci(0), ci(int64(ny)),
+				let(row2, mul(v(jj2), ci(int64(nx)))),
+				let(rowE2, add(v(row2), ci(1))),
+				loop(ii2, ci(1), ci(int64(nx-1)),
+					set(density, add(v(row2), v(ii2)),
+						add(ld(density, add(v(row2), v(ii2))),
+							sub(ld(massFluxX, add(v(row2), v(ii2))), ld(massFluxX, add(v(rowE2), v(ii2)))))),
+					// Keep energy consistent with the viscous pressure.
+					set(energy, add(v(row2), v(ii2)),
+						add(ld(energy, add(v(row2), v(ii2))),
+							mul(cf(0.0001), ld(viscosity, add(v(row2), v(ii2)))))),
+				),
+			),
+		)
+	}
+
+	return p
+}

@@ -1,0 +1,282 @@
+package workloads
+
+import "isacmp/internal/ir"
+
+// LBM builds the d2q9-bgk lattice Boltzmann code developed in the
+// Bristol HPC group (the paper's fourth workload): an nx x ny torus
+// with nine speeds per cell, stored as one array per speed (the
+// struct-of-arrays layout of the serial-optimised version). Each
+// timestep runs the accelerate_flow, propagate, rebound, collision and
+// av_velocity kernels; iters timesteps execute via the program repeat
+// loop. The propagate kernel is split into axis and diagonal halves
+// (a register-pressure split a compiler would express as spills; the
+// dynamic instruction mix is unchanged).
+//
+// Speed numbering follows d2q9-bgk.c: 0 rest, 1 E, 2 N, 3 W, 4 S,
+// 5 NE, 6 NW, 7 SW, 8 SE.
+func LBM(nx, ny, iters int) *ir.Program {
+	p := ir.NewProgram("lbm")
+	p.Repeat = iters
+	n := nx * ny
+
+	f := make([]*ir.Array, 9)
+	tmp := make([]*ir.Array, 9)
+	for k := 0; k < 9; k++ {
+		f[k] = p.Array(speedName("f", k), ir.F64, n)
+		tmp[k] = p.Array(speedName("tmp", k), ir.F64, n)
+	}
+	obstacles := p.Array("obstacles", ir.I64, n)
+	avVels := p.Array("av_vels", ir.F64, iters)
+	cnt := p.Array("step", ir.I64, 1)
+
+	const (
+		density = 0.1
+		accel   = 0.005
+		omega   = 1.85
+		w0i     = density * 4.0 / 9.0
+		w14i    = density / 9.0
+		w58i    = density / 36.0
+	)
+
+	// --- setup: equilibrium state and a sparse obstacle pattern ---
+	{
+		i, ii, jj := iv("in_i"), iv("in_ii"), iv("in_jj")
+		body := []ir.Stmt{
+			let(jj, ir.B2(ir.Div, v(i), ci(int64(nx)))),
+			let(ii, ir.B2(ir.Rem, v(i), ci(int64(nx)))),
+			set(f[0], v(i), cf(w0i)),
+		}
+		for k := 1; k <= 4; k++ {
+			body = append(body, set(f[k], v(i), cf(w14i)))
+		}
+		for k := 5; k <= 8; k++ {
+			body = append(body, set(f[k], v(i), cf(w58i)))
+		}
+		body = append(body, whenElse(
+			ir.B2(ir.Eq, ir.B2(ir.Rem, add(mul(v(ii), ci(7)), mul(v(jj), ci(3))), ci(11)), ci(0)),
+			[]ir.Stmt{set(obstacles, v(i), ci(1))},
+			[]ir.Stmt{set(obstacles, v(i), ci(0))},
+		))
+		p.SetupKernel("initialise").Add(loop(i, ci(0), ci(int64(n)), body...))
+	}
+
+	// --- accelerate_flow: bias flow eastward along row ny-2 ---
+	{
+		ii, idx := iv("af_ii"), iv("af_idx")
+		rowBase := int64((ny - 2) * nx)
+		w1, w2 := density*accel/9.0, density*accel/36.0
+		cond := func(k int, w float64) ir.Expr {
+			return ir.B2(ir.Gt, sub(ld(f[k], v(idx)), cf(w)), cf(0))
+		}
+		p.Kernel("accelerate_flow").Add(
+			loop(ii, ci(0), ci(int64(nx)),
+				let(idx, add(ci(rowBase), v(ii))),
+				when(ir.B2(ir.Eq, ld(obstacles, v(idx)), ci(0)),
+					when(cond(3, w1),
+						when(cond(6, w2),
+							when(cond(7, w2),
+								set(f[1], v(idx), add(ld(f[1], v(idx)), cf(w1))),
+								set(f[5], v(idx), add(ld(f[5], v(idx)), cf(w2))),
+								set(f[8], v(idx), add(ld(f[8], v(idx)), cf(w2))),
+								set(f[3], v(idx), sub(ld(f[3], v(idx)), cf(w1))),
+								set(f[6], v(idx), sub(ld(f[6], v(idx)), cf(w2))),
+								set(f[7], v(idx), sub(ld(f[7], v(idx)), cf(w2))),
+							),
+						),
+					),
+				),
+			),
+		)
+	}
+
+	// --- propagate: gather each speed from its upwind neighbour ---
+	// Neighbour index helpers, written as the serial d2q9-bgk computes
+	// them: modulo for the increasing direction, a compare for the
+	// decreasing one.
+	{
+		jj, ii := iv("p1_jj"), iv("p1_ii")
+		row, rowN, rowS, xe, xw := iv("p1_row"), iv("p1_rowN"), iv("p1_rowS"), iv("p1_xe"), iv("p1_xw")
+		// Array subscripts stay inline, as d2q9-bgk.c writes them; the
+		// row+ii forms are unit-stride streams the RISC-V back end can
+		// strength-reduce.
+		inner := append(addNeighbourVars(ii, xe, xw, nx),
+			set(tmp[0], add(v(row), v(ii)), ld(f[0], add(v(row), v(ii)))),
+			set(tmp[1], add(v(row), v(ii)), ld(f[1], add(v(row), v(xw)))),
+			set(tmp[2], add(v(row), v(ii)), ld(f[2], add(v(rowS), v(ii)))),
+			set(tmp[3], add(v(row), v(ii)), ld(f[3], add(v(row), v(xe)))),
+			set(tmp[4], add(v(row), v(ii)), ld(f[4], add(v(rowN), v(ii)))),
+		)
+		p.Kernel("propagate_axis").Add(
+			loop(jj, ci(0), ci(int64(ny)),
+				append(rowSetup(jj, row, rowN, rowS, nx, ny),
+					loop(ii, ci(0), ci(int64(nx)), inner...))...,
+			),
+		)
+	}
+	{
+		jj, ii := iv("p2_jj"), iv("p2_ii")
+		row, rowN, rowS, xe, xw := iv("p2_row"), iv("p2_rowN"), iv("p2_rowS"), iv("p2_xe"), iv("p2_xw")
+		inner := append(addNeighbourVars(ii, xe, xw, nx),
+			set(tmp[5], add(v(row), v(ii)), ld(f[5], add(v(rowS), v(xw)))),
+			set(tmp[6], add(v(row), v(ii)), ld(f[6], add(v(rowS), v(xe)))),
+			set(tmp[7], add(v(row), v(ii)), ld(f[7], add(v(rowN), v(xe)))),
+			set(tmp[8], add(v(row), v(ii)), ld(f[8], add(v(rowN), v(xw)))),
+		)
+		p.Kernel("propagate_diag").Add(
+			loop(jj, ci(0), ci(int64(ny)),
+				append(rowSetup(jj, row, rowN, rowS, nx, ny),
+					loop(ii, ci(0), ci(int64(nx)), inner...))...,
+			),
+		)
+	}
+
+	// --- rebound: obstacle cells reflect distributions ---
+	{
+		i := iv("rb_i")
+		opp := [9]int{0, 3, 4, 1, 2, 7, 8, 5, 6}
+		var body []ir.Stmt
+		for k := 1; k <= 8; k++ {
+			body = append(body, set(f[k], v(i), ld(tmp[opp[k]], v(i))))
+		}
+		p.Kernel("rebound").Add(
+			loop(i, ci(0), ci(int64(n)),
+				when(ir.B2(ir.Ne, ld(obstacles, v(i)), ci(0)), body...),
+			),
+		)
+	}
+
+	// --- collision: BGK relaxation toward local equilibrium ---
+	{
+		i := iv("co_i")
+		rho, ux, uy, usq := fv("co_rho"), fv("co_ux"), fv("co_uy"), fv("co_usq")
+		const cSq = 1.0 / 3.0
+
+		sumExpr := ld(tmp[0], v(i))
+		for k := 1; k <= 8; k++ {
+			sumExpr = add(sumExpr, ld(tmp[k], v(i)))
+		}
+		uxExpr := div(
+			sub(add(add(ld(tmp[1], v(i)), ld(tmp[5], v(i))), ld(tmp[8], v(i))),
+				add(add(ld(tmp[3], v(i)), ld(tmp[6], v(i))), ld(tmp[7], v(i)))),
+			v(rho))
+		uyExpr := div(
+			sub(add(add(ld(tmp[2], v(i)), ld(tmp[5], v(i))), ld(tmp[6], v(i))),
+				add(add(ld(tmp[4], v(i)), ld(tmp[7], v(i))), ld(tmp[8], v(i)))),
+			v(rho))
+
+		weights := [9]float64{4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36}
+		dirU := func(k int) ir.Expr {
+			switch k {
+			case 1:
+				return v(ux)
+			case 2:
+				return v(uy)
+			case 3:
+				return ir.NegE(v(ux))
+			case 4:
+				return ir.NegE(v(uy))
+			case 5:
+				return add(v(ux), v(uy))
+			case 6:
+				return sub(v(uy), v(ux))
+			case 7:
+				return ir.NegE(add(v(ux), v(uy)))
+			default: // 8
+				return sub(v(ux), v(uy))
+			}
+		}
+		body := []ir.Stmt{
+			let(rho, sumExpr),
+			let(ux, uxExpr),
+			let(uy, uyExpr),
+			let(usq, add(mul(v(ux), v(ux)), mul(v(uy), v(uy)))),
+		}
+		for k := 0; k <= 8; k++ {
+			var eq ir.Expr
+			if k == 0 {
+				eq = mul(cf(weights[0]), mul(v(rho), sub(cf(1), div(v(usq), cf(2*cSq)))))
+			} else {
+				u := dirU(k)
+				eq = mul(cf(weights[k]), mul(v(rho),
+					sub(add(add(cf(1), div(u, cf(cSq))),
+						div(mul(u, u), cf(2*cSq*cSq))),
+						div(v(usq), cf(2*cSq)))))
+			}
+			fk := ld(tmp[k], v(i))
+			body = append(body, set(f[k], v(i),
+				add(fk, mul(cf(omega), sub(eq, fk)))))
+		}
+		p.Kernel("collision").Add(
+			loop(i, ci(0), ci(int64(n)),
+				when(ir.B2(ir.Eq, ld(obstacles, v(i)), ci(0)), body...),
+			),
+		)
+	}
+
+	// --- av_velocity: mean fluid speed, one entry per timestep ---
+	{
+		i, t := iv("av_i"), iv("av_t")
+		rho, ux, uy := fv("av_rho"), fv("av_ux"), fv("av_uy")
+		totU, totC := fv("av_totu"), fv("av_totc")
+		sumExpr := ld(f[0], v(i))
+		for k := 1; k <= 8; k++ {
+			sumExpr = add(sumExpr, ld(f[k], v(i)))
+		}
+		uxExpr := div(
+			sub(add(add(ld(f[1], v(i)), ld(f[5], v(i))), ld(f[8], v(i))),
+				add(add(ld(f[3], v(i)), ld(f[6], v(i))), ld(f[7], v(i)))),
+			v(rho))
+		uyExpr := div(
+			sub(add(add(ld(f[2], v(i)), ld(f[5], v(i))), ld(f[6], v(i))),
+				add(add(ld(f[4], v(i)), ld(f[7], v(i))), ld(f[8], v(i)))),
+			v(rho))
+		p.Kernel("av_velocity").Add(
+			let(totU, cf(0)),
+			let(totC, cf(0)),
+			loop(i, ci(0), ci(int64(n)),
+				when(ir.B2(ir.Eq, ld(obstacles, v(i)), ci(0)),
+					let(rho, sumExpr),
+					let(ux, uxExpr),
+					let(uy, uyExpr),
+					let(totU, add(v(totU), ir.SqrtE(add(mul(v(ux), v(ux)), mul(v(uy), v(uy)))))),
+					let(totC, add(v(totC), cf(1))),
+				),
+			),
+			let(t, ld(cnt, ci(0))),
+			set(avVels, v(t), div(v(totU), v(totC))),
+			set(cnt, ci(0), add(v(t), ci(1))),
+		)
+	}
+
+	return p
+}
+
+func speedName(prefix string, k int) string {
+	return prefix + string(rune('0'+k))
+}
+
+// addNeighbourVars computes the east/west neighbour columns the way
+// the serial d2q9-bgk does: modulo for the increasing direction, a
+// compare for the wrap-down.
+func addNeighbourVars(ii, xe, xw *ir.Var, nx int) []ir.Stmt {
+	return []ir.Stmt{
+		let(xe, ir.B2(ir.Rem, add(v(ii), ci(1)), ci(int64(nx)))),
+		whenElse(ir.B2(ir.Eq, v(ii), ci(0)),
+			[]ir.Stmt{let(xw, ci(int64(nx-1)))},
+			[]ir.Stmt{let(xw, sub(v(ii), ci(1)))},
+		),
+	}
+}
+
+// rowSetup computes the current, north and south row bases for one
+// grid row.
+func rowSetup(jj, row, rowN, rowS *ir.Var, nx, ny int) []ir.Stmt {
+	return []ir.Stmt{
+		let(row, mul(v(jj), ci(int64(nx)))),
+		let(rowN, mul(ir.B2(ir.Rem, add(v(jj), ci(1)), ci(int64(ny))), ci(int64(nx)))),
+		whenElse(ir.B2(ir.Eq, v(jj), ci(0)),
+			[]ir.Stmt{let(rowS, ci(int64((ny-1)*nx)))},
+			[]ir.Stmt{let(rowS, mul(sub(v(jj), ci(1)), ci(int64(nx))))},
+		),
+	}
+}

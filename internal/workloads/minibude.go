@@ -1,0 +1,125 @@
+package workloads
+
+import "isacmp/internal/ir"
+
+// MiniBUDE builds the docking-energy inner loop of the miniBUDE
+// virtual-screening mini-app (the paper's third workload): for every
+// pose of a ligand, accumulate the interaction energy of every ligand
+// atom against every protein atom — a distance computation (sqrt), a
+// steric clash term and an electrostatic term behind cutoff
+// conditionals.
+//
+// Substitution note (recorded in DESIGN.md): the full miniBUDE applies
+// a rotation to each pose, which needs sin/cos from libm; the
+// simulated ISA subsets have no transcendental instructions, so poses
+// are modelled as rigid translations. The arithmetic character of the
+// inner loop (loads, FP multiply-adds, sqrt, divide, two conditionals)
+// is unchanged; problem sizes nposes/natlig/natpro map directly.
+func MiniBUDE(nposes, natlig, natpro int) *ir.Program {
+	p := ir.NewProgram("minibude")
+
+	proX := p.Array("protein_x", ir.F64, natpro)
+	proY := p.Array("protein_y", ir.F64, natpro)
+	proZ := p.Array("protein_z", ir.F64, natpro)
+	proQ := p.Array("protein_q", ir.F64, natpro)
+	proR := p.Array("protein_r", ir.F64, natpro)
+	ligX := p.Array("lig_x", ir.F64, natlig)
+	ligY := p.Array("lig_y", ir.F64, natlig)
+	ligZ := p.Array("lig_z", ir.F64, natlig)
+	ligQ := p.Array("lig_q", ir.F64, natlig)
+	ligR := p.Array("lig_r", ir.F64, natlig)
+	poseX := p.Array("pose_x", ir.F64, nposes)
+	poseY := p.Array("pose_y", ir.F64, nposes)
+	poseZ := p.Array("pose_z", ir.F64, nposes)
+	energies := p.Array("energies", ir.F64, nposes)
+
+	// --- setup: deterministic pseudo-molecular geometry ---
+	{
+		i := iv("bi_i")
+		p.SetupKernel("init_protein").Add(
+			loop(i, ci(0), ci(int64(natpro)),
+				set(proX, v(i), mul(ir.I2F(v(i)), cf(0.13))),
+				fill2(proY, i, 8, -4, 17),
+				fill2(proZ, i, 6, -3, 13),
+				fill2(proQ, i, 2, -1, 11),
+				fill2(proR, i, 1.2, 1.0, 7),
+			),
+		)
+		j := iv("bi_j")
+		p.SetupKernel("init_ligand").Add(
+			loop(j, ci(0), ci(int64(natlig)),
+				fill2(ligX, j, 3, -1.5, 5),
+				fill2(ligY, j, 4, -2, 9),
+				fill2(ligZ, j, 2, -1, 3),
+				fill2(ligQ, j, 2, -1, 7),
+				fill2(ligR, j, 1.0, 0.9, 4),
+			),
+		)
+		k := iv("bi_k")
+		p.SetupKernel("init_poses").Add(
+			loop(k, ci(0), ci(int64(nposes)),
+				fill2(poseX, k, 20, -10, 23),
+				fill2(poseY, k, 18, -9, 19),
+				fill2(poseZ, k, 16, -8, 29),
+			),
+		)
+	}
+
+	// --- fasten: the docking energy triple loop ---
+	{
+		pv, l, a := iv("fa_p"), iv("fa_l"), iv("fa_a")
+		etot := fv("fa_etot")
+		lx, ly, lz := fv("fa_lx"), fv("fa_ly"), fv("fa_lz")
+		lq, lr := fv("fa_lq"), fv("fa_lr")
+		dx, dy, dz := fv("fa_dx"), fv("fa_dy"), fv("fa_dz")
+		r, rsum := fv("fa_r"), fv("fa_rsum")
+
+		const (
+			hardness = 38.0
+			cutoff   = 8.0
+			coulomb  = 45.0
+		)
+
+		inner := []ir.Stmt{
+			let(dx, sub(ld(proX, v(a)), v(lx))),
+			let(dy, sub(ld(proY, v(a)), v(ly))),
+			let(dz, sub(ld(proZ, v(a)), v(lz))),
+			let(r, ir.SqrtE(add(add(mul(v(dx), v(dx)), mul(v(dy), v(dy))), mul(v(dz), v(dz))))),
+			let(rsum, add(v(lr), ld(proR, v(a)))),
+			// Steric clash penalty inside the contact radius.
+			when(ir.B2(ir.Lt, v(r), v(rsum)),
+				let(etot, add(v(etot), mul(cf(hardness), sub(v(rsum), v(r))))),
+			),
+			// Electrostatics inside the cutoff.
+			when(ir.B2(ir.Lt, v(r), cf(cutoff)),
+				let(etot, add(v(etot),
+					div(mul(mul(v(lq), ld(proQ, v(a))), cf(coulomb)), add(v(r), cf(0.5))))),
+			),
+		}
+
+		p.Kernel("fasten_main").Add(
+			loop(pv, ci(0), ci(int64(nposes)),
+				let(etot, cf(0)),
+				loop(l, ci(0), ci(int64(natlig)),
+					let(lx, add(ld(ligX, v(l)), ld(poseX, v(pv)))),
+					let(ly, add(ld(ligY, v(l)), ld(poseY, v(pv)))),
+					let(lz, add(ld(ligZ, v(l)), ld(poseZ, v(pv)))),
+					let(lq, ld(ligQ, v(l))),
+					let(lr, ld(ligR, v(l))),
+					loop(a, ci(0), ci(int64(natpro)), inner...),
+				),
+				set(energies, v(pv), mul(v(etot), cf(0.5))),
+			),
+		)
+	}
+
+	return p
+}
+
+// fill2 is the deterministic initialiser used by the miniBUDE setup
+// kernels: arr[i] = offset + scale*((i*7 mod m)/m).
+func fill2(arr *ir.Array, i *ir.Var, scale, offset, mod float64) ir.Stmt {
+	m := int64(mod)
+	return set(arr, v(i), add(cf(offset),
+		mul(cf(scale), div(ir.I2F(ir.B2(ir.Rem, mul(v(i), ci(7)), ci(m))), cf(mod)))))
+}

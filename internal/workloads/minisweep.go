@@ -1,0 +1,115 @@
+package workloads
+
+import "isacmp/internal/ir"
+
+// Minisweep builds a KBA-style discrete-ordinates radiation transport
+// sweep (the paper's fifth workload, modelled on the Denovo Sn
+// minisweep mini-app): a single octant sweep over an nx x ny x nz cell
+// grid with na angles per cell. Each cell's angular flux depends on
+// the upwind fluxes entering through its three faces, carried by face
+// arrays exactly as minisweep's wavefront arrays do — this is what
+// gives the sweep its characteristic serialised dependency structure.
+//
+// Paper run options map directly: -ncell_x 8 -ncell_y 16 -ncell_z 32
+// -na 32 is Minisweep(8, 16, 32, 32).
+func Minisweep(nx, ny, nz, na int) *ir.Program {
+	p := ir.NewProgram("minisweep")
+
+	psi := p.Array("psi", ir.F64, nx*ny*nz*na)
+	faceX := p.Array("facex", ir.F64, ny*nz*na) // flux entering in +x
+	faceY := p.Array("facey", ir.F64, nx*nz*na)
+	faceZ := p.Array("facez", ir.F64, nx*ny*na)
+	source := p.Array("source", ir.F64, nx*ny*nz)
+	sigma := p.Array("sigma", ir.F64, nx*ny*nz)
+	result := p.Array("result", ir.F64, 1)
+
+	// --- setup: boundary fluxes, source and cross-sections ---
+	{
+		i := iv("ms_i")
+		p.SetupKernel("init_faces").Add(
+			loop(i, ci(0), ci(int64(ny*nz*na)),
+				set(faceX, v(i), add(cf(1.0), div(ir.I2F(ir.B2(ir.Rem, v(i), ci(7))), cf(14))))),
+			loop(i, ci(0), ci(int64(nx*nz*na)),
+				set(faceY, v(i), add(cf(0.5), div(ir.I2F(ir.B2(ir.Rem, v(i), ci(5))), cf(15))))),
+			loop(i, ci(0), ci(int64(nx*ny*na)),
+				set(faceZ, v(i), add(cf(0.25), div(ir.I2F(ir.B2(ir.Rem, v(i), ci(3))), cf(12))))),
+		)
+		j := iv("ms_j")
+		p.SetupKernel("init_state").Add(
+			loop(j, ci(0), ci(int64(nx*ny*nz)),
+				set(source, v(j), add(cf(1.0), div(ir.I2F(ir.B2(ir.Rem, mul(v(j), ci(3)), ci(13))), cf(13)))),
+				set(sigma, v(j), add(cf(2.0), div(ir.I2F(ir.B2(ir.Rem, v(j), ci(9))), cf(9))))),
+		)
+	}
+
+	// --- sweep: one octant, +x +y +z direction ---
+	{
+		iz, iy, ix, ia := iv("sw_iz"), iv("sw_iy"), iv("sw_ix"), iv("sw_ia")
+		cell := iv("sw_cell")
+		fxb, fyb, fzb, pb := iv("sw_fxb"), iv("sw_fyb"), iv("sw_fzb"), iv("sw_pb")
+		zrow, yrow := iv("sw_zrow"), iv("sw_yrow")
+		incoming, pv, sig, srcv := fv("sw_in"), fv("sw_psi"), fv("sw_sig"), fv("sw_src")
+
+		// Angular weights: mu+eta+xi normalised to ~1; denominators
+		// kept positive by construction.
+		const (
+			mu  = 0.35
+			eta = 0.4
+			xi  = 0.25
+		)
+
+		inner := []ir.Stmt{
+			// Gather upwind fluxes for this angle.
+			let(incoming, add(
+				add(mul(cf(mu), ld(faceX, add(v(fxb), v(ia)))),
+					mul(cf(eta), ld(faceY, add(v(fyb), v(ia))))),
+				mul(cf(xi), ld(faceZ, add(v(fzb), v(ia)))))),
+			// Diamond-difference style update.
+			let(pv, div(add(v(srcv), mul(cf(2.0), v(incoming))),
+				add(v(sig), cf(2.0*(mu+eta+xi))))),
+			set(psi, add(v(pb), v(ia)), v(pv)),
+			// Outgoing face fluxes replace the incoming ones.
+			set(faceX, add(v(fxb), v(ia)),
+				sub(mul(cf(2.0), v(pv)), ld(faceX, add(v(fxb), v(ia))))),
+			set(faceY, add(v(fyb), v(ia)),
+				sub(mul(cf(2.0), v(pv)), ld(faceY, add(v(fyb), v(ia))))),
+			set(faceZ, add(v(fzb), v(ia)),
+				sub(mul(cf(2.0), v(pv)), ld(faceZ, add(v(fzb), v(ia))))),
+		}
+
+		p.Kernel("sweep").Add(
+			loop(iz, ci(0), ci(int64(nz)),
+				let(zrow, mul(v(iz), ci(int64(ny*nx)))),
+				loop(iy, ci(0), ci(int64(ny)),
+					let(yrow, add(v(zrow), mul(v(iy), ci(int64(nx))))),
+					loop(ix, ci(0), ci(int64(nx)),
+						append([]ir.Stmt{
+							let(cell, add(v(yrow), v(ix))),
+							let(sig, ld(sigma, v(cell))),
+							let(srcv, ld(source, v(cell))),
+							let(pb, mul(v(cell), ci(int64(na)))),
+							// Face slots: x-face indexed by (iy, iz),
+							// y-face by (ix, iz), z-face by (ix, iy).
+							let(fxb, mul(add(mul(v(iz), ci(int64(ny))), v(iy)), ci(int64(na)))),
+							let(fyb, mul(add(mul(v(iz), ci(int64(nx))), v(ix)), ci(int64(na)))),
+							let(fzb, mul(add(mul(v(iy), ci(int64(nx))), v(ix)), ci(int64(na)))),
+						},
+							loop(ia, ci(0), ci(int64(na)), inner...))...,
+					),
+				),
+			),
+		)
+
+		// --- reduction: total scalar flux, minisweep's checksum ---
+		k, tot := iv("rd_k"), fv("rd_tot")
+		p.Kernel("reduce").Add(
+			let(tot, cf(0)),
+			loop(k, ci(0), ci(int64(nx*ny*nz*na)),
+				let(tot, add(v(tot), ld(psi, v(k)))),
+			),
+			set(result, ci(0), v(tot)),
+		)
+	}
+
+	return p
+}

@@ -1,0 +1,56 @@
+package workloads
+
+import "isacmp/internal/ir"
+
+// STREAM builds McCalpin's STREAM benchmark: four kernels (copy,
+// scale, add, triad) over three arrays of n doubles, repeated ntimes.
+// The array initialisation (a=1, b=2, c=0, as in stream.c) runs once
+// as a setup kernel. The scalar is 3.0, stream.c's default.
+//
+// The inner loops compile to exactly the paper's Listings 1 and 2 on
+// the two ISAs.
+func STREAM(n, ntimes int) *ir.Program {
+	p := ir.NewProgram("stream")
+	p.Repeat = ntimes
+
+	a := p.Array("a", ir.F64, n)
+	b := p.Array("b", ir.F64, n)
+	c := p.Array("c", ir.F64, n)
+
+	i := iv("i")
+	p.SetupKernel("init").Add(
+		loop(i, ci(0), ci(int64(n)),
+			set(a, v(i), cf(1.0)),
+			set(b, v(i), cf(2.0)),
+			set(c, v(i), cf(0.0)),
+		),
+	)
+
+	const scalar = 3.0
+
+	ic := iv("ic")
+	p.Kernel("copy").Add(
+		loop(ic, ci(0), ci(int64(n)),
+			set(c, v(ic), ld(a, v(ic))),
+		),
+	)
+	is := iv("is")
+	p.Kernel("scale").Add(
+		loop(is, ci(0), ci(int64(n)),
+			set(b, v(is), mul(cf(scalar), ld(c, v(is)))),
+		),
+	)
+	ia := iv("ia")
+	p.Kernel("add").Add(
+		loop(ia, ci(0), ci(int64(n)),
+			set(c, v(ia), add(ld(a, v(ia)), ld(b, v(ia)))),
+		),
+	)
+	it := iv("it")
+	p.Kernel("triad").Add(
+		loop(it, ci(0), ci(int64(n)),
+			set(a, v(it), add(ld(b, v(it)), mul(cf(scalar), ld(c, v(it))))),
+		),
+	)
+	return p
+}

@@ -1,0 +1,117 @@
+// Package workloads defines the five benchmarks of the paper's
+// section 2.1 as IR programs: STREAM, CloverLeaf (serial,
+// representative hydro kernels), miniBUDE (the docking energy inner
+// loop), LBM (the Bristol d2q9-bgk code) and minisweep (a KBA
+// wavefront sweep). Each builder takes explicit problem-size
+// parameters; Suite returns all five at a chosen scale.
+package workloads
+
+import "isacmp/internal/ir"
+
+// Short aliases keep kernel bodies readable; they are the package's
+// private DSL over the IR constructors.
+var (
+	ci = ir.CI
+	cf = ir.CF
+	v  = ir.V
+	ld = ir.Ld
+)
+
+func add(a, b ir.Expr) ir.Expr { return ir.AddE(a, b) }
+func sub(a, b ir.Expr) ir.Expr { return ir.SubE(a, b) }
+func mul(a, b ir.Expr) ir.Expr { return ir.MulE(a, b) }
+func div(a, b ir.Expr) ir.Expr { return ir.DivE(a, b) }
+
+func loop(lv *ir.Var, start, end ir.Expr, body ...ir.Stmt) *ir.Loop {
+	return &ir.Loop{Var: lv, Start: start, End: end, Body: body}
+}
+
+func set(arr *ir.Array, idx, val ir.Expr) *ir.Store {
+	return &ir.Store{Arr: arr, Index: idx, Val: val}
+}
+
+func let(x *ir.Var, val ir.Expr) *ir.Assign { return &ir.Assign{Var: x, Val: val} }
+
+func when(cond ir.Expr, then ...ir.Stmt) *ir.If { return &ir.If{Cond: cond, Then: then} }
+
+func whenElse(cond ir.Expr, then, els []ir.Stmt) *ir.If {
+	return &ir.If{Cond: cond, Then: then, Else: els}
+}
+
+func iv(name string) *ir.Var { return ir.NewVar(name, ir.I64) }
+func fv(name string) *ir.Var { return ir.NewVar(name, ir.F64) }
+
+// Scale selects a problem-size preset.
+type Scale uint8
+
+// Problem-size presets.
+const (
+	// Tiny runs in milliseconds; unit tests use it.
+	Tiny Scale = iota
+	// Small runs the full suite in a couple of seconds of host time;
+	// the default for the reproduction harness.
+	Small
+	// Paper uses the parameters from the paper's section 2.1 (STREAM
+	// N=10,000,000, CloverLeaf defaults, LBM 128x128x100, miniBUDE bm1
+	// with 64 poses, minisweep 8x16x32 with 32 angles). Runs take many
+	// billions of simulated instructions.
+	Paper
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	default:
+		return "paper"
+	}
+}
+
+// Suite returns the five paper benchmarks at the given scale, in the
+// paper's order.
+func Suite(s Scale) []*ir.Program {
+	switch s {
+	case Tiny:
+		return []*ir.Program{
+			STREAM(64, 2),
+			CloverLeaf(8, 8, 2),
+			MiniBUDE(4, 6, 8),
+			LBM(8, 8, 2),
+			Minisweep(4, 4, 4, 4),
+		}
+	case Small:
+		return []*ir.Program{
+			STREAM(20000, 4),
+			CloverLeaf(48, 48, 4),
+			MiniBUDE(16, 26, 100),
+			LBM(32, 32, 10),
+			Minisweep(8, 8, 8, 8),
+		}
+	default:
+		return []*ir.Program{
+			STREAM(10_000_000, 10),
+			CloverLeaf(960, 960, 10),
+			MiniBUDE(64, 26, 938),
+			LBM(128, 128, 100),
+			Minisweep(8, 16, 32, 32),
+		}
+	}
+}
+
+// ByName returns the named benchmark at the given scale, or nil.
+func ByName(name string, s Scale) *ir.Program {
+	for _, p := range Suite(s) {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Names lists the benchmark names in the paper's order.
+func Names() []string {
+	return []string{"stream", "cloverleaf", "minibude", "lbm", "minisweep"}
+}
