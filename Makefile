@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench clean
+
+# check is the full pre-merge gate: formatting, static checks, build,
+# the race-enabled test suite, and a short instrumented benchmark run
+# that exercises the manifest path end to end (BENCH_PR1.json).
+check: fmt vet build race bench
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench writes a run manifest for the benchmark trajectory: one
+# instrumented run per workload at small scale, plus the telemetry
+# overhead micro-benchmark printed for eyeballing.
+bench:
+	$(GO) run ./cmd/isacmp run -scale tiny -target all -metrics-json BENCH_PR1.json
+	$(GO) test -run xxx -bench BenchmarkTelemetryOverhead -benchtime 1s .
+
+clean:
+	rm -f BENCH_PR1.json

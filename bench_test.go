@@ -3,6 +3,8 @@ package isacmp
 import (
 	"fmt"
 	"testing"
+
+	"isacmp/internal/telemetry"
 )
 
 // The benchmark harness regenerates every table and figure of the
@@ -197,6 +199,37 @@ func BenchmarkSimulatorRate(b *testing.B) {
 			b.ReportMetric(rate/1e6, "Minst/s")
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead measures what observability costs: the
+// same EmulationCore run with the standard analysis set attached bare
+// (the plain isa.MultiSink fan-out Analyse uses) versus behind the
+// instrumented telemetry tee with the run-metrics sink added — the
+// configuration every instrumented CLI run uses. The budget is <= 5%
+// extra wall time; compare the sub-benchmarks' ns/op (benchstat, or
+// by eye).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	prog := Workload("stream", benchScale)
+	bin, err := Compile(prog, Target{Arch: AArch64, Flavor: GCC12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := Analyses{PathLength: true, CritPath: true, Mix: true, Branches: true}
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bin.Analyse(sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tee+metrics", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bin.RunInstrumented(RunConfig{Analyses: sel, Metrics: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCompile measures compilation cost (IR to ELF).

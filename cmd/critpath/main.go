@@ -3,59 +3,91 @@
 // critical paths under the ThunderX2-style model).
 //
 // Usage: critpath [-scaled] [-scale tiny|small|paper] [-bench name]
+// [-json file] [-progress] [-cpuprofile file] [-memprofile file]
+//
+// With -json the run manifest (schema isacmp/run-manifest/v1,
+// including per-run CP/ILP results, critical-path-tracker footprint,
+// core stats and per-sink overhead) is written to the given file, "-"
+// for stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"isacmp/internal/report"
-	"isacmp/internal/workloads"
+	"isacmp/internal/telemetry"
 )
 
 func main() {
 	scaledFlag := flag.Bool("scaled", false, "produce Table 2 (latency-scaled) instead of Table 1")
 	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := flag.String("bench", "", "single benchmark to run")
+	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
+	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	flag.Parse()
 
-	scale := workloads.Small
-	switch *scaleFlag {
-	case "tiny":
-		scale = workloads.Tiny
-	case "small":
-	case "paper":
-		scale = workloads.Paper
-	default:
-		fmt.Fprintf(os.Stderr, "critpath: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+	scale, err := report.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
 	}
-
-	progs := workloads.Suite(scale)
-	if *benchFlag != "" {
-		p := workloads.ByName(*benchFlag, scale)
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "critpath: unknown benchmark %q\n", *benchFlag)
-			os.Exit(2)
-		}
-		progs = progs[:0]
-		progs = append(progs, p)
+	progs, err := report.SelectBenchmarks(*benchFlag, scale)
+	if err != nil {
+		fatal(err)
 	}
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
 
 	what := "critpath: Table 1"
+	command := "critpath"
 	ex := report.Experiment{CritPath: true}
 	if *scaledFlag {
 		what = "critpath: Table 2 (scaled)"
+		command = "scaledcp"
 		ex = report.Experiment{Scaled: true}
 	}
-	report.Banner(os.Stdout, what, scale.String())
+	reg := telemetry.NewRegistry()
+	ex.Metrics = reg
+	if *progressFlag {
+		ex.Progress = os.Stderr
+	}
+	manifest := telemetry.NewManifest(command, scale.String())
+	start := time.Now()
+
+	text := *jsonFlag != "-"
+	if text {
+		report.Banner(os.Stdout, what, scale.String())
+	}
 	for _, p := range progs {
 		rows, err := report.Run(p, ex)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "critpath:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		report.WriteCritPaths(os.Stdout, p.Name, rows, *scaledFlag)
+		if text {
+			report.WriteCritPaths(os.Stdout, p.Name, rows, *scaledFlag)
+		}
+		report.AppendRows(manifest, p.Name, rows)
 	}
+
+	manifest.Finish(start, reg)
+	if *jsonFlag != "" {
+		if err := manifest.WriteFile(*jsonFlag); err != nil {
+			fatal(err)
+		}
+	}
+	if err := telemetry.WriteMemProfile(*memProfile); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "critpath:", err)
+	os.Exit(1)
 }

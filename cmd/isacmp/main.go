@@ -6,11 +6,20 @@
 //	isacmp scaledcp [-scale small] [-bench stream]   Table 2
 //	isacmp windowcp [-scale small] [-bench stream]   Figure 2
 //	isacmp all      [-scale small]                   everything
+//	isacmp run      [-workload stream] [-core ooo] [-metrics-json out.json]
 //	isacmp disasm   [-bench stream] [-kernel copy] [-target aarch64-gcc12]
 //	isacmp verify   [-scale tiny]                    simulated vs host reference
 //
 // -scale is tiny, small or paper. With no -bench, every benchmark
 // runs.
+//
+// Observability flags (every subcommand): -json writes a run manifest
+// (schema isacmp/run-manifest/v1); -progress prints a retire-rate
+// heartbeat to stderr; -cpuprofile/-memprofile write pprof profiles.
+// The run subcommand adds -core emulation|inorder|ooo, -cache,
+// -metrics-json (alias of -json), -trace (Chrome-trace JSON of
+// pipeline timing, loadable in chrome://tracing), -trace-format
+// chrome|jsonl, -trace-cap and -trace-sample.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"isacmp"
 
@@ -28,6 +38,7 @@ import (
 	"isacmp/internal/report"
 	"isacmp/internal/rv64"
 	"isacmp/internal/simeng"
+	"isacmp/internal/telemetry"
 	"isacmp/internal/workloads"
 )
 
@@ -40,13 +51,32 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	scaleFlag := fs.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := fs.String("bench", "", "run a single benchmark (stream, cloverleaf, minibude, lbm, minisweep)")
+	workloadFlag := fs.String("workload", "", "alias of -bench")
 	kernelFlag := fs.String("kernel", "", "kernel to disassemble (disasm)")
-	targetFlag := fs.String("target", "aarch64-gcc12", "target for disasm: {aarch64,rv64}-{gcc9,gcc12}")
+	targetFlag := fs.String("target", "aarch64-gcc12", "target: {aarch64,rv64}-{gcc9,gcc12}, or \"all\" (run)")
 	dirFlag := fs.String("dir", "results", "output directory (artifacts)")
 	latencyFlag := fs.String("latency-file", "", "latency config file overriding the TX2 model (scaledcp)")
 	countFlag := fs.Int("n", 32, "instructions to print (trace)")
+	strideFlag := fs.Int("stride", 0, "window stride in instructions (windowcp; 0 = size/2)")
+	jsonFlag := fs.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
+	metricsJSONFlag := fs.String("metrics-json", "", "alias of -json")
+	coreFlag := fs.String("core", "emulation", "core model for run: emulation, inorder or ooo")
+	cacheFlag := fs.Bool("cache", false, "attach an L1D cache model to the inorder/ooo core (run)")
+	traceFlag := fs.String("trace", "", "write a pipeline trace to this file (run)")
+	traceFormatFlag := fs.String("trace-format", "chrome", "pipeline trace format: chrome or jsonl")
+	traceCapFlag := fs.Int("trace-cap", 4096, "pipeline trace ring-buffer capacity in spans")
+	traceSampleFlag := fs.Uint64("trace-sample", 1, "record every Nth instruction in the pipeline trace")
+	progressFlag := fs.Bool("progress", false, "print a retire-rate heartbeat to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *workloadFlag != "" {
+		*benchFlag = *workloadFlag
+	}
+	if *metricsJSONFlag != "" {
+		*jsonFlag = *metricsJSONFlag
 	}
 
 	scale, err := parseScale(*scaleFlag)
@@ -58,20 +88,45 @@ func main() {
 		fatal(err)
 	}
 
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	reg := telemetry.NewRegistry()
+	manifest := telemetry.NewManifest(cmd, scale.String())
+	startTime := time.Now()
+	baseEx := report.Experiment{Metrics: reg}
+	if *progressFlag {
+		baseEx.Progress = os.Stderr
+	}
+
+	text := *jsonFlag != "-"
 	switch cmd {
 	case "pathlen":
+		ex := baseEx
+		ex.PathLength = true
 		var summaries []report.Summary
-		runExperiment(progs, scale, report.Experiment{PathLength: true}, func(p *ir.Program, rows []report.Row) {
-			report.WritePathLengths(os.Stdout, p.Name, rows)
+		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+			if text {
+				report.WritePathLengths(os.Stdout, p.Name, rows)
+			}
 			summaries = append(summaries, report.Summarise(p.Name, rows)...)
 		})
-		report.WriteSummaries(os.Stdout, summaries)
+		if text {
+			report.WriteSummaries(os.Stdout, summaries)
+		}
 	case "critpath":
-		runExperiment(progs, scale, report.Experiment{CritPath: true}, func(p *ir.Program, rows []report.Row) {
-			report.WriteCritPaths(os.Stdout, p.Name, rows, false)
+		ex := baseEx
+		ex.CritPath = true
+		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+			if text {
+				report.WriteCritPaths(os.Stdout, p.Name, rows, false)
+			}
 		})
 	case "scaledcp":
-		ex := report.Experiment{Scaled: true}
+		ex := baseEx
+		ex.Scaled = true
 		if *latencyFlag != "" {
 			f, err := os.Open(*latencyFlag)
 			if err != nil {
@@ -84,39 +139,74 @@ func main() {
 			}
 			ex.Latencies = lat
 		}
-		runExperiment(progs, scale, ex, func(p *ir.Program, rows []report.Row) {
-			report.WriteCritPaths(os.Stdout, p.Name, rows, true)
+		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+			if text {
+				report.WriteCritPaths(os.Stdout, p.Name, rows, true)
+			}
 		})
 	case "windowcp":
-		runExperiment(progs, scale, report.Experiment{Windowed: true, GCC12Only: true}, func(p *ir.Program, rows []report.Row) {
-			report.WriteWindowed(os.Stdout, p.Name, rows)
+		ex := baseEx
+		ex.Windowed, ex.GCC12Only, ex.WindowStride = true, true, *strideFlag
+		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+			if text {
+				report.WriteWindowed(os.Stdout, p.Name, rows)
+			}
 		})
 	case "mix":
-		runExperiment(progs, scale, report.Experiment{Mix: true}, func(p *ir.Program, rows []report.Row) {
-			report.WriteMix(os.Stdout, p.Name, rows)
+		ex := baseEx
+		ex.Mix = true
+		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+			if text {
+				report.WriteMix(os.Stdout, p.Name, rows)
+			}
 		})
 	case "all":
-		report.Banner(os.Stdout, "isacmp: full reproduction", scale.String())
+		if text {
+			report.Banner(os.Stdout, "isacmp: full reproduction", scale.String())
+		}
 		var summaries []report.Summary
-		ex := report.Experiment{PathLength: true, CritPath: true, Scaled: true, Windowed: true}
+		ex := baseEx
+		ex.PathLength, ex.CritPath, ex.Scaled, ex.Windowed = true, true, true, true
 		for _, p := range progs {
 			rows, err := report.Run(p, ex)
 			if err != nil {
 				fatal(err)
 			}
-			report.WritePathLengths(os.Stdout, p.Name, rows)
-			report.WriteCritPaths(os.Stdout, p.Name, rows, false)
-			report.WriteCritPaths(os.Stdout, p.Name, rows, true)
+			report.AppendRows(manifest, p.Name, rows)
+			if text {
+				report.WritePathLengths(os.Stdout, p.Name, rows)
+				report.WriteCritPaths(os.Stdout, p.Name, rows, false)
+				report.WriteCritPaths(os.Stdout, p.Name, rows, true)
+			}
 			gcc12 := rows[:0:0]
 			for _, r := range rows {
 				if r.Target.Flavor == isacmp.GCC12 {
 					gcc12 = append(gcc12, r)
 				}
 			}
-			report.WriteWindowed(os.Stdout, p.Name, gcc12)
+			if text {
+				report.WriteWindowed(os.Stdout, p.Name, gcc12)
+			}
 			summaries = append(summaries, report.Summarise(p.Name, rows)...)
 		}
-		report.WriteSummaries(os.Stdout, summaries)
+		if text {
+			report.WriteSummaries(os.Stdout, summaries)
+		}
+	case "run":
+		cfg := runCmdConfig{
+			core:        *coreFlag,
+			cache:       *cacheFlag,
+			target:      *targetFlag,
+			trace:       *traceFlag,
+			traceFormat: *traceFormatFlag,
+			traceCap:    *traceCapFlag,
+			traceSample: *traceSampleFlag,
+			progress:    *progressFlag,
+			text:        text,
+		}
+		if err := runInstrumented(progs, cfg, reg, manifest); err != nil {
+			fatal(err)
+		}
 	case "artifacts":
 		if err := report.WriteArtifacts(*dirFlag, progs); err != nil {
 			fatal(err)
@@ -151,16 +241,138 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+
+	manifest.Finish(startTime, reg)
+	if *jsonFlag != "" {
+		if err := manifest.WriteFile(*jsonFlag); err != nil {
+			fatal(err)
+		}
+	}
+	if err := telemetry.WriteMemProfile(*memProfile); err != nil {
+		fatal(err)
+	}
 }
 
-func runExperiment(progs []*ir.Program, scale workloads.Scale, ex report.Experiment, write func(*ir.Program, []report.Row)) {
-	report.Banner(os.Stdout, "isacmp", scale.String())
+func runExperiment(progs []*ir.Program, scale workloads.Scale, ex report.Experiment, manifest *telemetry.Manifest, text bool, write func(*ir.Program, []report.Row)) {
+	if text {
+		report.Banner(os.Stdout, "isacmp", scale.String())
+	}
 	for _, p := range progs {
 		rows, err := report.Run(p, ex)
 		if err != nil {
 			fatal(err)
 		}
+		report.AppendRows(manifest, p.Name, rows)
 		write(p, rows)
+	}
+}
+
+// runCmdConfig carries the `run` subcommand's knobs.
+type runCmdConfig struct {
+	core        string
+	cache       bool
+	target      string
+	trace       string
+	traceFormat string
+	traceCap    int
+	traceSample uint64
+	progress    bool
+	text        bool
+}
+
+// runInstrumented is the `run` subcommand: execute each selected
+// benchmark on the chosen core model with full telemetry — whole-run
+// metrics, per-sink overhead, optional pipeline trace — and append
+// one record per run to the manifest.
+func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Registry, manifest *telemetry.Manifest) error {
+	var targets []isacmp.Target
+	if cfg.target == "all" {
+		targets = isacmp.Targets()
+	} else {
+		tgt, err := parseTarget(cfg.target)
+		if err != nil {
+			return err
+		}
+		targets = []isacmp.Target{tgt}
+	}
+	nruns := len(progs) * len(targets)
+	if cfg.text {
+		fmt.Printf("%-12s %-18s %-10s %14s %14s %8s %10s %10s\n",
+			"workload", "target", "core", "instructions", "cycles", "IPC", "Minst/s", "wall")
+	}
+	for _, p := range progs {
+		for _, tgt := range targets {
+			bin, err := isacmp.Compile(p, tgt)
+			if err != nil {
+				return err
+			}
+			rc := isacmp.RunConfig{
+				Core:     cfg.core,
+				Cache:    cfg.cache,
+				Analyses: isacmp.Analyses{Mix: true, Branches: true},
+				Metrics:  reg,
+			}
+			if cfg.progress {
+				rc.Progress = os.Stderr
+			}
+			var tracer *isacmp.PipelineTrace
+			if cfg.trace != "" {
+				tracer = isacmp.NewPipelineTrace(cfg.traceCap, cfg.traceSample)
+				rc.Trace = tracer
+			}
+			_, rec, err := bin.RunInstrumented(rc)
+			if err != nil {
+				return err
+			}
+			manifest.Runs = append(manifest.Runs, rec)
+			if cfg.text {
+				fmt.Printf("%-12s %-18s %-10s %14d %14d %8.2f %10.1f %9.3fs\n",
+					p.Name, tgt, rec.Core.Model, rec.Core.Instructions, rec.Core.Cycles,
+					rec.Core.IPC(), rec.MIPS, rec.WallSeconds)
+			}
+			if tracer != nil {
+				path := tracePath(cfg.trace, p.Name, tgt, nruns)
+				if err := writeTrace(tracer, path, cfg.traceFormat); err != nil {
+					return err
+				}
+				if cfg.text {
+					fmt.Printf("  pipeline trace: %s (%d spans, %d overwritten)\n",
+						path, len(tracer.Spans()), tracer.Dropped())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// tracePath derives a per-run trace filename when several runs would
+// otherwise clobber one file.
+func tracePath(base, workload string, tgt isacmp.Target, nruns int) string {
+	if nruns == 1 {
+		return base
+	}
+	tag := strings.NewReplacer("/", "-", " ", "").Replace(tgt.String())
+	ext := ""
+	stem := base
+	if i := strings.LastIndex(base, "."); i > 0 {
+		stem, ext = base[:i], base[i:]
+	}
+	return fmt.Sprintf("%s-%s-%s%s", stem, workload, tag, ext)
+}
+
+func writeTrace(t *isacmp.PipelineTrace, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "", "chrome":
+		return t.WriteChromeTrace(f)
+	case "jsonl":
+		return t.WriteJSONL(f)
+	default:
+		return fmt.Errorf("unknown trace format %q (want chrome or jsonl)", format)
 	}
 }
 
@@ -351,17 +563,7 @@ func disasmWord(tgt isacmp.Target, word uint32) string {
 	return inst.String()
 }
 
-func parseScale(s string) (workloads.Scale, error) {
-	switch s {
-	case "tiny":
-		return workloads.Tiny, nil
-	case "small":
-		return workloads.Small, nil
-	case "paper":
-		return workloads.Paper, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q (want tiny, small or paper)", s)
-}
+func parseScale(s string) (workloads.Scale, error) { return report.ParseScale(s) }
 
 func parseTarget(s string) (isacmp.Target, error) {
 	parts := strings.SplitN(s, "-", 2)
@@ -389,14 +591,7 @@ func parseTarget(s string) (isacmp.Target, error) {
 }
 
 func selectBenchmarks(name string, s workloads.Scale) ([]*ir.Program, error) {
-	if name == "" {
-		return workloads.Suite(s), nil
-	}
-	p := workloads.ByName(name, s)
-	if p == nil {
-		return nil, fmt.Errorf("unknown benchmark %q (want one of %v)", name, workloads.Names())
-	}
-	return []*ir.Program{p}, nil
+	return report.SelectBenchmarks(name, s)
 }
 
 func usage() {
@@ -408,6 +603,7 @@ commands:
   scaledcp   latency-scaled critical path             (Table 2)
   windowcp   mean ILP per ROB-sized window            (Figure 2)
   mix        instruction mix and branch density       (section 3.3)
+  run        instrumented run: core stats, metrics, pipeline trace
   artifacts  write the four result files of the paper's artifact (A.6)
   trace      print a disassembled execution trace (-n, -kernel, -target)
   blocks     hottest dynamically-discovered basic blocks (-n, -target)
@@ -415,7 +611,13 @@ commands:
   disasm     disassemble benchmark kernels
   verify     check simulated results against the host reference
 
-flags: -scale tiny|small|paper   -bench <name>   (disasm) -kernel <k> -target <a>-<c>`)
+flags: -scale tiny|small|paper   -bench <name>   (disasm) -kernel <k> -target <a>-<c>
+
+observability: -json <f> (run manifest; "-" = stdout)  -progress
+  -cpuprofile <f>  -memprofile <f>
+run: -workload <name> -target <t>|all -core emulation|inorder|ooo -cache
+  -metrics-json <f>  -trace <f> -trace-format chrome|jsonl
+  -trace-cap <n> -trace-sample <n>`)
 }
 
 func fatal(err error) {

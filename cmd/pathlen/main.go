@@ -2,56 +2,88 @@
 // counts for every benchmark and target, normalised to GCC 9.2 /
 // AArch64, plus the cross-benchmark RISC-V/AArch64 ratio summary.
 //
-// Usage: pathlen [-scale tiny|small|paper] [-bench name]
+// Usage: pathlen [-scale tiny|small|paper] [-bench name] [-json file]
+// [-progress] [-cpuprofile file] [-memprofile file]
+//
+// With -json the run manifest (schema isacmp/run-manifest/v1, one
+// record per benchmark+target with core stats, per-sink overhead and
+// the per-kernel counts) is written to the given file, "-" for stdout;
+// the text report still goes to stdout unless -json is "-".
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"isacmp/internal/report"
-	"isacmp/internal/workloads"
+	"isacmp/internal/telemetry"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := flag.String("bench", "", "single benchmark to run")
+	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
+	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	flag.Parse()
 
-	scale := workloads.Small
-	switch *scaleFlag {
-	case "tiny":
-		scale = workloads.Tiny
-	case "small":
-	case "paper":
-		scale = workloads.Paper
-	default:
-		fmt.Fprintf(os.Stderr, "pathlen: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+	scale, err := report.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	progs, err := report.SelectBenchmarks(*benchFlag, scale)
+	if err != nil {
+		fatal(err)
+	}
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+
+	reg := telemetry.NewRegistry()
+	manifest := telemetry.NewManifest("pathlen", scale.String())
+	start := time.Now()
+	ex := report.Experiment{PathLength: true, Metrics: reg}
+	if *progressFlag {
+		ex.Progress = os.Stderr
 	}
 
-	progs := workloads.Suite(scale)
-	if *benchFlag != "" {
-		p := workloads.ByName(*benchFlag, scale)
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "pathlen: unknown benchmark %q\n", *benchFlag)
-			os.Exit(2)
-		}
-		progs = progs[:0]
-		progs = append(progs, p)
+	text := *jsonFlag != "-"
+	if text {
+		report.Banner(os.Stdout, "pathlen: Figure 1", scale.String())
 	}
-
-	report.Banner(os.Stdout, "pathlen: Figure 1", scale.String())
 	var summaries []report.Summary
 	for _, p := range progs {
-		rows, err := report.Run(p, report.Experiment{PathLength: true})
+		rows, err := report.Run(p, ex)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pathlen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		report.WritePathLengths(os.Stdout, p.Name, rows)
+		if text {
+			report.WritePathLengths(os.Stdout, p.Name, rows)
+		}
 		summaries = append(summaries, report.Summarise(p.Name, rows)...)
+		report.AppendRows(manifest, p.Name, rows)
 	}
-	report.WriteSummaries(os.Stdout, summaries)
+	if text {
+		report.WriteSummaries(os.Stdout, summaries)
+	}
+
+	manifest.Finish(start, reg)
+	if *jsonFlag != "" {
+		if err := manifest.WriteFile(*jsonFlag); err != nil {
+			fatal(err)
+		}
+	}
+	if err := telemetry.WriteMemProfile(*memProfile); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pathlen:", err)
+	os.Exit(1)
 }

@@ -3,52 +3,84 @@
 // over the dynamic stream with 50% overlap.
 //
 // Usage: windowcp [-scale tiny|small|paper] [-bench name]
+// [-stride n] [-json file] [-progress] [-cpuprofile file]
+// [-memprofile file]
+//
+// -stride overrides the paper's size/2 window stride (the
+// commit-width knob section 6 leaves unexplored). With -json the run
+// manifest (schema isacmp/run-manifest/v1, with the per-window-size
+// series per run) is written to the given file, "-" for stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"isacmp/internal/report"
-	"isacmp/internal/workloads"
+	"isacmp/internal/telemetry"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := flag.String("bench", "", "single benchmark to run")
+	strideFlag := flag.Int("stride", 0, "window stride in instructions (0 = the paper's size/2)")
+	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
+	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	flag.Parse()
 
-	scale := workloads.Small
-	switch *scaleFlag {
-	case "tiny":
-		scale = workloads.Tiny
-	case "small":
-	case "paper":
-		scale = workloads.Paper
-	default:
-		fmt.Fprintf(os.Stderr, "windowcp: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+	scale, err := report.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
 	}
-
-	progs := workloads.Suite(scale)
-	if *benchFlag != "" {
-		p := workloads.ByName(*benchFlag, scale)
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "windowcp: unknown benchmark %q\n", *benchFlag)
-			os.Exit(2)
-		}
-		progs = progs[:0]
-		progs = append(progs, p)
+	progs, err := report.SelectBenchmarks(*benchFlag, scale)
+	if err != nil {
+		fatal(err)
 	}
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
 
-	report.Banner(os.Stdout, "windowcp: Figure 2", scale.String())
+	reg := telemetry.NewRegistry()
+	ex := report.Experiment{Windowed: true, GCC12Only: true, WindowStride: *strideFlag, Metrics: reg}
+	if *progressFlag {
+		ex.Progress = os.Stderr
+	}
+	manifest := telemetry.NewManifest("windowcp", scale.String())
+	start := time.Now()
+
+	text := *jsonFlag != "-"
+	if text {
+		report.Banner(os.Stdout, "windowcp: Figure 2", scale.String())
+	}
 	for _, p := range progs {
-		rows, err := report.Run(p, report.Experiment{Windowed: true, GCC12Only: true})
+		rows, err := report.Run(p, ex)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "windowcp:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		report.WriteWindowed(os.Stdout, p.Name, rows)
+		if text {
+			report.WriteWindowed(os.Stdout, p.Name, rows)
+		}
+		report.AppendRows(manifest, p.Name, rows)
 	}
+
+	manifest.Finish(start, reg)
+	if *jsonFlag != "" {
+		if err := manifest.WriteFile(*jsonFlag); err != nil {
+			fatal(err)
+		}
+	}
+	if err := telemetry.WriteMemProfile(*memProfile); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "windowcp:", err)
+	os.Exit(1)
 }

@@ -142,6 +142,23 @@ func (c *CritPath) ILP() float64 {
 // clock: one cycle per critical-path step.
 func (c *CritPath) RuntimeSeconds() float64 { return float64(c.max) / ClockHz }
 
+// TrackerStats describes the memory footprint of the dependency
+// tracker — the quantity that decides whether a paper-scale run fits
+// in RAM (see SetDenseRange).
+type TrackerStats struct {
+	// MapEntries is the number of memory words tracked in the sparse
+	// fallback map (addresses outside the dense range).
+	MapEntries int
+	// DenseWords is the size of the dense chain array, in 8-byte
+	// words (0 when SetDenseRange was never called).
+	DenseWords int
+}
+
+// TrackerStats reports the tracker's current memory footprint.
+func (c *CritPath) TrackerStats() TrackerStats {
+	return TrackerStats{MapEntries: len(c.mem), DenseWords: len(c.dense)}
+}
+
 // wordSpan returns the first and last 8-byte-aligned words covered by
 // an access.
 func wordSpan(addr uint64, size uint8) (first, last uint64) {

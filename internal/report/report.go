@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"isacmp/internal/a64"
 	"isacmp/internal/cc"
@@ -20,6 +21,7 @@ import (
 	"isacmp/internal/mem"
 	"isacmp/internal/rv64"
 	"isacmp/internal/simeng"
+	"isacmp/internal/telemetry"
 )
 
 // Row is one (target, analysis results) pair for a benchmark.
@@ -38,6 +40,16 @@ type Row struct {
 	MixCounts     []core.GroupCount
 	BranchDensity float64
 	BranchTaken   float64
+
+	// Core is the uniform per-core stat block of the run.
+	Core simeng.PipelineStats
+	// WallSeconds is the wall time of this run; Sinks the tee's
+	// per-analysis overhead accounting.
+	WallSeconds float64
+	Sinks       []telemetry.SinkStats
+	// Tracker reports the critical-path tracker's footprint when the
+	// run carried one.
+	Tracker *telemetry.TrackerStats
 }
 
 // Experiment selects which analyses Run attaches.
@@ -51,8 +63,18 @@ type Experiment struct {
 	GCC12Only bool
 	// WindowSizes overrides the paper's window sizes.
 	WindowSizes []int
+	// WindowStride overrides the paper's size/2 window stride (0
+	// keeps it).
+	WindowStride int
 	// Latencies overrides the TX2 latency model.
 	Latencies *simeng.LatencyModel
+	// Metrics, when non-nil, receives the standard whole-run counters
+	// (retired, branches, loads, stores) from every run. The registry
+	// is safe for the concurrent per-target runs.
+	Metrics *telemetry.Registry
+	// Progress, when non-nil, receives per-run heartbeat lines
+	// (typically os.Stderr on -progress).
+	Progress io.Writer
 }
 
 // Run compiles and executes prog for every target and collects the
@@ -108,17 +130,22 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 		return row, err
 	}
 
-	var sinks isa.MultiSink
+	tee := telemetry.NewTee()
+	nsinks := 0
+	add := func(name string, s isa.Sink) {
+		tee.Add(name, s)
+		nsinks++
+	}
 	var pl *core.PathLength
 	if ex.PathLength {
 		pl = core.NewPathLength(compiled.File.Symbols)
-		sinks = append(sinks, pl)
+		add("pathlen", pl)
 	}
 	var cp, scp *core.CritPath
 	if ex.CritPath {
 		cp = core.NewCritPath()
 		cp.SetDenseRange(cc.TextBase, compiled.MemSize)
-		sinks = append(sinks, cp)
+		add("critpath", cp)
 	}
 	if ex.Scaled {
 		lat := ex.Latencies
@@ -127,7 +154,7 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 		}
 		scp = core.NewScaledCritPath(lat)
 		scp.SetDenseRange(cc.TextBase, compiled.MemSize)
-		sinks = append(sinks, scp)
+		add("scaledcp", scp)
 	}
 	var win *core.WindowedCritPath
 	if ex.Windowed {
@@ -135,8 +162,8 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 		if sizes == nil {
 			sizes = core.PaperWindowSizes()
 		}
-		win = core.NewWindowedCritPath(sizes)
-		sinks = append(sinks, win)
+		win = core.NewWindowedCritPathStride(sizes, ex.WindowStride)
+		add("windowcp", win)
 	}
 
 	var mix *core.Mix
@@ -144,16 +171,48 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 	if ex.Mix {
 		mix = core.NewMix()
 		br = core.NewBranchProfile(nil)
-		sinks = append(sinks, mix, br)
+		add("mix", mix)
+		add("branch", br)
+	}
+
+	var rm *telemetry.RunMetrics
+	if ex.Metrics != nil {
+		rm = telemetry.NewRunMetrics(ex.Metrics)
+		tee.CountRunMetrics(rm)
+	}
+	var pg *telemetry.Progress
+	if ex.Progress != nil {
+		pg = telemetry.NewProgress(ex.Progress, prog.Name+" "+tgt.String(), 0)
+		add("progress", pg)
 	}
 
 	var sink isa.Sink
-	if len(sinks) > 0 {
-		sink = sinks
+	if nsinks > 0 || rm != nil {
+		sink = tee
 	}
-	stats, err := (&simeng.EmulationCore{}).Run(mach, sink)
+	emu := &simeng.EmulationCore{}
+	start := time.Now()
+	stats, err := emu.Run(mach, sink)
 	if err != nil {
 		return row, err
+	}
+	row.WallSeconds = time.Since(start).Seconds()
+	row.Core = emu.PipelineStats()
+	if nsinks > 0 {
+		row.Sinks = tee.Stats()
+	}
+	if rm != nil {
+		rm.Flush()
+	}
+	if pg != nil {
+		pg.Finish()
+	}
+	if cp != nil {
+		ts := cp.TrackerStats()
+		row.Tracker = &telemetry.TrackerStats{MapEntries: ts.MapEntries, DenseWords: ts.DenseWords}
+	} else if scp != nil {
+		ts := scp.TrackerStats()
+		row.Tracker = &telemetry.TrackerStats{MapEntries: ts.MapEntries, DenseWords: ts.DenseWords}
 	}
 	row.PathLen = stats.Instructions
 	if pl != nil {

@@ -20,12 +20,16 @@ type InOrderModel struct {
 	BranchPenalty uint64
 	// DCache, when non-nil, adds a cache-miss penalty to loads.
 	DCache *Cache
+	// Tracer, when non-nil, receives per-instruction pipeline timing.
+	Tracer PipelineObserver
 
-	regReady [isa.NumRegs]uint64
-	cycle    uint64 // cycle of the most recent issue
-	issued   int    // instructions issued in `cycle`
-	insts    uint64
-	lastEnd  uint64
+	regReady  [isa.NumRegs]uint64
+	cycle     uint64 // cycle of the most recent issue
+	issued    int    // instructions issued in `cycle`
+	insts     uint64
+	lastEnd   uint64
+	srcStalls uint64 // cycles lost waiting on sources
+	flushes   uint64 // mispredicted-branch redirects
 }
 
 // NewInOrderModel returns a dual-issue model with A55-style latencies
@@ -41,12 +45,14 @@ func (m *InOrderModel) Event(ev *isa.Event) {
 	if m.issued >= m.Width {
 		issue++
 	}
+	dispatch := issue
 	// Wait for sources.
 	for k := uint8(0); k < ev.NSrcs; k++ {
 		if r := m.regReady[ev.Srcs[k]]; r > issue {
 			issue = r
 		}
 	}
+	m.srcStalls += issue - dispatch
 	if issue != m.cycle {
 		m.cycle = issue
 		m.issued = 0
@@ -74,10 +80,29 @@ func (m *InOrderModel) Event(ev *isa.Event) {
 	if ev.Branch && !ev.Taken {
 		m.cycle = issue + m.BranchPenalty
 		m.issued = 0
+		m.flushes++
+	}
+	if m.Tracer != nil {
+		m.Tracer.ObserveRetire(ev, dispatch, issue, done)
 	}
 }
 
 // Stats returns the accumulated instruction and cycle counts.
 func (m *InOrderModel) Stats() Stats {
 	return Stats{Instructions: m.insts, Cycles: m.lastEnd}
+}
+
+// PipelineStats returns the shared-base stats plus the in-order
+// pipeline counters.
+func (m *InOrderModel) PipelineStats() PipelineStats {
+	ps := PipelineStats{
+		Stats:          m.Stats(),
+		Model:          "inorder",
+		SrcStallCycles: m.srcStalls,
+		BranchFlushes:  m.flushes,
+	}
+	if m.DCache != nil {
+		ps.CacheHits, ps.CacheMisses = m.DCache.Hits(), m.DCache.Misses()
+	}
+	return ps
 }

@@ -28,8 +28,14 @@ type OoOModel struct {
 	// unbounded-MSHR machine hides streaming misses completely under a
 	// large ROB, which is not how real L1Ds behave.
 	MSHRs int
+	// Tracer, when non-nil, receives per-instruction pipeline timing.
+	Tracer PipelineObserver
 
 	mshrBusy []uint64
+
+	srcStalls  uint64 // cycles instructions waited on sources
+	robStalls  uint64 // cycles dispatch waited for a ROB slot
+	robFullHit uint64 // dispatches that found the ROB full
 
 	regReady  [isa.NumRegs]uint64
 	memReady  map[uint64]uint64
@@ -67,7 +73,9 @@ func (m *OoOModel) Event(ev *isa.Event) {
 	if m.count == m.ROBSize {
 		// Oldest in-flight instruction retires at m.retire[m.head]; we
 		// may not dispatch before the cycle after its retirement.
+		m.robFullHit++
 		if r := m.retire[m.head] + 1; r > dispatch {
+			m.robStalls += r - dispatch
 			dispatch = r
 		}
 		m.head = (m.head + 1) % m.ROBSize
@@ -94,6 +102,7 @@ func (m *OoOModel) Event(ev *isa.Event) {
 			}
 		}
 	}
+	m.srcStalls += start - dispatch
 	lat := uint64(m.Latencies.Latency(ev.Group))
 	if m.DCache != nil && ev.LoadSize != 0 {
 		if miss := m.DCache.Access(ev.LoadAddr); miss != 0 {
@@ -141,12 +150,32 @@ func (m *OoOModel) Event(ev *isa.Event) {
 	tail := (m.head + m.count) % m.ROBSize
 	m.retire[tail] = done
 	m.count++
+
+	if m.Tracer != nil {
+		m.Tracer.ObserveRetire(ev, dispatch, start, done)
+	}
 }
 
 // Stats returns the accumulated counts; Cycles is the retire time of
 // the last instruction.
 func (m *OoOModel) Stats() Stats {
 	return Stats{Instructions: m.insts, Cycles: m.lastCycle}
+}
+
+// PipelineStats returns the shared-base stats plus the out-of-order
+// pipeline counters.
+func (m *OoOModel) PipelineStats() PipelineStats {
+	ps := PipelineStats{
+		Stats:              m.Stats(),
+		Model:              "ooo",
+		SrcStallCycles:     m.srcStalls,
+		ROBFullStallCycles: m.robStalls,
+		ROBFullEvents:      m.robFullHit,
+	}
+	if m.DCache != nil {
+		ps.CacheHits, ps.CacheMisses = m.DCache.Hits(), m.DCache.Misses()
+	}
+	return ps
 }
 
 // wordSpan returns the first and last 8-byte-aligned words covered by

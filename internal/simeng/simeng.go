@@ -37,14 +37,15 @@ type Machine interface {
 	Arch() isa.Arch
 }
 
-// Stats summarises a completed run.
+// Stats is the shared base every core model reports: retired
+// instructions and cycles. Richer models embed it in PipelineStats.
 type Stats struct {
 	// Instructions is the number of retired instructions (the paper's
 	// path length).
-	Instructions uint64
+	Instructions uint64 `json:"instructions"`
 	// Cycles is the core model's cycle count; for the emulation core
 	// it equals Instructions.
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 }
 
 // CPI returns cycles per instruction.
@@ -55,12 +56,64 @@ func (s Stats) CPI() float64 {
 	return float64(s.Cycles) / float64(s.Instructions)
 }
 
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// PipelineStats extends the shared base with the microarchitectural
+// counters the core models track. Every core fills the base; fields
+// that do not apply to a model stay zero, so consumers (the manifest
+// writer, the CLIs) need no per-core switch.
+type PipelineStats struct {
+	Stats
+	// Model names the core model: "emulation", "inorder" or "ooo".
+	Model string `json:"model"`
+	// SrcStallCycles is the total cycles instructions waited on
+	// register or memory sources before issuing.
+	SrcStallCycles uint64 `json:"src_stall_cycles,omitempty"`
+	// BranchFlushes counts pipeline redirects paid for mispredicted
+	// branches (in-order model only; the OoO model assumes perfect
+	// prediction).
+	BranchFlushes uint64 `json:"branch_flushes,omitempty"`
+	// ROBFullStallCycles is the total cycles dispatch waited for a
+	// reorder-buffer slot (OoO model only).
+	ROBFullStallCycles uint64 `json:"rob_full_stall_cycles,omitempty"`
+	// ROBFullEvents counts dispatches that found the ROB full.
+	ROBFullEvents uint64 `json:"rob_full_events,omitempty"`
+	// CacheHits/CacheMisses copy the attached DCache counters.
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+}
+
+// StatsSource is implemented by every core model; it lets telemetry
+// and the manifest writer treat cores uniformly.
+type StatsSource interface {
+	PipelineStats() PipelineStats
+}
+
+// PipelineObserver receives per-instruction pipeline timing from a
+// core model: the cycle the instruction entered the pipe (dispatch),
+// the cycle it began executing (issue) and the cycle its result was
+// ready (complete). telemetry.PipelineTrace implements it.
+type PipelineObserver interface {
+	ObserveRetire(ev *isa.Event, dispatch, issue, complete uint64)
+}
+
 // EmulationCore executes instructions atomically, one per cycle,
 // streaming each retirement to the sink. MaxInstructions guards
 // against runaway programs (0 means no limit).
 type EmulationCore struct {
 	// MaxInstructions aborts the run when exceeded; 0 means unlimited.
 	MaxInstructions uint64
+	// Observer, when non-nil, receives per-instruction timing
+	// (dispatch == issue == retire cycle for the atomic model).
+	Observer PipelineObserver
+
+	last Stats
 }
 
 // Run drives m to completion. sink may be nil to just count.
@@ -68,23 +121,36 @@ func (c *EmulationCore) Run(m Machine, sink isa.Sink) (Stats, error) {
 	var ev isa.Event
 	var stats Stats
 	max := c.MaxInstructions
+	obs := c.Observer
 	for {
 		done, err := m.Step(&ev)
 		if err != nil {
+			c.last = stats
 			return stats, fmt.Errorf("simeng: after %d instructions: %w", stats.Instructions, err)
 		}
 		if done {
 			stats.Cycles = stats.Instructions
+			c.last = stats
 			return stats, nil
 		}
 		stats.Instructions++
 		if sink != nil {
 			sink.Event(&ev)
 		}
+		if obs != nil {
+			obs.ObserveRetire(&ev, stats.Instructions-1, stats.Instructions-1, stats.Instructions)
+		}
 		if max != 0 && stats.Instructions >= max {
+			c.last = stats
 			return stats, fmt.Errorf("simeng: instruction limit %d exceeded", max)
 		}
 	}
+}
+
+// PipelineStats reports the most recent run (one instruction per
+// cycle, no stalls by construction).
+func (c *EmulationCore) PipelineStats() PipelineStats {
+	return PipelineStats{Stats: c.last, Model: "emulation"}
 }
 
 // LatencyModel maps each instruction group to an execution latency in

@@ -257,3 +257,91 @@ func TestBothMachinesThroughCore(t *testing.T) {
 		}
 	}
 }
+
+// recorder captures observer callbacks for the pipeline-observer tests.
+type recorder struct {
+	n        int
+	badOrder bool
+	lastDone uint64
+}
+
+func (r *recorder) ObserveRetire(ev *isa.Event, dispatch, issue, complete uint64) {
+	r.n++
+	if dispatch > issue || issue > complete {
+		r.badOrder = true
+	}
+	r.lastDone = complete
+}
+
+func TestEmulationCoreObserver(t *testing.T) {
+	m := rvLoop(t, 25)
+	rec := &recorder{}
+	c := &EmulationCore{Observer: rec}
+	stats, err := c.Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(rec.n) != stats.Instructions {
+		t.Fatalf("observed %d retires, want %d", rec.n, stats.Instructions)
+	}
+	if rec.badOrder {
+		t.Fatal("observer saw dispatch/issue/complete out of order")
+	}
+	ps := c.PipelineStats()
+	if ps.Model != "emulation" || ps.Instructions != stats.Instructions || ps.Cycles != stats.Cycles {
+		t.Fatalf("pipeline stats = %+v", ps)
+	}
+}
+
+func TestTimingModelTracers(t *testing.T) {
+	for _, tc := range []struct {
+		model string
+		run   func(rec *recorder, n int) PipelineStats
+	}{
+		{"inorder", func(rec *recorder, n int) PipelineStats {
+			m := NewInOrderModel()
+			m.Tracer = rec
+			for i := 0; i < n; i++ {
+				ev := &isa.Event{Group: isa.GroupLoad}
+				ev.AddSrc(isa.IntReg(1))
+				ev.AddDst(isa.IntReg(1))
+				m.Event(ev)
+			}
+			return m.PipelineStats()
+		}},
+		{"ooo", func(rec *recorder, n int) PipelineStats {
+			m := NewOoOModel()
+			m.Tracer = rec
+			for i := 0; i < n; i++ {
+				ev := &isa.Event{Group: isa.GroupLoad}
+				ev.AddSrc(isa.IntReg(1))
+				ev.AddDst(isa.IntReg(1))
+				m.Event(ev)
+			}
+			return m.PipelineStats()
+		}},
+	} {
+		rec := &recorder{}
+		const n = 200
+		ps := tc.run(rec, n)
+		if rec.n != n {
+			t.Fatalf("%s: traced %d events, want %d", tc.model, rec.n, n)
+		}
+		if rec.badOrder {
+			t.Fatalf("%s: dispatch/issue/complete out of order", tc.model)
+		}
+		if ps.Model != tc.model {
+			t.Fatalf("model = %q, want %q", ps.Model, tc.model)
+		}
+		if ps.Instructions != n {
+			t.Fatalf("%s: stats instructions = %d, want %d", tc.model, ps.Instructions, n)
+		}
+		// A serial load chain must expose source stalls in every model.
+		if ps.SrcStallCycles == 0 {
+			t.Fatalf("%s: no source-stall cycles on a serial load chain", tc.model)
+		}
+		if ps.CPI() <= 1 {
+			t.Fatalf("%s: CPI %v <= 1 on a serial load chain", tc.model, ps.CPI())
+		}
+	}
+}

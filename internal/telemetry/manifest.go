@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"isacmp/internal/simeng"
+)
+
+// ManifestSchema identifies the manifest document layout; bump on
+// incompatible change. Trajectory tooling (BENCH_*.json diffing)
+// matches on it.
+const ManifestSchema = "isacmp/run-manifest/v1"
+
+// Manifest is the machine-readable record of one CLI invocation: what
+// ran, how long it took, what the simulator observed about the
+// workloads, and what the telemetry observed about the simulator.
+// Every cmd/ binary can emit one via -json / -metrics-json.
+type Manifest struct {
+	Schema    string `json:"schema"`
+	Command   string `json:"command"`
+	Scale     string `json:"scale,omitempty"`
+	StartTime string `json:"start_time"`
+	// WallSeconds is the end-to-end wall time of the invocation.
+	WallSeconds float64 `json:"wall_seconds"`
+
+	Host Host `json:"host"`
+
+	// Runs holds one record per (workload, target, core) execution.
+	Runs []RunRecord `json:"runs,omitempty"`
+
+	// Metrics is the final registry snapshot for the invocation.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// Host describes the machine and toolchain that produced the manifest.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// RunRecord is one simulated execution inside a manifest.
+type RunRecord struct {
+	Workload string `json:"workload"`
+	Target   string `json:"target"`
+
+	// Core carries the uniform per-core stats (shared Instructions/
+	// Cycles base plus model-specific counters).
+	Core simeng.PipelineStats `json:"core"`
+
+	// WallSeconds is the wall time of this run alone; MIPS the
+	// simulated retire rate in millions of instructions per second.
+	WallSeconds float64 `json:"wall_seconds"`
+	MIPS        float64 `json:"mips"`
+
+	// Sinks is the tee's per-analysis overhead accounting.
+	Sinks []SinkStats `json:"sinks,omitempty"`
+
+	// Tracker describes the critical-path tracker's memory footprint,
+	// when the run carried one.
+	Tracker *TrackerStats `json:"tracker,omitempty"`
+
+	// Results holds the analysis outputs for this run.
+	Results *ResultTable `json:"results,omitempty"`
+}
+
+// TrackerStats mirrors core.CritPath's footprint counters without
+// importing internal/core (telemetry sits below the analyses).
+type TrackerStats struct {
+	// MapEntries is the number of sparse memory-chain map entries.
+	MapEntries int `json:"map_entries"`
+	// DenseWords is the size of the dense memory-chain array.
+	DenseWords int `json:"dense_words"`
+}
+
+// ResultTable carries the paper-analysis outputs of one run in the
+// shape the text reports print: one value set per analysis, all
+// optional.
+type ResultTable struct {
+	PathLen uint64       `json:"path_len,omitempty"`
+	Regions []RegionJSON `json:"regions,omitempty"`
+	Other   uint64       `json:"other_instructions,omitempty"`
+
+	CP        uint64  `json:"cp,omitempty"`
+	ILP       float64 `json:"ilp,omitempty"`
+	RuntimeMS float64 `json:"runtime_ms,omitempty"`
+
+	ScaledCP        uint64  `json:"scaled_cp,omitempty"`
+	ScaledILP       float64 `json:"scaled_ilp,omitempty"`
+	ScaledRuntimeMS float64 `json:"scaled_runtime_ms,omitempty"`
+
+	Windows []WindowJSON `json:"windows,omitempty"`
+
+	Mix           []MixJSON `json:"mix,omitempty"`
+	BranchDensity float64   `json:"branch_density,omitempty"`
+	BranchTaken   float64   `json:"branch_taken_rate,omitempty"`
+}
+
+// RegionJSON is one per-kernel path-length row.
+type RegionJSON struct {
+	Kernel string `json:"kernel"`
+	Count  uint64 `json:"count"`
+}
+
+// WindowJSON is one windowed-critical-path series point.
+type WindowJSON struct {
+	Size    int     `json:"size"`
+	Windows uint64  `json:"windows"`
+	MeanCP  float64 `json:"mean_cp"`
+	MeanILP float64 `json:"mean_ilp"`
+}
+
+// MixJSON is one instruction-mix histogram row.
+type MixJSON struct {
+	Group    string  `json:"group"`
+	Count    uint64  `json:"count"`
+	Fraction float64 `json:"fraction"`
+}
+
+// NewManifest starts a manifest for the named command, stamping the
+// host block and start time. Call Finish before writing.
+func NewManifest(command, scale string) *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Command:   command,
+		Scale:     scale,
+		StartTime: time.Now().UTC().Format(time.RFC3339),
+		Host: Host{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+	}
+}
+
+// Finish stamps the total wall time from the given start and attaches
+// the registry snapshot (nil registry is fine).
+func (m *Manifest) Finish(start time.Time, reg *Registry) {
+	m.WallSeconds = time.Since(start).Seconds()
+	if reg != nil {
+		snap := reg.Snapshot()
+		m.Metrics = &snap
+	}
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path ("-" means stdout).
+func (m *Manifest) WriteFile(path string) error {
+	if path == "-" {
+		return m.Encode(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RateMIPS converts an instruction count and duration to millions of
+// simulated instructions per second.
+func RateMIPS(instructions uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(instructions) / d.Seconds() / 1e6
+}

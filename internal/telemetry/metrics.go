@@ -1,0 +1,242 @@
+// Package telemetry is the observability layer of the simulator: a
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// JSON-serialisable snapshots, an instrumented tee sink that times the
+// analyses attached to a run, a sampled pipeline tracer emitting
+// Chrome-trace JSON, a run-manifest writer for machine-readable result
+// artifacts, a stderr progress heartbeat, and pprof profiling hooks.
+//
+// The paper's method is to observe a simulator; this package observes
+// the observer. Everything here is designed around one constraint: the
+// per-retired-instruction hot path (hundreds of millions of events at
+// paper scale) must stay allocation-free and nearly branch-free.
+// Metric handles are plain structs obtained once at setup; updating
+// them is a single atomic add. Sinks that need richer accounting
+// accumulate into local (non-atomic) fields and flush to the registry
+// in batches.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; obtain shared instances from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as a float64.
+// The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value Set.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: observation v lands in the
+// first bucket whose upper bound is >= v, or in the implicit overflow
+// bucket. Bounds are fixed at creation so Observe never allocates.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds. Registries create histograms via Registry.Histogram; this
+// constructor exists for standalone use.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry holds named metrics. Lookup/creation takes a lock; the
+// returned handles are stable, so hot paths hold them and never touch
+// the registry again. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string // creation order, for stable snapshots
+	kinds  map[string]byte
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:  map[string]byte{},
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on
+// first use. A name registered as another kind panics: metric names
+// are a schema, and silently returning a fresh handle would split the
+// series.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counts[name]; ok {
+		return c
+	}
+	r.register(name, 'c')
+	c := &Counter{}
+	r.counts[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, 'g')
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it
+// with the given bucket bounds on first use (later calls ignore
+// bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.register(name, 'h')
+	h := NewHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+func (r *Registry) register(name string, kind byte) {
+	if k, ok := r.kinds[name]; ok && k != kind {
+		panic("telemetry: metric " + name + " re-registered as a different kind")
+	}
+	r.kinds[name] = kind
+	r.order = append(r.order, name)
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramPoint is one histogram in a snapshot. Buckets[i] counts
+// observations <= Bounds[i]; the final extra bucket is overflow.
+type HistogramPoint struct {
+	Name    string    `json:"name"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+}
+
+// Snapshot is a point-in-time, JSON-serialisable copy of every metric
+// in a registry, in creation order.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, name := range r.order {
+		switch r.kinds[name] {
+		case 'c':
+			s.Counters = append(s.Counters, CounterPoint{Name: name, Value: r.counts[name].Value()})
+		case 'g':
+			s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: r.gauges[name].Value()})
+		case 'h':
+			h := r.hists[name]
+			hp := HistogramPoint{
+				Name:   name,
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+				Bounds: append([]float64(nil), h.bounds...),
+			}
+			for i := range h.buckets {
+				hp.Buckets = append(hp.Buckets, h.buckets[i].Load())
+			}
+			s.Histograms = append(s.Histograms, hp)
+		}
+	}
+	return s
+}
+
+// Counter returns the snapshotted value of a counter (0 if absent).
+func (s *Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshotted value of a gauge (0 if absent).
+func (s *Snapshot) Gauge(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}

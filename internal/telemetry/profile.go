@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a pprof CPU profile written to path and
+// returns a stop function. It is the -cpuprofile hook shared by the
+// CLIs; an empty path is a no-op.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes an allocation profile to path — the
+// -memprofile hook. An empty path is a no-op. It runs a GC first so
+// the profile reflects live heap, matching `go test -memprofile`.
+func WriteMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("telemetry: memprofile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"isacmp/internal/isa"
+)
+
+// Progress is a heartbeat sink for long -scale paper runs: it prints
+// retired-instruction count, retire rate and (when an expected total
+// is known) an ETA to a writer, at most once per Interval. The clock
+// is only consulted every checkEvery events, so the per-event cost is
+// an increment and a branch.
+type Progress struct {
+	// W receives the heartbeat lines (typically os.Stderr).
+	W io.Writer
+	// Interval is the minimum time between lines (default 2s).
+	Interval time.Duration
+	// ExpectedTotal, when non-zero, enables the ETA column.
+	ExpectedTotal uint64
+	// Label prefixes every line (e.g. "stream AArch64/gcc12").
+	Label string
+
+	retired    uint64
+	sinceCheck uint64
+	start      time.Time
+	lastPrint  time.Time
+}
+
+// checkEvery is how many events pass between clock reads.
+const checkEvery = 1 << 20
+
+// NewProgress returns a heartbeat writing to w every interval (0
+// means 2s).
+func NewProgress(w io.Writer, label string, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Progress{W: w, Interval: interval, Label: label}
+}
+
+// Event counts one retired instruction and occasionally heartbeats.
+func (p *Progress) Event(ev *isa.Event) {
+	p.retired++
+	if p.sinceCheck++; p.sinceCheck < checkEvery {
+		return
+	}
+	p.sinceCheck = 0
+	now := time.Now()
+	if p.start.IsZero() {
+		p.start, p.lastPrint = now, now
+		return
+	}
+	if now.Sub(p.lastPrint) < p.Interval {
+		return
+	}
+	p.lastPrint = now
+	p.print(now)
+}
+
+// Finish prints a final line with the end-of-run totals.
+func (p *Progress) Finish() {
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
+	p.print(time.Now())
+}
+
+// Retired returns the number of events observed.
+func (p *Progress) Retired() uint64 { return p.retired }
+
+func (p *Progress) print(now time.Time) {
+	elapsed := now.Sub(p.start)
+	rate := RateMIPS(p.retired, elapsed)
+	line := fmt.Sprintf("%s: %d retired, %.1f Minst/s, %s elapsed",
+		p.Label, p.retired, rate, elapsed.Truncate(time.Millisecond))
+	if p.ExpectedTotal > p.retired && rate > 0 {
+		remaining := float64(p.ExpectedTotal-p.retired) / (rate * 1e6)
+		line += fmt.Sprintf(", ETA %s", (time.Duration(remaining * float64(time.Second))).Truncate(time.Second))
+	}
+	fmt.Fprintln(p.W, line)
+}

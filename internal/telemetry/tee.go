@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"time"
+
+	"isacmp/internal/isa"
+)
+
+// Tee fans the per-retired-instruction event stream out to several
+// sinks in order, like isa.MultiSink, while accounting what each sink
+// costs. Timing every event would double the price of cheap sinks, so
+// the tee samples: every SamplePeriod-th event is forwarded under a
+// timer and the measured nanoseconds are scaled up by the period to
+// estimate total overhead. Ordering is preserved on both paths.
+type Tee struct {
+	// SamplePeriod is the event-sampling interval for overhead timing,
+	// rounded up to a power of two so the hot path tests a mask instead
+	// of dividing. 0 means DefaultSamplePeriod; 1 times every event.
+	SamplePeriod uint64
+
+	sinks []isa.Sink
+	names []string
+	n     uint64
+	mask  uint64 // resolved SamplePeriod - 1; 0 until first event
+	// sampled per-sink accounting, parallel to sinks.
+	sampledNs     []uint64
+	sampledEvents []uint64
+	// rm, when non-nil, is fed inline — see CountRunMetrics.
+	rm *RunMetrics
+}
+
+// DefaultSamplePeriod is the default timing-sample interval. A power
+// of two keeps the hot-path modulo a mask; the value trades estimate
+// resolution against the cost of the timer pairs themselves (a
+// million-instruction run still takes a few hundred samples per sink).
+const DefaultSamplePeriod = 4096
+
+// clockNs estimates the cost of one start/stop timer pair, measured
+// once at package init and subtracted from every sample so the
+// reported per-sink cost is the sink's own work, not the clock's.
+var clockNs = func() uint64 {
+	const n = 256
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		_ = time.Since(time.Now())
+	}
+	return uint64(time.Since(start)) / n
+}()
+
+// NewTee builds an empty instrumented tee. Attach sinks with Add.
+func NewTee() *Tee { return &Tee{} }
+
+// resolvePeriod rounds period up to a power of two (>= 1), applying
+// the default for 0.
+func resolvePeriod(period uint64) uint64 {
+	if period == 0 {
+		return DefaultSamplePeriod
+	}
+	p := uint64(1)
+	for p < period {
+		p <<= 1
+	}
+	return p
+}
+
+// Add attaches a named sink; events are forwarded in attachment order.
+// It returns the tee for chaining.
+func (t *Tee) Add(name string, s isa.Sink) *Tee {
+	t.sinks = append(t.sinks, s)
+	t.names = append(t.names, name)
+	t.sampledNs = append(t.sampledNs, 0)
+	t.sampledEvents = append(t.sampledEvents, 0)
+	return t
+}
+
+// Event forwards ev to every attached sink in order.
+func (t *Tee) Event(ev *isa.Event) {
+	if t.n == 0 {
+		t.mask = resolvePeriod(t.SamplePeriod) - 1
+	}
+	t.n++
+	if m := t.rm; m != nil {
+		m.retired++
+		if ev.Branch {
+			m.branches++
+			if ev.Taken {
+				m.taken++
+			}
+		}
+		if ev.LoadSize != 0 {
+			m.loads++
+		}
+		if ev.StoreSize != 0 {
+			m.stores++
+		}
+	}
+	if t.n&t.mask != 0 {
+		for _, s := range t.sinks {
+			s.Event(ev)
+		}
+		return
+	}
+	for i, s := range t.sinks {
+		start := time.Now()
+		s.Event(ev)
+		ns := uint64(time.Since(start))
+		if ns > clockNs {
+			ns -= clockNs
+		} else {
+			ns = 0
+		}
+		t.sampledNs[i] += ns
+		t.sampledEvents[i]++
+	}
+}
+
+// CountRunMetrics feeds m inline as events pass through the tee,
+// instead of attaching it as a separate sink: the per-event counting
+// happens inside Tee.Event with no extra dynamic dispatch, which is
+// what keeps whole-run instrumentation inside the observability
+// budget. Counts become visible in m's registry after m.Flush (the
+// inline path does not flush periodically). It returns the tee for
+// chaining.
+func (t *Tee) CountRunMetrics(m *RunMetrics) *Tee {
+	t.rm = m
+	return t
+}
+
+// Events returns the number of events the tee has forwarded.
+func (t *Tee) Events() uint64 { return t.n }
+
+// SinkStats reports the cost accounting for one attached sink.
+type SinkStats struct {
+	// Name is the label the sink was attached with.
+	Name string `json:"name"`
+	// Events is the number of events forwarded to the sink.
+	Events uint64 `json:"events"`
+	// SampledEvents is the number of events that were timed.
+	SampledEvents uint64 `json:"sampled_events"`
+	// SampledNs is the measured time inside the sink across the
+	// sampled events.
+	SampledNs uint64 `json:"sampled_ns"`
+	// EstOverheadNs extrapolates SampledNs to all events.
+	EstOverheadNs uint64 `json:"est_overhead_ns"`
+	// MeanNsPerEvent is the mean sampled cost of one event.
+	MeanNsPerEvent float64 `json:"mean_ns_per_event"`
+}
+
+// Stats returns per-sink cost accounting in attachment order.
+func (t *Tee) Stats() []SinkStats {
+	out := make([]SinkStats, len(t.sinks))
+	for i := range t.sinks {
+		s := SinkStats{
+			Name:          t.names[i],
+			Events:        t.n,
+			SampledEvents: t.sampledEvents[i],
+			SampledNs:     t.sampledNs[i],
+		}
+		if s.SampledEvents > 0 {
+			s.MeanNsPerEvent = float64(s.SampledNs) / float64(s.SampledEvents)
+			s.EstOverheadNs = uint64(s.MeanNsPerEvent * float64(t.n))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// RunMetrics is the standard event-stream instrumentation: a sink
+// that feeds a handful of whole-run counters (retired instructions,
+// branches, taken branches, loads, stores) into a Registry. Counts
+// accumulate in plain local fields — the event stream is
+// single-goroutine — and flush to the shared registry every
+// flushPeriod events and on Flush, so the hot path performs no atomic
+// operations.
+type RunMetrics struct {
+	retired, branches, taken, loads, stores uint64
+	sinceFlush                              uint64
+
+	cRetired, cBranches, cTaken, cLoads, cStores *Counter
+}
+
+const flushPeriod = 1 << 16
+
+// NewRunMetrics registers the standard run counters ("run.retired",
+// "run.branches", "run.branches_taken", "run.loads", "run.stores") in
+// r and returns the feeding sink.
+func NewRunMetrics(r *Registry) *RunMetrics {
+	return &RunMetrics{
+		cRetired:  r.Counter("run.retired"),
+		cBranches: r.Counter("run.branches"),
+		cTaken:    r.Counter("run.branches_taken"),
+		cLoads:    r.Counter("run.loads"),
+		cStores:   r.Counter("run.stores"),
+	}
+}
+
+// Event accumulates one retired instruction.
+func (m *RunMetrics) Event(ev *isa.Event) {
+	m.retired++
+	if ev.Branch {
+		m.branches++
+		if ev.Taken {
+			m.taken++
+		}
+	}
+	if ev.LoadSize != 0 {
+		m.loads++
+	}
+	if ev.StoreSize != 0 {
+		m.stores++
+	}
+	if m.sinceFlush++; m.sinceFlush >= flushPeriod {
+		m.Flush()
+	}
+}
+
+// Flush publishes the locally accumulated counts to the registry.
+// Call after the run completes (snapshots only see flushed counts).
+func (m *RunMetrics) Flush() {
+	m.cRetired.Add(m.retired)
+	m.cBranches.Add(m.branches)
+	m.cTaken.Add(m.taken)
+	m.cLoads.Add(m.loads)
+	m.cStores.Add(m.stores)
+	m.retired, m.branches, m.taken, m.loads, m.stores = 0, 0, 0, 0, 0
+	m.sinceFlush = 0
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"testing"
+
+	"isacmp/internal/isa"
+)
+
+// TestTeeOrdering verifies the tee forwards every event to every sink
+// in attachment order, on both the timed and untimed paths.
+func TestTeeOrdering(t *testing.T) {
+	var order []int
+	tee := NewTee()
+	tee.SamplePeriod = 2 // exercise both paths
+	for i := 0; i < 3; i++ {
+		i := i
+		tee.Add("sink", isa.SinkFunc(func(ev *isa.Event) { order = append(order, i) }))
+	}
+	var ev isa.Event
+	const events = 4
+	for i := 0; i < events; i++ {
+		tee.Event(&ev)
+	}
+	if tee.Events() != events {
+		t.Fatalf("events = %d, want %d", tee.Events(), events)
+	}
+	if len(order) != events*3 {
+		t.Fatalf("forwarded %d calls, want %d", len(order), events*3)
+	}
+	for i, got := range order {
+		if want := i % 3; got != want {
+			t.Fatalf("call %d went to sink %d, want %d (order %v)", i, got, want, order)
+		}
+	}
+}
+
+// TestTeeOverheadAccounting verifies sampling counts and that the
+// overhead estimate extrapolates the sampled time to all events.
+func TestTeeOverheadAccounting(t *testing.T) {
+	tee := NewTee()
+	tee.SamplePeriod = 8
+	busy := 0
+	tee.Add("busy", isa.SinkFunc(func(ev *isa.Event) {
+		for i := 0; i < 10000; i++ {
+			busy += i
+		}
+	}))
+	var ev isa.Event
+	const events = 64
+	for i := 0; i < events; i++ {
+		tee.Event(&ev)
+	}
+	stats := tee.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("stats len = %d", len(stats))
+	}
+	s := stats[0]
+	if s.Name != "busy" || s.Events != events {
+		t.Fatalf("stats = %+v", s)
+	}
+	if want := uint64(events / 8); s.SampledEvents != want {
+		t.Fatalf("sampled %d events, want %d", s.SampledEvents, want)
+	}
+	if s.SampledNs == 0 {
+		t.Fatal("busy sink sampled 0ns")
+	}
+	if s.MeanNsPerEvent <= 0 {
+		t.Fatalf("mean ns = %v", s.MeanNsPerEvent)
+	}
+	want := uint64(s.MeanNsPerEvent * float64(events))
+	if s.EstOverheadNs != want {
+		t.Fatalf("est overhead = %d, want %d", s.EstOverheadNs, want)
+	}
+	_ = busy
+}
+
+// TestTeeInlineRunMetrics covers the inline counting path the
+// instrumented runners use: the tee feeds RunMetrics without a
+// per-event sink dispatch.
+func TestTeeInlineRunMetrics(t *testing.T) {
+	r := NewRegistry()
+	m := NewRunMetrics(r)
+	tee := NewTee().CountRunMetrics(m)
+	tee.Add("null", isa.SinkFunc(func(ev *isa.Event) {}))
+	branch := isa.Event{Branch: true, Taken: true}
+	load := isa.Event{LoadSize: 8}
+	for i := 0; i < 10; i++ {
+		tee.Event(&branch)
+		tee.Event(&load)
+	}
+	m.Flush()
+	s := r.Snapshot()
+	if s.Counter("run.retired") != 20 || s.Counter("run.branches") != 10 ||
+		s.Counter("run.branches_taken") != 10 || s.Counter("run.loads") != 10 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestRunMetricsFlush(t *testing.T) {
+	r := NewRegistry()
+	m := NewRunMetrics(r)
+	ev := isa.Event{Branch: true, Taken: true, LoadSize: 8}
+	for i := 0; i < 100; i++ {
+		m.Event(&ev)
+	}
+	// Before Flush the registry only sees full batches (none here).
+	pre := r.Snapshot()
+	if got := pre.Counter("run.retired"); got != 0 {
+		t.Fatalf("unflushed retired = %d, want 0", got)
+	}
+	m.Flush()
+	s := r.Snapshot()
+	if s.Counter("run.retired") != 100 || s.Counter("run.branches") != 100 ||
+		s.Counter("run.branches_taken") != 100 || s.Counter("run.loads") != 100 ||
+		s.Counter("run.stores") != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Flush is idempotent: locals were zeroed.
+	m.Flush()
+	post := r.Snapshot()
+	if got := post.Counter("run.retired"); got != 100 {
+		t.Fatalf("double flush retired = %d, want 100", got)
+	}
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"isacmp/internal/isa"
+)
+
+func feed(t *PipelineTrace, n int) {
+	for i := 0; i < n; i++ {
+		ev := isa.Event{PC: 0x1000 + uint64(4*i), Group: isa.GroupIntSimple}
+		c := uint64(i)
+		t.ObserveRetire(&ev, c, c+2, c+5)
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	tr := NewPipelineTrace(100, 4)
+	feed(tr, 40)
+	if tr.Observed() != 40 {
+		t.Fatalf("observed = %d, want 40", tr.Observed())
+	}
+	if got := len(tr.Spans()); got != 10 {
+		t.Fatalf("kept %d spans with sample=4, want 10", got)
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	tr := NewPipelineTrace(8, 1)
+	feed(tr, 20)
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(spans))
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", tr.Dropped())
+	}
+	// Oldest-first: the retained spans are the last 8 observed.
+	for i, s := range spans {
+		if want := uint64(12 + i); s.Seq != want {
+			t.Fatalf("span %d seq = %d, want %d", i, s.Seq, want)
+		}
+		if s.GroupStr == "" {
+			t.Fatalf("span %d has empty group string", i)
+		}
+	}
+}
+
+// TestChromeTraceValidJSON checks the emitted document is valid JSON in
+// the Chrome trace-event shape, with wait spans only for stalled
+// instructions.
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := NewPipelineTrace(16, 1)
+	// One stalled instruction (issue > dispatch) and one back-to-back.
+	ev := isa.Event{PC: 0x100, Group: isa.GroupLoad}
+	tr.ObserveRetire(&ev, 0, 3, 7)
+	ev2 := isa.Event{PC: 0x104, Group: isa.GroupIntSimple}
+	tr.ObserveRetire(&ev2, 1, 1, 2)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	// wait+exec for the stalled load, exec only for the simple op.
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3: %s", len(doc.TraceEvents), buf.String())
+	}
+	var waits, execs int
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event phase %q, want X", e.Ph)
+		}
+		switch e.Cat {
+		case "wait":
+			waits++
+			if e.Ts != 0 || e.Dur != 3 {
+				t.Fatalf("wait span ts=%d dur=%d, want 0/3", e.Ts, e.Dur)
+			}
+		case "exec":
+			execs++
+			if e.Dur == 0 {
+				t.Fatal("exec span with zero duration")
+			}
+		default:
+			t.Fatalf("unknown category %q", e.Cat)
+		}
+	}
+	if waits != 1 || execs != 2 {
+		t.Fatalf("waits=%d execs=%d, want 1/2", waits, execs)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewPipelineTrace(16, 1)
+	feed(tr, 5)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	lines := 0
+	for sc.Scan() {
+		var span PipelineSpan
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			t.Fatalf("line %d invalid: %v", lines, err)
+		}
+		if span.GroupStr == "" {
+			t.Fatalf("line %d missing group", lines)
+		}
+		lines++
+	}
+	if lines != 5 {
+		t.Fatalf("got %d JSONL lines, want 5", lines)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"isacmp/internal/a64"
 	"isacmp/internal/cc"
@@ -28,6 +29,7 @@ import (
 	"isacmp/internal/mem"
 	"isacmp/internal/rv64"
 	"isacmp/internal/simeng"
+	"isacmp/internal/telemetry"
 	"isacmp/internal/workloads"
 )
 
@@ -313,92 +315,111 @@ type Result struct {
 	ShortDepFraction16 float64
 }
 
-// Analyse runs the binary once with the selected analyses attached.
-func (b *Binary) Analyse(sel Analyses) (*Result, error) {
-	res := &Result{Target: b.compiled.Target}
-	var sinks []Sink
+// analysisSet is the bundle of analysis sinks one Analyses selection
+// builds, shared by Analyse and RunInstrumented.
+type analysisSet struct {
+	names []string
+	sinks []Sink
 
-	var pl *core.PathLength
+	pl      *core.PathLength
+	cp, scp *core.CritPath
+	win     *core.WindowedCritPath
+	mix     *core.Mix
+	br      *core.BranchProfile
+	dd      *core.DepDistance
+}
+
+func (a *analysisSet) add(name string, s Sink) {
+	a.names = append(a.names, name)
+	a.sinks = append(a.sinks, s)
+}
+
+func (b *Binary) newAnalysisSet(sel Analyses) *analysisSet {
+	a := &analysisSet{}
 	if sel.PathLength {
-		pl = core.NewPathLength(b.compiled.File.Symbols)
-		sinks = append(sinks, pl)
+		a.pl = core.NewPathLength(b.compiled.File.Symbols)
+		a.add("pathlen", a.pl)
 	}
-	var cp *core.CritPath
 	if sel.CritPath {
-		cp = core.NewCritPath()
-		cp.SetDenseRange(cc.TextBase, b.compiled.MemSize)
-		sinks = append(sinks, cp)
+		a.cp = core.NewCritPath()
+		a.cp.SetDenseRange(cc.TextBase, b.compiled.MemSize)
+		a.add("critpath", a.cp)
 	}
-	var scp *core.CritPath
 	if sel.ScaledCritPath {
 		lat := sel.Latencies
 		if lat == nil {
 			lat = simeng.TX2Latencies()
 		}
-		scp = core.NewScaledCritPath(lat)
-		scp.SetDenseRange(cc.TextBase, b.compiled.MemSize)
-		sinks = append(sinks, scp)
+		a.scp = core.NewScaledCritPath(lat)
+		a.scp.SetDenseRange(cc.TextBase, b.compiled.MemSize)
+		a.add("scaledcp", a.scp)
 	}
-	var win *core.WindowedCritPath
 	if sel.Windowed {
 		sizes := sel.WindowSizes
 		if sizes == nil {
 			sizes = core.PaperWindowSizes()
 		}
-		win = core.NewWindowedCritPathStride(sizes, sel.WindowStride)
-		sinks = append(sinks, win)
+		a.win = core.NewWindowedCritPathStride(sizes, sel.WindowStride)
+		a.add("windowcp", a.win)
 	}
-	var mix *core.Mix
 	if sel.Mix {
-		mix = core.NewMix()
-		sinks = append(sinks, mix)
+		a.mix = core.NewMix()
+		a.add("mix", a.mix)
 	}
-	var br *core.BranchProfile
 	if sel.Branches {
-		br = core.NewBranchProfile(nil)
-		sinks = append(sinks, br)
+		a.br = core.NewBranchProfile(nil)
+		a.add("branch", a.br)
 	}
-	var dd *core.DepDistance
 	if sel.DepDistances {
-		dd = core.NewDepDistance()
-		sinks = append(sinks, dd)
+		a.dd = core.NewDepDistance()
+		a.add("depdist", a.dd)
 	}
+	return a
+}
 
-	stats, err := b.Run(sinks...)
+// collect copies the analysis outputs into res.
+func (a *analysisSet) collect(res *Result) {
+	if a.pl != nil {
+		res.Regions = a.pl.Counts()
+		res.OtherInstructions = a.pl.Other()
+	}
+	if a.cp != nil {
+		res.CP = a.cp.CP()
+		res.ILP = a.cp.ILP()
+		res.RuntimeSeconds = a.cp.RuntimeSeconds()
+	}
+	if a.scp != nil {
+		res.ScaledCP = a.scp.CP()
+		res.ScaledILP = a.scp.ILP()
+		res.ScaledRuntimeSeconds = a.scp.RuntimeSeconds()
+	}
+	if a.win != nil {
+		res.Windows = a.win.Results()
+	}
+	if a.mix != nil {
+		res.MixCounts = a.mix.Counts()
+	}
+	if a.br != nil {
+		res.BranchCount = a.br.Branches()
+		res.BranchDensity = a.br.Density()
+		res.BranchTakenRate = a.br.TakenRate()
+	}
+	if a.dd != nil {
+		res.MeanDepDistance = a.dd.Mean()
+		res.ShortDepFraction16 = a.dd.ShortFraction(16)
+	}
+}
+
+// Analyse runs the binary once with the selected analyses attached.
+func (b *Binary) Analyse(sel Analyses) (*Result, error) {
+	res := &Result{Target: b.compiled.Target}
+	as := b.newAnalysisSet(sel)
+	stats, err := b.Run(as.sinks...)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats = stats
-
-	if pl != nil {
-		res.Regions = pl.Counts()
-		res.OtherInstructions = pl.Other()
-	}
-	if cp != nil {
-		res.CP = cp.CP()
-		res.ILP = cp.ILP()
-		res.RuntimeSeconds = cp.RuntimeSeconds()
-	}
-	if scp != nil {
-		res.ScaledCP = scp.CP()
-		res.ScaledILP = scp.ILP()
-		res.ScaledRuntimeSeconds = scp.RuntimeSeconds()
-	}
-	if win != nil {
-		res.Windows = win.Results()
-	}
-	if mix != nil {
-		res.MixCounts = mix.Counts()
-	}
-	if br != nil {
-		res.BranchCount = br.Branches()
-		res.BranchDensity = br.Density()
-		res.BranchTakenRate = br.TakenRate()
-	}
-	if dd != nil {
-		res.MeanDepDistance = dd.Mean()
-		res.ShortDepFraction16 = dd.ShortFraction(16)
-	}
+	as.collect(res)
 	return res, nil
 }
 
@@ -566,4 +587,200 @@ func (b *Binary) RunOoO(model *OoOModel) (Stats, error) {
 		return Stats{}, err
 	}
 	return model.Stats(), nil
+}
+
+// Observability surface (see internal/telemetry): a metrics registry
+// with JSON snapshots, an instrumented tee sink, a sampled pipeline
+// tracer, run manifests for machine-readable artifacts, and a stderr
+// progress heartbeat.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// RunManifest is the machine-readable record of an invocation.
+	RunManifest = telemetry.Manifest
+	// RunRecord is one simulated execution inside a manifest.
+	RunRecord = telemetry.RunRecord
+	// SinkOverhead is the tee's per-analysis cost accounting.
+	SinkOverhead = telemetry.SinkStats
+	// PipelineTrace records sampled per-instruction pipeline timing
+	// and writes Chrome-trace JSON.
+	PipelineTrace = telemetry.PipelineTrace
+	// PipelineStats is the uniform per-core stat block (shared
+	// instructions/cycles base plus model-specific counters).
+	PipelineStats = simeng.PipelineStats
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewRunManifest starts a manifest for the named command; call
+// Finish, then Encode or WriteFile.
+func NewRunManifest(command, scale string) *RunManifest {
+	return telemetry.NewManifest(command, scale)
+}
+
+// NewPipelineTrace returns a tracer holding at most capacity spans,
+// recording every sample-th instruction (0 or 1 records all).
+func NewPipelineTrace(capacity int, sample uint64) *PipelineTrace {
+	return telemetry.NewPipelineTrace(capacity, sample)
+}
+
+// RunConfig configures an instrumented run.
+type RunConfig struct {
+	// Core selects the timing model: "emulation" (default),
+	// "inorder" or "ooo".
+	Core string
+	// Cache attaches a default L1D model to the inorder/ooo cores.
+	Cache bool
+	// Analyses selects paper analyses to attach to the same run.
+	Analyses Analyses
+	// Metrics, when non-nil, receives the standard run counters.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, records pipeline timing from the core.
+	Trace *PipelineTrace
+	// Progress, when non-nil, receives heartbeat lines during the run
+	// and a final line after it.
+	Progress io.Writer
+	// SamplePeriod overrides the tee's overhead-timing interval.
+	SamplePeriod uint64
+}
+
+// RunInstrumented executes the binary once with full telemetry: the
+// selected analyses and timing model observe the run through an
+// instrumented tee (so each sink's overhead is accounted), and the
+// returned RunRecord carries the uniform core stats, retire rate,
+// per-sink overhead, tracker footprint and analysis results — ready
+// to append to a RunManifest. The Result carries the same analysis
+// outputs in their native form.
+func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
+	rec := RunRecord{Workload: b.prog.Name, Target: b.compiled.Target.String()}
+	mach, _, err := b.NewMachine()
+	if err != nil {
+		return nil, rec, err
+	}
+
+	as := b.newAnalysisSet(cfg.Analyses)
+	tee := telemetry.NewTee()
+	tee.SamplePeriod = cfg.SamplePeriod
+	nsinks := 0
+	for i := range as.sinks {
+		tee.Add(as.names[i], as.sinks[i])
+		nsinks++
+	}
+
+	emu := &simeng.EmulationCore{}
+	var statsSource simeng.StatsSource = emu
+	switch cfg.Core {
+	case "", "emulation":
+		if cfg.Trace != nil {
+			emu.Observer = cfg.Trace
+		}
+	case "inorder":
+		m := simeng.NewInOrderModel()
+		if cfg.Cache {
+			m.DCache = simeng.NewL1D()
+		}
+		if cfg.Trace != nil {
+			m.Tracer = cfg.Trace
+		}
+		tee.Add("inorder-model", m)
+		nsinks++
+		statsSource = m
+	case "ooo":
+		m := simeng.NewOoOModel()
+		if cfg.Cache {
+			m.DCache = simeng.NewL1D()
+		}
+		if cfg.Trace != nil {
+			m.Tracer = cfg.Trace
+		}
+		tee.Add("ooo-model", m)
+		nsinks++
+		statsSource = m
+	default:
+		return nil, rec, fmt.Errorf("isacmp: unknown core %q (want emulation, inorder or ooo)", cfg.Core)
+	}
+
+	var rm *telemetry.RunMetrics
+	if cfg.Metrics != nil {
+		rm = telemetry.NewRunMetrics(cfg.Metrics)
+		tee.CountRunMetrics(rm)
+	}
+	var pg *telemetry.Progress
+	if cfg.Progress != nil {
+		pg = telemetry.NewProgress(cfg.Progress, b.prog.Name+" "+b.compiled.Target.String(), 0)
+		tee.Add("progress", pg)
+		nsinks++
+	}
+
+	var sink Sink
+	if nsinks > 0 || rm != nil {
+		sink = tee
+	}
+	start := time.Now()
+	stats, err := emu.Run(mach, sink)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, rec, err
+	}
+	if rm != nil {
+		rm.Flush()
+	}
+	if pg != nil {
+		pg.Finish()
+	}
+
+	rec.Core = statsSource.PipelineStats()
+	rec.WallSeconds = wall.Seconds()
+	rec.MIPS = telemetry.RateMIPS(stats.Instructions, wall)
+	if nsinks > 0 {
+		rec.Sinks = tee.Stats()
+	}
+	if tracked := as.cp; tracked != nil {
+		ts := tracked.TrackerStats()
+		rec.Tracker = &telemetry.TrackerStats{MapEntries: ts.MapEntries, DenseWords: ts.DenseWords}
+	} else if tracked := as.scp; tracked != nil {
+		ts := tracked.TrackerStats()
+		rec.Tracker = &telemetry.TrackerStats{MapEntries: ts.MapEntries, DenseWords: ts.DenseWords}
+	}
+
+	res := &Result{Target: b.compiled.Target, Stats: stats}
+	as.collect(res)
+	rec.Results = resultTable(res)
+	return res, rec, nil
+}
+
+// resultTable converts a Result into the manifest's analysis block.
+func resultTable(res *Result) *telemetry.ResultTable {
+	rt := &telemetry.ResultTable{
+		PathLen:         res.Stats.Instructions,
+		Other:           res.OtherInstructions,
+		CP:              res.CP,
+		ILP:             res.ILP,
+		RuntimeMS:       res.RuntimeSeconds * 1e3,
+		ScaledCP:        res.ScaledCP,
+		ScaledILP:       res.ScaledILP,
+		ScaledRuntimeMS: res.ScaledRuntimeSeconds * 1e3,
+		BranchDensity:   res.BranchDensity,
+		BranchTaken:     res.BranchTakenRate,
+	}
+	for _, rc := range res.Regions {
+		rt.Regions = append(rt.Regions, telemetry.RegionJSON{Kernel: rc.Name, Count: rc.Count})
+	}
+	for _, w := range res.Windows {
+		rt.Windows = append(rt.Windows, telemetry.WindowJSON{
+			Size: w.Size, Windows: w.Windows, MeanCP: w.MeanCP, MeanILP: w.MeanILP,
+		})
+	}
+	for _, gc := range res.MixCounts {
+		if gc.Count == 0 {
+			continue
+		}
+		rt.Mix = append(rt.Mix, telemetry.MixJSON{
+			Group: gc.Group.String(), Count: gc.Count, Fraction: gc.Fraction,
+		})
+	}
+	return rt
 }
