@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench clean
+.PHONY: check fmt vet build test race differential golden bench bench-matrix clean
 
 # check is the full pre-merge gate: formatting, static checks, build,
-# the race-enabled test suite, and a short instrumented benchmark run
-# that exercises the manifest path end to end (BENCH_PR1.json).
-check: fmt vet build race bench
+# the race-enabled test suite (including the differential and golden
+# suites, run explicitly so a -run filter can never silently drop
+# them), and a short instrumented benchmark run that exercises the
+# manifest path end to end (BENCH_PR1.json).
+check: fmt vet build race differential golden bench
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -25,6 +27,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# differential runs the cross-core / cross-ISA trace-equivalence
+# harness and the -parallel determinism tests under the race detector.
+differential:
+	$(GO) test -race -count=1 -run 'TestDifferential|TestParallel|TestRunInstrumentedParallel' .
+
+# golden checks the pinned paper artifacts (Table 1/2, Figure 1/2,
+# canonical manifest) under the race detector. Regenerate after an
+# intentional output change with:
+#	$(GO) test ./internal/report -run TestGolden -update
+golden:
+	$(GO) test -race -count=1 -run TestGolden ./internal/report
+
 # bench writes a run manifest for the benchmark trajectory: one
 # instrumented run per workload at small scale, plus the telemetry
 # overhead micro-benchmark printed for eyeballing.
@@ -32,5 +46,11 @@ bench:
 	$(GO) run ./cmd/isacmp run -scale tiny -target all -metrics-json BENCH_PR1.json
 	$(GO) test -run xxx -bench BenchmarkTelemetryOverhead -benchtime 1s .
 
+# bench-matrix times the full analysis matrix sequentially and with
+# the worker pool, verifies the outputs are byte-identical, and writes
+# the comparison (speedup, worker utilization) to BENCH_PR2.json.
+bench-matrix:
+	$(GO) run ./cmd/isacmp bench-matrix -scale small -o BENCH_PR2.json
+
 clean:
-	rm -f BENCH_PR1.json
+	rm -f BENCH_PR1.json BENCH_PR2.json

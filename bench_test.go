@@ -232,6 +232,34 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
+// benchFullMatrix runs the complete paper matrix — every workload,
+// every target, all four analyses — through RunMatrix with the given
+// worker count. Tiny scale keeps one iteration under a second so the
+// sequential/parallel pair is cheap to compare (benchstat, or
+// `isacmp bench-matrix`, which also records the speedup and the
+// byte-identity check in BENCH_PR2.json).
+func benchFullMatrix(b *testing.B, parallel int) {
+	progs := Suite(Tiny)
+	ex := MatrixExperiment{PathLength: true, CritPath: true, Scaled: true, Windowed: true, Parallel: parallel}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunMatrix(progs, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullMatrixSequential is the -parallel 1 reference: one
+// goroutine, every cell and analysis in order.
+func BenchmarkFullMatrixSequential(b *testing.B) { benchFullMatrix(b, 1) }
+
+// BenchmarkFullMatrixParallel fans the same matrix over GOMAXPROCS
+// workers (cells over the pool, the trace fanned out to the analyses
+// inside each cell, windowed CP sharded). Results are byte-identical
+// to the sequential run; with N real cores the wall time approaches
+// 1/N.
+func BenchmarkFullMatrixParallel(b *testing.B) { benchFullMatrix(b, 0) }
+
 // BenchmarkCompile measures compilation cost (IR to ELF).
 func BenchmarkCompile(b *testing.B) {
 	for _, name := range Workloads() {

@@ -3,7 +3,12 @@
 // critical paths under the ThunderX2-style model).
 //
 // Usage: critpath [-scaled] [-scale tiny|small|paper] [-bench name]
-// [-json file] [-progress] [-cpuprofile file] [-memprofile file]
+// [-parallel n] [-json file] [-progress] [-cpuprofile file]
+// [-memprofile file]
+//
+// -parallel fans the (benchmark, target) matrix over n analysis
+// workers (0, the default, uses every CPU; 1 is strictly sequential).
+// Results and report text are byte-identical for every value.
 //
 // With -json the run manifest (schema isacmp/run-manifest/v1,
 // including per-run CP/ILP results, critical-path-tracker footprint,
@@ -26,6 +31,7 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := flag.String("bench", "", "single benchmark to run")
 	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
+	parallelFlag := flag.Int("parallel", 0, "analysis workers (0 = all CPUs, 1 = sequential); results are identical for every value")
 	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
@@ -55,6 +61,7 @@ func main() {
 	}
 	reg := telemetry.NewRegistry()
 	ex.Metrics = reg
+	ex.Parallel = *parallelFlag
 	if *progressFlag {
 		ex.Progress = os.Stderr
 	}
@@ -65,11 +72,13 @@ func main() {
 	if text {
 		report.Banner(os.Stdout, what, scale.String())
 	}
-	for _, p := range progs {
-		rows, err := report.Run(p, ex)
-		if err != nil {
-			fatal(err)
-		}
+	all, st, err := report.RunSuite(progs, ex)
+	if err != nil {
+		fatal(err)
+	}
+	manifest.Sched = st
+	for i, p := range progs {
+		rows := all[i]
 		if text {
 			report.WriteCritPaths(os.Stdout, p.Name, rows, *scaledFlag)
 		}

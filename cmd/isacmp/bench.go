@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"isacmp/internal/ir"
+	"isacmp/internal/report"
+	"isacmp/internal/sched"
+	"isacmp/internal/telemetry"
+	"isacmp/internal/workloads"
+)
+
+// benchSchema identifies the bench-matrix document layout.
+const benchSchema = "isacmp/bench-matrix/v1"
+
+// benchDoc is the machine-readable record `isacmp bench-matrix`
+// writes (BENCH_PR2.json): the full analysis matrix timed once
+// sequentially and once over the worker pool, with the byte-identity
+// of the two result sets checked and recorded.
+type benchDoc struct {
+	Schema     string `json:"schema"`
+	Scale      string `json:"scale"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Workers is the resolved parallel worker count; Cells the number
+	// of (workload, target) matrix cells.
+	Workers int `json:"workers"`
+	Cells   int `json:"cells"`
+
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	// Speedup is sequential over parallel wall time. Near-linear
+	// scaling needs Workers > 1 actual cores; on a single-CPU host it
+	// hovers around 1.0.
+	Speedup float64 `json:"speedup"`
+
+	// Identical records whether the canonicalized manifests of the two
+	// runs were byte-identical — the -parallel determinism contract.
+	Identical bool `json:"identical"`
+
+	Sched *telemetry.SchedStats `json:"sched,omitempty"`
+}
+
+// benchMatrix times the full paper matrix (every analysis, every
+// workload, every target) sequentially and in parallel, verifies the
+// two produce byte-identical canonicalized manifests, and writes the
+// benchDoc JSON to out.
+func benchMatrix(progs []*ir.Program, scale workloads.Scale, out string, parallel int, text bool) error {
+	ex := report.Experiment{PathLength: true, CritPath: true, Scaled: true, Windowed: true}
+
+	seqEx := ex
+	seqEx.Parallel = 1
+	start := time.Now()
+	seqRows, _, err := report.RunSuite(progs, seqEx)
+	if err != nil {
+		return err
+	}
+	seqWall := time.Since(start).Seconds()
+
+	parEx := ex
+	parEx.Parallel = parallel
+	start = time.Now()
+	parRows, st, err := report.RunSuite(progs, parEx)
+	if err != nil {
+		return err
+	}
+	parWall := time.Since(start).Seconds()
+
+	seqJSON, err := canonicalRowsJSON(progs, scale, seqRows)
+	if err != nil {
+		return err
+	}
+	parJSON, err := canonicalRowsJSON(progs, scale, parRows)
+	if err != nil {
+		return err
+	}
+
+	doc := benchDoc{
+		Schema:            benchSchema,
+		Scale:             scale.String(),
+		GoVersion:         runtime.Version(),
+		NumCPU:            runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Workers:           sched.DefaultWorkers(parallel),
+		Cells:             st.Cells,
+		SequentialSeconds: seqWall,
+		ParallelSeconds:   parWall,
+		Identical:         bytes.Equal(seqJSON, parJSON),
+		Sched:             st,
+	}
+	if parWall > 0 {
+		doc.Speedup = seqWall / parWall
+	}
+	if !doc.Identical {
+		return fmt.Errorf("bench-matrix: parallel results differ from sequential (determinism violation)")
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if text {
+		fmt.Printf("bench-matrix: %d cells, %d workers (%d CPUs): sequential %.3fs, parallel %.3fs, speedup %.2fx, identical=%v -> %s\n",
+			doc.Cells, doc.Workers, doc.NumCPU, seqWall, parWall, doc.Speedup, doc.Identical, out)
+	}
+	return nil
+}
+
+// canonicalRowsJSON renders the matrix rows as a canonicalized
+// manifest — the deterministic byte form the -parallel contract is
+// stated in.
+func canonicalRowsJSON(progs []*ir.Program, scale workloads.Scale, rows [][]report.Row) ([]byte, error) {
+	m := telemetry.NewManifest("bench-matrix", scale.String())
+	for i, p := range progs {
+		report.AppendRows(m, p.Name, rows[i])
+	}
+	m.Canonicalize()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -37,6 +37,7 @@ import (
 	"isacmp/internal/ir"
 	"isacmp/internal/report"
 	"isacmp/internal/rv64"
+	"isacmp/internal/sched"
 	"isacmp/internal/simeng"
 	"isacmp/internal/telemetry"
 	"isacmp/internal/workloads"
@@ -55,6 +56,7 @@ func main() {
 	kernelFlag := fs.String("kernel", "", "kernel to disassemble (disasm)")
 	targetFlag := fs.String("target", "aarch64-gcc12", "target: {aarch64,rv64}-{gcc9,gcc12}, or \"all\" (run)")
 	dirFlag := fs.String("dir", "results", "output directory (artifacts)")
+	outFlag := fs.String("o", "BENCH_PR2.json", "output file (bench-matrix)")
 	latencyFlag := fs.String("latency-file", "", "latency config file overriding the TX2 model (scaledcp)")
 	countFlag := fs.Int("n", 32, "instructions to print (trace)")
 	strideFlag := fs.Int("stride", 0, "window stride in instructions (windowcp; 0 = size/2)")
@@ -66,6 +68,7 @@ func main() {
 	traceFormatFlag := fs.String("trace-format", "chrome", "pipeline trace format: chrome or jsonl")
 	traceCapFlag := fs.Int("trace-cap", 4096, "pipeline trace ring-buffer capacity in spans")
 	traceSampleFlag := fs.Uint64("trace-sample", 1, "record every Nth instruction in the pipeline trace")
+	parallelFlag := fs.Int("parallel", 0, "analysis workers (0 = all CPUs, 1 = sequential); results are identical for every value")
 	progressFlag := fs.Bool("progress", false, "print a retire-rate heartbeat to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file")
@@ -96,7 +99,7 @@ func main() {
 	reg := telemetry.NewRegistry()
 	manifest := telemetry.NewManifest(cmd, scale.String())
 	startTime := time.Now()
-	baseEx := report.Experiment{Metrics: reg}
+	baseEx := report.Experiment{Metrics: reg, Parallel: *parallelFlag}
 	if *progressFlag {
 		baseEx.Progress = os.Stderr
 	}
@@ -167,11 +170,13 @@ func main() {
 		var summaries []report.Summary
 		ex := baseEx
 		ex.PathLength, ex.CritPath, ex.Scaled, ex.Windowed = true, true, true, true
-		for _, p := range progs {
-			rows, err := report.Run(p, ex)
-			if err != nil {
-				fatal(err)
-			}
+		all, st, err := report.RunSuite(progs, ex)
+		if err != nil {
+			fatal(err)
+		}
+		manifest.Sched = st
+		for i, p := range progs {
+			rows := all[i]
 			report.AppendRows(manifest, p.Name, rows)
 			if text {
 				report.WritePathLengths(os.Stdout, p.Name, rows)
@@ -201,10 +206,15 @@ func main() {
 			traceFormat: *traceFormatFlag,
 			traceCap:    *traceCapFlag,
 			traceSample: *traceSampleFlag,
+			parallel:    *parallelFlag,
 			progress:    *progressFlag,
 			text:        text,
 		}
 		if err := runInstrumented(progs, cfg, reg, manifest); err != nil {
+			fatal(err)
+		}
+	case "bench-matrix":
+		if err := benchMatrix(progs, scale, *outFlag, *parallelFlag, text); err != nil {
 			fatal(err)
 		}
 	case "artifacts":
@@ -253,17 +263,22 @@ func main() {
 	}
 }
 
+// runExperiment fans the whole (workload, target) matrix over the
+// experiment's worker pool, then appends and prints the rows in the
+// fixed workload/target order — output is deterministic regardless of
+// completion order or -parallel value.
 func runExperiment(progs []*ir.Program, scale workloads.Scale, ex report.Experiment, manifest *telemetry.Manifest, text bool, write func(*ir.Program, []report.Row)) {
 	if text {
 		report.Banner(os.Stdout, "isacmp", scale.String())
 	}
-	for _, p := range progs {
-		rows, err := report.Run(p, ex)
-		if err != nil {
-			fatal(err)
-		}
-		report.AppendRows(manifest, p.Name, rows)
-		write(p, rows)
+	all, st, err := report.RunSuite(progs, ex)
+	if err != nil {
+		fatal(err)
+	}
+	manifest.Sched = st
+	for i, p := range progs {
+		report.AppendRows(manifest, p.Name, all[i])
+		write(p, all[i])
 	}
 }
 
@@ -276,6 +291,7 @@ type runCmdConfig struct {
 	traceFormat string
 	traceCap    int
 	traceSample uint64
+	parallel    int
 	progress    bool
 	text        bool
 }
@@ -283,7 +299,12 @@ type runCmdConfig struct {
 // runInstrumented is the `run` subcommand: execute each selected
 // benchmark on the chosen core model with full telemetry — whole-run
 // metrics, per-sink overhead, optional pipeline trace — and append
-// one record per run to the manifest.
+// one record per run to the manifest. The (workload, target) cells fan
+// out over the -parallel worker pool; records are collected into
+// per-cell slots and printed in the fixed loop order afterwards, so
+// the table and manifest are deterministic for every worker count.
+// With a single cell the parallelism budget moves inside the run (the
+// fan-out analysis engine) instead.
 func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Registry, manifest *telemetry.Manifest) error {
 	var targets []isacmp.Target
 	if cfg.target == "all" {
@@ -295,50 +316,77 @@ func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Regis
 		}
 		targets = []isacmp.Target{tgt}
 	}
-	nruns := len(progs) * len(targets)
-	if cfg.text {
-		fmt.Printf("%-12s %-18s %-10s %14s %14s %8s %10s %10s\n",
-			"workload", "target", "core", "instructions", "cycles", "IPC", "Minst/s", "wall")
+
+	type cell struct {
+		prog   *ir.Program
+		tgt    isacmp.Target
+		rec    isacmp.RunRecord
+		tracer *isacmp.PipelineTrace
+		err    error
 	}
+	var cells []*cell
 	for _, p := range progs {
 		for _, tgt := range targets {
-			bin, err := isacmp.Compile(p, tgt)
+			cells = append(cells, &cell{prog: p, tgt: tgt})
+		}
+	}
+	inner := 1
+	if len(cells) == 1 {
+		inner = cfg.parallel
+	}
+
+	pool := sched.NewPool(cfg.parallel, reg)
+	for _, c := range cells {
+		c := c
+		pool.Go(func() {
+			bin, err := isacmp.Compile(c.prog, c.tgt)
 			if err != nil {
-				return err
+				c.err = err
+				return
 			}
 			rc := isacmp.RunConfig{
 				Core:     cfg.core,
 				Cache:    cfg.cache,
 				Analyses: isacmp.Analyses{Mix: true, Branches: true},
 				Metrics:  reg,
+				Parallel: inner,
 			}
 			if cfg.progress {
 				rc.Progress = os.Stderr
 			}
-			var tracer *isacmp.PipelineTrace
 			if cfg.trace != "" {
-				tracer = isacmp.NewPipelineTrace(cfg.traceCap, cfg.traceSample)
-				rc.Trace = tracer
+				c.tracer = isacmp.NewPipelineTrace(cfg.traceCap, cfg.traceSample)
+				rc.Trace = c.tracer
 			}
-			_, rec, err := bin.RunInstrumented(rc)
-			if err != nil {
+			_, c.rec, c.err = bin.RunInstrumented(rc)
+		})
+	}
+	pool.Close()
+	st := pool.Stats()
+	manifest.Sched = &st
+
+	if cfg.text {
+		fmt.Printf("%-12s %-18s %-10s %14s %14s %8s %10s %10s\n",
+			"workload", "target", "core", "instructions", "cycles", "IPC", "Minst/s", "wall")
+	}
+	for _, c := range cells {
+		if c.err != nil {
+			return c.err
+		}
+		manifest.Runs = append(manifest.Runs, c.rec)
+		if cfg.text {
+			fmt.Printf("%-12s %-18s %-10s %14d %14d %8.2f %10.1f %9.3fs\n",
+				c.prog.Name, c.tgt, c.rec.Core.Model, c.rec.Core.Instructions, c.rec.Core.Cycles,
+				c.rec.Core.IPC(), c.rec.MIPS, c.rec.WallSeconds)
+		}
+		if c.tracer != nil {
+			path := tracePath(cfg.trace, c.prog.Name, c.tgt, len(cells))
+			if err := writeTrace(c.tracer, path, cfg.traceFormat); err != nil {
 				return err
 			}
-			manifest.Runs = append(manifest.Runs, rec)
 			if cfg.text {
-				fmt.Printf("%-12s %-18s %-10s %14d %14d %8.2f %10.1f %9.3fs\n",
-					p.Name, tgt, rec.Core.Model, rec.Core.Instructions, rec.Core.Cycles,
-					rec.Core.IPC(), rec.MIPS, rec.WallSeconds)
-			}
-			if tracer != nil {
-				path := tracePath(cfg.trace, p.Name, tgt, nruns)
-				if err := writeTrace(tracer, path, cfg.traceFormat); err != nil {
-					return err
-				}
-				if cfg.text {
-					fmt.Printf("  pipeline trace: %s (%d spans, %d overwritten)\n",
-						path, len(tracer.Spans()), tracer.Dropped())
-				}
+				fmt.Printf("  pipeline trace: %s (%d spans, %d overwritten)\n",
+					path, len(c.tracer.Spans()), c.tracer.Dropped())
 			}
 		}
 	}
@@ -604,6 +652,7 @@ commands:
   windowcp   mean ILP per ROB-sized window            (Figure 2)
   mix        instruction mix and branch density       (section 3.3)
   run        instrumented run: core stats, metrics, pipeline trace
+  bench-matrix  time the full matrix sequential vs parallel (-o, -parallel)
   artifacts  write the four result files of the paper's artifact (A.6)
   trace      print a disassembled execution trace (-n, -kernel, -target)
   blocks     hottest dynamically-discovered basic blocks (-n, -target)
@@ -611,7 +660,8 @@ commands:
   disasm     disassemble benchmark kernels
   verify     check simulated results against the host reference
 
-flags: -scale tiny|small|paper   -bench <name>   (disasm) -kernel <k> -target <a>-<c>
+flags: -scale tiny|small|paper   -bench <name>   -parallel <n> (0 = all CPUs)
+  (disasm) -kernel <k> -target <a>-<c>
 
 observability: -json <f> (run manifest; "-" = stdout)  -progress
   -cpuprofile <f>  -memprofile <f>

@@ -2,8 +2,12 @@
 // counts for every benchmark and target, normalised to GCC 9.2 /
 // AArch64, plus the cross-benchmark RISC-V/AArch64 ratio summary.
 //
-// Usage: pathlen [-scale tiny|small|paper] [-bench name] [-json file]
-// [-progress] [-cpuprofile file] [-memprofile file]
+// Usage: pathlen [-scale tiny|small|paper] [-bench name] [-parallel n]
+// [-json file] [-progress] [-cpuprofile file] [-memprofile file]
+//
+// -parallel fans the (benchmark, target) matrix over n analysis
+// workers (0, the default, uses every CPU; 1 is strictly sequential).
+// Results and report text are byte-identical for every value.
 //
 // With -json the run manifest (schema isacmp/run-manifest/v1, one
 // record per benchmark+target with core stats, per-sink overhead and
@@ -25,6 +29,7 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := flag.String("bench", "", "single benchmark to run")
 	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
+	parallelFlag := flag.Int("parallel", 0, "analysis workers (0 = all CPUs, 1 = sequential); results are identical for every value")
 	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
@@ -47,7 +52,7 @@ func main() {
 	reg := telemetry.NewRegistry()
 	manifest := telemetry.NewManifest("pathlen", scale.String())
 	start := time.Now()
-	ex := report.Experiment{PathLength: true, Metrics: reg}
+	ex := report.Experiment{PathLength: true, Metrics: reg, Parallel: *parallelFlag}
 	if *progressFlag {
 		ex.Progress = os.Stderr
 	}
@@ -56,12 +61,14 @@ func main() {
 	if text {
 		report.Banner(os.Stdout, "pathlen: Figure 1", scale.String())
 	}
+	all, st, err := report.RunSuite(progs, ex)
+	if err != nil {
+		fatal(err)
+	}
+	manifest.Sched = st
 	var summaries []report.Summary
-	for _, p := range progs {
-		rows, err := report.Run(p, ex)
-		if err != nil {
-			fatal(err)
-		}
+	for i, p := range progs {
+		rows := all[i]
 		if text {
 			report.WritePathLengths(os.Stdout, p.Name, rows)
 		}

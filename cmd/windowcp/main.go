@@ -3,8 +3,13 @@
 // over the dynamic stream with 50% overlap.
 //
 // Usage: windowcp [-scale tiny|small|paper] [-bench name]
-// [-stride n] [-json file] [-progress] [-cpuprofile file]
-// [-memprofile file]
+// [-stride n] [-parallel n] [-json file] [-progress]
+// [-cpuprofile file] [-memprofile file]
+//
+// -parallel fans the (benchmark, target) matrix over n analysis
+// workers and shards the windowed-CP computation itself (0, the
+// default, uses every CPU; 1 is strictly sequential). Results and
+// report text are byte-identical for every value.
 //
 // -stride overrides the paper's size/2 window stride (the
 // commit-width knob section 6 leaves unexplored). With -json the run
@@ -27,6 +32,7 @@ func main() {
 	benchFlag := flag.String("bench", "", "single benchmark to run")
 	strideFlag := flag.Int("stride", 0, "window stride in instructions (0 = the paper's size/2)")
 	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
+	parallelFlag := flag.Int("parallel", 0, "analysis workers (0 = all CPUs, 1 = sequential); results are identical for every value")
 	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
@@ -47,7 +53,7 @@ func main() {
 	defer stopCPU()
 
 	reg := telemetry.NewRegistry()
-	ex := report.Experiment{Windowed: true, GCC12Only: true, WindowStride: *strideFlag, Metrics: reg}
+	ex := report.Experiment{Windowed: true, GCC12Only: true, WindowStride: *strideFlag, Metrics: reg, Parallel: *parallelFlag}
 	if *progressFlag {
 		ex.Progress = os.Stderr
 	}
@@ -58,11 +64,13 @@ func main() {
 	if text {
 		report.Banner(os.Stdout, "windowcp: Figure 2", scale.String())
 	}
-	for _, p := range progs {
-		rows, err := report.Run(p, ex)
-		if err != nil {
-			fatal(err)
-		}
+	all, st, err := report.RunSuite(progs, ex)
+	if err != nil {
+		fatal(err)
+	}
+	manifest.Sched = st
+	for i, p := range progs {
+		rows := all[i]
 		if text {
 			report.WriteWindowed(os.Stdout, p.Name, rows)
 		}

@@ -85,9 +85,13 @@ func Decode(w uint32) (Inst, error) {
 		default:
 			return Inst{}, &DecodeError{Word: w}
 		}
+		hw := uint8(bitfield(w, 22, 21))
+		if !sf && hw > 1 {
+			return Inst{}, &DecodeError{Word: w} // 32-bit form only shifts 0 or 16
+		}
 		return Inst{
 			Op: op, Sf: sf, Rd: uint8(w & 0x1f),
-			Imm: int64(bitfield(w, 20, 5)), Hw: uint8(bitfield(w, 22, 21)),
+			Imm: int64(bitfield(w, 20, 5)), Hw: hw,
 		}, nil
 	case w&0x1F800000 == 0x13000000: // bitfield
 		var op Op
@@ -99,16 +103,24 @@ func Decode(w uint32) (Inst, error) {
 		default:
 			return Inst{}, &DecodeError{Word: w}
 		}
+		immr, imms := uint8(bitfield(w, 21, 16)), uint8(bitfield(w, 15, 10))
+		if (w>>22&1 == 1) != sf || (!sf && (immr > 31 || imms > 31)) {
+			return Inst{}, &DecodeError{Word: w} // N must equal sf; positions bounded by width
+		}
 		return Inst{
 			Op: op, Sf: sf, Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)),
-			ImmR: uint8(bitfield(w, 21, 16)), ImmS: uint8(bitfield(w, 15, 10)),
+			ImmR: immr, ImmS: imms,
 		}, nil
 	case w&0x1F200000 == 0x0B000000: // add/sub shifted register
 		ops := [4]Op{ADDr, ADDSr, SUBr, SUBSr}
+		kind, amt := Shift(bitfield(w, 23, 22)), uint8(bitfield(w, 15, 10))
+		if kind > ASR || (!sf && amt > 31) {
+			return Inst{}, &DecodeError{Word: w} // ROR reserved; shift bounded by width
+		}
 		return Inst{
 			Op: ops[bitfield(w, 30, 29)], Sf: sf,
 			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)), Rm: uint8(bitfield(w, 20, 16)),
-			ShiftKind: Shift(bitfield(w, 23, 22)), ShiftAmt: uint8(bitfield(w, 15, 10)),
+			ShiftKind: kind, ShiftAmt: amt,
 		}, nil
 	case w&0x1F000000 == 0x0A000000: // logical shifted register
 		var op Op
@@ -127,10 +139,14 @@ func Decode(w uint32) (Inst, error) {
 		default:
 			return Inst{}, &DecodeError{Word: w}
 		}
+		amt := uint8(bitfield(w, 15, 10))
+		if !sf && amt > 31 {
+			return Inst{}, &DecodeError{Word: w} // shift bounded by width
+		}
 		return Inst{
 			Op: op, Sf: sf,
 			Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5)), Rm: uint8(bitfield(w, 20, 16)),
-			ShiftKind: Shift(bitfield(w, 23, 22)), ShiftAmt: uint8(bitfield(w, 15, 10)),
+			ShiftKind: Shift(bitfield(w, 23, 22)), ShiftAmt: amt,
 		}, nil
 	case w&0x7FE00000 == 0x1B000000: // madd/msub
 		op := MADD
@@ -224,6 +240,9 @@ func decodeLoadStore(w uint32) (Inst, error) {
 	v := w>>26&1 == 1
 	opc := bitfield(w, 23, 22)
 	size := uint8(1) << size2
+	if v && size < 4 {
+		return Inst{}, &DecodeError{Word: w} // B/H register forms unsupported
+	}
 	i := Inst{FP: v, Size: size, Rd: uint8(w & 0x1f), Rn: uint8(bitfield(w, 9, 5))}
 	switch {
 	case opc == 0:

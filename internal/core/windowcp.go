@@ -11,6 +11,13 @@ import "isacmp/internal/isa"
 // instructions simultaneously in flight constrain issue. Instruction
 // latency is not accounted (section 6.1).
 //
+// Streams whose length is not a multiple of the stride leave a tail of
+// instructions no complete window reaches; Results evaluates one final
+// window snapped to the end of the stream over them (shorter than Size
+// when the whole stream is shorter), so every retired instruction
+// contributes to the Figure 2 series. WindowResult accounts partial
+// windows by their true length when averaging ILP.
+//
 // Several window sizes are evaluated simultaneously in one pass over
 // the stream, sharing a ring buffer sized for the largest window.
 type WindowedCritPath struct {
@@ -20,9 +27,7 @@ type WindowedCritPath struct {
 	pos     uint64 // total events seen
 	results []windowAccum
 
-	// scratch reused across window evaluations
-	reg [isa.NumRegs]uint64
-	mem map[uint64]uint64
+	scratch cpScratch
 }
 
 type wev struct {
@@ -36,25 +41,140 @@ type wev struct {
 	saddr uint64
 }
 
+// fill copies the dependence-relevant fields of one event.
+func (s *wev) fill(ev *isa.Event) {
+	s.srcs = ev.Srcs
+	s.dsts = ev.Dsts
+	s.nsrc, s.ndst = ev.NSrcs, ev.NDsts
+	s.lsize, s.ssize = ev.LoadSize, ev.StoreSize
+	s.laddr, s.saddr = ev.LoadAddr, ev.StoreAddr
+}
+
+// cpScratch is the dependence-tracking state one window evaluation
+// needs: the completion depth of every register and of every touched
+// memory word. It is reset per window and reused across windows.
+type cpScratch struct {
+	reg [isa.NumRegs]uint64
+	mem map[uint64]uint64
+}
+
+func newCPScratch() cpScratch {
+	return cpScratch{mem: make(map[uint64]uint64, 1<<8)}
+}
+
+func (c *cpScratch) reset() {
+	for i := range c.reg {
+		c.reg[i] = 0
+	}
+	clear(c.mem)
+}
+
+// step folds one event into the dependence state and returns its
+// completion depth. Both the sequential and the sharded windowed-CP
+// implementations fold windows with exactly this function, which is
+// what makes their results bit-identical.
+func (c *cpScratch) step(e *wev) uint64 {
+	var longest uint64
+	for s := uint8(0); s < e.nsrc; s++ {
+		if v := c.reg[e.srcs[s]]; v > longest {
+			longest = v
+		}
+	}
+	if e.lsize != 0 {
+		first, last := wordSpan(e.laddr, e.lsize)
+		for a := first; a <= last; a += 8 {
+			if v := c.mem[a]; v > longest {
+				longest = v
+			}
+		}
+	}
+	v := longest + 1
+	for d := uint8(0); d < e.ndst; d++ {
+		c.reg[e.dsts[d]] = v
+	}
+	if e.ssize != 0 {
+		first, last := wordSpan(e.saddr, e.ssize)
+		for a := first; a <= last; a += 8 {
+			c.mem[a] = v
+		}
+	}
+	return v
+}
+
 type windowAccum struct {
 	sumCP   uint64
+	sumLen  uint64
 	windows uint64
+}
+
+// add merges another accumulator. Sums and counts are integers, so
+// merging is exact and order-independent — the property the sharded
+// implementation relies on for determinism.
+func (a *windowAccum) add(b windowAccum) {
+	a.sumCP += b.sumCP
+	a.sumLen += b.sumLen
+	a.windows += b.windows
 }
 
 // WindowResult reports the aggregate for one window size.
 type WindowResult struct {
 	// Size is the window size in instructions.
 	Size int
-	// Windows is the number of windows evaluated.
+	// Windows is the number of windows evaluated, including the final
+	// partial window when the stream length leaves one.
 	Windows uint64
 	// MeanCP is the mean critical path length per window.
 	MeanCP float64
-	// MeanILP is Size / MeanCP, the paper's Figure 2 metric.
+	// MeanILP is mean window length / MeanCP, the paper's Figure 2
+	// metric. With no partial window the mean length is exactly Size.
 	MeanILP float64
+}
+
+// finishWindowResult converts an accumulator into the exported result.
+// Shared by the sequential and sharded implementations so the float
+// arithmetic is identical in both.
+func finishWindowResult(size int, acc windowAccum) WindowResult {
+	wr := WindowResult{Size: size, Windows: acc.windows}
+	if acc.windows > 0 {
+		wr.MeanCP = float64(acc.sumCP) / float64(acc.windows)
+		if wr.MeanCP > 0 {
+			meanLen := float64(acc.sumLen) / float64(acc.windows)
+			wr.MeanILP = meanLen / wr.MeanCP
+		}
+	}
+	return wr
+}
+
+// WindowAnalyzer is the interface both windowed-CP implementations
+// (sequential WindowedCritPath and concurrent ShardedWindowedCP)
+// satisfy.
+type WindowAnalyzer interface {
+	isa.Sink
+	Results() []WindowResult
 }
 
 // PaperWindowSizes are the window sizes evaluated in the paper.
 func PaperWindowSizes() []int { return []int{4, 16, 64, 200, 500, 1000, 2000} }
+
+// windowStrides resolves the per-size stride: an explicit stride is
+// clamped to [1, size]; stride 0 selects the paper's size/2.
+func windowStrides(sizes []int, stride int) []uint64 {
+	out := make([]uint64, len(sizes))
+	for i, s := range sizes {
+		st := uint64(stride)
+		if st == 0 {
+			st = uint64(s / 2)
+		}
+		if st == 0 {
+			st = 1
+		}
+		if s > 0 && st > uint64(s) {
+			st = uint64(s)
+		}
+		out[i] = st
+	}
+	return out
+}
 
 // NewWindowedCritPath evaluates the given window sizes (ascending
 // order not required) with the paper's 50% overlap.
@@ -68,52 +188,37 @@ func NewWindowedCritPath(sizes []int) *WindowedCritPath {
 // limits and leaves varying it to future work — this constructor makes
 // that experiment possible.
 func NewWindowedCritPathStride(sizes []int, stride int) *WindowedCritPath {
-	maxSize := 0
+	maxSize := 1
 	for _, s := range sizes {
 		if s > maxSize {
 			maxSize = s
 		}
 	}
-	w := &WindowedCritPath{
+	return &WindowedCritPath{
 		sizes:   append([]int(nil), sizes...),
-		strides: make([]uint64, len(sizes)),
+		strides: windowStrides(sizes, stride),
 		ring:    make([]wev, maxSize),
 		results: make([]windowAccum, len(sizes)),
-		mem:     make(map[uint64]uint64, 1<<8),
+		scratch: newCPScratch(),
 	}
-	for i, s := range sizes {
-		st := uint64(stride)
-		if st == 0 {
-			st = uint64(s / 2)
-		}
-		if st == 0 {
-			st = 1
-		}
-		if st > uint64(s) {
-			st = uint64(s)
-		}
-		w.strides[i] = st
-	}
-	return w
 }
 
 // Event buffers one instruction and evaluates any windows that are due.
 func (w *WindowedCritPath) Event(ev *isa.Event) {
-	slot := &w.ring[w.pos%uint64(len(w.ring))]
-	slot.srcs = ev.Srcs
-	slot.dsts = ev.Dsts
-	slot.nsrc, slot.ndst = ev.NSrcs, ev.NDsts
-	slot.lsize, slot.ssize = ev.LoadSize, ev.StoreSize
-	slot.laddr, slot.saddr = ev.LoadAddr, ev.StoreAddr
+	w.ring[w.pos%uint64(len(w.ring))].fill(ev)
 	w.pos++
 
 	for i, size := range w.sizes {
+		if size <= 0 {
+			continue
+		}
 		stride := w.strides[i]
 		// A window [pos-size, pos) completes when pos >= size and
 		// (pos - size) is a multiple of the stride.
 		if w.pos >= uint64(size) && (w.pos-uint64(size))%stride == 0 {
-			cp := w.windowCP(int(size))
+			cp := w.windowCP(uint64(size))
 			w.results[i].sumCP += cp
+			w.results[i].sumLen += uint64(size)
 			w.results[i].windows++
 		}
 	}
@@ -121,60 +226,57 @@ func (w *WindowedCritPath) Event(ev *isa.Event) {
 
 // windowCP computes the unweighted critical path of the most recent
 // `size` buffered events.
-func (w *WindowedCritPath) windowCP(size int) uint64 {
-	for i := range w.reg {
-		w.reg[i] = 0
-	}
-	clear(w.mem)
+func (w *WindowedCritPath) windowCP(size uint64) uint64 {
+	return w.cpRange(w.pos-size, w.pos)
+}
+
+// cpRange computes the critical path of the buffered events with
+// absolute indices [lo, hi); they must still be resident in the ring.
+func (w *WindowedCritPath) cpRange(lo, hi uint64) uint64 {
+	w.scratch.reset()
 	n := uint64(len(w.ring))
 	var maxCP uint64
-	for k := w.pos - uint64(size); k < w.pos; k++ {
-		e := &w.ring[k%n]
-		var longest uint64
-		for s := uint8(0); s < e.nsrc; s++ {
-			if v := w.reg[e.srcs[s]]; v > longest {
-				longest = v
-			}
-		}
-		if e.lsize != 0 {
-			first, last := wordSpan(e.laddr, e.lsize)
-			for a := first; a <= last; a += 8 {
-				if v := w.mem[a]; v > longest {
-					longest = v
-				}
-			}
-		}
-		v := longest + 1
-		for d := uint8(0); d < e.ndst; d++ {
-			w.reg[e.dsts[d]] = v
-		}
-		if e.ssize != 0 {
-			first, last := wordSpan(e.saddr, e.ssize)
-			for a := first; a <= last; a += 8 {
-				w.mem[a] = v
-			}
-		}
-		if v > maxCP {
+	for k := lo; k < hi; k++ {
+		if v := w.scratch.step(&w.ring[k%n]); v > maxCP {
 			maxCP = v
 		}
 	}
 	return maxCP
 }
 
+// tailSpan returns the absolute index range of the final window for a
+// (size, stride) pair over a stream of n events: the window snapped to
+// the end of the stream that covers the instructions no complete
+// window reached, or ok=false when the last complete window already
+// ends exactly at the stream end. For n < size the single (partial)
+// window covers the whole stream.
+func tailSpan(n, size, stride uint64) (lo, hi uint64, ok bool) {
+	if n == 0 || size == 0 {
+		return 0, 0, false
+	}
+	if n < size {
+		return 0, n, true
+	}
+	complete := (n-size)/stride + 1
+	if lastEnd := (complete-1)*stride + size; lastEnd < n {
+		return n - size, n, true
+	}
+	return 0, 0, false
+}
+
 // Results returns the aggregates for every window size, in the order
-// the sizes were given.
+// the sizes were given. It may be called repeatedly; the stream can
+// keep growing between calls.
 func (w *WindowedCritPath) Results() []WindowResult {
 	out := make([]WindowResult, len(w.sizes))
 	for i, size := range w.sizes {
-		r := w.results[i]
-		wr := WindowResult{Size: size, Windows: r.windows}
-		if r.windows > 0 {
-			wr.MeanCP = float64(r.sumCP) / float64(r.windows)
-			if wr.MeanCP > 0 {
-				wr.MeanILP = float64(size) / wr.MeanCP
+		acc := w.results[i]
+		if size > 0 {
+			if lo, hi, ok := tailSpan(w.pos, uint64(size), w.strides[i]); ok {
+				acc.add(windowAccum{sumCP: w.cpRange(lo, hi), sumLen: hi - lo, windows: 1})
 			}
 		}
-		out[i] = wr
+		out[i] = finishWindowResult(size, acc)
 	}
 	return out
 }

@@ -10,7 +10,6 @@ import (
 	"io"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"isacmp/internal/a64"
@@ -20,6 +19,7 @@ import (
 	"isacmp/internal/isa"
 	"isacmp/internal/mem"
 	"isacmp/internal/rv64"
+	"isacmp/internal/sched"
 	"isacmp/internal/simeng"
 	"isacmp/internal/telemetry"
 )
@@ -75,12 +75,18 @@ type Experiment struct {
 	// Progress, when non-nil, receives per-run heartbeat lines
 	// (typically os.Stderr on -progress).
 	Progress io.Writer
+	// Parallel is the worker count of the analysis engine: (workload,
+	// target) cells are fanned out over this many pool workers, each
+	// cell's trace is simulated once and replayed into its analyses
+	// concurrently, and the windowed-CP computation is sharded. 1 runs
+	// everything strictly sequentially; <=0 selects GOMAXPROCS.
+	// Results are byte-identical for every value (see the README's
+	// determinism contract).
+	Parallel int
 }
 
-// Run compiles and executes prog for every target and collects the
-// selected analyses. Targets are fully independent (each gets its own
-// machine and memory image), so they run concurrently.
-func Run(prog *ir.Program, ex Experiment) ([]Row, error) {
+// Targets resolves the target columns an experiment covers.
+func (ex Experiment) Targets() []cc.Target {
 	var targets []cc.Target
 	for _, tgt := range cc.Targets() {
 		if ex.GCC12Only && tgt.Flavor != cc.GCC12 {
@@ -88,29 +94,58 @@ func Run(prog *ir.Program, ex Experiment) ([]Row, error) {
 		}
 		targets = append(targets, tgt)
 	}
+	return targets
+}
 
-	rows := make([]Row, len(targets))
-	errs := make([]error, len(targets))
-	var wg sync.WaitGroup
-	for i, tgt := range targets {
-		wg.Add(1)
-		go func(i int, tgt cc.Target) {
-			defer wg.Done()
-			row, err := runOne(prog, tgt, ex)
-			if err != nil {
-				errs[i] = fmt.Errorf("report: %s: %s: %w", prog.Name, tgt, err)
-				return
-			}
-			rows[i] = row
-		}(i, tgt)
+// Run compiles and executes prog for every target and collects the
+// selected analyses. Targets are fully independent (each gets its own
+// machine and memory image), so they run on the parallel engine; see
+// RunSuite for the full-matrix form.
+func Run(prog *ir.Program, ex Experiment) ([]Row, error) {
+	rows, _, err := RunSuite([]*ir.Program{prog}, ex)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return rows[0], nil
+}
+
+// RunSuite fans the full analysis matrix — every (workload, target)
+// cell of every selected analysis — out over a sched.Pool with
+// ex.Parallel workers and returns the rows as rows[workload][target],
+// in the deterministic input/Targets order regardless of completion
+// order. The returned SchedStats describes the pool for the run
+// manifest.
+func RunSuite(progs []*ir.Program, ex Experiment) ([][]Row, *telemetry.SchedStats, error) {
+	targets := ex.Targets()
+	all := make([][]Row, len(progs))
+	errs := make([][]error, len(progs))
+	pool := sched.NewPool(ex.Parallel, ex.Metrics)
+	for pi := range progs {
+		all[pi] = make([]Row, len(targets))
+		errs[pi] = make([]error, len(targets))
+		prog := progs[pi]
+		for ti := range targets {
+			pi, ti, tgt := pi, ti, targets[ti]
+			pool.Go(func() {
+				row, err := runOne(prog, tgt, ex)
+				if err != nil {
+					errs[pi][ti] = fmt.Errorf("report: %s: %s: %w", prog.Name, tgt, err)
+					return
+				}
+				all[pi][ti] = row
+			})
 		}
 	}
-	return rows, nil
+	pool.Close()
+	st := pool.Stats()
+	for pi := range errs {
+		for _, err := range errs[pi] {
+			if err != nil {
+				return nil, &st, err
+			}
+		}
+	}
+	return all, &st, nil
 }
 
 func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
@@ -130,11 +165,18 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 		return row, err
 	}
 
-	tee := telemetry.NewTee()
-	nsinks := 0
+	// parallel > 1 selects the fan-out engine: the cell's trace is
+	// simulated once and replayed into every analysis concurrently,
+	// with the windowed-CP computation itself sharded. parallel == 1
+	// is the strictly sequential reference path (one goroutine, the
+	// instrumented tee); both produce identical analysis results.
+	parallel := sched.DefaultWorkers(ex.Parallel)
+
+	var names []string
+	var sinks []isa.Sink
 	add := func(name string, s isa.Sink) {
-		tee.Add(name, s)
-		nsinks++
+		names = append(names, name)
+		sinks = append(sinks, s)
 	}
 	var pl *core.PathLength
 	if ex.PathLength {
@@ -156,13 +198,17 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 		scp.SetDenseRange(cc.TextBase, compiled.MemSize)
 		add("scaledcp", scp)
 	}
-	var win *core.WindowedCritPath
+	var win core.WindowAnalyzer
 	if ex.Windowed {
 		sizes := ex.WindowSizes
 		if sizes == nil {
 			sizes = core.PaperWindowSizes()
 		}
-		win = core.NewWindowedCritPathStride(sizes, ex.WindowStride)
+		if parallel > 1 {
+			win = core.NewShardedWindowedCP(sizes, ex.WindowStride, parallel)
+		} else {
+			win = core.NewWindowedCritPathStride(sizes, ex.WindowStride)
+		}
 		add("windowcp", win)
 	}
 
@@ -178,7 +224,6 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 	var rm *telemetry.RunMetrics
 	if ex.Metrics != nil {
 		rm = telemetry.NewRunMetrics(ex.Metrics)
-		tee.CountRunMetrics(rm)
 	}
 	var pg *telemetry.Progress
 	if ex.Progress != nil {
@@ -186,21 +231,47 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 		add("progress", pg)
 	}
 
-	var sink isa.Sink
-	if nsinks > 0 || rm != nil {
-		sink = tee
-	}
 	emu := &simeng.EmulationCore{}
+	var stats simeng.Stats
 	start := time.Now()
-	stats, err := emu.Run(mach, sink)
-	if err != nil {
-		return row, err
+	if parallel > 1 {
+		consumers := append([]isa.Sink(nil), sinks...)
+		if rm != nil {
+			consumers = append(consumers, rm)
+		}
+		n, err := sched.Fanout(func(s isa.Sink) error {
+			var runErr error
+			stats, runErr = emu.Run(mach, s)
+			return runErr
+		}, consumers...)
+		if err != nil {
+			return row, err
+		}
+		for _, name := range names {
+			row.Sinks = append(row.Sinks, telemetry.SinkStats{Name: name, Events: n})
+		}
+	} else {
+		tee := telemetry.NewTee()
+		for i := range sinks {
+			tee.Add(names[i], sinks[i])
+		}
+		if rm != nil {
+			tee.CountRunMetrics(rm)
+		}
+		var sink isa.Sink
+		if len(sinks) > 0 || rm != nil {
+			sink = tee
+		}
+		stats, err = emu.Run(mach, sink)
+		if err != nil {
+			return row, err
+		}
+		if len(sinks) > 0 {
+			row.Sinks = tee.Stats()
+		}
 	}
 	row.WallSeconds = time.Since(start).Seconds()
 	row.Core = emu.PipelineStats()
-	if nsinks > 0 {
-		row.Sinks = tee.Stats()
-	}
 	if rm != nil {
 		rm.Flush()
 	}

@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"sync"
+
+	"isacmp/internal/isa"
+)
+
+// fanoutBatch is the number of events buffered before a batch is
+// broadcast to the consumers. Large enough that channel operations are
+// amortised to well under a nanosecond per event, small enough that
+// in-flight batches stay in cache.
+const fanoutBatch = 8192
+
+// fanoutDepth is the per-consumer channel depth in batches; the
+// slowest consumer applies backpressure to the generator once it falls
+// this far behind, which bounds fan-out memory at
+// consumers * depth * batch events.
+const fanoutDepth = 4
+
+// Fanout runs gen once and replays its event stream into every sink
+// concurrently: the trace is generated (simulated) a single time and
+// each consumer observes the complete stream in retirement order on
+// its own goroutine. It returns the number of events broadcast and
+// gen's error.
+//
+// Batches are shared read-only between consumers — sinks must treat
+// the *isa.Event they receive as immutable, which the isa.Sink
+// contract already demands. With zero or one sink the fan-out
+// machinery is skipped entirely and gen runs with the sink attached
+// directly.
+func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
+	live := sinks[:0:0]
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	if len(live) <= 1 {
+		var sink isa.Sink
+		if len(live) == 1 {
+			sink = live[0]
+		}
+		c := &countingSink{sink: sink}
+		err := gen(c)
+		return c.n, err
+	}
+
+	chans := make([]chan []isa.Event, len(live))
+	var wg sync.WaitGroup
+	for i, s := range live {
+		chans[i] = make(chan []isa.Event, fanoutDepth)
+		wg.Add(1)
+		go func(ch chan []isa.Event, s isa.Sink) {
+			defer wg.Done()
+			for batch := range ch {
+				for j := range batch {
+					s.Event(&batch[j])
+				}
+			}
+		}(chans[i], s)
+	}
+
+	b := &broadcastSink{chans: chans}
+	err := gen(b)
+	b.flush()
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return b.n, err
+}
+
+// countingSink counts events on the direct (no fan-out) path.
+type countingSink struct {
+	sink isa.Sink
+	n    uint64
+}
+
+func (c *countingSink) Event(ev *isa.Event) {
+	c.n++
+	if c.sink != nil {
+		c.sink.Event(ev)
+	}
+}
+
+// broadcastSink buffers events into batches and sends each full batch
+// to every consumer channel. Cores reuse one Event value, so the
+// batch append copies it; consumers receive pointers into the shared
+// batch and must not mutate them.
+type broadcastSink struct {
+	chans []chan []isa.Event
+	batch []isa.Event
+	n     uint64
+}
+
+func (b *broadcastSink) Event(ev *isa.Event) {
+	if b.batch == nil {
+		b.batch = make([]isa.Event, 0, fanoutBatch)
+	}
+	b.batch = append(b.batch, *ev)
+	b.n++
+	if len(b.batch) == fanoutBatch {
+		b.send()
+	}
+}
+
+func (b *broadcastSink) send() {
+	batch := b.batch
+	b.batch = nil
+	for _, ch := range b.chans {
+		ch <- batch
+	}
+}
+
+func (b *broadcastSink) flush() {
+	if len(b.batch) > 0 {
+		b.send()
+	}
+}

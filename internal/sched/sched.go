@@ -1,0 +1,156 @@
+// Package sched is the parallel analysis engine: a fixed-size worker
+// pool that fans the full analysis matrix (workload x ISA x compiler x
+// analysis) out over GOMAXPROCS workers, and a streaming fan-out that
+// replays one simulated event trace into several analysis consumers
+// concurrently so each (workload, ISA, compiler) cell is simulated
+// exactly once.
+//
+// Determinism is the design constraint: tasks write their results into
+// caller-owned slots, every consumer observes the complete event
+// stream in retirement order, and all cross-shard merging elsewhere in
+// the tree is integer-exact — so a parallel run produces byte-identical
+// reports and (canonicalized) manifests to a sequential one. The pool
+// exposes its behaviour through telemetry: a shared queue-depth gauge,
+// per-worker depth gauges, a cell-latency histogram and per-worker
+// utilization for the run manifest.
+package sched
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"isacmp/internal/telemetry"
+)
+
+// Pool is a fixed-size worker pool. Tasks run in FIFO submission order
+// across the workers; with one worker execution is strictly
+// sequential, which is what `-parallel 1` means everywhere.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup // open tasks
+	stopped sync.WaitGroup // worker goroutines
+	start   time.Time
+
+	queued atomic.Int64
+
+	// telemetry (nil registry leaves them nil)
+	queueDepth  *telemetry.Gauge
+	workerDepth []*telemetry.Gauge
+	cellSecs    *telemetry.Histogram
+	cellsTotal  *telemetry.Counter
+
+	busyNs []atomic.Int64
+	cells  []atomic.Int64
+}
+
+// DefaultWorkers resolves a worker-count knob: n > 0 is taken as
+// given, anything else selects GOMAXPROCS.
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NewPool starts a pool with the given number of workers (<=0 selects
+// GOMAXPROCS). When reg is non-nil the pool registers its gauges
+// ("sched.queue.depth", "sched.worker.<i>.depth"), the
+// "sched.cell.seconds" latency histogram and the "sched.cells.total"
+// counter there; all sched.* metrics are stripped by manifest
+// canonicalization, so they never break run-to-run determinism.
+func NewPool(workers int, reg *telemetry.Registry) *Pool {
+	workers = DefaultWorkers(workers)
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), 4*workers+64),
+		start:   time.Now(),
+		busyNs:  make([]atomic.Int64, workers),
+		cells:   make([]atomic.Int64, workers),
+	}
+	if reg != nil {
+		p.queueDepth = reg.Gauge("sched.queue.depth")
+		p.cellSecs = reg.Histogram("sched.cell.seconds",
+			[]float64{0.001, 0.01, 0.1, 1, 10, 60})
+		p.cellsTotal = reg.Counter("sched.cells.total")
+		p.workerDepth = make([]*telemetry.Gauge, workers)
+		for i := range p.workerDepth {
+			p.workerDepth[i] = reg.Gauge("sched.worker." + strconv.Itoa(i) + ".depth")
+		}
+	}
+	p.stopped.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *Pool) worker(id int) {
+	defer p.stopped.Done()
+	for task := range p.tasks {
+		d := p.queued.Add(-1)
+		if p.queueDepth != nil {
+			p.queueDepth.Set(float64(d))
+			p.workerDepth[id].Set(1)
+		}
+		start := time.Now()
+		task()
+		busy := time.Since(start)
+		p.busyNs[id].Add(int64(busy))
+		p.cells[id].Add(1)
+		if p.queueDepth != nil {
+			p.workerDepth[id].Set(0)
+			p.cellSecs.Observe(busy.Seconds())
+			p.cellsTotal.Inc()
+		}
+		p.wg.Done()
+	}
+}
+
+// Go submits one task (a matrix cell). It blocks only when the queue
+// buffer is full.
+func (p *Pool) Go(task func()) {
+	p.wg.Add(1)
+	d := p.queued.Add(1)
+	if p.queueDepth != nil {
+		p.queueDepth.Set(float64(d))
+	}
+	p.tasks <- task
+}
+
+// Wait blocks until every task submitted so far has completed.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close waits for outstanding tasks and stops the workers. The pool
+// cannot be reused afterwards.
+func (p *Pool) Close() {
+	p.wg.Wait()
+	close(p.tasks)
+	p.stopped.Wait()
+}
+
+// Stats summarises the pool's execution for the run manifest:
+// per-worker utilization (busy time over pool lifetime) and cell
+// counts. Call after Wait.
+func (p *Pool) Stats() telemetry.SchedStats {
+	wall := time.Since(p.start).Seconds()
+	st := telemetry.SchedStats{
+		Workers:     p.workers,
+		WallSeconds: wall,
+	}
+	for i := 0; i < p.workers; i++ {
+		busy := float64(p.busyNs[i].Load()) / 1e9
+		util := 0.0
+		if wall > 0 {
+			util = busy / wall
+		}
+		st.WorkerUtilization = append(st.WorkerUtilization, util)
+		st.WorkerCells = append(st.WorkerCells, p.cells[i].Load())
+		st.Cells += int(p.cells[i].Load())
+		st.BusySeconds += busy
+	}
+	return st
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"isacmp/internal/simeng"
@@ -32,8 +33,32 @@ type Manifest struct {
 	// Runs holds one record per (workload, target, core) execution.
 	Runs []RunRecord `json:"runs,omitempty"`
 
+	// Sched summarises the parallel analysis engine's worker pool when
+	// one drove the invocation.
+	Sched *SchedStats `json:"sched,omitempty"`
+
 	// Metrics is the final registry snapshot for the invocation.
 	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// SchedStats is the manifest block describing the worker pool of a
+// parallel run: how many workers ran how many (workload, target)
+// cells, and how busy each worker was. Mirrors sched.Pool without
+// importing it (telemetry sits below the scheduler).
+type SchedStats struct {
+	// Workers is the pool size (the -parallel value).
+	Workers int `json:"workers"`
+	// Cells is the number of matrix cells executed.
+	Cells int `json:"cells"`
+	// WallSeconds is the pool lifetime; BusySeconds the summed busy
+	// time across workers (BusySeconds/WallSeconds/Workers is overall
+	// utilization).
+	WallSeconds float64 `json:"wall_seconds"`
+	BusySeconds float64 `json:"busy_seconds"`
+	// WorkerUtilization is each worker's busy fraction of the pool
+	// lifetime; WorkerCells the number of cells each worker ran.
+	WorkerUtilization []float64 `json:"worker_utilization"`
+	WorkerCells       []int64   `json:"worker_cells"`
 }
 
 // Host describes the machine and toolchain that produced the manifest.
@@ -147,6 +172,62 @@ func (m *Manifest) Finish(start time.Time, reg *Registry) {
 		snap := reg.Snapshot()
 		m.Metrics = &snap
 	}
+}
+
+// Canonicalize zeroes every field of the manifest that legitimately
+// varies between runs of the same logical configuration: wall-clock
+// timings, retire rates, sampled sink overheads, host/toolchain
+// information, the scheduler block and all sched.* metrics. What
+// remains — analysis results, instruction counts, deterministic
+// tracker footprints, run metric counters — is the determinism
+// contract behind the -parallel flag: a canonicalized parallel
+// manifest is byte-identical to a canonicalized sequential one, and
+// golden-manifest tests compare this form.
+func (m *Manifest) Canonicalize() {
+	m.StartTime = ""
+	m.WallSeconds = 0
+	m.Host = Host{}
+	m.Sched = nil
+	for i := range m.Runs {
+		r := &m.Runs[i]
+		r.WallSeconds = 0
+		r.MIPS = 0
+		for j := range r.Sinks {
+			s := &r.Sinks[j]
+			s.SampledEvents = 0
+			s.SampledNs = 0
+			s.EstOverheadNs = 0
+			s.MeanNsPerEvent = 0
+		}
+	}
+	if m.Metrics != nil {
+		m.Metrics.stripPrefix("sched.")
+	}
+}
+
+// stripPrefix removes every metric whose name begins with prefix.
+func (s *Snapshot) stripPrefix(prefix string) {
+	keepC := s.Counters[:0]
+	for _, c := range s.Counters {
+		if !strings.HasPrefix(c.Name, prefix) {
+			keepC = append(keepC, c)
+		}
+	}
+	s.Counters = keepC
+	keepG := s.Gauges[:0]
+	for _, g := range s.Gauges {
+		if !strings.HasPrefix(g.Name, prefix) {
+			keepG = append(keepG, g)
+		}
+	}
+	s.Gauges = keepG
+	keepH := s.Histograms[:0]
+	for _, h := range s.Histograms {
+		if !strings.HasPrefix(h.Name, prefix) {
+			keepH = append(keepH, h)
+		}
+	}
+	s.Histograms = keepH
 }
 
 // Encode writes the manifest as indented JSON.

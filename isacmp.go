@@ -27,7 +27,9 @@ import (
 	"isacmp/internal/ir"
 	"isacmp/internal/isa"
 	"isacmp/internal/mem"
+	"isacmp/internal/report"
 	"isacmp/internal/rv64"
+	"isacmp/internal/sched"
 	"isacmp/internal/simeng"
 	"isacmp/internal/telemetry"
 	"isacmp/internal/workloads"
@@ -323,7 +325,7 @@ type analysisSet struct {
 
 	pl      *core.PathLength
 	cp, scp *core.CritPath
-	win     *core.WindowedCritPath
+	win     core.WindowAnalyzer
 	mix     *core.Mix
 	br      *core.BranchProfile
 	dd      *core.DepDistance
@@ -334,7 +336,10 @@ func (a *analysisSet) add(name string, s Sink) {
 	a.sinks = append(a.sinks, s)
 }
 
-func (b *Binary) newAnalysisSet(sel Analyses) *analysisSet {
+// newAnalysisSet builds the sinks for one Analyses selection. parallel
+// is the resolved worker count: above 1 the windowed analysis uses the
+// sharded implementation (bit-identical results, see internal/core).
+func (b *Binary) newAnalysisSet(sel Analyses, parallel int) *analysisSet {
 	a := &analysisSet{}
 	if sel.PathLength {
 		a.pl = core.NewPathLength(b.compiled.File.Symbols)
@@ -359,7 +364,11 @@ func (b *Binary) newAnalysisSet(sel Analyses) *analysisSet {
 		if sizes == nil {
 			sizes = core.PaperWindowSizes()
 		}
-		a.win = core.NewWindowedCritPathStride(sizes, sel.WindowStride)
+		if parallel > 1 {
+			a.win = core.NewShardedWindowedCP(sizes, sel.WindowStride, parallel)
+		} else {
+			a.win = core.NewWindowedCritPathStride(sizes, sel.WindowStride)
+		}
 		a.add("windowcp", a.win)
 	}
 	if sel.Mix {
@@ -413,7 +422,7 @@ func (a *analysisSet) collect(res *Result) {
 // Analyse runs the binary once with the selected analyses attached.
 func (b *Binary) Analyse(sel Analyses) (*Result, error) {
 	res := &Result{Target: b.compiled.Target}
-	as := b.newAnalysisSet(sel)
+	as := b.newAnalysisSet(sel, 1)
 	stats, err := b.Run(as.sinks...)
 	if err != nil {
 		return nil, err
@@ -645,6 +654,14 @@ type RunConfig struct {
 	Progress io.Writer
 	// SamplePeriod overrides the tee's overhead-timing interval.
 	SamplePeriod uint64
+	// Parallel selects the analysis engine: 1 runs every sink through
+	// the sequential instrumented tee; above 1 the trace is simulated
+	// once and fanned out to the sinks concurrently, with the windowed
+	// critical-path computation itself sharded over that many workers.
+	// 0 or negative selects GOMAXPROCS. Analysis results are identical
+	// for every value — only per-sink overhead sampling (a telemetry
+	// artifact, zeroed by manifest canonicalization) differs.
+	Parallel int
 }
 
 // RunInstrumented executes the binary once with full telemetry: the
@@ -661,14 +678,8 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 		return nil, rec, err
 	}
 
-	as := b.newAnalysisSet(cfg.Analyses)
-	tee := telemetry.NewTee()
-	tee.SamplePeriod = cfg.SamplePeriod
-	nsinks := 0
-	for i := range as.sinks {
-		tee.Add(as.names[i], as.sinks[i])
-		nsinks++
-	}
+	parallel := sched.DefaultWorkers(cfg.Parallel)
+	as := b.newAnalysisSet(cfg.Analyses, parallel)
 
 	emu := &simeng.EmulationCore{}
 	var statsSource simeng.StatsSource = emu
@@ -685,8 +696,7 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 		if cfg.Trace != nil {
 			m.Tracer = cfg.Trace
 		}
-		tee.Add("inorder-model", m)
-		nsinks++
+		as.add("inorder-model", m)
 		statsSource = m
 	case "ooo":
 		m := simeng.NewOoOModel()
@@ -696,8 +706,7 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 		if cfg.Trace != nil {
 			m.Tracer = cfg.Trace
 		}
-		tee.Add("ooo-model", m)
-		nsinks++
+		as.add("ooo-model", m)
 		statsSource = m
 	default:
 		return nil, rec, fmt.Errorf("isacmp: unknown core %q (want emulation, inorder or ooo)", cfg.Core)
@@ -706,25 +715,57 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	var rm *telemetry.RunMetrics
 	if cfg.Metrics != nil {
 		rm = telemetry.NewRunMetrics(cfg.Metrics)
-		tee.CountRunMetrics(rm)
 	}
 	var pg *telemetry.Progress
 	if cfg.Progress != nil {
 		pg = telemetry.NewProgress(cfg.Progress, b.prog.Name+" "+b.compiled.Target.String(), 0)
-		tee.Add("progress", pg)
-		nsinks++
+		as.add("progress", pg)
 	}
 
-	var sink Sink
-	if nsinks > 0 || rm != nil {
-		sink = tee
-	}
+	var stats Stats
 	start := time.Now()
-	stats, err := emu.Run(mach, sink)
-	wall := time.Since(start)
-	if err != nil {
-		return nil, rec, err
+	if parallel > 1 {
+		// Fan-out engine: simulate once, replay the stream into every
+		// sink concurrently. Per-sink overhead sampling does not apply
+		// (sinks no longer run inline with the core), so SinkStats
+		// carries names and event counts only.
+		consumers := append([]Sink(nil), as.sinks...)
+		if rm != nil {
+			consumers = append(consumers, rm)
+		}
+		n, runErr := sched.Fanout(func(s isa.Sink) error {
+			var e error
+			stats, e = emu.Run(mach, s)
+			return e
+		}, consumers...)
+		if runErr != nil {
+			return nil, rec, runErr
+		}
+		for _, name := range as.names {
+			rec.Sinks = append(rec.Sinks, telemetry.SinkStats{Name: name, Events: n})
+		}
+	} else {
+		tee := telemetry.NewTee()
+		tee.SamplePeriod = cfg.SamplePeriod
+		for i := range as.sinks {
+			tee.Add(as.names[i], as.sinks[i])
+		}
+		if rm != nil {
+			tee.CountRunMetrics(rm)
+		}
+		var sink Sink
+		if len(as.sinks) > 0 || rm != nil {
+			sink = tee
+		}
+		stats, err = emu.Run(mach, sink)
+		if err != nil {
+			return nil, rec, err
+		}
+		if len(as.sinks) > 0 {
+			rec.Sinks = tee.Stats()
+		}
 	}
+	wall := time.Since(start)
 	if rm != nil {
 		rm.Flush()
 	}
@@ -735,9 +776,6 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	rec.Core = statsSource.PipelineStats()
 	rec.WallSeconds = wall.Seconds()
 	rec.MIPS = telemetry.RateMIPS(stats.Instructions, wall)
-	if nsinks > 0 {
-		rec.Sinks = tee.Stats()
-	}
 	if tracked := as.cp; tracked != nil {
 		ts := tracked.TrackerStats()
 		rec.Tracker = &telemetry.TrackerStats{MapEntries: ts.MapEntries, DenseWords: ts.DenseWords}
@@ -750,6 +788,29 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	as.collect(res)
 	rec.Results = resultTable(res)
 	return res, rec, nil
+}
+
+// Parallel matrix surface (see internal/report and internal/sched):
+// the full workload x ISA x compiler x analysis matrix fanned out over
+// a worker pool, with each cell's trace simulated once.
+type (
+	// MatrixExperiment selects the analyses, targets and worker count
+	// for a matrix run. Parallel: 1 is strictly sequential, 0 or
+	// negative selects GOMAXPROCS; results are byte-identical for every
+	// value.
+	MatrixExperiment = report.Experiment
+	// MatrixRow is one (workload, target) cell's results.
+	MatrixRow = report.Row
+	// SchedStats summarises the worker pool of a matrix run for the
+	// manifest: cells, per-worker utilization and busy time.
+	SchedStats = telemetry.SchedStats
+)
+
+// RunMatrix executes every (workload, target) cell of the matrix over
+// the experiment's worker pool and returns rows indexed
+// [workload][target] plus the pool's utilization summary.
+func RunMatrix(progs []*Program, ex MatrixExperiment) ([][]MatrixRow, *SchedStats, error) {
+	return report.RunSuite(progs, ex)
 }
 
 // resultTable converts a Result into the manifest's analysis block.

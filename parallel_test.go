@@ -1,0 +1,127 @@
+package isacmp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"isacmp/internal/report"
+	"isacmp/internal/telemetry"
+)
+
+// matrixArtifacts runs the full tiny matrix at the given worker count
+// and renders the two deterministic artifact forms: the text reports
+// exactly as the CLIs print them, and the canonicalized run manifest
+// JSON.
+func matrixArtifacts(t *testing.T, parallel int) (text, manifest []byte) {
+	t.Helper()
+	progs := Suite(Tiny)
+	ex := MatrixExperiment{
+		PathLength: true, CritPath: true, Scaled: true, Windowed: true,
+		Parallel: parallel,
+	}
+	rows, _, err := RunMatrix(progs, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	m := telemetry.NewManifest("parallel-test", "tiny")
+	for i, p := range progs {
+		report.WritePathLengths(&buf, p.Name, rows[i])
+		report.WriteCritPaths(&buf, p.Name, rows[i], false)
+		report.WriteCritPaths(&buf, p.Name, rows[i], true)
+		report.WriteWindowed(&buf, p.Name, rows[i])
+		report.AppendRows(m, p.Name, rows[i])
+	}
+	m.Canonicalize()
+	var mbuf bytes.Buffer
+	if err := m.Encode(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), mbuf.Bytes()
+}
+
+// TestParallelByteIdentical enforces the -parallel determinism
+// contract: the full analysis matrix run sequentially and run over a
+// multi-worker pool (with per-cell trace fan-out and sharded windowed
+// CP) must produce byte-identical report text and byte-identical
+// canonicalized manifests.
+func TestParallelByteIdentical(t *testing.T) {
+	seqText, seqManifest := matrixArtifacts(t, 1)
+	for _, workers := range []int{2, 5} {
+		parText, parManifest := matrixArtifacts(t, workers)
+		if !bytes.Equal(seqText, parText) {
+			t.Fatalf("parallel=%d: report text differs from sequential", workers)
+		}
+		if !bytes.Equal(seqManifest, parManifest) {
+			t.Fatalf("parallel=%d: canonicalized manifest differs from sequential", workers)
+		}
+	}
+}
+
+// TestRunInstrumentedParallelIdentical: the instrumented single-run
+// path (RunConfig.Parallel) must also be invariant — same Result, and
+// byte-identical canonicalized manifest — whether the sinks run
+// inline behind the tee or concurrently behind the fan-out.
+func TestRunInstrumentedParallelIdentical(t *testing.T) {
+	prog := Workload("stream", Tiny)
+	bin, err := Compile(prog, Target{Arch: RV64, Flavor: GCC12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := Analyses{
+		PathLength: true, CritPath: true, ScaledCritPath: true,
+		Windowed: true, Mix: true, Branches: true,
+	}
+
+	run := func(parallel int) (*Result, []byte) {
+		res, rec, err := bin.RunInstrumented(RunConfig{Analyses: sel, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewRunManifest("test", "tiny")
+		m.Runs = append(m.Runs, rec)
+		m.Canonicalize()
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+
+	seqRes, seqManifest := run(1)
+	parRes, parManifest := run(4)
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatalf("results differ:\nsequential %+v\nparallel   %+v", seqRes, parRes)
+	}
+	if !bytes.Equal(seqManifest, parManifest) {
+		t.Fatalf("canonicalized manifests differ:\n%s\nvs\n%s", seqManifest, parManifest)
+	}
+}
+
+// TestRunInstrumentedParallelWithModel: the fan-out path must feed
+// trace-driven timing models the complete stream — cycle counts match
+// the sequential tee run exactly.
+func TestRunInstrumentedParallelWithModel(t *testing.T) {
+	prog := Workload("stream", Tiny)
+	bin, err := Compile(prog, Target{Arch: AArch64, Flavor: GCC12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, core := range []string{"inorder", "ooo"} {
+		_, seqRec, err := bin.RunInstrumented(RunConfig{Core: core, Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, parRec, err := bin.RunInstrumented(RunConfig{Core: core, Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqRec.Core.Instructions != parRec.Core.Instructions || seqRec.Core.Cycles != parRec.Core.Cycles {
+			t.Fatalf("%s: sequential %d insts/%d cycles, parallel %d insts/%d cycles",
+				core, seqRec.Core.Instructions, seqRec.Core.Cycles,
+				parRec.Core.Instructions, parRec.Core.Cycles)
+		}
+	}
+}
