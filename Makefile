@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race differential golden bench bench-matrix clean
+.PHONY: check fmt vet build test race differential golden check-faults fuzz-smoke bench bench-matrix clean
 
 # check is the full pre-merge gate: formatting, static checks, build,
-# the race-enabled test suite (including the differential and golden
-# suites, run explicitly so a -run filter can never silently drop
-# them), and a short instrumented benchmark run that exercises the
-# manifest path end to end (BENCH_PR1.json).
-check: fmt vet build race differential golden bench
+# the race-enabled test suite (including the differential, golden and
+# fault-injection suites, run explicitly so a -run filter can never
+# silently drop them), and a short instrumented benchmark run that
+# exercises the manifest path end to end (BENCH_PR1.json).
+check: fmt vet build race differential golden check-faults bench
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -39,6 +39,23 @@ differential:
 golden:
 	$(GO) test -race -count=1 -run TestGolden ./internal/report
 
+# check-faults runs the fault-injection and shutdown-path suites under
+# the race detector: matrix survival with injected decode/memory/panic
+# faults, retry and watchdog behaviour, pool drain on cancel, and the
+# hardened ELF reader's malformed-input tests.
+check-faults:
+	$(GO) test -race -count=1 ./internal/faultinject
+	$(GO) test -race -count=1 -run 'TestMatrixSurvives|TestRetry|TestHungCell|TestSlowCell|TestBudget|TestFailFast|TestValidate|TestFailedRow' ./internal/report
+	$(GO) test -race -count=1 -run 'TestPool|TestFanout' ./internal/sched
+	$(GO) test -race -count=1 -run 'TestReject|TestTruncated' ./internal/elfio
+
+# fuzz-smoke runs each native fuzz target briefly. Longer campaigns:
+#	$(GO) test -fuzz FuzzDecodeA64 -fuzztime 5m ./internal/a64
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDecodeA64 -fuzztime 5s ./internal/a64
+	$(GO) test -fuzz FuzzDecodeRV64 -fuzztime 5s ./internal/rv64
+	$(GO) test -fuzz FuzzELF -fuzztime 5s ./internal/elfio
+
 # bench writes a run manifest for the benchmark trajectory: one
 # instrumented run per workload at small scale, plus the telemetry
 # overhead micro-benchmark printed for eyeballing.
@@ -48,9 +65,13 @@ bench:
 
 # bench-matrix times the full analysis matrix sequentially and with
 # the worker pool, verifies the outputs are byte-identical, and writes
-# the comparison (speedup, worker utilization) to BENCH_PR2.json.
+# the comparison (speedup, worker utilization) to BENCH_PR2.json; it
+# then times the matrix with the resilience watchdogs disarmed vs
+# armed (deadline, budget, retries — none firing) and writes the
+# overhead comparison against the <= 2% budget to BENCH_PR3.json.
 bench-matrix:
 	$(GO) run ./cmd/isacmp bench-matrix -scale small -o BENCH_PR2.json
+	$(GO) run ./cmd/isacmp bench-resilience -scale small -o BENCH_PR3.json
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json

@@ -122,6 +122,118 @@ func benchMatrix(progs []*ir.Program, scale workloads.Scale, out string, paralle
 	return nil
 }
 
+// benchResilienceSchema identifies the bench-resilience document
+// layout.
+const benchResilienceSchema = "isacmp/bench-resilience/v1"
+
+// resilienceDoc is the record `isacmp bench-resilience` writes
+// (BENCH_PR3.json): the full matrix timed once with the resilience
+// machinery disarmed and once armed (cell deadline, instruction
+// budget, retry policy all configured, no faults injected), with the
+// byte-identity of the two result sets checked and the overhead
+// recorded against the <= 2% budget.
+type resilienceDoc struct {
+	Schema     string `json:"schema"`
+	Scale      string `json:"scale"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Cells      int    `json:"cells"`
+
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	ArmedSeconds    float64 `json:"armed_seconds"`
+	// OverheadPercent is (armed - baseline) / baseline * 100; the
+	// resilience layer's budget is BudgetPercent.
+	OverheadPercent float64 `json:"overhead_percent"`
+	BudgetPercent   float64 `json:"budget_percent"`
+	WithinBudget    bool    `json:"within_budget"`
+
+	// Identical records that arming the watchdogs changed no output
+	// byte — the fault-free byte-identity contract.
+	Identical bool `json:"identical"`
+}
+
+// benchResilience times the matrix with resilience disarmed and armed
+// and writes the resilienceDoc JSON to out. Arming configures every
+// watchdog the fault-tolerance layer has — wall-clock deadline,
+// instruction budget, retries — generously enough that none fires, so
+// the measurement isolates the machinery's own cost.
+func benchResilience(progs []*ir.Program, scale workloads.Scale, out string, parallel int, text bool) error {
+	base := report.Experiment{
+		PathLength: true, CritPath: true, Scaled: true, Windowed: true,
+		Parallel: parallel,
+	}
+	armed := base
+	armed.CellTimeout = time.Hour
+	armed.MaxInstructions = 1 << 62
+	armed.Retries = 2
+	armed.RetryBackoff = 100 * time.Millisecond
+
+	start := time.Now()
+	baseRows, _, err := report.RunSuite(progs, base)
+	if err != nil {
+		return err
+	}
+	baseWall := time.Since(start).Seconds()
+
+	start = time.Now()
+	armedRows, st, err := report.RunSuite(progs, armed)
+	if err != nil {
+		return err
+	}
+	armedWall := time.Since(start).Seconds()
+
+	baseJSON, err := canonicalRowsJSON(progs, scale, baseRows)
+	if err != nil {
+		return err
+	}
+	armedJSON, err := canonicalRowsJSON(progs, scale, armedRows)
+	if err != nil {
+		return err
+	}
+
+	doc := resilienceDoc{
+		Schema:          benchResilienceSchema,
+		Scale:           scale.String(),
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         sched.DefaultWorkers(parallel),
+		Cells:           st.Cells,
+		BaselineSeconds: baseWall,
+		ArmedSeconds:    armedWall,
+		BudgetPercent:   2,
+		Identical:       bytes.Equal(baseJSON, armedJSON),
+	}
+	if baseWall > 0 {
+		doc.OverheadPercent = (armedWall - baseWall) / baseWall * 100
+	}
+	doc.WithinBudget = doc.OverheadPercent <= doc.BudgetPercent
+	if !doc.Identical {
+		return fmt.Errorf("bench-resilience: armed results differ from baseline (fault-free byte-identity violation)")
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if text {
+		fmt.Printf("bench-resilience: %d cells, %d workers: baseline %.3fs, armed %.3fs, overhead %.2f%% (budget %.0f%%), identical=%v -> %s\n",
+			doc.Cells, doc.Workers, baseWall, armedWall, doc.OverheadPercent, doc.BudgetPercent, doc.Identical, out)
+	}
+	return nil
+}
+
 // canonicalRowsJSON renders the matrix rows as a canonicalized
 // manifest — the deterministic byte form the -parallel contract is
 // stated in.

@@ -23,10 +23,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"isacmp"
@@ -72,8 +75,13 @@ func main() {
 	progressFlag := fs.Bool("progress", false, "print a retire-rate heartbeat to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file")
+	cellTimeoutFlag := fs.Duration("cell-timeout", 0, "per-cell wall-clock deadline; an overrunning or hung cell becomes a FAILED row (0 disables)")
+	retriesFlag := fs.Int("retries", 0, "re-attempts per failed cell before marking it FAILED")
+	retryBackoffFlag := fs.Duration("retry-backoff", 100*time.Millisecond, "sleep before the first retry, doubling each further retry")
+	failFastFlag := fs.Bool("fail-fast", false, "cancel the whole matrix on the first cell failure instead of continuing")
+	maxInstFlag := fs.Uint64("max-instructions", 0, "per-cell instruction budget; exceeding it is a FAILED(budget) row (0 disables)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+		os.Exit(report.ExitUsage)
 	}
 	if *workloadFlag != "" {
 		*benchFlag = *workloadFlag
@@ -84,11 +92,11 @@ func main() {
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
 	progs, err := selectBenchmarks(*benchFlag, scale)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
 
 	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
@@ -99,10 +107,28 @@ func main() {
 	reg := telemetry.NewRegistry()
 	manifest := telemetry.NewManifest(cmd, scale.String())
 	startTime := time.Now()
-	baseEx := report.Experiment{Metrics: reg, Parallel: *parallelFlag}
+	baseEx := report.Experiment{
+		Metrics:         reg,
+		Parallel:        *parallelFlag,
+		CellTimeout:     *cellTimeoutFlag,
+		MaxInstructions: *maxInstFlag,
+		Retries:         *retriesFlag,
+		RetryBackoff:    *retryBackoffFlag,
+		FailFast:        *failFastFlag,
+	}
 	if *progressFlag {
 		baseEx.Progress = os.Stderr
 	}
+	if *strideFlag != 0 {
+		baseEx.WindowStride = *strideFlag
+	}
+	if err := baseEx.Validate(); err != nil {
+		usageFatal(err)
+	}
+	// failedCells accumulates FAILED rows across the subcommand; a
+	// partial matrix exits with report.ExitPartial after the manifest
+	// is written.
+	failedCells := 0
 
 	text := *jsonFlag != "-"
 	switch cmd {
@@ -110,7 +136,7 @@ func main() {
 		ex := baseEx
 		ex.PathLength = true
 		var summaries []report.Summary
-		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+		failedCells += runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
 			if text {
 				report.WritePathLengths(os.Stdout, p.Name, rows)
 			}
@@ -122,7 +148,7 @@ func main() {
 	case "critpath":
 		ex := baseEx
 		ex.CritPath = true
-		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+		failedCells += runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
 			if text {
 				report.WriteCritPaths(os.Stdout, p.Name, rows, false)
 			}
@@ -142,7 +168,7 @@ func main() {
 			}
 			ex.Latencies = lat
 		}
-		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+		failedCells += runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
 			if text {
 				report.WriteCritPaths(os.Stdout, p.Name, rows, true)
 			}
@@ -150,7 +176,7 @@ func main() {
 	case "windowcp":
 		ex := baseEx
 		ex.Windowed, ex.GCC12Only, ex.WindowStride = true, true, *strideFlag
-		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+		failedCells += runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
 			if text {
 				report.WriteWindowed(os.Stdout, p.Name, rows)
 			}
@@ -158,7 +184,7 @@ func main() {
 	case "mix":
 		ex := baseEx
 		ex.Mix = true
-		runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
+		failedCells += runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
 			if text {
 				report.WriteMix(os.Stdout, p.Name, rows)
 			}
@@ -175,6 +201,7 @@ func main() {
 			fatal(err)
 		}
 		manifest.Sched = st
+		failedCells += report.CountFailures(all)
 		for i, p := range progs {
 			rows := all[i]
 			report.AppendRows(manifest, p.Name, rows)
@@ -209,12 +236,27 @@ func main() {
 			parallel:    *parallelFlag,
 			progress:    *progressFlag,
 			text:        text,
+			cellTimeout: *cellTimeoutFlag,
+			maxInst:     *maxInstFlag,
+			retries:     *retriesFlag,
+			backoff:     *retryBackoffFlag,
+			failFast:    *failFastFlag,
 		}
-		if err := runInstrumented(progs, cfg, reg, manifest); err != nil {
+		n, err := runInstrumented(progs, cfg, reg, manifest)
+		if err != nil {
 			fatal(err)
 		}
+		failedCells += n
 	case "bench-matrix":
 		if err := benchMatrix(progs, scale, *outFlag, *parallelFlag, text); err != nil {
+			fatal(err)
+		}
+	case "bench-resilience":
+		out := *outFlag
+		if out == "BENCH_PR2.json" { // flag default belongs to bench-matrix
+			out = "BENCH_PR3.json"
+		}
+		if err := benchResilience(progs, scale, out, *parallelFlag, text); err != nil {
 			fatal(err)
 		}
 	case "artifacts":
@@ -261,13 +303,18 @@ func main() {
 	if err := telemetry.WriteMemProfile(*memProfile); err != nil {
 		fatal(err)
 	}
+	if failedCells > 0 {
+		fmt.Fprintf(os.Stderr, "isacmp: %d matrix cell(s) FAILED; see the FAILED table rows and the manifest failures block\n", failedCells)
+		os.Exit(report.ExitPartial)
+	}
 }
 
 // runExperiment fans the whole (workload, target) matrix over the
 // experiment's worker pool, then appends and prints the rows in the
 // fixed workload/target order — output is deterministic regardless of
-// completion order or -parallel value.
-func runExperiment(progs []*ir.Program, scale workloads.Scale, ex report.Experiment, manifest *telemetry.Manifest, text bool, write func(*ir.Program, []report.Row)) {
+// completion order or -parallel value. It returns the number of
+// FAILED cells (continue-on-error mode leaves them as FAILED rows).
+func runExperiment(progs []*ir.Program, scale workloads.Scale, ex report.Experiment, manifest *telemetry.Manifest, text bool, write func(*ir.Program, []report.Row)) int {
 	if text {
 		report.Banner(os.Stdout, "isacmp", scale.String())
 	}
@@ -280,6 +327,7 @@ func runExperiment(progs []*ir.Program, scale workloads.Scale, ex report.Experim
 		report.AppendRows(manifest, p.Name, all[i])
 		write(p, all[i])
 	}
+	return report.CountFailures(all)
 }
 
 // runCmdConfig carries the `run` subcommand's knobs.
@@ -294,6 +342,20 @@ type runCmdConfig struct {
 	parallel    int
 	progress    bool
 	text        bool
+	cellTimeout time.Duration
+	maxInst     uint64
+	retries     int
+	backoff     time.Duration
+	failFast    bool
+}
+
+// instrCell is one (workload, target) slot of the run subcommand.
+type instrCell struct {
+	prog    *ir.Program
+	tgt     isacmp.Target
+	rec     isacmp.RunRecord
+	tracer  *isacmp.PipelineTrace
+	failure *telemetry.FailureRecord
 }
 
 // runInstrumented is the `run` subcommand: execute each selected
@@ -305,29 +367,27 @@ type runCmdConfig struct {
 // the table and manifest are deterministic for every worker count.
 // With a single cell the parallelism budget moves inside the run (the
 // fan-out analysis engine) instead.
-func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Registry, manifest *telemetry.Manifest) error {
+//
+// Cells run under the same resilience policy as the matrix engine:
+// guarded, retried, deadline-reaped; failed cells print FAILED rows
+// and land in the manifest failures block. The FAILED-cell count is
+// returned so main can exit with the partial code.
+func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Registry, manifest *telemetry.Manifest) (int, error) {
 	var targets []isacmp.Target
 	if cfg.target == "all" {
 		targets = isacmp.Targets()
 	} else {
 		tgt, err := parseTarget(cfg.target)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		targets = []isacmp.Target{tgt}
 	}
 
-	type cell struct {
-		prog   *ir.Program
-		tgt    isacmp.Target
-		rec    isacmp.RunRecord
-		tracer *isacmp.PipelineTrace
-		err    error
-	}
-	var cells []*cell
+	var cells []*instrCell
 	for _, p := range progs {
 		for _, tgt := range targets {
-			cells = append(cells, &cell{prog: p, tgt: tgt})
+			cells = append(cells, &instrCell{prog: p, tgt: tgt})
 		}
 	}
 	inner := 1
@@ -335,43 +395,44 @@ func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Regis
 		inner = cfg.parallel
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var firstFail atomic.Value
 	pool := sched.NewPool(cfg.parallel, reg)
 	for _, c := range cells {
 		c := c
 		pool.Go(func() {
-			bin, err := isacmp.Compile(c.prog, c.tgt)
-			if err != nil {
-				c.err = err
-				return
+			c.failure = runInstrumentedCell(ctx, c, cfg, reg, inner)
+			if c.failure != nil && cfg.failFast {
+				firstFail.CompareAndSwap(nil, c.failure)
+				cancel()
 			}
-			rc := isacmp.RunConfig{
-				Core:     cfg.core,
-				Cache:    cfg.cache,
-				Analyses: isacmp.Analyses{Mix: true, Branches: true},
-				Metrics:  reg,
-				Parallel: inner,
-			}
-			if cfg.progress {
-				rc.Progress = os.Stderr
-			}
-			if cfg.trace != "" {
-				c.tracer = isacmp.NewPipelineTrace(cfg.traceCap, cfg.traceSample)
-				rc.Trace = c.tracer
-			}
-			_, c.rec, c.err = bin.RunInstrumented(rc)
 		})
 	}
 	pool.Close()
 	st := pool.Stats()
 	manifest.Sched = &st
+	if n, first := pool.Panics(); n > 0 {
+		return 0, fmt.Errorf("%d run cell(s) panicked past every guard; first: %s", n, first)
+	}
+	if f, ok := firstFail.Load().(*telemetry.FailureRecord); ok {
+		return 0, fmt.Errorf("%s/%s failed (%s): %s", f.Workload, f.Target, f.Reason, f.Message)
+	}
 
+	failed := 0
 	if cfg.text {
 		fmt.Printf("%-12s %-18s %-10s %14s %14s %8s %10s %10s\n",
 			"workload", "target", "core", "instructions", "cycles", "IPC", "Minst/s", "wall")
 	}
 	for _, c := range cells {
-		if c.err != nil {
-			return c.err
+		if f := c.failure; f != nil {
+			failed++
+			manifest.Failures = append(manifest.Failures, *f)
+			if cfg.text {
+				fmt.Printf("%-12s %-18s FAILED(%s) after %d attempt(s)\n",
+					c.prog.Name, c.tgt, f.Reason, f.Attempts)
+			}
+			continue
 		}
 		manifest.Runs = append(manifest.Runs, c.rec)
 		if cfg.text {
@@ -382,7 +443,7 @@ func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Regis
 		if c.tracer != nil {
 			path := tracePath(cfg.trace, c.prog.Name, c.tgt, len(cells))
 			if err := writeTrace(c.tracer, path, cfg.traceFormat); err != nil {
-				return err
+				return failed, err
 			}
 			if cfg.text {
 				fmt.Printf("  pipeline trace: %s (%d spans, %d overwritten)\n",
@@ -390,7 +451,123 @@ func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Regis
 			}
 		}
 	}
-	return nil
+	return failed, nil
+}
+
+// runInstrumentedCell runs one cell with retries; it returns nil on
+// success (filling c.rec/c.tracer) or the cell's failure record.
+func runInstrumentedCell(ctx context.Context, c *instrCell, cfg runCmdConfig, reg *telemetry.Registry, inner int) *telemetry.FailureRecord {
+	attempts := cfg.retries + 1
+	var history []telemetry.AttemptRecord
+	var last *simeng.SimError
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 && cfg.backoff > 0 {
+			select {
+			case <-time.After(cfg.backoff << (attempt - 2)):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			last = simeng.WithCell(&simeng.SimError{Kind: simeng.ErrDeadline, Err: ctx.Err()},
+				c.prog.Name, c.tgt.String())
+			history = append(history, telemetry.AttemptRecord{
+				Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
+			})
+			break
+		}
+		err := runInstrumentedAttempt(ctx, c, cfg, reg, inner)
+		if err == nil {
+			if attempt > 1 {
+				c.rec.Retries = attempt - 1
+			}
+			return nil
+		}
+		last = simeng.WithCell(err, c.prog.Name, c.tgt.String())
+		history = append(history, telemetry.AttemptRecord{
+			Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
+		})
+		if errors.Is(last, simeng.ErrDeadline) && ctx.Err() != nil {
+			break
+		}
+	}
+	return &telemetry.FailureRecord{
+		Workload: c.prog.Name,
+		Target:   c.tgt.String(),
+		Reason:   simeng.Reason(last),
+		Message:  last.Error(),
+		PC:       last.PC,
+		Retired:  last.Retired,
+		Attempts: len(history),
+		History:  history,
+	}
+}
+
+// runInstrumentedAttempt runs one attempt under the panic guard and,
+// when -cell-timeout is set, a watchdog goroutine that reaps hung
+// attempts. Results travel through the buffered channel so an
+// abandoned attempt never races the caller's cell slot.
+func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig, reg *telemetry.Registry, inner int) error {
+	cellCtx := ctx
+	if cfg.cellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, cfg.cellTimeout)
+		defer cancel()
+	}
+	type attemptResult struct {
+		rec    isacmp.RunRecord
+		tracer *isacmp.PipelineTrace
+		err    error
+	}
+	run := func() attemptResult {
+		var res attemptResult
+		res.err = simeng.Guard(func() error {
+			bin, err := isacmp.Compile(c.prog, c.tgt)
+			if err != nil {
+				return err
+			}
+			rc := isacmp.RunConfig{
+				Core:            cfg.core,
+				Cache:           cfg.cache,
+				Analyses:        isacmp.Analyses{Mix: true, Branches: true},
+				Metrics:         reg,
+				Parallel:        inner,
+				Ctx:             cellCtx,
+				MaxInstructions: cfg.maxInst,
+			}
+			if cfg.progress {
+				rc.Progress = os.Stderr
+			}
+			if cfg.trace != "" {
+				res.tracer = isacmp.NewPipelineTrace(cfg.traceCap, cfg.traceSample)
+				rc.Trace = res.tracer
+			}
+			_, rec, err := bin.RunInstrumented(rc)
+			if err != nil {
+				return err
+			}
+			res.rec = rec
+			return nil
+		})
+		return res
+	}
+	apply := func(res attemptResult) error {
+		if res.err != nil {
+			return res.err
+		}
+		c.rec, c.tracer = res.rec, res.tracer
+		return nil
+	}
+	if cfg.cellTimeout <= 0 {
+		return apply(run())
+	}
+	ch := make(chan attemptResult, 1)
+	go func() { ch <- run() }()
+	select {
+	case res := <-ch:
+		return apply(res)
+	case <-cellCtx.Done():
+		return &simeng.SimError{Kind: simeng.ErrDeadline, Err: cellCtx.Err()}
+	}
 }
 
 // tracePath derives a per-run trace filename when several runs would
@@ -616,7 +793,7 @@ func parseScale(s string) (workloads.Scale, error) { return report.ParseScale(s)
 func parseTarget(s string) (isacmp.Target, error) {
 	parts := strings.SplitN(s, "-", 2)
 	if len(parts) != 2 {
-		return isacmp.Target{}, fmt.Errorf("bad target %q (want e.g. aarch64-gcc12)", s)
+		return isacmp.Target{}, usageError{fmt.Errorf("bad target %q (want e.g. aarch64-gcc12)", s)}
 	}
 	var t isacmp.Target
 	switch parts[0] {
@@ -625,7 +802,7 @@ func parseTarget(s string) (isacmp.Target, error) {
 	case "rv64", "riscv":
 		t.Arch = isacmp.RV64
 	default:
-		return t, fmt.Errorf("unknown architecture %q", parts[0])
+		return t, usageError{fmt.Errorf("unknown architecture %q (want aarch64 or rv64)", parts[0])}
 	}
 	switch parts[1] {
 	case "gcc9":
@@ -633,7 +810,7 @@ func parseTarget(s string) (isacmp.Target, error) {
 	case "gcc12":
 		t.Flavor = isacmp.GCC12
 	default:
-		return t, fmt.Errorf("unknown compiler %q", parts[1])
+		return t, usageError{fmt.Errorf("unknown compiler %q (want gcc9 or gcc12)", parts[1])}
 	}
 	return t, nil
 }
@@ -653,6 +830,7 @@ commands:
   mix        instruction mix and branch density       (section 3.3)
   run        instrumented run: core stats, metrics, pipeline trace
   bench-matrix  time the full matrix sequential vs parallel (-o, -parallel)
+  bench-resilience  measure the armed-watchdog overhead vs baseline (-o)
   artifacts  write the four result files of the paper's artifact (A.6)
   trace      print a disassembled execution trace (-n, -kernel, -target)
   blocks     hottest dynamically-discovered basic blocks (-n, -target)
@@ -663,6 +841,10 @@ commands:
 flags: -scale tiny|small|paper   -bench <name>   -parallel <n> (0 = all CPUs)
   (disasm) -kernel <k> -target <a>-<c>
 
+resilience: -cell-timeout <d>  -max-instructions <n>  -retries <n>
+  -retry-backoff <d>  -fail-fast
+  exit codes: 0 ok, 1 fatal, 2 usage, 3 partial (FAILED cells)
+
 observability: -json <f> (run manifest; "-" = stdout)  -progress
   -cpuprofile <f>  -memprofile <f>
 run: -workload <name> -target <t>|all -core emulation|inorder|ooo -cache
@@ -670,7 +852,28 @@ run: -workload <name> -target <t>|all -core emulation|inorder|ooo -cache
   -trace-cap <n> -trace-sample <n>`)
 }
 
+// usageError marks bad user input (unknown names, invalid flag
+// values); fatal maps it to the usage exit code.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// fatal prints the error and exits per the documented contract:
+// ExitUsage (2) for bad user input, ExitFatal (1) for everything else.
 func fatal(err error) {
+	var ue usageError
+	if errors.As(err, &ue) {
+		usageFatal(err)
+	}
 	fmt.Fprintln(os.Stderr, "isacmp:", err)
-	os.Exit(1)
+	os.Exit(report.ExitFatal)
+}
+
+// usageFatal prints a one-line error plus a usage hint and exits with
+// the usage code.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "isacmp:", err)
+	fmt.Fprintln(os.Stderr, "run `isacmp` without arguments for usage")
+	os.Exit(report.ExitUsage)
 }

@@ -36,15 +36,19 @@ func main() {
 	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
+	cellTimeoutFlag := flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline; overrunning cells become FAILED rows (0 disables)")
+	retriesFlag := flag.Int("retries", 0, "re-attempts per failed cell before marking it FAILED")
+	retryBackoffFlag := flag.Duration("retry-backoff", 100*time.Millisecond, "sleep before the first retry, doubling each further retry")
+	failFastFlag := flag.Bool("fail-fast", false, "cancel the whole matrix on the first cell failure")
 	flag.Parse()
 
 	scale, err := report.ParseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
 	progs, err := report.SelectBenchmarks(*benchFlag, scale)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
 	}
 	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
 	if err != nil {
@@ -53,9 +57,17 @@ func main() {
 	defer stopCPU()
 
 	reg := telemetry.NewRegistry()
-	ex := report.Experiment{Windowed: true, GCC12Only: true, WindowStride: *strideFlag, Metrics: reg, Parallel: *parallelFlag}
+	ex := report.Experiment{
+		Windowed: true, GCC12Only: true, WindowStride: *strideFlag,
+		Metrics: reg, Parallel: *parallelFlag,
+		CellTimeout: *cellTimeoutFlag, Retries: *retriesFlag,
+		RetryBackoff: *retryBackoffFlag, FailFast: *failFastFlag,
+	}
 	if *progressFlag {
 		ex.Progress = os.Stderr
+	}
+	if err := ex.Validate(); err != nil {
+		usageFatal(err)
 	}
 	manifest := telemetry.NewManifest("windowcp", scale.String())
 	start := time.Now()
@@ -86,9 +98,19 @@ func main() {
 	if err := telemetry.WriteMemProfile(*memProfile); err != nil {
 		fatal(err)
 	}
+	if n := report.CountFailures(all); n > 0 {
+		fmt.Fprintf(os.Stderr, "windowcp: %d matrix cell(s) FAILED\n", n)
+		os.Exit(report.ExitPartial)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "windowcp:", err)
-	os.Exit(1)
+	os.Exit(report.ExitFatal)
+}
+
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "windowcp:", err)
+	fmt.Fprintln(os.Stderr, "run `windowcp -h` for usage")
+	os.Exit(report.ExitUsage)
 }

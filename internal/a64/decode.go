@@ -16,6 +16,10 @@ func (e *DecodeError) Error() string {
 	return fmt.Sprintf("a64: cannot decode %#08x", e.Word)
 }
 
+// DecodeFault marks the error for the engine's failure taxonomy
+// (simeng classifies it as ErrDecode without importing this package).
+func (e *DecodeError) DecodeFault() {}
+
 func bitfield(w uint32, hi, lo uint) uint32 { return w >> lo & (1<<(hi-lo+1) - 1) }
 
 func signExtend(v uint32, bits uint) int64 {

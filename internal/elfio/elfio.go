@@ -210,8 +210,22 @@ func (f *File) Write() []byte {
 	return buf.Bytes()
 }
 
+// view returns b[off:off+size] after overflow-safe bounds checks: the
+// naive off+size > len comparison wraps around for attacker-chosen
+// 64-bit offsets, so the check is phrased to stay in range instead.
+func view(b []byte, off, size uint64, what string) ([]byte, error) {
+	n := uint64(len(b))
+	if off > n || size > n-off {
+		return nil, fmt.Errorf("elfio: %s out of range (off=%#x size=%#x file=%#x)", what, off, size, n)
+	}
+	return b[off : off+size], nil
+}
+
 // Read parses an ELF64 little-endian executable produced by Write (or
-// any static binary using the same minimal feature set).
+// any static binary using the same minimal feature set). Malformed
+// input — truncated headers, offsets or sizes that overflow or point
+// past the file, overlapping load segments — returns an error, never a
+// panic or a silently corrupt image.
 func Read(b []byte) (*File, error) {
 	le := binary.LittleEndian
 	if len(b) < ehsize || string(b[:4]) != "\x7fELF" {
@@ -226,57 +240,72 @@ func Read(b []byte) (*File, error) {
 	}
 	phoff := le.Uint64(b[32:])
 	shoff := le.Uint64(b[40:])
-	phnum := int(le.Uint16(b[56:]))
-	shnum := int(le.Uint16(b[60:]))
+	phnum := uint64(le.Uint16(b[56:]))
+	shnum := uint64(le.Uint16(b[60:]))
 
-	for i := 0; i < phnum; i++ {
-		p := phoff + uint64(i*phentsize)
-		if p+phentsize > uint64(len(b)) {
-			return nil, fmt.Errorf("elfio: program header %d out of range", i)
-		}
-		ph := b[p : p+phentsize]
+	// All program headers must fit before any is parsed; phnum is
+	// bounded (uint16), so phnum*phentsize cannot overflow.
+	phdrs, err := view(b, phoff, phnum*phentsize, "program header table")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < phnum; i++ {
+		ph := phdrs[i*phentsize : (i+1)*phentsize]
 		if le.Uint32(ph[0:]) != 1 { // PT_LOAD
 			continue
 		}
 		off := le.Uint64(ph[8:])
 		filesz := le.Uint64(ph[32:])
-		if off+filesz > uint64(len(b)) {
-			return nil, fmt.Errorf("elfio: segment %d data out of range", i)
+		data, err := view(b, off, filesz, fmt.Sprintf("segment %d data", i))
+		if err != nil {
+			return nil, err
 		}
 		seg := Segment{
 			Vaddr: le.Uint64(ph[16:]),
 			Flags: le.Uint32(ph[4:]),
-			Data:  append([]byte(nil), b[off:off+filesz]...),
+			Data:  append([]byte(nil), data...),
+		}
+		if seg.Vaddr+filesz < seg.Vaddr {
+			return nil, fmt.Errorf("elfio: segment %d wraps the address space (vaddr=%#x size=%#x)", i, seg.Vaddr, filesz)
+		}
+		for j, prev := range f.Segments {
+			// Empty ranges cannot overlap anything.
+			if filesz > 0 && seg.Vaddr < prev.Vaddr+uint64(len(prev.Data)) && prev.Vaddr < seg.Vaddr+filesz {
+				return nil, fmt.Errorf("elfio: segments %d and %d overlap at vaddr %#x", j, i, seg.Vaddr)
+			}
 		}
 		f.Segments = append(f.Segments, seg)
 	}
 
 	// Locate .symtab and its string table.
-	for i := 0; i < shnum; i++ {
-		p := shoff + uint64(i*shentsize)
-		if p+shentsize > uint64(len(b)) {
-			return nil, fmt.Errorf("elfio: section header %d out of range", i)
-		}
-		sh := b[p : p+shentsize]
+	shdrs, err := view(b, shoff, shnum*shentsize, "section header table")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < shnum; i++ {
+		sh := shdrs[i*shentsize : (i+1)*shentsize]
 		if le.Uint32(sh[4:]) != 2 { // SHT_SYMTAB
 			continue
 		}
 		symOff := le.Uint64(sh[24:])
 		symSize := le.Uint64(sh[32:])
-		link := le.Uint32(sh[40:])
-		strp := shoff + uint64(link)*shentsize
-		if strp+shentsize > uint64(len(b)) {
-			return nil, fmt.Errorf("elfio: symtab string table header out of range")
+		link := uint64(le.Uint32(sh[40:]))
+		if link >= shnum {
+			return nil, fmt.Errorf("elfio: symtab links to section %d of %d", link, shnum)
 		}
-		strsh := b[strp : strp+shentsize]
+		strsh := shdrs[link*shentsize : (link+1)*shentsize]
 		strOff := le.Uint64(strsh[24:])
 		strSize := le.Uint64(strsh[32:])
-		if strOff+strSize > uint64(len(b)) || symOff+symSize > uint64(len(b)) {
-			return nil, fmt.Errorf("elfio: symtab data out of range")
+		strs, err := view(b, strOff, strSize, "symtab string table")
+		if err != nil {
+			return nil, err
 		}
-		strs := b[strOff : strOff+strSize]
-		for o := uint64(0); o+symsize <= symSize; o += symsize {
-			sym := b[symOff+o : symOff+o+symsize]
+		syms, err := view(b, symOff, symSize, "symtab data")
+		if err != nil {
+			return nil, err
+		}
+		for o := uint64(0); o+symsize <= uint64(len(syms)); o += symsize {
+			sym := syms[o : o+symsize]
 			nameOff := le.Uint32(sym[0:])
 			val := le.Uint64(sym[8:])
 			size := le.Uint64(sym[16:])

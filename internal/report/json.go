@@ -23,6 +23,12 @@ func RowRecord(workload string, r Row) telemetry.RunRecord {
 	if r.WallSeconds > 0 {
 		rec.MIPS = float64(r.Core.Instructions) / r.WallSeconds / 1e6
 	}
+	if r.Attempts > 1 {
+		// Retries (attempts beyond the first) rather than attempts, so
+		// the zero value is omitted and fault-free manifests stay
+		// byte-identical.
+		rec.Retries = r.Attempts - 1
+	}
 	res := &telemetry.ResultTable{
 		PathLen:         r.PathLen,
 		Other:           r.Other,
@@ -55,9 +61,14 @@ func RowRecord(workload string, r Row) telemetry.RunRecord {
 	return rec
 }
 
-// AppendRows adds one record per row to the manifest.
+// AppendRows adds one record per healthy row to the manifest; FAILED
+// rows go to the manifest `failures` block instead of `runs`.
 func AppendRows(m *telemetry.Manifest, workload string, rows []Row) {
 	for _, r := range rows {
+		if r.Failed() {
+			m.Failures = append(m.Failures, *r.Failure)
+			continue
+		}
 		m.Runs = append(m.Runs, RowRecord(workload, r))
 	}
 }

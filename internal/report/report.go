@@ -6,10 +6,13 @@
 package report
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"isacmp/internal/a64"
@@ -50,7 +53,18 @@ type Row struct {
 	// Tracker reports the critical-path tracker's footprint when the
 	// run carried one.
 	Tracker *telemetry.TrackerStats
+
+	// Attempts is how many attempts this cell took (1 = first try).
+	Attempts int
+	// Failure is set when the cell produced no result: every attempt
+	// failed (or the cell was reaped by its deadline). A failed row
+	// carries no analysis data; the rest of the matrix is unaffected.
+	Failure *telemetry.FailureRecord
 }
+
+// Failed reports whether the row is a FAILED placeholder rather than
+// a result.
+func (r *Row) Failed() bool { return r.Failure != nil }
 
 // Experiment selects which analyses Run attaches.
 type Experiment struct {
@@ -79,10 +93,73 @@ type Experiment struct {
 	// target) cells are fanned out over this many pool workers, each
 	// cell's trace is simulated once and replayed into its analyses
 	// concurrently, and the windowed-CP computation is sharded. 1 runs
-	// everything strictly sequentially; <=0 selects GOMAXPROCS.
-	// Results are byte-identical for every value (see the README's
-	// determinism contract).
+	// everything strictly sequentially; 0 selects GOMAXPROCS.
+	// Negative values are rejected by Validate. Results are
+	// byte-identical for every value (see the README's determinism
+	// contract).
 	Parallel int
+
+	// Resilience knobs (see the README's failure-semantics section).
+	// All default to off, which keeps fault-free runs byte-identical
+	// to the pre-resilience engine.
+
+	// CellTimeout is the per-cell wall-clock deadline: a cell still
+	// running (or hung) after this long is reaped with an ErrDeadline
+	// failure while the rest of the matrix keeps going. 0 disables
+	// the watchdog.
+	CellTimeout time.Duration
+	// MaxInstructions is the per-cell retirement budget; a run that
+	// exceeds it fails with ErrBudget. 0 disables the budget.
+	MaxInstructions uint64
+	// Retries is how many times a failed cell is re-attempted from
+	// scratch (fresh machine and analyses) before its row is marked
+	// FAILED. 0 means one attempt only.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling on
+	// each further retry. 0 retries immediately.
+	RetryBackoff time.Duration
+	// FailFast selects first-error-cancel mode: the first failed cell
+	// cancels the remaining matrix and RunSuite returns its error.
+	// The default (continue-on-error) completes every other cell and
+	// reports failures as FAILED rows instead.
+	FailFast bool
+
+	// WrapMachine, when non-nil, wraps each cell's machine before the
+	// run — the fault-injection hook. It must return m unchanged for
+	// cells it does not target.
+	WrapMachine func(workload, target string, attempt int, m simeng.Machine) simeng.Machine
+	// WrapSink, when non-nil, wraps the event sink handed to the
+	// core — the sink-fault injection hook. The inner sink may be nil
+	// (a run with no analyses attached).
+	WrapSink func(workload, target string, attempt int, s isa.Sink) isa.Sink
+}
+
+// Validate rejects experiment configurations that would otherwise
+// panic or silently misbehave: negative worker counts, negative
+// window strides (which previously wrapped around to huge unsigned
+// strides), non-positive window sizes, and negative resilience knobs.
+func (ex Experiment) Validate() error {
+	if ex.Parallel < 0 {
+		return fmt.Errorf("report: -parallel %d is negative (0 selects all CPUs, 1 is sequential)", ex.Parallel)
+	}
+	if ex.WindowStride < 0 {
+		return fmt.Errorf("report: -stride %d is negative (0 selects the paper's size/2)", ex.WindowStride)
+	}
+	for _, s := range ex.WindowSizes {
+		if s <= 0 {
+			return fmt.Errorf("report: window size %d is not positive", s)
+		}
+	}
+	if ex.CellTimeout < 0 {
+		return fmt.Errorf("report: -cell-timeout %v is negative (0 disables the watchdog)", ex.CellTimeout)
+	}
+	if ex.Retries < 0 {
+		return fmt.Errorf("report: -retries %d is negative (0 means one attempt)", ex.Retries)
+	}
+	if ex.RetryBackoff < 0 {
+		return fmt.Errorf("report: -retry-backoff %v is negative", ex.RetryBackoff)
+	}
+	return nil
 }
 
 // Targets resolves the target columns an experiment covers.
@@ -109,46 +186,190 @@ func Run(prog *ir.Program, ex Experiment) ([]Row, error) {
 	return rows[0], nil
 }
 
+// CountFailures reports how many rows across the suite are FAILED
+// placeholders; CLIs use it to pick the partial-failure exit code.
+func CountFailures(all [][]Row) int {
+	n := 0
+	for _, rows := range all {
+		for i := range rows {
+			if rows[i].Failed() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CollectFailures flattens the suite's FAILED rows into manifest
+// failure records, in deterministic workload/target order.
+func CollectFailures(all [][]Row) []telemetry.FailureRecord {
+	var out []telemetry.FailureRecord
+	for _, rows := range all {
+		for i := range rows {
+			if rows[i].Failed() {
+				out = append(out, *rows[i].Failure)
+			}
+		}
+	}
+	return out
+}
+
 // RunSuite fans the full analysis matrix — every (workload, target)
 // cell of every selected analysis — out over a sched.Pool with
 // ex.Parallel workers and returns the rows as rows[workload][target],
 // in the deterministic input/Targets order regardless of completion
 // order. The returned SchedStats describes the pool for the run
 // manifest.
+//
+// Every cell runs under the resilience policy: panics are converted to
+// typed errors, a cell is retried ex.Retries times with exponential
+// backoff, and a cell still failing (or reaped by ex.CellTimeout) is
+// returned as a FAILED placeholder row while the rest of the matrix
+// completes. RunSuite itself returns a non-nil error only for invalid
+// configuration, a panic that escaped every guard, or — in FailFast
+// mode — the first cell failure, which also cancels the remaining
+// cells.
 func RunSuite(progs []*ir.Program, ex Experiment) ([][]Row, *telemetry.SchedStats, error) {
+	if err := ex.Validate(); err != nil {
+		return nil, nil, err
+	}
 	targets := ex.Targets()
 	all := make([][]Row, len(progs))
-	errs := make([][]error, len(progs))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// firstFail records the temporally-first failure in FailFast mode —
+	// the root cause — since cells cancelled after it also come back as
+	// (deadline) failures.
+	var firstFail atomic.Value
 	pool := sched.NewPool(ex.Parallel, ex.Metrics)
 	for pi := range progs {
 		all[pi] = make([]Row, len(targets))
-		errs[pi] = make([]error, len(targets))
 		prog := progs[pi]
 		for ti := range targets {
 			pi, ti, tgt := pi, ti, targets[ti]
 			pool.Go(func() {
-				row, err := runOne(prog, tgt, ex)
-				if err != nil {
-					errs[pi][ti] = fmt.Errorf("report: %s: %s: %w", prog.Name, tgt, err)
-					return
-				}
+				row := runCell(ctx, prog, tgt, ex)
 				all[pi][ti] = row
+				if row.Failed() && ex.FailFast {
+					firstFail.CompareAndSwap(nil, row.Failure)
+					cancel()
+				}
 			})
 		}
 	}
 	pool.Close()
 	st := pool.Stats()
-	for pi := range errs {
-		for _, err := range errs[pi] {
-			if err != nil {
-				return nil, &st, err
-			}
-		}
+	if n, first := pool.Panics(); n > 0 {
+		return nil, &st, fmt.Errorf("report: %d matrix cell(s) panicked past every guard; first: %s", n, first)
+	}
+	if f, ok := firstFail.Load().(*telemetry.FailureRecord); ok {
+		return nil, &st, fmt.Errorf("report: %s/%s failed (%s): %s",
+			f.Workload, f.Target, f.Reason, f.Message)
 	}
 	return all, &st, nil
 }
 
-func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
+// runCell executes one (workload, target) cell under the full retry
+// policy. It never returns an error: a cell whose every attempt failed
+// comes back as a FAILED placeholder row carrying the typed failure
+// record and attempt history.
+func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment) Row {
+	attempts := ex.Retries + 1
+	var history []telemetry.AttemptRecord
+	var last *simeng.SimError
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 && ex.RetryBackoff > 0 {
+			backoff := ex.RetryBackoff << (attempt - 2)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			// The matrix was cancelled (FailFast) before this attempt
+			// started; record the cancellation rather than running.
+			last = simeng.WithCell(&simeng.SimError{Kind: simeng.ErrDeadline, Err: ctx.Err()},
+				prog.Name, tgt.String())
+			history = append(history, telemetry.AttemptRecord{
+				Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
+			})
+			break
+		}
+		row, err := runAttempt(ctx, prog, tgt, ex, attempt)
+		if err == nil {
+			row.Attempts = attempt
+			return row
+		}
+		last = simeng.WithCell(err, prog.Name, tgt.String())
+		history = append(history, telemetry.AttemptRecord{
+			Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
+		})
+		if errors.Is(last, simeng.ErrDeadline) && ctx.Err() != nil {
+			// Cancelled from above, not a per-cell timeout: retrying
+			// would only re-observe the dead context.
+			break
+		}
+	}
+	return Row{
+		Target:   tgt,
+		Attempts: len(history),
+		Failure: &telemetry.FailureRecord{
+			Workload: prog.Name,
+			Target:   tgt.String(),
+			Reason:   simeng.Reason(last),
+			Message:  last.Error(),
+			PC:       last.PC,
+			Retired:  last.Retired,
+			Attempts: len(history),
+			History:  history,
+		},
+	}
+}
+
+// runAttempt executes one attempt of a cell under the panic guard and,
+// when CellTimeout is set, a watchdog: the attempt runs on its own
+// goroutine and a select on the deadline reaps a cell whose Step has
+// genuinely hung (the in-core context poll only catches slow-but-
+// retiring cells). The reaped goroutine is abandoned with a buffered
+// result channel; cancelling its context makes it exit at the next
+// retirement poll if it is still making progress.
+func runAttempt(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt int) (Row, error) {
+	cellCtx := ctx
+	if ex.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, ex.CellTimeout)
+		defer cancel()
+	}
+	run := func() (Row, error) {
+		var row Row
+		err := simeng.Guard(func() error {
+			var runErr error
+			row, runErr = runOne(cellCtx, prog, tgt, ex, attempt)
+			return runErr
+		})
+		return row, err
+	}
+	if ex.CellTimeout <= 0 {
+		return run()
+	}
+	type result struct {
+		row Row
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		row, err := run()
+		ch <- result{row, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.row, res.err
+	case <-cellCtx.Done():
+		return Row{Target: tgt}, &simeng.SimError{Kind: simeng.ErrDeadline, Err: cellCtx.Err()}
+	}
+}
+
+func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt int) (Row, error) {
 	row := Row{Target: tgt}
 	compiled, err := cc.Compile(prog, tgt)
 	if err != nil {
@@ -163,6 +384,9 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 	}
 	if err != nil {
 		return row, err
+	}
+	if ex.WrapMachine != nil {
+		mach = ex.WrapMachine(prog.Name, tgt.String(), attempt, mach)
 	}
 
 	// parallel > 1 selects the fan-out engine: the cell's trace is
@@ -231,7 +455,7 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 		add("progress", pg)
 	}
 
-	emu := &simeng.EmulationCore{}
+	emu := &simeng.EmulationCore{MaxInstructions: ex.MaxInstructions, Ctx: ctx}
 	var stats simeng.Stats
 	start := time.Now()
 	if parallel > 1 {
@@ -240,6 +464,9 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 			consumers = append(consumers, rm)
 		}
 		n, err := sched.Fanout(func(s isa.Sink) error {
+			if ex.WrapSink != nil {
+				s = ex.WrapSink(prog.Name, tgt.String(), attempt, s)
+			}
 			var runErr error
 			stats, runErr = emu.Run(mach, s)
 			return runErr
@@ -261,6 +488,9 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 		var sink isa.Sink
 		if len(sinks) > 0 || rm != nil {
 			sink = tee
+		}
+		if ex.WrapSink != nil {
+			sink = ex.WrapSink(prog.Name, tgt.String(), attempt, sink)
 		}
 		stats, err = emu.Run(mach, sink)
 		if err != nil {
@@ -307,11 +537,50 @@ func runOne(prog *ir.Program, tgt cc.Target, ex Experiment) (Row, error) {
 	return row, nil
 }
 
+// healthy filters FAILED placeholder rows out of a column-major
+// table's rows. With no failures it returns rows unchanged, so
+// fault-free output stays byte-identical.
+func healthy(rows []Row) []Row {
+	ok := true
+	for i := range rows {
+		if rows[i].Failed() {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return rows
+	}
+	out := make([]Row, 0, len(rows))
+	for i := range rows {
+		if !rows[i].Failed() {
+			out = append(out, rows[i])
+		}
+	}
+	return out
+}
+
+// writeFailedNotes appends one line per FAILED row of a column-major
+// table, since failed cells cannot appear as columns. No-op (zero
+// bytes) when every row is healthy.
+func writeFailedNotes(w io.Writer, rows []Row) {
+	for i := range rows {
+		if f := rows[i].Failure; f != nil {
+			fmt.Fprintf(w, "%s: FAILED(%s) after %d attempt(s)\n",
+				rows[i].Target.String(), f.Reason, f.Attempts)
+		}
+	}
+}
+
 // WriteMix renders the per-group instruction histogram for every
-// target side by side, plus the branch summary.
+// target side by side, plus the branch summary. FAILED cells are
+// dropped from the columns and noted below the table.
 func WriteMix(w io.Writer, name string, rows []Row) {
 	fmt.Fprintf(w, "== %s: instruction mix ==\n", name)
+	all := rows
+	rows = healthy(rows)
 	if len(rows) == 0 || len(rows[0].MixCounts) == 0 {
+		writeFailedNotes(w, all)
 		return
 	}
 	fmt.Fprintf(w, "%-14s", "group")
@@ -346,13 +615,17 @@ func WriteMix(w io.Writer, name string, rows []Row) {
 		fmt.Fprintf(w, "%23.1f%%", r.BranchTaken*100)
 	}
 	fmt.Fprintln(w)
+	writeFailedNotes(w, all)
 	fmt.Fprintln(w)
 }
 
 // WritePathLengths renders the Figure 1 data: per-kernel dynamic
 // counts for each target, normalised to the GCC 9.2 / AArch64 total.
+// FAILED cells are dropped from the columns and noted below the table.
 func WritePathLengths(w io.Writer, name string, rows []Row) {
 	fmt.Fprintf(w, "== %s: path length per kernel (Figure 1) ==\n", name)
+	all := rows
+	rows = healthy(rows)
 	var baseline float64
 	for _, r := range rows {
 		if r.Target.Flavor == cc.GCC9 && r.Target.Arch == isa.AArch64 {
@@ -361,6 +634,7 @@ func WritePathLengths(w io.Writer, name string, rows []Row) {
 	}
 	// Collect kernel names in region order from the first row.
 	if len(rows) == 0 {
+		writeFailedNotes(w, all)
 		return
 	}
 	var kernels []string
@@ -397,6 +671,7 @@ func WritePathLengths(w io.Writer, name string, rows []Row) {
 		}
 		fmt.Fprintln(w)
 	}
+	writeFailedNotes(w, all)
 	fmt.Fprintln(w)
 }
 
@@ -410,6 +685,11 @@ func WriteCritPaths(w io.Writer, name string, rows []Row, scaled bool) {
 	fmt.Fprintf(w, "== %s: %s ==\n", name, label)
 	fmt.Fprintf(w, "%-18s%18s%14s%10s%16s\n", "target", "path length", "CP", "ILP", "2GHz time (ms)")
 	for _, r := range rows {
+		if f := r.Failure; f != nil {
+			fmt.Fprintf(w, "%-18sFAILED(%s) after %d attempt(s)\n",
+				r.Target.String(), f.Reason, f.Attempts)
+			continue
+		}
 		cp, ilp, rt := r.CP, r.ILP, r.Runtime
 		if scaled {
 			cp, ilp, rt = r.ScaledCP, r.ScaledILP, r.ScaledRuntime
@@ -421,10 +701,14 @@ func WriteCritPaths(w io.Writer, name string, rows []Row, scaled bool) {
 }
 
 // WriteWindowed renders the Figure 2 series: mean ILP per window size
-// for the GCC 12.2 binaries.
+// for the GCC 12.2 binaries. FAILED cells are dropped from the columns
+// and noted below the table.
 func WriteWindowed(w io.Writer, name string, rows []Row) {
 	fmt.Fprintf(w, "== %s: mean ILP per window (Figure 2) ==\n", name)
+	all := rows
+	rows = healthy(rows)
 	if len(rows) == 0 {
+		writeFailedNotes(w, all)
 		return
 	}
 	fmt.Fprintf(w, "%-14s", "window")
@@ -439,6 +723,7 @@ func WriteWindowed(w io.Writer, name string, rows []Row) {
 		}
 		fmt.Fprintln(w)
 	}
+	writeFailedNotes(w, all)
 	fmt.Fprintln(w)
 }
 
@@ -452,10 +737,14 @@ type Summary struct {
 	RVOverArm float64
 }
 
-// Summarise derives the per-pair path-length ratios from rows.
+// Summarise derives the per-pair path-length ratios from rows. FAILED
+// cells contribute nothing, so a pair with a failed side is skipped.
 func Summarise(name string, rows []Row) []Summary {
 	byKey := map[cc.Target]uint64{}
 	for _, r := range rows {
+		if r.Failed() {
+			continue
+		}
 		byKey[r.Target] = r.PathLen
 	}
 	var out []Summary

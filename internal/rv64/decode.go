@@ -13,6 +13,10 @@ func (e *DecodeError) Error() string {
 	return fmt.Sprintf("rv64: cannot decode %#08x", e.Word)
 }
 
+// DecodeFault marks the error for the engine's failure taxonomy
+// (simeng classifies it as ErrDecode without importing this package).
+func (e *DecodeError) DecodeFault() {}
+
 // Decode lookup tables, built once from the encoder's spec table so the
 // two directions can never disagree.
 var (

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"isacmp/internal/isa"
+	"isacmp/internal/simeng"
 )
 
 // fanoutBatch is the number of events buffered before a batch is
@@ -29,6 +30,12 @@ const fanoutDepth = 4
 // contract already demands. With zero or one sink the fan-out
 // machinery is skipped entirely and gen runs with the sink attached
 // directly.
+//
+// A consumer that panics is isolated: the panic is converted into an
+// ErrPanic-kind simeng error, the dead consumer keeps draining its
+// channel (discarding batches) so the generator and the healthy
+// consumers are never blocked behind it, and the first consumer error
+// is returned once gen's own error (which takes precedence) is nil.
 func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
 	live := sinks[:0:0]
 	for _, s := range sinks {
@@ -47,18 +54,26 @@ func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
 	}
 
 	chans := make([]chan []isa.Event, len(live))
+	consumerErrs := make([]error, len(live))
 	var wg sync.WaitGroup
 	for i, s := range live {
 		chans[i] = make(chan []isa.Event, fanoutDepth)
 		wg.Add(1)
-		go func(ch chan []isa.Event, s isa.Sink) {
+		go func(ch chan []isa.Event, s isa.Sink, errSlot *error) {
 			defer wg.Done()
 			for batch := range ch {
-				for j := range batch {
-					s.Event(&batch[j])
+				if *errSlot != nil {
+					continue // dead consumer: drain and discard
 				}
+				batch := batch
+				*errSlot = simeng.Guard(func() error {
+					for j := range batch {
+						s.Event(&batch[j])
+					}
+					return nil
+				})
 			}
-		}(chans[i], s)
+		}(chans[i], s, &consumerErrs[i])
 	}
 
 	b := &broadcastSink{chans: chans}
@@ -68,6 +83,14 @@ func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
 		close(ch)
 	}
 	wg.Wait()
+	if err == nil {
+		for _, cerr := range consumerErrs {
+			if cerr != nil {
+				err = cerr
+				break
+			}
+		}
+	}
 	return b.n, err
 }
 

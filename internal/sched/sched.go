@@ -16,6 +16,7 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -45,6 +46,12 @@ type Pool struct {
 
 	busyNs []atomic.Int64
 	cells  []atomic.Int64
+
+	// panic backstop: tasks are expected to run under their own
+	// simeng.Guard, but a panic that escapes one anyway must not take
+	// the whole pool (and every other matrix cell) down with it.
+	panics     atomic.Int64
+	firstPanic atomic.Value // string
 }
 
 // DefaultWorkers resolves a worker-count knob: n > 0 is taken as
@@ -97,7 +104,7 @@ func (p *Pool) worker(id int) {
 			p.workerDepth[id].Set(1)
 		}
 		start := time.Now()
-		task()
+		p.runTask(task)
 		busy := time.Since(start)
 		p.busyNs[id].Add(int64(busy))
 		p.cells[id].Add(1)
@@ -108,6 +115,28 @@ func (p *Pool) worker(id int) {
 		}
 		p.wg.Done()
 	}
+}
+
+// runTask executes one task with the panic backstop: a panic is
+// recorded and swallowed so the worker, the pool's task accounting
+// and every other cell survive. Wait/Close cannot deadlock on a
+// panicked task because the wg.Done in the worker loop still runs.
+func (p *Pool) runTask(task func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			p.firstPanic.CompareAndSwap(nil, fmt.Sprint(r))
+		}
+	}()
+	task()
+}
+
+// Panics reports how many tasks panicked past their own guards, and
+// the first recovered panic value. Callers surface a non-zero count
+// as a run failure after Wait/Close.
+func (p *Pool) Panics() (int64, string) {
+	first, _ := p.firstPanic.Load().(string)
+	return p.panics.Load(), first
 }
 
 // Go submits one task (a matrix cell). It blocks only when the queue

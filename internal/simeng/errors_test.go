@@ -1,0 +1,121 @@
+package simeng
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"isacmp/internal/mem"
+)
+
+// fakeDecodeErr mimics the a64/rv64 DecodeError marker without
+// importing the front ends (simeng sits below them).
+type fakeDecodeErr struct{}
+
+func (fakeDecodeErr) Error() string { return "fake: cannot decode" }
+func (fakeDecodeErr) DecodeFault()  {}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"decode-marker", fakeDecodeErr{}, ErrDecode},
+		{"decode-wrapped", fmt.Errorf("predecode: %w", fakeDecodeErr{}), ErrDecode},
+		{"mem-fault", &mem.AccessError{Addr: 0x10, Size: 8, Op: "read"}, ErrMemFault},
+		{"mem-fault-wrapped", fmt.Errorf("exec: %w", &mem.AccessError{}), ErrMemFault},
+		{"deadline", context.DeadlineExceeded, ErrDeadline},
+		{"canceled", context.Canceled, ErrDeadline},
+		{"budget-sentinel", fmt.Errorf("x: %w", ErrBudget), ErrBudget},
+		{"panic-sentinel", fmt.Errorf("x: %w", ErrPanic), ErrPanic},
+		{"plain", errors.New("compile blew up"), ErrSetup},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSimErrorIsAndUnwrap(t *testing.T) {
+	cause := &mem.AccessError{Addr: 0x40, Size: 8, Op: "write"}
+	se := &SimError{Kind: ErrMemFault, PC: 0x1000, Retired: 42, Err: cause}
+	if !errors.Is(se, ErrMemFault) {
+		t.Fatal("errors.Is must match the taxonomy sentinel")
+	}
+	if errors.Is(se, ErrDecode) {
+		t.Fatal("errors.Is must not match a different sentinel")
+	}
+	var ae *mem.AccessError
+	if !errors.As(se, &ae) || ae != cause {
+		t.Fatal("errors.As must reach the wrapped cause")
+	}
+	wrapped := fmt.Errorf("cell: %w", se)
+	if !errors.Is(wrapped, ErrMemFault) {
+		t.Fatal("sentinel must survive further wrapping")
+	}
+	if Classify(wrapped) != ErrMemFault {
+		t.Fatal("Classify must find the embedded SimError kind")
+	}
+}
+
+func TestSimErrorMessageCarriesContext(t *testing.T) {
+	se := WithCell(&SimError{Kind: ErrBudget, PC: 0x2040, Retired: 1000,
+		Err: fmt.Errorf("instruction limit 1000 exceeded")}, "stream", "RISC-V gcc12")
+	msg := se.Error()
+	for _, want := range []string{"stream", "RISC-V gcc12", "budget", "0x2040", "1000"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestReason(t *testing.T) {
+	cases := map[string]error{
+		"decode":    ErrDecode,
+		"mem-fault": ErrMemFault,
+		"budget":    ErrBudget,
+		"deadline":  ErrDeadline,
+		"panic":     ErrPanic,
+		"setup":     ErrSetup,
+		"unknown":   errors.New("???"),
+	}
+	for want, err := range cases {
+		if got := Reason(err); got != want {
+			t.Errorf("Reason(%v) = %q, want %q", err, got, want)
+		}
+	}
+	if got := Reason(&SimError{Kind: ErrDeadline}); got != "deadline" {
+		t.Errorf("Reason(SimError{deadline}) = %q", got)
+	}
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	err := Guard(func() error { panic("not a load") })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic kind", err)
+	}
+	if !strings.Contains(err.Error(), "not a load") {
+		t.Fatalf("panic value lost: %v", err)
+	}
+	if err := Guard(func() error { return nil }); err != nil {
+		t.Fatalf("clean run must stay nil, got %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Guard(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("plain errors must pass through, got %v", err)
+	}
+}
+
+func TestWithCell(t *testing.T) {
+	err := WithCell(errors.New("gcc imploded"), "lbm", "AArch64 gcc9")
+	if err.Workload != "lbm" || err.Target != "AArch64 gcc9" {
+		t.Fatalf("cell identity not attached: %+v", err)
+	}
+	if !errors.Is(err, ErrSetup) {
+		t.Fatalf("plain error must classify as setup, got kind %v", err.Kind)
+	}
+}

@@ -20,6 +20,7 @@
 package simeng
 
 import (
+	"context"
 	"fmt"
 
 	"isacmp/internal/isa"
@@ -112,21 +113,52 @@ type EmulationCore struct {
 	// Observer, when non-nil, receives per-instruction timing
 	// (dispatch == issue == retire cycle for the atomic model).
 	Observer PipelineObserver
+	// Ctx, when non-nil, is the run's wall-clock watchdog: it is
+	// polled every deadlinePoll retirements and the run stops with an
+	// ErrDeadline-kind SimError once it is done. A nil context costs
+	// nothing.
+	Ctx context.Context
 
 	last Stats
 }
 
-// Run drives m to completion. sink may be nil to just count.
-func (c *EmulationCore) Run(m Machine, sink isa.Sink) (Stats, error) {
+// deadlinePoll is how often (in retired instructions) the core polls
+// its watchdog context. A power of two so the check compiles to a
+// mask; at simulated rates of tens of MIPS this bounds deadline
+// overshoot to well under a millisecond while keeping the fault-free
+// overhead unmeasurable.
+const deadlinePoll = 4096
+
+// Run drives m to completion. sink may be nil to just count. Panics
+// escaping the machine or the sink are converted into ErrPanic-kind
+// SimErrors carrying the PC and retired count, so one bad decode or
+// analysis path cannot kill a whole matrix run.
+func (c *EmulationCore) Run(m Machine, sink isa.Sink) (stats Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.last = stats
+			err = &SimError{
+				Kind:    ErrPanic,
+				PC:      m.PC(),
+				Retired: stats.Instructions,
+				Err:     fmt.Errorf("recovered: %v", r),
+			}
+		}
+	}()
 	var ev isa.Event
-	var stats Stats
 	max := c.MaxInstructions
 	obs := c.Observer
+	ctx := c.Ctx
 	for {
 		done, err := m.Step(&ev)
 		if err != nil {
 			c.last = stats
-			return stats, fmt.Errorf("simeng: after %d instructions: %w", stats.Instructions, err)
+			return stats, &SimError{
+				Kind:    Classify(err),
+				PC:      m.PC(),
+				Retired: stats.Instructions,
+				Err:     err,
+			}
 		}
 		if done {
 			stats.Cycles = stats.Instructions
@@ -142,7 +174,23 @@ func (c *EmulationCore) Run(m Machine, sink isa.Sink) (Stats, error) {
 		}
 		if max != 0 && stats.Instructions >= max {
 			c.last = stats
-			return stats, fmt.Errorf("simeng: instruction limit %d exceeded", max)
+			return stats, &SimError{
+				Kind:    ErrBudget,
+				PC:      m.PC(),
+				Retired: stats.Instructions,
+				Err:     fmt.Errorf("instruction limit %d exceeded", max),
+			}
+		}
+		if ctx != nil && stats.Instructions%deadlinePoll == 0 {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				c.last = stats
+				return stats, &SimError{
+					Kind:    ErrDeadline,
+					PC:      m.PC(),
+					Retired: stats.Instructions,
+					Err:     ctxErr,
+				}
+			}
 		}
 	}
 }

@@ -33,6 +33,13 @@ type Manifest struct {
 	// Runs holds one record per (workload, target, core) execution.
 	Runs []RunRecord `json:"runs,omitempty"`
 
+	// Failures records matrix cells that did not produce a result:
+	// the typed reason, where the simulation was when it died, and the
+	// full attempt history. A fault-free run omits the block entirely,
+	// which keeps canonicalized manifests byte-identical to pre-
+	// resilience output.
+	Failures []FailureRecord `json:"failures,omitempty"`
+
 	// Sched summarises the parallel analysis engine's worker pool when
 	// one drove the invocation.
 	Sched *SchedStats `json:"sched,omitempty"`
@@ -61,6 +68,35 @@ type SchedStats struct {
 	WorkerCells       []int64   `json:"worker_cells"`
 }
 
+// FailureRecord is one failed matrix cell in the manifest `failures`
+// block: which cell, why (the engine's typed reason), where the
+// simulation was, and every attempt that was made.
+type FailureRecord struct {
+	Workload string `json:"workload"`
+	Target   string `json:"target"`
+	// Reason is the taxonomy tag: "decode", "mem-fault", "budget",
+	// "deadline", "panic", "setup" or "unknown".
+	Reason string `json:"reason"`
+	// Message is the final attempt's error text.
+	Message string `json:"message"`
+	// PC and Retired locate the failure inside the simulation (zero
+	// for failures before simulation started).
+	PC      uint64 `json:"pc,omitempty"`
+	Retired uint64 `json:"retired,omitempty"`
+	// Attempts is the total number of attempts made (1 = no retry).
+	Attempts int `json:"attempts"`
+	// History records each attempt's typed reason and message, in
+	// order.
+	History []AttemptRecord `json:"history,omitempty"`
+}
+
+// AttemptRecord is one entry of a failure's attempt history.
+type AttemptRecord struct {
+	Attempt int    `json:"attempt"`
+	Reason  string `json:"reason"`
+	Message string `json:"message"`
+}
+
 // Host describes the machine and toolchain that produced the manifest.
 type Host struct {
 	GoVersion string `json:"go_version"`
@@ -82,6 +118,11 @@ type RunRecord struct {
 	// simulated retire rate in millions of instructions per second.
 	WallSeconds float64 `json:"wall_seconds"`
 	MIPS        float64 `json:"mips"`
+
+	// Retries is how many extra attempts the cell needed beyond the
+	// first (omitted for first-try successes, which keeps fault-free
+	// manifests byte-identical).
+	Retries int `json:"retries,omitempty"`
 
 	// Sinks is the tee's per-analysis overhead accounting.
 	Sinks []SinkStats `json:"sinks,omitempty"`

@@ -15,6 +15,7 @@
 package isacmp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -662,6 +663,13 @@ type RunConfig struct {
 	// for every value — only per-sink overhead sampling (a telemetry
 	// artifact, zeroed by manifest canonicalization) differs.
 	Parallel int
+	// Ctx, when non-nil, is polled by the core; an expired or cancelled
+	// context reaps the run with an ErrDeadline-kind error (the CLI's
+	// -cell-timeout).
+	Ctx context.Context
+	// MaxInstructions is the retirement budget; exceeding it fails the
+	// run with an ErrBudget-kind error. 0 disables the budget.
+	MaxInstructions uint64
 }
 
 // RunInstrumented executes the binary once with full telemetry: the
@@ -681,7 +689,7 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	parallel := sched.DefaultWorkers(cfg.Parallel)
 	as := b.newAnalysisSet(cfg.Analyses, parallel)
 
-	emu := &simeng.EmulationCore{}
+	emu := &simeng.EmulationCore{Ctx: cfg.Ctx, MaxInstructions: cfg.MaxInstructions}
 	var statsSource simeng.StatsSource = emu
 	switch cfg.Core {
 	case "", "emulation":
