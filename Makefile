@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race differential golden check-faults fuzz-smoke bench bench-matrix clean
+.PHONY: check fmt vet build test race differential golden check-faults fuzz-smoke bench bench-matrix bench-hotpath hotpath-guard clean
 
 # check is the full pre-merge gate: formatting, static checks, build,
 # the race-enabled test suite (including the differential, golden and
 # fault-injection suites, run explicitly so a -run filter can never
-# silently drop them), and a short instrumented benchmark run that
-# exercises the manifest path end to end (BENCH_PR1.json).
-check: fmt vet build race differential golden check-faults bench
+# silently drop them), a short instrumented benchmark run that
+# exercises the manifest path end to end (BENCH_PR1.json), and the
+# hot-path regression guard against the committed BENCH_PR4.json.
+check: fmt vet build race differential golden check-faults bench hotpath-guard
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -73,5 +74,22 @@ bench-matrix:
 	$(GO) run ./cmd/isacmp bench-matrix -scale small -o BENCH_PR2.json
 	$(GO) run ./cmd/isacmp bench-resilience -scale small -o BENCH_PR3.json
 
+# bench-hotpath times the full matrix through the per-Step reference
+# loop and through the batched StepN hot path (both single-threaded),
+# verifies the two are byte-identical, and writes the comparison plus
+# the speedup over the committed PR 2 sequential baseline to
+# BENCH_PR4.json. Regenerate (and commit) after an intentional
+# hot-path change.
+bench-hotpath:
+	$(GO) run ./cmd/isacmp bench-hotpath -scale small -o BENCH_PR4.json
+
+# hotpath-guard re-times the hot path against the committed
+# BENCH_PR4.json and fails on a >10% wall-time regression. The fresh
+# measurement goes to a scratch file so the committed baseline is
+# never overwritten by a guard run.
+hotpath-guard:
+	$(GO) run ./cmd/isacmp bench-hotpath -scale small -o BENCH_PR4.check.json -guard BENCH_PR4.json
+	rm -f BENCH_PR4.check.json
+
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR4.check.json

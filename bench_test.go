@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"isacmp/internal/core"
+	"isacmp/internal/isa"
+	"isacmp/internal/simeng"
 	"isacmp/internal/telemetry"
 )
 
@@ -259,6 +262,103 @@ func BenchmarkFullMatrixSequential(b *testing.B) { benchFullMatrix(b, 1) }
 // to the sequential run; with N real cores the wall time approaches
 // 1/N.
 func BenchmarkFullMatrixParallel(b *testing.B) { benchFullMatrix(b, 0) }
+
+// BenchmarkStepVsStepN compares the per-Step interface against the
+// batched StepN fast path on the same machine, in ns per retired
+// instruction. Both paths are allocation-free in steady state
+// (allocs/op rounds to 0; TestStepNSteadyStateZeroAlloc asserts it
+// exactly), so the difference is pure call and dispatch overhead.
+func BenchmarkStepVsStepN(b *testing.B) {
+	prog := Workload("stream", benchScale)
+	bin, err := Compile(prog, Target{Arch: AArch64, Flavor: GCC12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresh := func(b *testing.B) simeng.Machine {
+		m, _, err := bin.NewMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	b.Run("Step", func(b *testing.B) {
+		mach := fresh(b)
+		var ev isa.Event
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			done, err := mach.Step(&ev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done {
+				b.StopTimer()
+				mach = fresh(b)
+				b.StartTimer()
+			}
+		}
+	})
+	b.Run("StepN", func(b *testing.B) {
+		mach := fresh(b).(simeng.BatchMachine)
+		buf := make([]isa.Event, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; {
+			take := b.N - n
+			if take > len(buf) {
+				take = len(buf)
+			}
+			k, done, err := mach.StepN(buf[:take])
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += k
+			if done {
+				b.StopTimer()
+				mach = fresh(b).(simeng.BatchMachine)
+				b.StartTimer()
+			}
+		}
+	})
+}
+
+// BenchmarkCritPathDenseVsMap compares the memory dependency tracker
+// over the two-level page table (SetDenseRange, the configuration
+// every real run uses) against the sparse map fallback, in ns per
+// event over a strided load/store stream. The dense path is
+// allocation-free once the touched pages exist
+// (TestCritPathEventsZeroAlloc asserts it exactly).
+func BenchmarkCritPathDenseVsMap(b *testing.B) {
+	const base = 0x200000
+	const span = 1 << 22 // 4 MiB array span
+	evs := make([]isa.Event, 4096)
+	for i := range evs {
+		addr := base + uint64(i*264)%span // stride co-prime with the page size
+		ev := &evs[i]
+		if i%2 == 0 {
+			ev.StoreAddr, ev.StoreSize = addr, 8
+		} else {
+			ev.LoadAddr, ev.LoadSize = addr, 8
+			ev.AddDst(isa.IntReg(1))
+		}
+	}
+	run := func(b *testing.B, c *core.CritPath) {
+		c.Events(evs) // warm up: materialize pages / seed the map
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n += len(evs) {
+			c.Events(evs)
+		}
+	}
+	b.Run("dense", func(b *testing.B) {
+		c := core.NewCritPath()
+		c.SetDenseRange(base, span)
+		run(b, c)
+	})
+	b.Run("map", func(b *testing.B) {
+		run(b, core.NewCritPath())
+	})
+}
 
 // BenchmarkCompile measures compilation cost (IR to ELF).
 func BenchmarkCompile(b *testing.B) {

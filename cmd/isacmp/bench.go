@@ -234,6 +234,156 @@ func benchResilience(progs []*ir.Program, scale workloads.Scale, out string, par
 	return nil
 }
 
+// benchHotpathSchema identifies the bench-hotpath document layout.
+const benchHotpathSchema = "isacmp/bench-hotpath/v1"
+
+// hotpathDoc is the record `isacmp bench-hotpath` writes
+// (BENCH_PR4.json): the full matrix timed once through the per-Step
+// reference loop and once through the batched StepN hot path, with
+// the byte-identity of the two result sets checked and the speedup
+// against the committed PR 2 sequential baseline recorded.
+type hotpathDoc struct {
+	Schema     string `json:"schema"`
+	Scale      string `json:"scale"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Cells      int    `json:"cells"`
+
+	// StepLoopSeconds times the matrix with Experiment.StepLoop set:
+	// the original one-event-at-a-time engine loop over the same
+	// machines. HotpathSeconds times the batched StepN path.
+	StepLoopSeconds float64 `json:"steploop_seconds"`
+	HotpathSeconds  float64 `json:"hotpath_seconds"`
+	// BatchSpeedup is StepLoopSeconds over HotpathSeconds — the gain
+	// attributable to batching alone, measured in one process.
+	BatchSpeedup float64 `json:"batch_speedup"`
+
+	// PR2BaselineSeconds is sequential_seconds from the committed
+	// bench-matrix doc (BENCH_PR2.json), and PR2Speedup the
+	// single-threaded gain of the hot path over that baseline — the
+	// headline number (target >= 2.5x). Zero when no baseline doc was
+	// supplied.
+	PR2BaselineSeconds float64 `json:"pr2_baseline_seconds,omitempty"`
+	PR2Speedup         float64 `json:"pr2_speedup,omitempty"`
+
+	// Identical records whether the step-loop and hot-path runs
+	// produced byte-identical canonicalized manifests — batching must
+	// not change a single output byte.
+	Identical bool `json:"identical"`
+}
+
+// hotpathGuardTolerance is how much the hot-path wall time may exceed
+// a committed BENCH_PR4.json before the -guard check fails.
+const hotpathGuardTolerance = 1.10
+
+// benchHotpath times the full matrix through the per-Step reference
+// loop and through the batched hot path (both single-threaded),
+// verifies byte-identity, computes the speedup over the committed
+// PR 2 sequential baseline in pr2Path, and writes the hotpathDoc JSON
+// to out. When guardPath names a committed bench-hotpath doc, the run
+// additionally fails if the fresh hot-path time regresses more than
+// 10% over the committed one.
+func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guardPath string, text bool) error {
+	ex := report.Experiment{
+		PathLength: true, CritPath: true, Scaled: true, Windowed: true,
+		Parallel: 1,
+	}
+
+	stepEx := ex
+	stepEx.StepLoop = true
+	start := time.Now()
+	stepRows, _, err := report.RunSuite(progs, stepEx)
+	if err != nil {
+		return err
+	}
+	stepWall := time.Since(start).Seconds()
+
+	start = time.Now()
+	hotRows, st, err := report.RunSuite(progs, ex)
+	if err != nil {
+		return err
+	}
+	hotWall := time.Since(start).Seconds()
+
+	stepJSON, err := canonicalRowsJSON(progs, scale, stepRows)
+	if err != nil {
+		return err
+	}
+	hotJSON, err := canonicalRowsJSON(progs, scale, hotRows)
+	if err != nil {
+		return err
+	}
+
+	doc := hotpathDoc{
+		Schema:          benchHotpathSchema,
+		Scale:           scale.String(),
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Cells:           st.Cells,
+		StepLoopSeconds: stepWall,
+		HotpathSeconds:  hotWall,
+		Identical:       bytes.Equal(stepJSON, hotJSON),
+	}
+	if hotWall > 0 {
+		doc.BatchSpeedup = stepWall / hotWall
+	}
+	if !doc.Identical {
+		return fmt.Errorf("bench-hotpath: batched results differ from step-loop (byte-identity violation)")
+	}
+
+	if pr2Path != "" {
+		var base benchDoc
+		if err := readJSONDoc(pr2Path, &base); err != nil {
+			return fmt.Errorf("bench-hotpath: PR 2 baseline: %w", err)
+		}
+		doc.PR2BaselineSeconds = base.SequentialSeconds
+		if hotWall > 0 && base.SequentialSeconds > 0 {
+			doc.PR2Speedup = base.SequentialSeconds / hotWall
+		}
+	}
+
+	if guardPath != "" {
+		var committed hotpathDoc
+		if err := readJSONDoc(guardPath, &committed); err != nil {
+			return fmt.Errorf("bench-hotpath: guard baseline: %w", err)
+		}
+		if limit := committed.HotpathSeconds * hotpathGuardTolerance; committed.HotpathSeconds > 0 && hotWall > limit {
+			return fmt.Errorf("bench-hotpath: hot-path time %.3fs regressed >10%% over committed %.3fs (limit %.3fs)",
+				hotWall, committed.HotpathSeconds, limit)
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if text {
+		fmt.Printf("bench-hotpath: %d cells: step-loop %.3fs, hot path %.3fs (%.2fx), vs PR2 baseline %.3fs (%.2fx), identical=%v -> %s\n",
+			doc.Cells, stepWall, hotWall, doc.BatchSpeedup, doc.PR2BaselineSeconds, doc.PR2Speedup, doc.Identical, out)
+	}
+	return nil
+}
+
+// readJSONDoc loads a committed benchmark document.
+func readJSONDoc(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
 // canonicalRowsJSON renders the matrix rows as a canonicalized
 // manifest — the deterministic byte form the -parallel contract is
 // stated in.

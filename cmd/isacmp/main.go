@@ -80,6 +80,8 @@ func main() {
 	retryBackoffFlag := fs.Duration("retry-backoff", 100*time.Millisecond, "sleep before the first retry, doubling each further retry")
 	failFastFlag := fs.Bool("fail-fast", false, "cancel the whole matrix on the first cell failure instead of continuing")
 	maxInstFlag := fs.Uint64("max-instructions", 0, "per-cell instruction budget; exceeding it is a FAILED(budget) row (0 disables)")
+	pr2Flag := fs.String("pr2-baseline", "BENCH_PR2.json", "committed bench-matrix doc to compute the hot-path speedup against (bench-hotpath; \"\" skips)")
+	guardFlag := fs.String("guard", "", "committed bench-hotpath doc to guard against; >10% hot-path regression fails (bench-hotpath)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(report.ExitUsage)
 	}
@@ -257,6 +259,14 @@ func main() {
 			out = "BENCH_PR3.json"
 		}
 		if err := benchResilience(progs, scale, out, *parallelFlag, text); err != nil {
+			fatal(err)
+		}
+	case "bench-hotpath":
+		out := *outFlag
+		if out == "BENCH_PR2.json" { // flag default belongs to bench-matrix
+			out = "BENCH_PR4.json"
+		}
+		if err := benchHotpath(progs, scale, out, *pr2Flag, *guardFlag, text); err != nil {
 			fatal(err)
 		}
 	case "artifacts":
@@ -831,6 +841,8 @@ commands:
   run        instrumented run: core stats, metrics, pipeline trace
   bench-matrix  time the full matrix sequential vs parallel (-o, -parallel)
   bench-resilience  measure the armed-watchdog overhead vs baseline (-o)
+  bench-hotpath  time the batched hot path vs the per-Step loop (-o,
+                 -pr2-baseline, -guard: fail on >10% regression)
   artifacts  write the four result files of the paper's artifact (A.6)
   trace      print a disassembled execution trace (-n, -kernel, -target)
   blocks     hottest dynamically-discovered basic blocks (-n, -target)

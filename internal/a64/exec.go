@@ -16,9 +16,16 @@ func (m *Machine) Step(ev *isa.Event) (done bool, err error) {
 	}
 	idx := (m.PCReg - m.textBase) / 4
 	if m.PCReg < m.textBase || idx >= uint64(len(m.prog)) || m.PCReg%4 != 0 {
+		m.fallbacks++
 		return false, &fetchErr{pc: m.PCReg}
 	}
 	i := m.prog[idx]
+	if i.Op == OpInvalid {
+		// A text word that failed tolerant predecode; it faults only
+		// here, when execution actually reaches it.
+		m.fallbacks++
+		return false, fmt.Errorf("a64: decode at %#x: %w", m.PCReg, m.badErrs[m.PCReg])
+	}
 
 	ev.Reset()
 	ev.PC = m.PCReg
@@ -405,6 +412,22 @@ func (m *Machine) Step(ev *isa.Event) (done bool, err error) {
 	m.PCReg = nextPC
 	m.steps++
 	return false, nil
+}
+
+// StepN retires up to len(evs) instructions, filling evs[:n] in
+// retirement order — the batched fast path of simeng.BatchMachine.
+// done and err describe the machine state after the n filled events;
+// on an error the first n events are still valid and must be
+// delivered before the error is surfaced.
+func (m *Machine) StepN(evs []isa.Event) (n int, done bool, err error) {
+	for n < len(evs) {
+		done, err = m.Step(&evs[n])
+		if done || err != nil {
+			return n, done, err
+		}
+		n++
+	}
+	return n, false, nil
 }
 
 // addWithFlags computes a + b + carry, setting NZCV.

@@ -35,14 +35,29 @@ type CritPath struct {
 
 	reg [isa.NumRegs]uint64
 	mem map[uint64]uint64
-	// dense covers [denseBase, denseBase+8*len(dense)) with a flat
-	// array — the data segment of a paper-scale run holds tens of
-	// millions of words, far beyond what a map handles economically.
-	dense     []uint64
-	denseBase uint64
+	// pages is a two-level page table over the configured span
+	// [pageBase, pageBase+8*spanWords): a directory of lazily
+	// allocated fixed-size pages. The data segment of a paper-scale
+	// run holds tens of millions of words — far beyond what a map
+	// handles economically — but a run touches only a fraction of it,
+	// so pages materialize on first write and untouched regions cost
+	// nothing. Addresses outside the span fall back to the mem map.
+	pages     [][]uint64
+	pageBase  uint64
+	spanWords uint64
 	max       uint64
 	insts     uint64
 }
+
+// cpPageWords is the size of one page of the memory chain table, in
+// 8-byte words: 4096 words = one 32 KiB allocation, small enough that
+// sparse access stays cheap and large enough that the directory of a
+// multi-gigabyte span fits in a few megabytes.
+const (
+	cpPageBits  = 12
+	cpPageWords = 1 << cpPageBits
+	cpPageMask  = cpPageWords - 1
+)
 
 // NewCritPath returns the unscaled (Table 1) analysis.
 func NewCritPath() *CritPath {
@@ -55,34 +70,49 @@ func NewScaledCritPath(l *simeng.LatencyModel) *CritPath {
 }
 
 // SetDenseRange switches memory-chain tracking for [base, base+size)
-// to a flat array. Call before the first event; addresses outside the
-// range still use the map. At paper-scale problem sizes (hundreds of
-// megabytes of arrays) this is the difference between a slice of the
-// data-segment's size and a multi-gigabyte map.
+// to the two-level page table. Call before the first event; addresses
+// outside the range still use the map. At paper-scale problem sizes
+// (hundreds of megabytes of arrays) this is the difference between
+// pages sized by the touched working set and a multi-gigabyte map.
 func (c *CritPath) SetDenseRange(base, size uint64) {
-	c.denseBase = base &^ 7
-	c.dense = make([]uint64, (size+7)/8)
+	c.pageBase = base &^ 7
+	c.spanWords = (size + 7) / 8
+	c.pages = make([][]uint64, (c.spanWords+cpPageWords-1)>>cpPageBits)
 }
 
 // memGet reads the chain length recorded at an 8-byte-aligned word.
 func (c *CritPath) memGet(w uint64) uint64 {
-	if c.dense != nil {
-		if i := (w - c.denseBase) / 8; i < uint64(len(c.dense)) {
-			return c.dense[i]
+	if i := (w - c.pageBase) / 8; i < c.spanWords {
+		p := c.pages[i>>cpPageBits]
+		if p == nil {
+			return 0
 		}
+		return p[i&cpPageMask]
 	}
 	return c.mem[w]
 }
 
 // memSet records the chain length at an 8-byte-aligned word.
 func (c *CritPath) memSet(w, v uint64) {
-	if c.dense != nil {
-		if i := (w - c.denseBase) / 8; i < uint64(len(c.dense)) {
-			c.dense[i] = v
-			return
+	if i := (w - c.pageBase) / 8; i < c.spanWords {
+		d := i >> cpPageBits
+		p := c.pages[d]
+		if p == nil {
+			p = make([]uint64, cpPageWords)
+			c.pages[d] = p
 		}
+		p[i&cpPageMask] = v
+		return
 	}
 	c.mem[w] = v
+}
+
+// Events extends dependency chains with a whole batch of retired
+// instructions — the isa.BatchSink fast path.
+func (c *CritPath) Events(evs []isa.Event) {
+	for i := range evs {
+		c.Event(&evs[i])
+	}
 }
 
 // Event extends dependency chains with one retired instruction.
@@ -147,16 +177,18 @@ func (c *CritPath) RuntimeSeconds() float64 { return float64(c.max) / ClockHz }
 // in RAM (see SetDenseRange).
 type TrackerStats struct {
 	// MapEntries is the number of memory words tracked in the sparse
-	// fallback map (addresses outside the dense range).
+	// fallback map (wild addresses outside the dense range).
 	MapEntries int
-	// DenseWords is the size of the dense chain array, in 8-byte
-	// words (0 when SetDenseRange was never called).
+	// DenseWords is the number of 8-byte words addressable through
+	// the two-level page table (0 when SetDenseRange was never
+	// called). Pages materialize lazily, so resident memory is
+	// bounded by the touched working set, not by this span.
 	DenseWords int
 }
 
 // TrackerStats reports the tracker's current memory footprint.
 func (c *CritPath) TrackerStats() TrackerStats {
-	return TrackerStats{MapEntries: len(c.mem), DenseWords: len(c.dense)}
+	return TrackerStats{MapEntries: len(c.mem), DenseWords: int(c.spanWords)}
 }
 
 // wordSpan returns the first and last 8-byte-aligned words covered by

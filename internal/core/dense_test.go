@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"isacmp/internal/isa"
+)
+
+// storeLoad builds a store event followed by a dependent load at the
+// same address, the minimal chain the memory tracker must carry.
+func storeEv(addr uint64, size uint8) isa.Event {
+	var ev isa.Event
+	ev.StoreAddr, ev.StoreSize = addr, size
+	return ev
+}
+
+func loadEv(addr uint64, size uint8) isa.Event {
+	var ev isa.Event
+	ev.LoadAddr, ev.LoadSize = addr, size
+	ev.AddDst(isa.IntReg(1))
+	return ev
+}
+
+// TestCritPathPageTable drives chains through addresses in different
+// pages of the dense span and through wild addresses outside it, and
+// checks the page table and the map fallback agree with a plain
+// map-only tracker.
+func TestCritPathPageTable(t *testing.T) {
+	const base = 0x100000
+	const size = 3*8*cpPageWords + 40 // three pages and change
+	addrs := []uint64{
+		base,                      // first word, first page
+		base + 8*cpPageWords,      // first word, second page
+		base + 8*cpPageWords - 8,  // last word, first page
+		base + 16*cpPageWords + 8, // third page
+		base + size - 8,           // last in-span word (partial page)
+		base - 8,                  // wild: below span
+		base + size,               // wild: just past span
+		0xdeadbeef000,             // wild: far away
+	}
+
+	dense := NewCritPath()
+	dense.SetDenseRange(base, size)
+	plain := NewCritPath()
+
+	for round := 0; round < 3; round++ {
+		for _, a := range addrs {
+			for _, c := range []*CritPath{dense, plain} {
+				st := storeEv(a, 8)
+				c.Event(&st)
+				ld := loadEv(a, 8)
+				c.Event(&ld)
+			}
+		}
+	}
+	if dense.CP() != plain.CP() {
+		t.Fatalf("paged CP %d != map CP %d", dense.CP(), plain.CP())
+	}
+	if dense.Instructions() != plain.Instructions() {
+		t.Fatalf("instruction counts differ")
+	}
+
+	st := dense.TrackerStats()
+	if want := int((size + 7) / 8); st.DenseWords != want {
+		t.Fatalf("DenseWords = %d, want %d", st.DenseWords, want)
+	}
+	if st.MapEntries != 3 {
+		t.Fatalf("MapEntries = %d, want the 3 wild addresses", st.MapEntries)
+	}
+	// Pages materialize lazily: the span holds 4 page slots and all
+	// were touched here, but an untouched span must allocate none.
+	fresh := NewCritPath()
+	fresh.SetDenseRange(base, size)
+	for _, p := range fresh.pages {
+		if p != nil {
+			t.Fatal("page materialized before any write")
+		}
+	}
+}
+
+// TestCritPathUnalignedSpan checks accesses straddling 8-byte word
+// and page boundaries land on the same words in both trackers.
+func TestCritPathUnalignedSpan(t *testing.T) {
+	const base = 0x1000
+	dense := NewCritPath()
+	dense.SetDenseRange(base, 16*8*cpPageWords)
+	plain := NewCritPath()
+	// A 4-byte store crossing the first page's last word into the
+	// second page, then loads of each half.
+	edge := uint64(base + 8*cpPageWords - 2)
+	for _, c := range []*CritPath{dense, plain} {
+		st := storeEv(edge, 4)
+		c.Event(&st)
+		lo := loadEv(edge, 1)
+		c.Event(&lo)
+		hi := loadEv(edge+3, 1)
+		c.Event(&hi)
+	}
+	if dense.CP() != plain.CP() {
+		t.Fatalf("paged CP %d != map CP %d across page boundary", dense.CP(), plain.CP())
+	}
+}
+
+// TestCritPathEventsZeroAlloc proves the batch path of the tracker is
+// allocation-free once the touched pages exist.
+func TestCritPathEventsZeroAlloc(t *testing.T) {
+	const base = 0x1000
+	c := NewCritPath()
+	c.SetDenseRange(base, 1<<20)
+	evs := make([]isa.Event, 256)
+	for i := range evs {
+		a := base + uint64(i%1024)*8
+		if i%2 == 0 {
+			evs[i] = storeEv(a, 8)
+		} else {
+			evs[i] = loadEv(a, 8)
+		}
+	}
+	c.Events(evs) // warm up: materializes the touched pages
+	allocs := testing.AllocsPerRun(100, func() { c.Events(evs) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Events allocates %v times per run", allocs)
+	}
+}
+
+// TestMemScratchEpochReuse checks that epoch-stamped reset really
+// empties the table: values written before a reset are invisible
+// after it, and slots are reusable without clearing.
+func TestMemScratchEpochReuse(t *testing.T) {
+	m := newMemScratch()
+	m.set(0x1000, 7)
+	m.set(0x2000, 9)
+	if got := m.get(0x1000); got != 7 {
+		t.Fatalf("get = %d, want 7", got)
+	}
+	m.reset()
+	if got := m.get(0x1000); got != 0 {
+		t.Fatalf("stale value %d visible after reset", got)
+	}
+	m.set(0x1000, 3)
+	if got := m.get(0x1000); got != 3 {
+		t.Fatalf("get after reuse = %d, want 3", got)
+	}
+	if got := m.get(0x2000); got != 0 {
+		t.Fatalf("other stale value %d visible after reset", got)
+	}
+}
+
+// TestMemScratchGrowth fills the table past its load factor and
+// checks every live entry survives the rehash.
+func TestMemScratchGrowth(t *testing.T) {
+	m := newMemScratch()
+	initial := len(m.slots)
+	n := uint64(initial) // enough to force at least one doubling
+	for i := uint64(0); i < n; i++ {
+		m.set(0x1000+8*i, i+1)
+	}
+	if len(m.slots) <= initial {
+		t.Fatalf("table did not grow: %d slots for %d entries", len(m.slots), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if got := m.get(0x1000 + 8*i); got != i+1 {
+			t.Fatalf("entry %d = %d after growth, want %d", i, got, i+1)
+		}
+	}
+	// Overwrites must not grow the live count.
+	used := m.used
+	m.set(0x1000, 99)
+	if m.used != used {
+		t.Fatal("overwrite counted as a new entry")
+	}
+	if got := m.get(0x1000); got != 99 {
+		t.Fatalf("overwrite lost: %d", got)
+	}
+}
+
+// TestWindowedRingPowerOfTwo pins the ring invariants the masked
+// indexing relies on.
+func TestWindowedRingPowerOfTwo(t *testing.T) {
+	for _, sizes := range [][]int{{4}, {5}, {3, 2000}, PaperWindowSizes()} {
+		w := NewWindowedCritPath(sizes)
+		n := len(w.ring)
+		if n&(n-1) != 0 {
+			t.Fatalf("sizes %v: ring length %d not a power of two", sizes, n)
+		}
+		maxSize := 1
+		for _, s := range sizes {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		if n < maxSize {
+			t.Fatalf("sizes %v: ring %d smaller than max window %d", sizes, n, maxSize)
+		}
+		if w.ringMask != uint64(n-1) {
+			t.Fatalf("sizes %v: mask %#x for length %d", sizes, w.ringMask, n)
+		}
+	}
+}

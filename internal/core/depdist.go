@@ -30,6 +30,13 @@ func NewDepDistance() *DepDistance {
 	return &DepDistance{memWrite: make(map[uint64]uint64, 1<<10)}
 }
 
+// Events observes a whole batch — the isa.BatchSink fast path.
+func (d *DepDistance) Events(evs []isa.Event) {
+	for i := range evs {
+		d.Event(&evs[i])
+	}
+}
+
 // Event observes one retired instruction.
 func (d *DepDistance) Event(ev *isa.Event) {
 	d.idx++

@@ -23,6 +23,14 @@ func (m *Mix) Event(ev *isa.Event) {
 	m.total++
 }
 
+// Events counts a whole batch — the isa.BatchSink fast path.
+func (m *Mix) Events(evs []isa.Event) {
+	for i := range evs {
+		m.counts[evs[i].Group]++
+	}
+	m.total += uint64(len(evs))
+}
+
 // Total returns the number of observed instructions.
 func (m *Mix) Total() uint64 { return m.total }
 
@@ -74,6 +82,13 @@ func NewBranchProfile(syms []elfio.Symbol) *BranchProfile {
 		bp.regions = NewPathLength(syms)
 	}
 	return bp
+}
+
+// Events observes a whole batch — the isa.BatchSink fast path.
+func (b *BranchProfile) Events(evs []isa.Event) {
+	for i := range evs {
+		b.Event(&evs[i])
+	}
 }
 
 // Event observes one retired instruction.

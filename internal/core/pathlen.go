@@ -51,6 +51,14 @@ func NewPathLength(syms []elfio.Symbol) *PathLength {
 	return p
 }
 
+// Events attributes a whole batch of retired instructions — the
+// isa.BatchSink fast path.
+func (p *PathLength) Events(evs []isa.Event) {
+	for i := range evs {
+		p.Event(&evs[i])
+	}
+}
+
 // Event attributes one retired instruction.
 func (p *PathLength) Event(ev *isa.Event) {
 	p.total++

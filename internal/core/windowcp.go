@@ -24,7 +24,16 @@ type WindowedCritPath struct {
 	sizes   []int
 	strides []uint64
 	ring    []wev
-	pos     uint64 // total events seen
+	// ringMask is len(ring)-1; the ring is sized to a power of two so
+	// the per-event index and the per-step window scans mask instead of
+	// dividing (a hardware divide per step is measurable here — the
+	// smallest paper window re-scans every other instruction).
+	ringMask uint64
+	pos      uint64 // total events seen
+	// next[i] is the pos value at which the next window of sizes[i]
+	// completes (size, size+stride, size+2*stride, ...), precomputed so
+	// the per-event due-check is a compare, not a modulo.
+	next    []uint64
 	results []windowAccum
 
 	scratch cpScratch
@@ -53,20 +62,24 @@ func (s *wev) fill(ev *isa.Event) {
 // cpScratch is the dependence-tracking state one window evaluation
 // needs: the completion depth of every register and of every touched
 // memory word. It is reset per window and reused across windows.
+// Resets are epoch-stamped: bumping the epoch invalidates every
+// register and memory entry in O(1), so the per-window reset — which
+// runs every other instruction for the smallest paper window — costs
+// two increments instead of a register sweep plus a map clear.
 type cpScratch struct {
-	reg [isa.NumRegs]uint64
-	mem map[uint64]uint64
+	reg      [isa.NumRegs]uint64
+	regEpoch [isa.NumRegs]uint64
+	epoch    uint64
+	mem      memScratch
 }
 
 func newCPScratch() cpScratch {
-	return cpScratch{mem: make(map[uint64]uint64, 1<<8)}
+	return cpScratch{epoch: 1, mem: newMemScratch()}
 }
 
 func (c *cpScratch) reset() {
-	for i := range c.reg {
-		c.reg[i] = 0
-	}
-	clear(c.mem)
+	c.epoch++
+	c.mem.reset()
 }
 
 // step folds one event into the dependence state and returns its
@@ -76,29 +89,129 @@ func (c *cpScratch) reset() {
 func (c *cpScratch) step(e *wev) uint64 {
 	var longest uint64
 	for s := uint8(0); s < e.nsrc; s++ {
-		if v := c.reg[e.srcs[s]]; v > longest {
-			longest = v
+		r := e.srcs[s]
+		if c.regEpoch[r] == c.epoch {
+			if v := c.reg[r]; v > longest {
+				longest = v
+			}
 		}
 	}
 	if e.lsize != 0 {
 		first, last := wordSpan(e.laddr, e.lsize)
 		for a := first; a <= last; a += 8 {
-			if v := c.mem[a]; v > longest {
+			if v := c.mem.get(a); v > longest {
 				longest = v
 			}
 		}
 	}
 	v := longest + 1
 	for d := uint8(0); d < e.ndst; d++ {
-		c.reg[e.dsts[d]] = v
+		r := e.dsts[d]
+		c.reg[r] = v
+		c.regEpoch[r] = c.epoch
 	}
 	if e.ssize != 0 {
 		first, last := wordSpan(e.saddr, e.ssize)
 		for a := first; a <= last; a += 8 {
-			c.mem[a] = v
+			c.mem.set(a, v)
 		}
 	}
 	return v
+}
+
+// memScratch is an epoch-stamped open-addressing hash table from
+// 8-byte-aligned addresses to chain depths, replacing the Go map the
+// scratch previously cleared per window. A slot whose epoch differs
+// from the current one is empty, so reset is a single increment; the
+// table grows by doubling when the live load factor passes 3/4 and
+// then stays sized for the largest window, so the steady-state hot
+// loop performs no allocation.
+type memScratch struct {
+	slots []memSlot
+	epoch uint64
+	used  int // live entries in the current epoch
+}
+
+type memSlot struct {
+	key   uint64
+	val   uint64
+	epoch uint64
+}
+
+// newMemScratch sizes the table for a mid-size window; one doubling
+// reaches the largest paper window (2000 distinct words).
+func newMemScratch() memScratch {
+	return memScratch{slots: make([]memSlot, 1<<11), epoch: 1}
+}
+
+func (m *memScratch) reset() {
+	m.epoch++
+	m.used = 0
+}
+
+// memHash spreads word addresses over the table (64-bit finalizer;
+// the low 3 address bits are always zero and carry no entropy).
+func memHash(key uint64) uint64 {
+	h := key >> 3
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// get returns the depth recorded at key in the current epoch, or 0.
+func (m *memScratch) get(key uint64) uint64 {
+	mask := uint64(len(m.slots) - 1)
+	for i := memHash(key) & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.epoch != m.epoch {
+			return 0 // stale slot terminates the probe chain
+		}
+		if s.key == key {
+			return s.val
+		}
+	}
+}
+
+// set records the depth at key in the current epoch.
+func (m *memScratch) set(key, val uint64) {
+	mask := uint64(len(m.slots) - 1)
+	for i := memHash(key) & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.epoch != m.epoch {
+			if m.used >= len(m.slots)*3/4 {
+				m.grow()
+				m.set(key, val)
+				return
+			}
+			*s = memSlot{key: key, val: val, epoch: m.epoch}
+			m.used++
+			return
+		}
+		if s.key == key {
+			s.val = val
+			return
+		}
+	}
+}
+
+// grow doubles the table, rehashing the current epoch's live entries.
+func (m *memScratch) grow() {
+	old := m.slots
+	m.slots = make([]memSlot, 2*len(old))
+	m.used = 0
+	mask := uint64(len(m.slots) - 1)
+	for j := range old {
+		if old[j].epoch != m.epoch {
+			continue
+		}
+		i := memHash(old[j].key) & mask
+		for m.slots[i].epoch == m.epoch {
+			i = (i + 1) & mask
+		}
+		m.slots[i] = old[j]
+		m.used++
+	}
 }
 
 type windowAccum struct {
@@ -194,31 +307,52 @@ func NewWindowedCritPathStride(sizes []int, stride int) *WindowedCritPath {
 			maxSize = s
 		}
 	}
+	ringLen := 1
+	for ringLen < maxSize {
+		ringLen <<= 1
+	}
+	next := make([]uint64, len(sizes))
+	for i, s := range sizes {
+		if s <= 0 {
+			next[i] = ^uint64(0) // never due
+			continue
+		}
+		next[i] = uint64(s)
+	}
 	return &WindowedCritPath{
-		sizes:   append([]int(nil), sizes...),
-		strides: windowStrides(sizes, stride),
-		ring:    make([]wev, maxSize),
-		results: make([]windowAccum, len(sizes)),
-		scratch: newCPScratch(),
+		sizes:    append([]int(nil), sizes...),
+		strides:  windowStrides(sizes, stride),
+		ring:     make([]wev, ringLen),
+		ringMask: uint64(ringLen - 1),
+		next:     next,
+		results:  make([]windowAccum, len(sizes)),
+		scratch:  newCPScratch(),
+	}
+}
+
+// Events buffers a whole batch of instructions — the isa.BatchSink
+// fast path.
+func (w *WindowedCritPath) Events(evs []isa.Event) {
+	for i := range evs {
+		w.Event(&evs[i])
 	}
 }
 
 // Event buffers one instruction and evaluates any windows that are due.
 func (w *WindowedCritPath) Event(ev *isa.Event) {
-	w.ring[w.pos%uint64(len(w.ring))].fill(ev)
+	w.ring[w.pos&w.ringMask].fill(ev)
 	w.pos++
 
-	for i, size := range w.sizes {
-		if size <= 0 {
-			continue
-		}
-		stride := w.strides[i]
+	for i := range w.next {
 		// A window [pos-size, pos) completes when pos >= size and
-		// (pos - size) is a multiple of the stride.
-		if w.pos >= uint64(size) && (w.pos-uint64(size))%stride == 0 {
-			cp := w.windowCP(uint64(size))
+		// (pos - size) is a multiple of the stride; next holds that
+		// arithmetic progression precomputed.
+		if w.pos == w.next[i] {
+			w.next[i] += w.strides[i]
+			size := uint64(w.sizes[i])
+			cp := w.windowCP(size)
 			w.results[i].sumCP += cp
-			w.results[i].sumLen += uint64(size)
+			w.results[i].sumLen += size
 			w.results[i].windows++
 		}
 	}
@@ -234,10 +368,10 @@ func (w *WindowedCritPath) windowCP(size uint64) uint64 {
 // absolute indices [lo, hi); they must still be resident in the ring.
 func (w *WindowedCritPath) cpRange(lo, hi uint64) uint64 {
 	w.scratch.reset()
-	n := uint64(len(w.ring))
+	mask := w.ringMask
 	var maxCP uint64
 	for k := lo; k < hi; k++ {
-		if v := w.scratch.step(&w.ring[k%n]); v > maxCP {
+		if v := w.scratch.step(&w.ring[k&mask]); v > maxCP {
 			maxCP = v
 		}
 	}

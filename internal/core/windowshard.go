@@ -117,6 +117,14 @@ func (w *ShardedWindowedCP) shard() {
 	}
 }
 
+// Events buffers a whole batch of instructions — the isa.BatchSink
+// fast path.
+func (w *ShardedWindowedCP) Events(evs []isa.Event) {
+	for i := range evs {
+		w.Event(&evs[i])
+	}
+}
+
 // Event buffers one instruction and dispatches a chunk of window
 // starts to the shards once every window starting in it is complete.
 func (w *ShardedWindowedCP) Event(ev *isa.Event) {

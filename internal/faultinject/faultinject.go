@@ -220,6 +220,21 @@ func (f *faultMachine) Step(ev *isa.Event) (bool, error) {
 	return f.Machine.Step(ev)
 }
 
+// StepN implements simeng.BatchMachine by looping the interposed
+// Step, so injected faults fire at exactly the same retirement counts
+// through the batched run loop as through the stepwise one — the
+// property the fault-surfacing equivalence tests pin.
+func (f *faultMachine) StepN(evs []isa.Event) (n int, done bool, err error) {
+	for n < len(evs) {
+		done, err = f.Step(&evs[n])
+		if done || err != nil {
+			return n, done, err
+		}
+		n++
+	}
+	return n, false, nil
+}
+
 // faultSink interposes on the event stream and panics at the chosen
 // event count.
 type faultSink struct {

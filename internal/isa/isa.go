@@ -213,10 +213,48 @@ func (e *Event) AddDst(r Reg) {
 
 // Sink consumes the per-instruction event stream produced by a core.
 // Analyses, timing models and tracers implement Sink.
+//
+// Event lifetime contract: cores reuse one Event allocation (or one
+// batch buffer) across the whole run, so the pointed-to Event is
+// invalid the moment Event returns — the next retirement overwrites
+// it. A sink that needs the record later must copy the struct (it is
+// a plain value; assignment suffices). Retaining the pointer is a
+// bug even on the single-goroutine path, and under the fan-out
+// engine it is additionally a data race.
 type Sink interface {
 	// Event observes one retired instruction. The pointed-to Event is
 	// only valid for the duration of the call.
 	Event(ev *Event)
+}
+
+// BatchSink is the batched fast path of Sink: a consumer that also
+// implements BatchSink receives whole batches of retirements in one
+// call, amortizing the per-event dynamic dispatch. The slice and its
+// events obey the Sink lifetime contract — valid only for the
+// duration of the call, shared read-only with other consumers, never
+// to be mutated or retained. Events(evs) must be observably
+// equivalent to calling Event(&evs[i]) for each i in order.
+type BatchSink interface {
+	Sink
+	// Events observes a batch of retired instructions in retirement
+	// order.
+	Events(evs []Event)
+}
+
+// DeliverBatch hands a batch to s, using the batched path when s
+// implements BatchSink and per-event delivery otherwise. A nil s is
+// a no-op.
+func DeliverBatch(s Sink, evs []Event) {
+	if s == nil {
+		return
+	}
+	if bs, ok := s.(BatchSink); ok {
+		bs.Events(evs)
+		return
+	}
+	for i := range evs {
+		s.Event(&evs[i])
+	}
 }
 
 // SinkFunc adapts a function to the Sink interface.
@@ -233,4 +271,37 @@ func (m MultiSink) Event(ev *Event) {
 	for _, s := range m {
 		s.Event(ev)
 	}
+}
+
+// Events forwards the batch to every sink in the slice, using each
+// sink's batched path when it has one.
+func (m MultiSink) Events(evs []Event) {
+	for _, s := range m {
+		DeliverBatch(s, evs)
+	}
+}
+
+// PredecodeStats describes the predecode cache of a machine: the
+// static text segment is decoded once at construction, so the
+// steady-state fetch path is an array index. Coverage is
+// TextWords-BadWords out of TextWords; Fallbacks counts the fetches
+// the cache could not serve.
+type PredecodeStats struct {
+	// TextWords is the number of 32-bit words in the predecoded text
+	// segment.
+	TextWords uint64
+	// BadWords is the number of text words that failed to predecode
+	// (data or padding islands inside the text segment). They fault
+	// only if executed.
+	BadWords uint64
+	// Fallbacks counts fetches the predecode cache could not serve: a
+	// PC outside the text segment or a bad word reached by execution.
+	// Both surface as errors from Step — nothing executes undecoded.
+	Fallbacks uint64
+}
+
+// PredecodeStatsSource is implemented by machines that predecode
+// their text segment.
+type PredecodeStatsSource interface {
+	PredecodeStats() PredecodeStats
 }

@@ -98,6 +98,11 @@ type Experiment struct {
 	// byte-identical for every value (see the README's determinism
 	// contract).
 	Parallel int
+	// StepLoop forces the core's per-Step reference loop instead of
+	// the batched StepN fast path. Results are byte-identical either
+	// way (pinned by tests); bench-hotpath uses it to measure the
+	// batching win.
+	StepLoop bool
 
 	// Resilience knobs (see the README's failure-semantics section).
 	// All default to off, which keeps fault-free runs byte-identical
@@ -455,7 +460,7 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		add("progress", pg)
 	}
 
-	emu := &simeng.EmulationCore{MaxInstructions: ex.MaxInstructions, Ctx: ctx}
+	emu := &simeng.EmulationCore{MaxInstructions: ex.MaxInstructions, Ctx: ctx, StepLoop: ex.StepLoop}
 	var stats simeng.Stats
 	start := time.Now()
 	if parallel > 1 {
@@ -505,6 +510,11 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 	if rm != nil {
 		rm.Flush()
 	}
+	if ex.Metrics != nil {
+		if src, ok := mach.(isa.PredecodeStatsSource); ok {
+			publishPredecode(ex.Metrics, src.PredecodeStats())
+		}
+	}
 	if pg != nil {
 		pg.Finish()
 	}
@@ -535,6 +545,17 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		row.BranchTaken = br.TakenRate()
 	}
 	return row, nil
+}
+
+// publishPredecode feeds a machine's predecode-cache coverage into
+// the run's metrics registry ("predecode.text_words",
+// "predecode.bad_words", "predecode.fallbacks"). The counters are
+// deterministic — text contents and execution paths do not depend on
+// scheduling — so they preserve the matrix byte-identity contract.
+func publishPredecode(r *telemetry.Registry, st isa.PredecodeStats) {
+	r.Counter("predecode.text_words").Add(st.TextWords)
+	r.Counter("predecode.bad_words").Add(st.BadWords)
+	r.Counter("predecode.fallbacks").Add(st.Fallbacks)
 }
 
 // healthy filters FAILED placeholder rows out of a column-major

@@ -31,6 +31,14 @@ type Machine struct {
 	groups   []isa.Group
 	textBase uint64
 
+	// badErrs records text words that failed to predecode, keyed by
+	// PC. The slot's Inst stays OpInvalid, so Step faults with the
+	// stored decode error only if the word is actually executed. nil
+	// when the whole text predecoded cleanly (the normal case).
+	badErrs map[uint64]error
+	// fallbacks counts fetches the predecode cache could not serve.
+	fallbacks uint64
+
 	exited   bool
 	exitCode int64
 
@@ -93,12 +101,20 @@ func NewMachine(f *elfio.File, m *mem.Memory) (*Machine, error) {
 	for i := 0; i < n; i++ {
 		w := uint32(text.Data[i*4]) | uint32(text.Data[i*4+1])<<8 |
 			uint32(text.Data[i*4+2])<<16 | uint32(text.Data[i*4+3])<<24
+		mach.words[i] = w
 		inst, err := Decode(w)
 		if err != nil {
-			return nil, fmt.Errorf("rv64: predecode at %#x: %w", text.Vaddr+uint64(i*4), err)
+			// Tolerant predecode: data or padding islands inside the
+			// text segment must not fail construction. The slot keeps
+			// OpInvalid and the error surfaces from Step only if the
+			// program actually jumps here.
+			if mach.badErrs == nil {
+				mach.badErrs = make(map[uint64]error)
+			}
+			mach.badErrs[text.Vaddr+uint64(i*4)] = err
+			continue
 		}
 		mach.prog[i] = inst
-		mach.words[i] = w
 		mach.groups[i] = OpGroup(inst.Op)
 	}
 	mach.X[regSP] = m.StackTop()
@@ -127,6 +143,16 @@ func (m *Machine) InstAt(pc uint64) (Inst, bool) {
 		return Inst{}, false
 	}
 	return m.prog[idx], true
+}
+
+// PredecodeStats reports predecode-cache coverage and the fetches the
+// cache could not serve.
+func (m *Machine) PredecodeStats() isa.PredecodeStats {
+	return isa.PredecodeStats{
+		TextWords: uint64(len(m.prog)),
+		BadWords:  uint64(len(m.badErrs)),
+		Fallbacks: m.fallbacks,
+	}
 }
 
 // fetchErr describes a PC outside the text segment.

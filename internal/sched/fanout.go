@@ -61,12 +61,19 @@ func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
 		wg.Add(1)
 		go func(ch chan []isa.Event, s isa.Sink, errSlot *error) {
 			defer wg.Done()
+			// A batch-capable sink consumes each shared batch in one
+			// call; the slice is read-only between consumers either way.
+			bs, batched := s.(isa.BatchSink)
 			for batch := range ch {
 				if *errSlot != nil {
 					continue // dead consumer: drain and discard
 				}
 				batch := batch
 				*errSlot = simeng.Guard(func() error {
+					if batched {
+						bs.Events(batch)
+						return nil
+					}
 					for j := range batch {
 						s.Event(&batch[j])
 					}
@@ -107,6 +114,13 @@ func (c *countingSink) Event(ev *isa.Event) {
 	}
 }
 
+// Events counts and forwards a whole batch — the isa.BatchSink fast
+// path of the direct (no fan-out) engine.
+func (c *countingSink) Events(evs []isa.Event) {
+	c.n += uint64(len(evs))
+	isa.DeliverBatch(c.sink, evs)
+}
+
 // broadcastSink buffers events into batches and sends each full batch
 // to every consumer channel. Cores reuse one Event value, so the
 // batch append copies it; consumers receive pointers into the shared
@@ -125,6 +139,24 @@ func (b *broadcastSink) Event(ev *isa.Event) {
 	b.n++
 	if len(b.batch) == fanoutBatch {
 		b.send()
+	}
+}
+
+// Events copies a whole batch from the core into the broadcast
+// buffer — the isa.BatchSink fast path; one memmove replaces
+// per-event appends.
+func (b *broadcastSink) Events(evs []isa.Event) {
+	for len(evs) > 0 {
+		if b.batch == nil {
+			b.batch = make([]isa.Event, 0, fanoutBatch)
+		}
+		take := min(fanoutBatch-len(b.batch), len(evs))
+		b.batch = append(b.batch, evs[:take]...)
+		b.n += uint64(take)
+		evs = evs[take:]
+		if len(b.batch) == fanoutBatch {
+			b.send()
+		}
 	}
 }
 

@@ -38,6 +38,19 @@ type Machine interface {
 	Arch() isa.Arch
 }
 
+// BatchMachine is the batched fast path of Machine: StepN retires up
+// to len(evs) instructions in one dynamic dispatch, filling evs[:n]
+// in retirement order. done and err describe the state after the n
+// filled events; on an error the first n events are valid and the
+// driver delivers them to the sink before surfacing the error, so
+// batched and stepwise execution are observably identical. Both
+// architectural machines implement it; EmulationCore.Run uses it
+// automatically.
+type BatchMachine interface {
+	Machine
+	StepN(evs []isa.Event) (n int, done bool, err error)
+}
+
 // Stats is the shared base every core model reports: retired
 // instructions and cycles. Richer models embed it in PipelineStats.
 type Stats struct {
@@ -114,12 +127,20 @@ type EmulationCore struct {
 	// (dispatch == issue == retire cycle for the atomic model).
 	Observer PipelineObserver
 	// Ctx, when non-nil, is the run's wall-clock watchdog: it is
-	// polled every deadlinePoll retirements and the run stops with an
-	// ErrDeadline-kind SimError once it is done. A nil context costs
-	// nothing.
+	// polled every deadlinePoll retirements (once per batch on the
+	// batched path) and the run stops with an ErrDeadline-kind
+	// SimError once it is done. A nil context costs nothing.
 	Ctx context.Context
+	// StepLoop forces the per-Step reference loop even when the
+	// machine supports batching. The batched/stepwise equivalence
+	// tests and the bench-hotpath baseline use it; production runs
+	// leave it false.
+	StepLoop bool
 
 	last Stats
+	// batch is the reused StepN buffer; allocated on first batched
+	// run, so steady-state execution performs no allocation.
+	batch []isa.Event
 }
 
 // deadlinePoll is how often (in retired instructions) the core polls
@@ -128,6 +149,14 @@ type EmulationCore struct {
 // overshoot to well under a millisecond while keeping the fault-free
 // overhead unmeasurable.
 const deadlinePoll = 4096
+
+// stepBatch is the batch size of the batched run loop. Equal to
+// deadlinePoll so hoisting the watchdog poll to once per batch keeps
+// the stepwise poll cadence, and large enough that per-batch costs
+// (dispatch, timing, channel hand-off in the fan-out engine) amortize
+// to fractions of a nanosecond per event while a batch of events
+// (~120 KiB) stays cache-resident.
+const stepBatch = deadlinePoll
 
 // Run drives m to completion. sink may be nil to just count. Panics
 // escaping the machine or the sink are converted into ErrPanic-kind
@@ -145,6 +174,10 @@ func (c *EmulationCore) Run(m Machine, sink isa.Sink) (stats Stats, err error) {
 			}
 		}
 	}()
+	if bm, ok := m.(BatchMachine); ok && !c.StepLoop {
+		err = c.runBatched(bm, sink, &stats)
+		return stats, err
+	}
 	var ev isa.Event
 	max := c.MaxInstructions
 	obs := c.Observer
@@ -185,6 +218,92 @@ func (c *EmulationCore) Run(m Machine, sink isa.Sink) (stats Stats, err error) {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				c.last = stats
 				return stats, &SimError{
+					Kind:    ErrDeadline,
+					PC:      m.PC(),
+					Retired: stats.Instructions,
+					Err:     ctxErr,
+				}
+			}
+		}
+	}
+}
+
+// runBatched is the batched hot loop: one StepN dispatch retires up
+// to stepBatch instructions, sinks consume whole batches through
+// isa.DeliverBatch, and the watchdog poll runs once per batch. It
+// updates *stats incrementally so the panic recovery in Run reports
+// the true retired count, and reproduces the stepwise loop's
+// semantics exactly: events retired before an error are delivered
+// first, the instruction budget fires after the event that reaches it
+// (the batch length is clamped to the remaining budget), and the
+// done-event is never delivered.
+func (c *EmulationCore) runBatched(m BatchMachine, sink isa.Sink, stats *Stats) error {
+	if c.batch == nil {
+		c.batch = make([]isa.Event, stepBatch)
+	}
+	max := c.MaxInstructions
+	obs := c.Observer
+	ctx := c.Ctx
+	bs, batched := sink.(isa.BatchSink)
+	for {
+		buf := c.batch
+		if max != 0 {
+			if left := max - stats.Instructions; left < uint64(len(buf)) {
+				buf = buf[:left]
+			}
+		}
+		n, done, err := m.StepN(buf)
+		if n > 0 {
+			base := stats.Instructions
+			switch {
+			case batched:
+				stats.Instructions += uint64(n)
+				bs.Events(buf[:n])
+			case sink != nil:
+				// Per-event fallback: count before each delivery so a
+				// panicking sink reports the exact in-flight event,
+				// matching the stepwise loop.
+				for i := range buf[:n] {
+					stats.Instructions++
+					sink.Event(&buf[i])
+				}
+			default:
+				stats.Instructions += uint64(n)
+			}
+			if obs != nil {
+				for i := range buf[:n] {
+					k := base + uint64(i)
+					obs.ObserveRetire(&buf[i], k, k, k+1)
+				}
+			}
+		}
+		if err != nil {
+			c.last = *stats
+			return &SimError{
+				Kind:    Classify(err),
+				PC:      m.PC(),
+				Retired: stats.Instructions,
+				Err:     err,
+			}
+		}
+		if done {
+			stats.Cycles = stats.Instructions
+			c.last = *stats
+			return nil
+		}
+		if max != 0 && stats.Instructions >= max {
+			c.last = *stats
+			return &SimError{
+				Kind:    ErrBudget,
+				PC:      m.PC(),
+				Retired: stats.Instructions,
+				Err:     fmt.Errorf("instruction limit %d exceeded", max),
+			}
+		}
+		if ctx != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				c.last = *stats
+				return &SimError{
 					Kind:    ErrDeadline,
 					PC:      m.PC(),
 					Retired: stats.Instructions,

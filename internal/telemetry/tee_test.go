@@ -21,8 +21,8 @@ func TestTeeOrdering(t *testing.T) {
 	for i := 0; i < events; i++ {
 		tee.Event(&ev)
 	}
-	if tee.Events() != events {
-		t.Fatalf("events = %d, want %d", tee.Events(), events)
+	if tee.EventCount() != events {
+		t.Fatalf("events = %d, want %d", tee.EventCount(), events)
 	}
 	if len(order) != events*3 {
 		t.Fatalf("forwarded %d calls, want %d", len(order), events*3)

@@ -780,6 +780,14 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	if pg != nil {
 		pg.Finish()
 	}
+	if cfg.Metrics != nil {
+		if src, ok := mach.(isa.PredecodeStatsSource); ok {
+			st := src.PredecodeStats()
+			cfg.Metrics.Counter("predecode.text_words").Add(st.TextWords)
+			cfg.Metrics.Counter("predecode.bad_words").Add(st.BadWords)
+			cfg.Metrics.Counter("predecode.fallbacks").Add(st.Fallbacks)
+		}
+	}
 
 	rec.Core = statsSource.PipelineStats()
 	rec.WallSeconds = wall.Seconds()
