@@ -17,11 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"isacmp/internal/obs"
+	"isacmp/internal/obs/slogx"
 	"isacmp/internal/report"
 	"isacmp/internal/telemetry"
 )
@@ -39,6 +42,9 @@ func main() {
 	retriesFlag := flag.Int("retries", 0, "re-attempts per failed cell before marking it FAILED")
 	retryBackoffFlag := flag.Duration("retry-backoff", 100*time.Millisecond, "sleep before the first retry, doubling each further retry")
 	failFastFlag := flag.Bool("fail-fast", false, "cancel the whole matrix on the first cell failure")
+	serveFlag := flag.String("serve", "", "serve /metrics, /statusz, /events and pprof on this address for the duration of the run")
+	logLevelFlag := flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
+	logFormatFlag := flag.String("log-format", "text", "structured log encoding on stderr: text or json")
 	flag.Parse()
 
 	scale, err := report.ParseScale(*scaleFlag)
@@ -70,13 +76,35 @@ func main() {
 	ex.Retries = *retriesFlag
 	ex.RetryBackoff = *retryBackoffFlag
 	ex.FailFast = *failFastFlag
+	runID := obs.NewRunID()
+	log, err := slogx.New(os.Stderr, *logLevelFlag, *logFormatFlag)
+	if err != nil {
+		usageFatal(err)
+	}
+	log = log.With(slogx.KeyRunID, runID)
+	board := obs.NewBoard(runID, reg)
+	ex.Log, ex.RunID, ex.Status = log, runID, board
 	if *progressFlag {
 		ex.Progress = os.Stderr
+		ex.ProgressFinalOnly = !slogx.IsTerminal(os.Stderr)
 	}
 	if err := ex.Validate(); err != nil {
 		usageFatal(err)
 	}
 	manifest := telemetry.NewManifest(command, scale.String())
+	manifest.Obs = &telemetry.ObsConfig{RunID: runID, LogLevel: *logLevelFlag, LogFormat: *logFormatFlag}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *serveFlag != "" {
+		srv, err := obs.StartServer(ctx, obs.ServerConfig{Addr: *serveFlag, Registry: reg, Board: board, Log: log})
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetReady(true)
+		defer srv.Close()
+		manifest.Obs.ServeAddr = srv.Addr()
+		log.Info("observability server listening", "addr", srv.Addr())
+	}
 	start := time.Now()
 
 	text := *jsonFlag != "-"

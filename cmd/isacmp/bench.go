@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"isacmp/internal/ir"
+	"isacmp/internal/obs"
 	"isacmp/internal/report"
 	"isacmp/internal/sched"
 	"isacmp/internal/telemetry"
@@ -273,17 +276,13 @@ type hotpathDoc struct {
 	Identical bool `json:"identical"`
 }
 
-// hotpathGuardTolerance is how much the hot-path wall time may exceed
-// a committed BENCH_PR4.json before the -guard check fails.
-const hotpathGuardTolerance = 1.10
-
 // benchHotpath times the full matrix through the per-Step reference
 // loop and through the batched hot path (both single-threaded),
 // verifies byte-identity, computes the speedup over the committed
 // PR 2 sequential baseline in pr2Path, and writes the hotpathDoc JSON
-// to out. When guardPath names a committed bench-hotpath doc, the run
-// additionally fails if the fresh hot-path time regresses more than
-// 10% over the committed one.
+// to out. When guardPath names a committed bench-hotpath doc, the
+// fresh doc is judged against it through the uniform bench-watch
+// rules (the ad-hoc hotpath guard this replaces).
 func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guardPath string, text bool) error {
 	ex := report.Experiment{
 		PathLength: true, CritPath: true, Scaled: true, Windowed: true,
@@ -344,17 +343,6 @@ func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guar
 		}
 	}
 
-	if guardPath != "" {
-		var committed hotpathDoc
-		if err := readJSONDoc(guardPath, &committed); err != nil {
-			return fmt.Errorf("bench-hotpath: guard baseline: %w", err)
-		}
-		if limit := committed.HotpathSeconds * hotpathGuardTolerance; committed.HotpathSeconds > 0 && hotWall > limit {
-			return fmt.Errorf("bench-hotpath: hot-path time %.3fs regressed >10%% over committed %.3fs (limit %.3fs)",
-				hotWall, committed.HotpathSeconds, limit)
-		}
-	}
-
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -372,7 +360,227 @@ func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guar
 		fmt.Printf("bench-hotpath: %d cells: step-loop %.3fs, hot path %.3fs (%.2fx), vs PR2 baseline %.3fs (%.2fx), identical=%v -> %s\n",
 			doc.Cells, stepWall, hotWall, doc.BatchSpeedup, doc.PR2BaselineSeconds, doc.PR2Speedup, doc.Identical, out)
 	}
+	if guardPath != "" {
+		return benchWatch(guardPath, out, text)
+	}
 	return nil
+}
+
+// benchObsSchema identifies the bench-obs document layout.
+const benchObsSchema = "isacmp/bench-obs/v1"
+
+// obsDoc is the record `isacmp bench-obs` writes (BENCH_PR5.json):
+// the full matrix timed once bare and once with the whole control
+// plane live — metrics registry, status board with per-cell meters,
+// structured logging swallowed by a no-op-level handler check, and
+// the HTTP server actually serving on loopback — with byte-identity
+// checked and the serve-mode overhead recorded against the <= 2%
+// budget.
+type obsDoc struct {
+	Schema     string `json:"schema"`
+	Scale      string `json:"scale"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Cells      int    `json:"cells"`
+
+	// BaselineSeconds is the best bare wall time across the timed
+	// pairs; ServedSeconds the best wall time with the observability
+	// server live on a loopback port, the board metered on the hot
+	// path and the registry counting — the full -serve configuration.
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	ServedSeconds   float64 `json:"served_seconds"`
+	// OverheadPercent is the median over the interleaved bare/served
+	// pairs of (served - bare) / bare * 100; the control plane's
+	// budget is BudgetPercent.
+	OverheadPercent float64 `json:"overhead_percent"`
+	BudgetPercent   float64 `json:"budget_percent"`
+	WithinBudget    bool    `json:"within_budget"`
+
+	// Identical records that serving changed no output byte — the
+	// pass-through observer contract.
+	Identical bool `json:"identical"`
+}
+
+// benchObsReps is how many bare/served pairs the bench-obs comparison
+// times. A single-shot comparison at small scale is noisy enough
+// (scheduler jitter of a few percent on a ~5s run) to trip the 2%
+// budget gate spuriously, and running the legs in separate blocks
+// lets slow machine-state drift (frequency scaling, page cache) bias
+// the difference — so the legs are interleaved pair-wise (drift hits
+// both legs of a pair equally) and the reported overhead is the
+// median of the per-pair relative differences, which discards
+// whole-pair outliers.
+const benchObsReps = 7
+
+// benchObs times the matrix bare and under a live observability
+// server and writes the obsDoc JSON to out.
+func benchObs(progs []*ir.Program, scale workloads.Scale, out string, parallel int, text bool) error {
+	base := report.Experiment{
+		PathLength: true, CritPath: true, Scaled: true, Windowed: true,
+		Parallel: parallel,
+	}
+
+	reg := telemetry.NewRegistry()
+	runID := obs.NewRunID()
+	board := obs.NewBoard(runID, reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := obs.StartServer(ctx, obs.ServerConfig{Addr: "127.0.0.1:0", Registry: reg, Board: board})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.SetReady(true)
+
+	served := base
+	served.Metrics = reg
+	served.RunID = runID
+	served.Status = board
+
+	var baseRows, servedRows [][]report.Row
+	var st *telemetry.SchedStats
+	baseWalls := make([]float64, benchObsReps)
+	servedWalls := make([]float64, benchObsReps)
+	timeBase := func(i int) error {
+		runtime.GC()
+		start := time.Now()
+		rows, _, err := report.RunSuite(progs, base)
+		if err != nil {
+			return err
+		}
+		baseWalls[i] = time.Since(start).Seconds()
+		if i == 0 {
+			baseRows = rows
+		}
+		return nil
+	}
+	timeServed := func(i int) error {
+		runtime.GC()
+		start := time.Now()
+		rows, stats, err := report.RunSuite(progs, served)
+		if err != nil {
+			return err
+		}
+		servedWalls[i] = time.Since(start).Seconds()
+		if i == 0 {
+			servedRows, st = rows, stats
+		}
+		return nil
+	}
+	for i := 0; i < benchObsReps; i++ {
+		// Alternate which leg runs first: on a busy host the first run
+		// of a pair systematically absorbs more interference, and a
+		// fixed order would bias every pair the same way.
+		first, second := timeBase, timeServed
+		if i%2 == 1 {
+			first, second = timeServed, timeBase
+		}
+		if err := first(i); err != nil {
+			return err
+		}
+		if err := second(i); err != nil {
+			return err
+		}
+	}
+	srv.Close()
+	baseWall := minFloat(baseWalls)
+	servedWall := minFloat(servedWalls)
+	pairOverheads := make([]float64, benchObsReps)
+	for i := range pairOverheads {
+		pairOverheads[i] = (servedWalls[i] - baseWalls[i]) / baseWalls[i] * 100
+	}
+
+	baseJSON, err := canonicalRowsJSON(progs, scale, baseRows)
+	if err != nil {
+		return err
+	}
+	servedJSON, err := canonicalRowsJSON(progs, scale, servedRows)
+	if err != nil {
+		return err
+	}
+
+	doc := obsDoc{
+		Schema:          benchObsSchema,
+		Scale:           scale.String(),
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         sched.DefaultWorkers(parallel),
+		Cells:           st.Cells,
+		BaselineSeconds: baseWall,
+		ServedSeconds:   servedWall,
+		BudgetPercent:   2,
+		Identical:       bytes.Equal(baseJSON, servedJSON),
+	}
+	doc.OverheadPercent = medianFloat(pairOverheads)
+	doc.WithinBudget = doc.OverheadPercent <= doc.BudgetPercent
+	if !doc.Identical {
+		return fmt.Errorf("bench-obs: served results differ from baseline (pass-through observer violation)")
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if text {
+		fmt.Printf("bench-obs: %d cells, %d workers: baseline %.3fs, served %.3fs, overhead %.2f%% (budget %.0f%%), identical=%v -> %s\n",
+			doc.Cells, doc.Workers, baseWall, servedWall, doc.OverheadPercent, doc.BudgetPercent, doc.Identical, out)
+	}
+	return nil
+}
+
+// benchWatch judges a fresh benchmark document against its committed
+// baseline through the uniform per-schema regression rules and prints
+// one line per watched metric. A regression is a fatal error so
+// `make check` can gate on it.
+func benchWatch(baselinePath, freshPath string, text bool) error {
+	findings, err := obs.WatchFiles(baselinePath, freshPath)
+	if err != nil {
+		return err
+	}
+	for _, f := range findings {
+		if text || f.Regression {
+			fmt.Printf("bench-watch: %s: %s\n", f.Schema, f.Message)
+		}
+	}
+	if obs.HasRegression(findings) {
+		return fmt.Errorf("bench-watch: %s regressed against committed %s", freshPath, baselinePath)
+	}
+	if text {
+		fmt.Printf("bench-watch: %s holds the committed trajectory of %s\n", freshPath, baselinePath)
+	}
+	return nil
+}
+
+func minFloat(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func medianFloat(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // readJSONDoc loads a committed benchmark document.

@@ -14,12 +14,18 @@
 // runs.
 //
 // Observability flags (every subcommand): -json writes a run manifest
-// (schema isacmp/run-manifest/v1); -progress prints a retire-rate
-// heartbeat to stderr; -cpuprofile/-memprofile write pprof profiles.
-// The run subcommand adds -core emulation|inorder|ooo, -cache,
-// -metrics-json (alias of -json), -trace (Chrome-trace JSON of
-// pipeline timing, loadable in chrome://tracing), -trace-format
-// chrome|jsonl, -trace-cap and -trace-sample.
+// (schema isacmp/run-manifest/v2); -progress prints a retire-rate
+// heartbeat to stderr; -cpuprofile/-memprofile write pprof profiles;
+// -serve ADDR exposes /metrics (Prometheus text), /statusz (live
+// matrix state), /events (SSE lifecycle stream), /healthz, /readyz
+// and /debug/pprof for the duration of the command; -log-level and
+// -log-format control the structured stderr log; -flight-dir arms the
+// per-cell flight recorder (post-mortem JSON on cell death, ring size
+// -flight-events). The run subcommand adds -core
+// emulation|inorder|ooo, -cache, -metrics-json (alias of -json),
+// -trace (Chrome-trace JSON of pipeline timing, loadable in
+// chrome://tracing), -trace-format chrome|jsonl, -trace-cap and
+// -trace-sample.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync/atomic"
@@ -38,6 +45,8 @@ import (
 	"isacmp/internal/core"
 	"isacmp/internal/elfio"
 	"isacmp/internal/ir"
+	"isacmp/internal/obs"
+	"isacmp/internal/obs/slogx"
 	"isacmp/internal/report"
 	"isacmp/internal/rv64"
 	"isacmp/internal/sched"
@@ -81,7 +90,12 @@ func main() {
 	failFastFlag := fs.Bool("fail-fast", false, "cancel the whole matrix on the first cell failure instead of continuing")
 	maxInstFlag := fs.Uint64("max-instructions", 0, "per-cell instruction budget; exceeding it is a FAILED(budget) row (0 disables)")
 	pr2Flag := fs.String("pr2-baseline", "BENCH_PR2.json", "committed bench-matrix doc to compute the hot-path speedup against (bench-hotpath; \"\" skips)")
-	guardFlag := fs.String("guard", "", "committed bench-hotpath doc to guard against; >10% hot-path regression fails (bench-hotpath)")
+	guardFlag := fs.String("guard", "", "committed bench doc to judge the fresh doc against via the bench-watch rules (bench-hotpath)")
+	serveFlag := fs.String("serve", "", "serve the observability endpoints (/metrics, /statusz, /events, /healthz, /debug/pprof) on this address for the duration of the command (e.g. :8080, or :0 for an ephemeral port)")
+	logLevelFlag := fs.String("log-level", "info", "structured log threshold: debug, info, warn or error")
+	logFormatFlag := fs.String("log-format", "text", "structured log encoding on stderr: text or json (JSONL)")
+	flightDirFlag := fs.String("flight-dir", "", "dump a flight-recorder post-mortem JSON into this directory when a cell fails")
+	flightEventsFlag := fs.Int("flight-events", 0, "flight-recorder ring capacity in retired events (0 = default)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(report.ExitUsage)
 	}
@@ -109,6 +123,47 @@ func main() {
 	reg := telemetry.NewRegistry()
 	manifest := telemetry.NewManifest(cmd, scale.String())
 	startTime := time.Now()
+
+	// Control plane: structured logger, run identity, live status
+	// board, and (on -serve) the embedded HTTP server — all following
+	// one context so -fail-fast/interrupt tears the server down too.
+	runID := obs.NewRunID()
+	log, err := slogx.New(os.Stderr, *logLevelFlag, *logFormatFlag)
+	if err != nil {
+		usageFatal(err)
+	}
+	log = log.With(slogx.KeyRunID, runID)
+	board := obs.NewBoard(runID, reg)
+	manifest.Obs = &telemetry.ObsConfig{
+		RunID:     runID,
+		LogLevel:  *logLevelFlag,
+		LogFormat: *logFormatFlag,
+	}
+	if *flightDirFlag != "" {
+		events := *flightEventsFlag
+		if events <= 0 {
+			events = obs.DefaultFlightEvents
+		}
+		manifest.Obs.FlightRecorder = &telemetry.FlightRecorderConfig{
+			Dir:    *flightDirFlag,
+			Events: events,
+		}
+	}
+	obsCtx, obsCancel := context.WithCancel(context.Background())
+	defer obsCancel()
+	if *serveFlag != "" {
+		srv, err := obs.StartServer(obsCtx, obs.ServerConfig{
+			Addr: *serveFlag, Registry: reg, Board: board, Log: log,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetReady(true)
+		defer srv.Close()
+		manifest.Obs.ServeAddr = srv.Addr()
+		log.Info("observability server listening", "addr", srv.Addr())
+	}
+
 	baseEx := report.Experiment{
 		Metrics:         reg,
 		Parallel:        *parallelFlag,
@@ -117,9 +172,15 @@ func main() {
 		Retries:         *retriesFlag,
 		RetryBackoff:    *retryBackoffFlag,
 		FailFast:        *failFastFlag,
+		Log:             log,
+		RunID:           runID,
+		Status:          board,
+		FlightDir:       *flightDirFlag,
+		FlightEvents:    *flightEventsFlag,
 	}
 	if *progressFlag {
 		baseEx.Progress = os.Stderr
+		baseEx.ProgressFinalOnly = !slogx.IsTerminal(os.Stderr)
 	}
 	if *strideFlag != 0 {
 		baseEx.WindowStride = *strideFlag
@@ -228,21 +289,26 @@ func main() {
 		}
 	case "run":
 		cfg := runCmdConfig{
-			core:        *coreFlag,
-			cache:       *cacheFlag,
-			target:      *targetFlag,
-			trace:       *traceFlag,
-			traceFormat: *traceFormatFlag,
-			traceCap:    *traceCapFlag,
-			traceSample: *traceSampleFlag,
-			parallel:    *parallelFlag,
-			progress:    *progressFlag,
-			text:        text,
-			cellTimeout: *cellTimeoutFlag,
-			maxInst:     *maxInstFlag,
-			retries:     *retriesFlag,
-			backoff:     *retryBackoffFlag,
-			failFast:    *failFastFlag,
+			core:         *coreFlag,
+			cache:        *cacheFlag,
+			target:       *targetFlag,
+			trace:        *traceFlag,
+			traceFormat:  *traceFormatFlag,
+			traceCap:     *traceCapFlag,
+			traceSample:  *traceSampleFlag,
+			parallel:     *parallelFlag,
+			progress:     *progressFlag,
+			text:         text,
+			cellTimeout:  *cellTimeoutFlag,
+			maxInst:      *maxInstFlag,
+			retries:      *retriesFlag,
+			backoff:      *retryBackoffFlag,
+			failFast:     *failFastFlag,
+			log:          log,
+			runID:        runID,
+			board:        board,
+			flightDir:    *flightDirFlag,
+			flightEvents: *flightEventsFlag,
 		}
 		n, err := runInstrumented(progs, cfg, reg, manifest)
 		if err != nil {
@@ -267,6 +333,22 @@ func main() {
 			out = "BENCH_PR4.json"
 		}
 		if err := benchHotpath(progs, scale, out, *pr2Flag, *guardFlag, text); err != nil {
+			fatal(err)
+		}
+	case "bench-obs":
+		out := *outFlag
+		if out == "BENCH_PR2.json" { // flag default belongs to bench-matrix
+			out = "BENCH_PR5.json"
+		}
+		if err := benchObs(progs, scale, out, *parallelFlag, text); err != nil {
+			fatal(err)
+		}
+	case "bench-watch":
+		args := fs.Args()
+		if len(args) != 2 {
+			usageFatal(fmt.Errorf("bench-watch wants exactly two arguments: <committed.json> <fresh.json>"))
+		}
+		if err := benchWatch(args[0], args[1], text); err != nil {
 			fatal(err)
 		}
 	case "artifacts":
@@ -357,6 +439,12 @@ type runCmdConfig struct {
 	retries     int
 	backoff     time.Duration
 	failFast    bool
+
+	log          *slog.Logger
+	runID        string
+	board        *obs.Board
+	flightDir    string
+	flightEvents int
 }
 
 // instrCell is one (workload, target) slot of the run subcommand.
@@ -398,17 +486,20 @@ func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Regis
 	for _, p := range progs {
 		for _, tgt := range targets {
 			cells = append(cells, &instrCell{prog: p, tgt: tgt})
+			cfg.board.Register(p.Name, tgt.String())
 		}
 	}
 	inner := 1
 	if len(cells) == 1 {
 		inner = cfg.parallel
 	}
+	cfg.board.SetWorkers(sched.DefaultWorkers(cfg.parallel))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var firstFail atomic.Value
 	pool := sched.NewPool(cfg.parallel, reg)
+	pool.Log = cfg.log
 	for _, c := range cells {
 		c := c
 		pool.Go(func() {
@@ -467,9 +558,12 @@ func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Regis
 // runInstrumentedCell runs one cell with retries; it returns nil on
 // success (filling c.rec/c.tracer) or the cell's failure record.
 func runInstrumentedCell(ctx context.Context, c *instrCell, cfg runCmdConfig, reg *telemetry.Registry, inner int) *telemetry.FailureRecord {
+	workload, target := c.prog.Name, c.tgt.String()
+	clog := slogx.OrNop(cfg.log).With(slogx.KeyWorkload, workload, slogx.KeyTarget, target)
 	attempts := cfg.retries + 1
 	var history []telemetry.AttemptRecord
 	var last *simeng.SimError
+	postmortem := ""
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 && cfg.backoff > 0 {
 			select {
@@ -479,44 +573,69 @@ func runInstrumentedCell(ctx context.Context, c *instrCell, cfg runCmdConfig, re
 		}
 		if ctx.Err() != nil {
 			last = simeng.WithCell(&simeng.SimError{Kind: simeng.ErrDeadline, Err: ctx.Err()},
-				c.prog.Name, c.tgt.String())
+				workload, target)
 			history = append(history, telemetry.AttemptRecord{
 				Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
 			})
 			break
 		}
-		err := runInstrumentedAttempt(ctx, c, cfg, reg, inner)
+		cfg.board.Running(workload, target, attempt)
+		err := runInstrumentedAttempt(ctx, c, cfg, reg, inner, attempt)
 		if err == nil {
 			if attempt > 1 {
 				c.rec.Retries = attempt - 1
 			}
+			cfg.board.Done(workload, target, c.rec.WallSeconds, c.rec.Core.Instructions)
+			clog.Debug("run cell done", slogx.KeyAttempt, attempt,
+				"retired", c.rec.Core.Instructions, "wall_seconds", c.rec.WallSeconds)
 			return nil
 		}
-		last = simeng.WithCell(err, c.prog.Name, c.tgt.String())
+		last = simeng.WithCell(err, workload, target)
+		// RunInstrumented dumps post-mortems at deterministic paths; a
+		// watchdog-abandoned attempt never dumps, so stat decides.
+		if cfg.flightDir != "" {
+			if p := obs.PostmortemPath(cfg.flightDir, workload, target, attempt); fileExists(p) {
+				postmortem = p
+			}
+		}
 		history = append(history, telemetry.AttemptRecord{
 			Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
 		})
+		clog.Warn("run cell attempt failed", slogx.KeyAttempt, attempt,
+			"reason", simeng.Reason(last), "err", last.Error())
 		if errors.Is(last, simeng.ErrDeadline) && ctx.Err() != nil {
 			break
 		}
+		if attempt < attempts {
+			cfg.board.Retrying(workload, target, attempt, simeng.Reason(last))
+		}
 	}
+	cfg.board.Failed(workload, target, len(history), simeng.Reason(last))
+	clog.Error("run cell failed", "attempts", len(history), "reason", simeng.Reason(last))
 	return &telemetry.FailureRecord{
-		Workload: c.prog.Name,
-		Target:   c.tgt.String(),
-		Reason:   simeng.Reason(last),
-		Message:  last.Error(),
-		PC:       last.PC,
-		Retired:  last.Retired,
-		Attempts: len(history),
-		History:  history,
+		Workload:   workload,
+		Target:     target,
+		Reason:     simeng.Reason(last),
+		Message:    last.Error(),
+		PC:         last.PC,
+		Retired:    last.Retired,
+		Attempts:   len(history),
+		History:    history,
+		Postmortem: postmortem,
 	}
+}
+
+// fileExists reports whether path names an existing file.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // runInstrumentedAttempt runs one attempt under the panic guard and,
 // when -cell-timeout is set, a watchdog goroutine that reaps hung
 // attempts. Results travel through the buffered channel so an
 // abandoned attempt never races the caller's cell slot.
-func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig, reg *telemetry.Registry, inner int) error {
+func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig, reg *telemetry.Registry, inner, attempt int) error {
 	cellCtx := ctx
 	if cfg.cellTimeout > 0 {
 		var cancel context.CancelFunc
@@ -543,9 +662,16 @@ func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig,
 				Parallel:        inner,
 				Ctx:             cellCtx,
 				MaxInstructions: cfg.maxInst,
+				Log:             cfg.log,
+				RunID:           cfg.runID,
+				Attempt:         attempt,
+				Status:          cfg.board,
+				FlightDir:       cfg.flightDir,
+				FlightEvents:    cfg.flightEvents,
 			}
 			if cfg.progress {
 				rc.Progress = os.Stderr
+				rc.ProgressFinalOnly = !slogx.IsTerminal(os.Stderr)
 			}
 			if cfg.trace != "" {
 				res.tracer = isacmp.NewPipelineTrace(cfg.traceCap, cfg.traceSample)
@@ -842,7 +968,10 @@ commands:
   bench-matrix  time the full matrix sequential vs parallel (-o, -parallel)
   bench-resilience  measure the armed-watchdog overhead vs baseline (-o)
   bench-hotpath  time the batched hot path vs the per-Step loop (-o,
-                 -pr2-baseline, -guard: fail on >10% regression)
+                 -pr2-baseline, -guard: judge via the bench-watch rules)
+  bench-obs  measure the serve-mode overhead vs baseline (-o)
+  bench-watch <committed.json> <fresh.json>  fail on regression against
+             the committed benchmark trajectory
   artifacts  write the four result files of the paper's artifact (A.6)
   trace      print a disassembled execution trace (-n, -kernel, -target)
   blocks     hottest dynamically-discovered basic blocks (-n, -target)
@@ -859,6 +988,9 @@ resilience: -cell-timeout <d>  -max-instructions <n>  -retries <n>
 
 observability: -json <f> (run manifest; "-" = stdout)  -progress
   -cpuprofile <f>  -memprofile <f>
+  -serve <addr> (live /metrics /statusz /events /healthz /debug/pprof)
+  -log-level debug|info|warn|error  -log-format text|json
+  -flight-dir <dir>  -flight-events <n> (post-mortem ring on cell death)
 run: -workload <name> -target <t>|all -core emulation|inorder|ooo -cache
   -metrics-json <f>  -trace <f> -trace-format chrome|jsonl
   -trace-cap <n> -trace-sample <n>`)

@@ -4,23 +4,30 @@
 //
 // Usage: pathlen [-scale tiny|small|paper] [-bench name] [-parallel n]
 // [-json file] [-progress] [-cpuprofile file] [-memprofile file]
+// [-serve addr] [-log-level l] [-log-format f]
 //
 // -parallel fans the (benchmark, target) matrix over n analysis
 // workers (0, the default, uses every CPU; 1 is strictly sequential).
 // Results and report text are byte-identical for every value.
 //
-// With -json the run manifest (schema isacmp/run-manifest/v1, one
+// With -json the run manifest (schema isacmp/run-manifest/v2, one
 // record per benchmark+target with core stats, per-sink overhead and
 // the per-kernel counts) is written to the given file, "-" for stdout;
-// the text report still goes to stdout unless -json is "-".
+// the text report still goes to stdout unless -json is "-". -serve
+// exposes the live /metrics, /statusz, /events and pprof endpoints
+// for the duration of the run; -log-level and -log-format control the
+// structured stderr log.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"isacmp/internal/obs"
+	"isacmp/internal/obs/slogx"
 	"isacmp/internal/report"
 	"isacmp/internal/telemetry"
 )
@@ -37,6 +44,9 @@ func main() {
 	retriesFlag := flag.Int("retries", 0, "re-attempts per failed cell before marking it FAILED")
 	retryBackoffFlag := flag.Duration("retry-backoff", 100*time.Millisecond, "sleep before the first retry, doubling each further retry")
 	failFastFlag := flag.Bool("fail-fast", false, "cancel the whole matrix on the first cell failure")
+	serveFlag := flag.String("serve", "", "serve /metrics, /statusz, /events and pprof on this address for the duration of the run")
+	logLevelFlag := flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
+	logFormatFlag := flag.String("log-format", "text", "structured log encoding on stderr: text or json")
 	flag.Parse()
 
 	scale, err := report.ParseScale(*scaleFlag)
@@ -56,13 +66,35 @@ func main() {
 	reg := telemetry.NewRegistry()
 	manifest := telemetry.NewManifest("pathlen", scale.String())
 	start := time.Now()
+	runID := obs.NewRunID()
+	log, err := slogx.New(os.Stderr, *logLevelFlag, *logFormatFlag)
+	if err != nil {
+		usageFatal(err)
+	}
+	log = log.With(slogx.KeyRunID, runID)
+	board := obs.NewBoard(runID, reg)
+	manifest.Obs = &telemetry.ObsConfig{RunID: runID, LogLevel: *logLevelFlag, LogFormat: *logFormatFlag}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *serveFlag != "" {
+		srv, err := obs.StartServer(ctx, obs.ServerConfig{Addr: *serveFlag, Registry: reg, Board: board, Log: log})
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetReady(true)
+		defer srv.Close()
+		manifest.Obs.ServeAddr = srv.Addr()
+		log.Info("observability server listening", "addr", srv.Addr())
+	}
 	ex := report.Experiment{
 		PathLength: true, Metrics: reg, Parallel: *parallelFlag,
 		CellTimeout: *cellTimeoutFlag, Retries: *retriesFlag,
 		RetryBackoff: *retryBackoffFlag, FailFast: *failFastFlag,
+		Log: log, RunID: runID, Status: board,
 	}
 	if *progressFlag {
 		ex.Progress = os.Stderr
+		ex.ProgressFinalOnly = !slogx.IsTerminal(os.Stderr)
 	}
 	if err := ex.Validate(); err != nil {
 		usageFatal(err)

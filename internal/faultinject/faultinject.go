@@ -17,6 +17,7 @@ package faultinject
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"isacmp/internal/isa"
@@ -90,6 +91,12 @@ type Injector struct {
 	seed  uint64
 	plans []Plan
 	stop  chan struct{}
+
+	// Log, when set, records each armed wrap and each fault firing, so
+	// an injected campaign's log stream shows exactly which cell was
+	// sabotaged where. Set before handing the injector to an
+	// experiment.
+	Log *slog.Logger
 }
 
 // New builds an injector. Close it when done if any plan is a Hang.
@@ -154,11 +161,18 @@ func (in *Injector) WrapMachine(workload, target string, attempt int, m simeng.M
 	if !ok {
 		return m
 	}
+	at := in.firingPoint(p, workload, target)
+	if in.Log != nil {
+		in.Log.Debug("faultinject: machine fault armed",
+			"workload", workload, "target", target, "attempt", attempt,
+			"kind", p.Kind.String(), "at", at)
+	}
 	return &faultMachine{
 		Machine: m,
 		plan:    p,
-		at:      in.firingPoint(p, workload, target),
+		at:      at,
 		stop:    in.stop,
+		log:     in.Log,
 	}
 }
 
@@ -170,7 +184,13 @@ func (in *Injector) WrapSink(workload, target string, attempt int, s isa.Sink) i
 	if !ok {
 		return s
 	}
-	return &faultSink{inner: s, at: in.firingPoint(p, workload, target)}
+	at := in.firingPoint(p, workload, target)
+	if in.Log != nil {
+		in.Log.Debug("faultinject: sink fault armed",
+			"workload", workload, "target", target, "attempt", attempt,
+			"kind", p.Kind.String(), "at", at)
+	}
+	return &faultSink{inner: s, at: at}
 }
 
 // DecodeError is the injected stand-in for the architectures' decode
@@ -195,12 +215,23 @@ type faultMachine struct {
 	plan    Plan
 	at      uint64
 	stop    chan struct{}
+	log     *slog.Logger
 	retired uint64
+}
+
+// fired logs the moment a fatal fault fires; Slow plans fire on every
+// Step from the firing point on, so only the first is logged.
+func (f *faultMachine) fired() {
+	if f.log != nil && f.retired == f.at {
+		f.log.Debug("faultinject: fault firing",
+			"kind", f.plan.Kind.String(), "retired", f.retired)
+	}
 }
 
 func (f *faultMachine) Step(ev *isa.Event) (bool, error) {
 	f.retired++
 	if f.retired >= f.at {
+		f.fired()
 		switch f.plan.Kind {
 		case Decode:
 			return false, &DecodeError{PC: f.PC()}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchwatch compares a fresh benchmark document against the
+// committed BENCH_*.json trajectory and reports per-metric
+// regressions. It replaces the ad-hoc hotpath-guard comparison with
+// one uniform gate: every bench schema declares which wall-time
+// metrics may not regress beyond a tolerance, which percentages must
+// stay within their recorded budget, and which invariant flags must
+// hold.
+
+// WatchTolerance is how much a watched wall-time metric may exceed
+// its committed baseline before it counts as a regression — the same
+// 10% the retired hotpath-guard used, now applied uniformly.
+const WatchTolerance = 1.10
+
+// WatchBudgetHeadroom is how far a re-measured overhead percentage
+// may exceed its recorded budget before it counts as a regression.
+// An overhead percentage is the difference of two same-length wall
+// times, so its run-to-run noise in percentage points is comparable
+// to the budget itself; judging a re-measure at exactly the design
+// budget would flag noise. The committed document still has to honor
+// the budget exactly (its within_budget flag is pinned by a pinRule),
+// and a genuine per-event cost regression lands far beyond the
+// headroom.
+const WatchBudgetHeadroom = 2.0
+
+// ruleKind says how a watched metric is judged.
+type ruleKind int
+
+const (
+	// ratioRule: fresh value must be <= baseline value * tolerance.
+	ratioRule ruleKind = iota
+	// budgetRule: the fresh value must be <= the budget recorded in
+	// the fresh document itself (field named by budgetField), scaled
+	// by WatchBudgetHeadroom for re-measure noise.
+	budgetRule
+	// flagRule: the fresh boolean must be true.
+	flagRule
+	// pinRule: the committed (baseline) boolean must be true — the
+	// design claim carried by the committed artifact.
+	pinRule
+)
+
+type watchRule struct {
+	metric      string
+	kind        ruleKind
+	tolerance   float64 // ratioRule
+	budgetField string  // budgetRule
+}
+
+// watchRules is the per-schema regression contract over the committed
+// benchmark trajectory.
+var watchRules = map[string][]watchRule{
+	"isacmp/bench-matrix/v1": {
+		{metric: "sequential_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "parallel_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "identical", kind: flagRule},
+	},
+	"isacmp/bench-resilience/v1": {
+		{metric: "armed_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "within_budget", kind: pinRule},
+		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
+		{metric: "identical", kind: flagRule},
+	},
+	"isacmp/bench-hotpath/v1": {
+		{metric: "hotpath_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "identical", kind: flagRule},
+	},
+	"isacmp/bench-obs/v1": {
+		{metric: "served_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "within_budget", kind: pinRule},
+		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
+		{metric: "identical", kind: flagRule},
+	},
+}
+
+// Finding is one watched metric's verdict.
+type Finding struct {
+	Schema     string  `json:"schema"`
+	Metric     string  `json:"metric"`
+	Baseline   float64 `json:"baseline,omitempty"`
+	Fresh      float64 `json:"fresh,omitempty"`
+	Limit      float64 `json:"limit,omitempty"`
+	Regression bool    `json:"regression"`
+	Message    string  `json:"message"`
+}
+
+// LoadDoc reads a benchmark JSON document and returns its generic
+// form plus the schema string.
+func LoadDoc(path string) (map[string]any, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, "", fmt.Errorf("benchwatch: %s: %w", path, err)
+	}
+	schema, _ := doc["schema"].(string)
+	if schema == "" {
+		return nil, "", fmt.Errorf("benchwatch: %s: missing schema field", path)
+	}
+	return doc, schema, nil
+}
+
+func num(doc map[string]any, key string) (float64, bool) {
+	v, ok := doc[key].(float64)
+	return v, ok
+}
+
+// Watch judges a fresh benchmark document against its committed
+// baseline. Both must carry the same schema; unknown schemas are an
+// error so a new BENCH document cannot silently escape the gate.
+func Watch(baseline, fresh map[string]any) ([]Finding, error) {
+	bs, _ := baseline["schema"].(string)
+	fs, _ := fresh["schema"].(string)
+	if bs != fs {
+		return nil, fmt.Errorf("benchwatch: schema mismatch: baseline %q vs fresh %q", bs, fs)
+	}
+	rules, ok := watchRules[fs]
+	if !ok {
+		return nil, fmt.Errorf("benchwatch: no watch rules for schema %q", fs)
+	}
+	var out []Finding
+	for _, r := range rules {
+		f := Finding{Schema: fs, Metric: r.metric}
+		switch r.kind {
+		case ratioRule:
+			base, bok := num(baseline, r.metric)
+			cur, cok := num(fresh, r.metric)
+			if !bok || !cok || base <= 0 {
+				f.Message = fmt.Sprintf("%s: not comparable (baseline %v, fresh %v)", r.metric, baseline[r.metric], fresh[r.metric])
+				out = append(out, f)
+				continue
+			}
+			f.Baseline, f.Fresh, f.Limit = base, cur, base*r.tolerance
+			f.Regression = cur > f.Limit
+			if f.Regression {
+				f.Message = fmt.Sprintf("%s: %.3f regressed >%.0f%% over committed %.3f (limit %.3f)",
+					r.metric, cur, (r.tolerance-1)*100, base, f.Limit)
+			} else {
+				f.Message = fmt.Sprintf("%s: %.3f vs committed %.3f (limit %.3f) ok", r.metric, cur, base, f.Limit)
+			}
+		case budgetRule:
+			cur, cok := num(fresh, r.metric)
+			budget, bok := num(fresh, r.budgetField)
+			if !cok || !bok {
+				f.Message = fmt.Sprintf("%s: not comparable (fresh %v, %s %v)", r.metric, fresh[r.metric], r.budgetField, fresh[r.budgetField])
+				out = append(out, f)
+				continue
+			}
+			f.Fresh, f.Limit = cur, budget*WatchBudgetHeadroom
+			f.Regression = cur > f.Limit
+			if f.Regression {
+				f.Message = fmt.Sprintf("%s: %.2f exceeds budget %.2f with headroom (limit %.2f)", r.metric, cur, budget, f.Limit)
+			} else {
+				f.Message = fmt.Sprintf("%s: %.2f within budget %.2f (+headroom, limit %.2f) ok", r.metric, cur, budget, f.Limit)
+			}
+		case flagRule:
+			v, ok := fresh[r.metric].(bool)
+			f.Regression = !ok || !v
+			if f.Regression {
+				f.Message = fmt.Sprintf("%s: expected true, got %v", r.metric, fresh[r.metric])
+			} else {
+				f.Message = fmt.Sprintf("%s: true ok", r.metric)
+			}
+		case pinRule:
+			v, ok := baseline[r.metric].(bool)
+			f.Regression = !ok || !v
+			if f.Regression {
+				f.Message = fmt.Sprintf("%s: committed doc must pin true, got %v", r.metric, baseline[r.metric])
+			} else {
+				f.Message = fmt.Sprintf("%s: pinned true in committed doc ok", r.metric)
+			}
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// WatchFiles is Watch over two document paths.
+func WatchFiles(baselinePath, freshPath string) ([]Finding, error) {
+	baseline, _, err := LoadDoc(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	fresh, _, err := LoadDoc(freshPath)
+	if err != nil {
+		return nil, err
+	}
+	return Watch(baseline, fresh)
+}
+
+// HasRegression reports whether any finding is a regression.
+func HasRegression(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Regression {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func hotpathDoc(seconds float64, identical bool) map[string]any {
+	return map[string]any{
+		"schema":          "isacmp/bench-hotpath/v1",
+		"hotpath_seconds": seconds,
+		"identical":       identical,
+	}
+}
+
+// TestWatchRatioRule: a watched wall-time metric may drift up to the
+// tolerance over the committed baseline; past it the finding is a
+// regression naming both values.
+func TestWatchRatioRule(t *testing.T) {
+	base := hotpathDoc(10.0, true)
+
+	ok, err := Watch(base, hotpathDoc(10.9, true)) // within the 10%
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasRegression(ok) {
+		t.Errorf("10.9 vs 10.0 flagged: %+v", ok)
+	}
+
+	bad, err := Watch(base, hotpathDoc(11.1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(bad) {
+		t.Fatalf("11.1 vs 10.0 must regress: %+v", bad)
+	}
+	var f Finding
+	for _, x := range bad {
+		if x.Regression {
+			f = x
+		}
+	}
+	if f.Metric != "hotpath_seconds" || f.Baseline != 10.0 || f.Fresh != 11.1 {
+		t.Errorf("regression finding = %+v", f)
+	}
+	if f.Limit != 10.0*WatchTolerance {
+		t.Errorf("limit = %v, want %v", f.Limit, 10.0*WatchTolerance)
+	}
+}
+
+// TestWatchFlagRule: a false (or missing) invariant flag is a
+// regression regardless of timings — byte-identity failures can never
+// pass the gate on speed alone.
+func TestWatchFlagRule(t *testing.T) {
+	base := hotpathDoc(10.0, true)
+	fs, err := Watch(base, hotpathDoc(5.0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatal("identical=false must regress")
+	}
+	fresh := hotpathDoc(5.0, true)
+	delete(fresh, "identical")
+	fs, err = Watch(base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatal("missing identical flag must regress")
+	}
+}
+
+// TestWatchBudgetRule: a re-measured overhead is judged against the
+// budget recorded in the fresh document scaled by the measurement
+// headroom, while the committed document's within_budget flag is
+// pinned exactly.
+func TestWatchBudgetRule(t *testing.T) {
+	doc := func(overhead float64) map[string]any {
+		return map[string]any{
+			"schema":           "isacmp/bench-obs/v1",
+			"served_seconds":   1.0,
+			"overhead_percent": overhead,
+			"budget_percent":   2.0,
+			"within_budget":    overhead <= 2.0,
+			"identical":        true,
+		}
+	}
+	base := doc(1.0)
+	if fs, err := Watch(base, doc(1.9)); err != nil || HasRegression(fs) {
+		t.Fatalf("1.9%% within 2%% budget: err=%v findings=%+v", err, fs)
+	}
+	// A fresh re-measure grazing past the budget is noise, not a
+	// regression, as long as it stays within the headroom.
+	if fs, err := Watch(base, doc(2.5)); err != nil || HasRegression(fs) {
+		t.Fatalf("2.5%% within headroom of 2%% budget: err=%v findings=%+v", err, fs)
+	}
+	fs, err := Watch(base, doc(2.0*WatchBudgetHeadroom+0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatalf("%.1f%% past the headroom limit must regress: %+v", 2.0*WatchBudgetHeadroom+0.5, fs)
+	}
+
+	// A committed doc that does not itself honor the budget fails the
+	// pin rule no matter how the re-measure landed.
+	fs, err = Watch(doc(2.5), doc(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatal("committed within_budget=false must regress")
+	}
+}
+
+// TestWatchSchemaErrors: mismatched schemas and schemas without watch
+// rules are hard errors — a new BENCH document cannot silently bypass
+// the gate.
+func TestWatchSchemaErrors(t *testing.T) {
+	if _, err := Watch(hotpathDoc(1, true), map[string]any{"schema": "isacmp/bench-obs/v1"}); err == nil || !strings.Contains(err.Error(), "schema mismatch") {
+		t.Errorf("schema mismatch: err = %v", err)
+	}
+	unknown := map[string]any{"schema": "isacmp/bench-new/v9"}
+	if _, err := Watch(unknown, unknown); err == nil || !strings.Contains(err.Error(), "no watch rules") {
+		t.Errorf("unknown schema: err = %v", err)
+	}
+}
+
+// TestWatchFiles: the file-level entry point round-trips through JSON
+// on disk and rejects documents without a schema field.
+func TestWatchFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc map[string]any) string {
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", hotpathDoc(10, true))
+	fresh := write("fresh.json", hotpathDoc(50, true))
+	fs, err := WatchFiles(base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Error("5x slowdown must regress")
+	}
+
+	noSchema := write("bad.json", map[string]any{"hotpath_seconds": 1.0})
+	if _, err := WatchFiles(base, noSchema); err == nil || !strings.Contains(err.Error(), "missing schema") {
+		t.Errorf("schema-less doc: err = %v", err)
+	}
+	if _, err := WatchFiles(filepath.Join(dir, "absent.json"), fresh); err == nil {
+		t.Error("missing baseline file must error")
+	}
+}
+
+// TestWatchRulesCoverCommittedDocs: every BENCH_*.json schema this
+// repo commits has a watch contract, so `make check`'s bench-watch
+// step can never skip one.
+func TestWatchRulesCoverCommittedDocs(t *testing.T) {
+	for _, schema := range []string{
+		"isacmp/bench-matrix/v1",
+		"isacmp/bench-resilience/v1",
+		"isacmp/bench-hotpath/v1",
+		"isacmp/bench-obs/v1",
+	} {
+		if _, ok := watchRules[schema]; !ok {
+			t.Errorf("no watch rules for committed schema %q", schema)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"isacmp/internal/telemetry"
+)
+
+// PromContentType is the Prometheus text exposition content type the
+// /metrics handler serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a dotted registry metric name ("sched.queue.depth")
+// onto a valid Prometheus metric name: the isacmp_ namespace prefix
+// plus the name with every character outside [a-zA-Z0-9_:] replaced by
+// an underscore.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("isacmp_") + len(name))
+	b.WriteString("isacmp_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promHelp escapes a HELP string per the exposition format: backslash
+// and newline are the only characters that need escaping.
+func promHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// promFloat renders a float64 sample value. strconv's shortest 'g'
+// form is valid exposition syntax, and it spells infinities
+// "+Inf"/"-Inf" and NaN "NaN" exactly as the format requires.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders a telemetry snapshot in the Prometheus text
+// exposition format v0.0.4. Metrics keep registry creation order;
+// histogram buckets are emitted cumulatively with a trailing +Inf
+// bucket, _sum and _count, as scrapers require. The HELP line carries
+// the original dotted registry name so a scrape can be joined back
+// against the manifest's metrics block.
+func WritePrometheus(w io.Writer, s telemetry.Snapshot) error {
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s isacmp counter %s\n# TYPE %s counter\n%s %d\n",
+			name, promHelp(c.Name), name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s isacmp gauge %s\n# TYPE %s gauge\n%s %s\n",
+			name, promHelp(g.Name), name, name, promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s isacmp histogram %s\n# TYPE %s histogram\n",
+			name, promHelp(h.Name), name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Buckets) > len(h.Bounds) {
+			cum += h.Buckets[len(h.Bounds)] // overflow bucket
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, cum, name, promFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

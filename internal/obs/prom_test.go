@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"isacmp/internal/telemetry"
+)
+
+// TestWritePrometheusGolden pins the exposition text byte-for-byte for
+// a registry holding one of each metric kind: HELP carries the dotted
+// registry name, TYPE matches the kind, histogram buckets are emitted
+// cumulatively with the overflow folded into +Inf, followed by _sum
+// and _count. Scrapers parse this format strictly, so any drift is a
+// bug even if it "looks" equivalent.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sim.retired.total").Add(42)
+	reg.Counter("sched.panics").Add(0)
+	reg.Gauge("sched.q0.depth").Set(3)
+	h := reg.Histogram("cell.seconds", []float64{0.25, 1})
+	for _, v := range []float64{0.25, 0.5, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP isacmp_sim_retired_total isacmp counter sim.retired.total
+# TYPE isacmp_sim_retired_total counter
+isacmp_sim_retired_total 42
+# HELP isacmp_sched_panics isacmp counter sched.panics
+# TYPE isacmp_sched_panics counter
+isacmp_sched_panics 0
+# HELP isacmp_sched_q0_depth isacmp gauge sched.q0.depth
+# TYPE isacmp_sched_q0_depth gauge
+isacmp_sched_q0_depth 3
+# HELP isacmp_cell_seconds isacmp histogram cell.seconds
+# TYPE isacmp_cell_seconds histogram
+isacmp_cell_seconds_bucket{le="0.25"} 1
+isacmp_cell_seconds_bucket{le="1"} 3
+isacmp_cell_seconds_bucket{le="+Inf"} 4
+isacmp_cell_seconds_sum 6.25
+isacmp_cell_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromNameSanitisation: every character outside [a-zA-Z0-9_:] in
+// the dotted registry name becomes an underscore under the isacmp_
+// namespace prefix, and the HELP line escapes backslash and newline so
+// the original name survives the round trip.
+func TestPromNameSanitisation(t *testing.T) {
+	snap := telemetry.Snapshot{
+		Counters: []telemetry.CounterPoint{
+			{Name: `weird-metric/pa\th`, Value: 7},
+		},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "isacmp_weird_metric_pa_th 7\n") {
+		t.Errorf("sample line not sanitised:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP isacmp_weird_metric_pa_th isacmp counter weird-metric/pa\\th`) {
+		t.Errorf("HELP must carry the escaped original name:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE isacmp_weird_metric_pa_th counter\n") {
+		t.Errorf("TYPE line missing:\n%s", out)
+	}
+}
+
+// TestPromHistogramOverflowOnly: a histogram whose every observation
+// lands in the overflow bucket still reports a consistent cumulative
+// +Inf count equal to _count.
+func TestPromHistogramOverflowOnly(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat", []float64{1})
+	h.Observe(10)
+	h.Observe(20)
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"isacmp_lat_bucket{le=\"1\"} 0\n",
+		"isacmp_lat_bucket{le=\"+Inf\"} 2\n",
+		"isacmp_lat_count 2\n",
+		"isacmp_lat_sum 30\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

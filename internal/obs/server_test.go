@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"isacmp/internal/telemetry"
+)
+
+// testClient is an http client that keeps no idle connections, so the
+// goroutine-leak accounting below only sees server-side goroutines.
+func testClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+}
+
+func get(t *testing.T, c *http.Client, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestServerEndpoints round-trips every endpoint of a live server:
+// liveness always up, readiness gated by SetReady, /metrics serving
+// exposition text with the right content type, /statusz serving the
+// board document and /debug/pprof responding.
+func TestServerEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sim.retired").Add(5)
+	board := NewBoard("run-s", reg)
+	board.Register("stream", "rv64")
+	srv, err := StartServer(context.Background(), ServerConfig{
+		Addr: "127.0.0.1:0", Registry: reg, Board: board,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	c := testClient()
+
+	if code, body, _ := get(t, c, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, _, _ := get(t, c, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before SetReady = %d, want 503", code)
+	}
+	srv.SetReady(true)
+	if code, body, _ := get(t, c, base+"/readyz"); code != 200 || body != "ready\n" {
+		t.Errorf("readyz after SetReady = %d %q", code, body)
+	}
+
+	code, body, hdr := get(t, c, base+"/metrics")
+	if code != 200 || hdr.Get("Content-Type") != PromContentType {
+		t.Errorf("metrics = %d, content-type %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "isacmp_sim_retired 5\n") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+
+	code, body, hdr = get(t, c, base+"/statusz")
+	if code != 200 || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Errorf("statusz = %d, content-type %q", code, hdr.Get("Content-Type"))
+	}
+	var doc StatusDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("statusz is not JSON: %v\n%s", err, body)
+	}
+	if doc.Schema != StatusSchema || doc.RunID != "run-s" || len(doc.Cells) != 1 {
+		t.Errorf("statusz doc = %+v", doc)
+	}
+
+	if code, _, _ := get(t, c, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof cmdline = %d", code)
+	}
+}
+
+// TestServerEventsStream: a /events subscriber sees board transitions
+// as data: frames, and the stream ends when the server shuts down
+// rather than holding Close open.
+func TestServerEventsStream(t *testing.T) {
+	board := NewBoard("run-e", nil)
+	srv, err := StartServer(context.Background(), ServerConfig{Addr: "127.0.0.1:0", Board: board})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testClient()
+	resp, err := c.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	// The subscription happens inside the handler; poll until it is
+	// registered before transitioning, so the event cannot be missed.
+	waitFor(t, func() bool {
+		board.mu.Lock()
+		defer board.mu.Unlock()
+		return len(board.subs) == 1
+	}, "events subscriber registered")
+	board.Running("stream", "rv64", 1)
+
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read SSE frame: %v", err)
+	}
+	if !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("frame = %q, want data: prefix", line)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+		t.Fatalf("frame payload: %v", err)
+	}
+	if ev.Workload != "stream" || ev.State != CellRunning {
+		t.Errorf("event = %+v", ev)
+	}
+
+	// Close must tear the stream down promptly, not wait for the
+	// client to go away.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	srv.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open after Close")
+	}
+}
+
+// TestObsShutdown is the clean-shutdown contract: cancelling the
+// experiment context (what -cell-timeout and -fail-fast do) stops the
+// server, ends open SSE streams, and leaves no server goroutines
+// behind — Close afterwards is a safe no-op.
+func TestObsShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	board := NewBoard("run-x", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := StartServer(ctx, ServerConfig{Addr: "127.0.0.1:0", Board: board})
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+
+	// Hold an SSE stream open across the cancellation.
+	c := testClient()
+	resp, err := c.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		io.Copy(io.Discard, resp.Body)
+	}()
+
+	cancel()
+	// The ctx watcher runs Close; racing our own Close against it is
+	// part of the contract.
+	srv.Close()
+	select {
+	case <-streamDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream survived context cancellation")
+	}
+	resp.Body.Close()
+
+	// New connections must be refused once the listener is down.
+	if _, err := c.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+
+	// Every server goroutine (serve loop, ctx watcher, handlers) must
+	// have exited. The count can transiently exceed the baseline while
+	// the http internals unwind, so poll.
+	waitFor(t, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	}, fmt.Sprintf("goroutines back to baseline %d", before))
+}
+
+// waitFor polls cond for up to 5 seconds and fails the test if it
+// never becomes true.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

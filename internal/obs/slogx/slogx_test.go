@@ -1,0 +1,93 @@
+package slogx
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"":      slog.LevelInfo,
+		"info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("unknown level must error")
+	}
+}
+
+// TestNewLeveledJSON: the json format emits one JSON object per line
+// (JSONL) and the level threshold filters below it.
+func TestNewLeveledJSON(t *testing.T) {
+	var b strings.Builder
+	l, err := New(&b, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept", "cell", "stream")
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (info filtered):\n%s", len(lines), b.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line is not JSON: %v", err)
+	}
+	if rec["msg"] != "kept" || rec["level"] != "WARN" || rec["cell"] != "stream" {
+		t.Errorf("record = %v", rec)
+	}
+
+	if _, err := New(&b, "info", "xml"); err == nil {
+		t.Error("unknown format must error")
+	}
+	if _, err := New(&b, "loud", "json"); err == nil {
+		t.Error("unknown level must error")
+	}
+}
+
+// TestWithCell: cell-scoped loggers carry the joinable identity attrs,
+// and a nil logger degrades to the no-op instead of panicking.
+func TestWithCell(t *testing.T) {
+	var b strings.Builder
+	l, err := New(&b, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	WithCell(l, "stream", "RISC-V/GCC 9.2", 2).Info("x")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec[KeyWorkload] != "stream" || rec[KeyTarget] != "RISC-V/GCC 9.2" || rec[KeyAttempt] != 2.0 {
+		t.Errorf("record = %v", rec)
+	}
+
+	WithCell(nil, "w", "t", 1).Error("discarded") // must not panic
+}
+
+// TestNop: the no-op logger is enabled at no level and OrNop maps nil
+// onto it.
+func TestNop(t *testing.T) {
+	if Nop().Enabled(nil, slog.LevelError) {
+		t.Error("nop logger must be disabled at every level")
+	}
+	if OrNop(nil) != Nop() {
+		t.Error("OrNop(nil) must return the nop logger")
+	}
+	l := Nop().With("k", "v")
+	l.Error("discarded")
+	if OrNop(l) != l {
+		t.Error("OrNop must pass a non-nil logger through")
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"testing"
+
+	"isacmp/internal/isa"
+	"isacmp/internal/telemetry"
+)
+
+// TestBoardLifecycle drives two cells through the full state machine
+// and checks the /statusz document: per-state tallies, registration
+// order, the throughput EWMAs and a positive ETA while work remains.
+func TestBoardLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("sched.q0.depth").Set(2)
+	b := NewBoard("run-1", reg)
+	b.SetWorkers(2)
+	b.Register("stream", "rv64")
+	b.Register("stream", "a64")
+	b.Register("lbm", "rv64")
+
+	doc := b.Status()
+	if doc.Schema != StatusSchema || doc.RunID != "run-1" {
+		t.Fatalf("schema/run_id = %s/%s", doc.Schema, doc.RunID)
+	}
+	if doc.States["pending"] != 3 || len(doc.Cells) != 3 {
+		t.Fatalf("want 3 pending cells, got %+v", doc.States)
+	}
+	if doc.Cells[0].Workload != "stream" || doc.Cells[2].Workload != "lbm" {
+		t.Errorf("cells must keep registration order: %+v", doc.Cells)
+	}
+	if doc.QueueDepths["sched.q0.depth"] != 2 {
+		t.Errorf("queue depths = %+v, want sched.q0.depth=2", doc.QueueDepths)
+	}
+
+	b.Running("stream", "rv64", 1)
+	b.Done("stream", "rv64", 2.0, 4_000_000)
+	b.Running("stream", "a64", 1)
+	b.Retrying("stream", "a64", 1, "mem-fault")
+	b.Running("stream", "a64", 2)
+	b.Failed("stream", "a64", 2, "mem-fault")
+
+	doc = b.Status()
+	if doc.States["done"] != 1 || doc.States["failed"] != 1 || doc.States["pending"] != 1 {
+		t.Fatalf("states = %+v, want one each of done/failed/pending", doc.States)
+	}
+	if doc.EWMACellSeconds != 2.0 {
+		t.Errorf("ewma seconds = %v, want 2 after a single sample", doc.EWMACellSeconds)
+	}
+	if doc.EWMAMIPS != 2.0 { // 4M retired / 2s / 1e6
+		t.Errorf("ewma mips = %v, want 2", doc.EWMAMIPS)
+	}
+	// one pending cell, EWMA 2s, 2 workers => ETA 1s.
+	if doc.ETASeconds != 1.0 {
+		t.Errorf("eta = %v, want 1", doc.ETASeconds)
+	}
+	for _, c := range doc.Cells {
+		if c.Workload == "stream" && c.Target == "a64" {
+			if c.State != CellFailed || c.Reason != "mem-fault" || c.Attempt != 2 {
+				t.Errorf("failed cell = %+v", c)
+			}
+		}
+	}
+
+	// A second Done folds into the EWMA rather than replacing it.
+	b.Running("lbm", "rv64", 1)
+	b.Done("lbm", "rv64", 4.0, 4_000_000)
+	doc = b.Status()
+	want := ewmaAlpha*4.0 + (1-ewmaAlpha)*2.0
+	if d := doc.EWMACellSeconds - want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("ewma seconds = %v, want ~%v", doc.EWMACellSeconds, want)
+	}
+	if doc.ETASeconds != 0 {
+		t.Errorf("eta = %v, want 0 once no cell remains", doc.ETASeconds)
+	}
+}
+
+// TestBoardEvents: every transition reaches a subscriber with a
+// strictly increasing sequence number, and a full subscriber buffer
+// drops events instead of blocking the matrix.
+func TestBoardEvents(t *testing.T) {
+	b := NewBoard("run-ev", nil)
+	ch := b.Subscribe()
+	defer b.Unsubscribe(ch)
+
+	b.Running("stream", "rv64", 1)
+	b.Done("stream", "rv64", 1.0, 100)
+
+	ev1, ev2 := <-ch, <-ch
+	if ev1.State != CellRunning || ev2.State != CellDone {
+		t.Fatalf("events = %v then %v, want running then done", ev1.State, ev2.State)
+	}
+	if ev1.RunID != "run-ev" || ev1.Workload != "stream" || ev1.Target != "rv64" {
+		t.Errorf("event identity = %+v", ev1)
+	}
+	if ev2.Seq <= ev1.Seq {
+		t.Errorf("seq must increase: %d then %d", ev1.Seq, ev2.Seq)
+	}
+
+	// Fill the buffer past capacity without reading: transitions must
+	// not block (this would deadlock the test if they did) and the
+	// overflow is dropped, visible as a sequence gap after draining.
+	for i := 0; i < cap(ch)+64; i++ {
+		b.Running("stream", "rv64", i)
+	}
+	drained := 0
+	for len(ch) > 0 {
+		<-ch
+		drained++
+	}
+	if drained != cap(ch) {
+		t.Errorf("drained %d events, want exactly the buffer cap %d", drained, cap(ch))
+	}
+}
+
+// TestNilBoard: every method is a no-op on a nil board so unserved
+// runs can drive the calls unconditionally, and NewMeter returns a nil
+// meter (whose Flush is also safe).
+func TestNilBoard(t *testing.T) {
+	var b *Board
+	b.SetWorkers(4)
+	b.Register("w", "t")
+	b.Running("w", "t", 1)
+	b.Retrying("w", "t", 1, "x")
+	b.Done("w", "t", 1, 1)
+	b.Failed("w", "t", 1, "x")
+	b.Progress("w", "t", 10)
+	b.Unsubscribe(b.Subscribe())
+	if b.RunID() != "" {
+		t.Error("nil board must have empty run ID")
+	}
+	doc := b.Status()
+	if doc.Schema != StatusSchema || len(doc.Cells) != 0 {
+		t.Errorf("nil board status = %+v", doc)
+	}
+	m := NewMeter(nil, "w", "t", nil)
+	if m != nil {
+		t.Fatal("NewMeter(nil board) must return nil")
+	}
+	m.Flush() // must not panic
+}
+
+// countSink counts events through the single-event interface.
+type countSink struct{ n int }
+
+func (s *countSink) Event(*isa.Event) { s.n++ }
+
+// batchSink additionally counts batched deliveries.
+type batchSink struct {
+	countSink
+	batches int
+}
+
+func (s *batchSink) Events(evs []isa.Event) {
+	s.batches++
+	s.n += len(evs)
+}
+
+// TestMeterPassThrough: the meter forwards every event to the inner
+// sink (preserving the batched path when available) and reports the
+// exact retired count to the board after Flush.
+func TestMeterPassThrough(t *testing.T) {
+	b := NewBoard("run-m", nil)
+	b.Register("w", "t")
+
+	inner := &batchSink{}
+	m := NewMeter(b, "w", "t", inner)
+	var ev isa.Event
+	m.Event(&ev)
+	m.Events(make([]isa.Event, 7))
+	m.Flush()
+
+	if inner.n != 8 {
+		t.Errorf("inner sink saw %d events, want 8", inner.n)
+	}
+	if inner.batches != 1 {
+		t.Errorf("batched path not preserved: %d batch calls, want 1", inner.batches)
+	}
+	doc := b.Status()
+	if doc.Cells[0].Retired != 8 {
+		t.Errorf("board retired = %d, want 8", doc.Cells[0].Retired)
+	}
+
+	// An un-batched inner sink gets per-event delivery for batches.
+	plain := &countSink{}
+	m2 := NewMeter(b, "w", "t", plain)
+	m2.Events(make([]isa.Event, 3))
+	if plain.n != 3 {
+		t.Errorf("plain sink saw %d events, want 3", plain.n)
+	}
+
+	// The stride flush happens without an explicit Flush once enough
+	// events pass.
+	m3 := NewMeter(b, "w", "t", nil)
+	m3.Events(make([]isa.Event, meterStride))
+	if got := b.Status().Cells[0].Retired; got != meterStride {
+		t.Errorf("stride flush: retired = %d, want %d", got, meterStride)
+	}
+}

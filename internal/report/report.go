@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -21,6 +22,8 @@ import (
 	"isacmp/internal/ir"
 	"isacmp/internal/isa"
 	"isacmp/internal/mem"
+	"isacmp/internal/obs"
+	"isacmp/internal/obs/slogx"
 	"isacmp/internal/rv64"
 	"isacmp/internal/sched"
 	"isacmp/internal/simeng"
@@ -87,8 +90,14 @@ type Experiment struct {
 	// is safe for the concurrent per-target runs.
 	Metrics *telemetry.Registry
 	// Progress, when non-nil, receives per-run heartbeat lines
-	// (typically os.Stderr on -progress).
+	// (typically os.Stderr on -progress). When Log is also set the
+	// heartbeat is routed through the logger as info-level records
+	// instead, so -log-level=error silences it.
 	Progress io.Writer
+	// ProgressFinalOnly suppresses the periodic heartbeat lines and
+	// keeps only the final per-run summary — the CLIs set it when
+	// stderr is not a terminal so piped output is not spammed.
+	ProgressFinalOnly bool
 	// Parallel is the worker count of the analysis engine: (workload,
 	// target) cells are fanned out over this many pool workers, each
 	// cell's trace is simulated once and replayed into its analyses
@@ -137,6 +146,34 @@ type Experiment struct {
 	// core — the sink-fault injection hook. The inner sink may be nil
 	// (a run with no analyses attached).
 	WrapSink func(workload, target string, attempt int, s isa.Sink) isa.Sink
+
+	// Observability (see internal/obs). All default to off; none of
+	// them can change a result byte — the board and flight recorder
+	// are pass-through observers and everything they record is
+	// stripped by manifest canonicalization.
+
+	// Log, when non-nil, receives structured lifecycle lines for
+	// every cell (start, attempt failures, retries, completion) with
+	// workload/target/attempt attrs. The CLI attaches the run ID.
+	Log *slog.Logger
+	// RunID tags flight-recorder artifacts; usually obs.NewRunID().
+	RunID string
+	// Status, when non-nil, is driven through per-cell lifecycle
+	// transitions and live retired counts — the /statusz and /events
+	// source.
+	Status *obs.Board
+	// FlightDir, when non-empty, arms the flight recorder: every cell
+	// attempt records its last FlightEvents retired events, and an
+	// attempt that dies with a SimError dumps a post-mortem JSON
+	// artifact into this directory (linked from the manifest failures
+	// block). Cells reaped by the CellTimeout watchdog get no dump:
+	// the recorder lives on the abandoned attempt goroutine, and
+	// crossing goroutines for a dump would race the still-running
+	// simulation.
+	FlightDir string
+	// FlightEvents is the recorder ring capacity (0 selects
+	// obs.DefaultFlightEvents).
+	FlightEvents int
 }
 
 // Validate rejects experiment configurations that would otherwise
@@ -163,6 +200,10 @@ func (ex Experiment) Validate() error {
 	}
 	if ex.RetryBackoff < 0 {
 		return fmt.Errorf("report: -retry-backoff %v is negative", ex.RetryBackoff)
+	}
+	if ex.FlightEvents < 0 {
+		return fmt.Errorf("report: -flight-events %d is negative (0 selects the default ring of %d)",
+			ex.FlightEvents, obs.DefaultFlightEvents)
 	}
 	return nil
 }
@@ -242,11 +283,25 @@ func RunSuite(progs []*ir.Program, ex Experiment) ([][]Row, *telemetry.SchedStat
 	all := make([][]Row, len(progs))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Seed the status board with the whole matrix up front, so
+	// /statusz shows pending cells before any has started.
+	ex.Status.SetWorkers(sched.DefaultWorkers(ex.Parallel))
+	for _, prog := range progs {
+		for _, tgt := range targets {
+			ex.Status.Register(prog.Name, tgt.String())
+		}
+	}
+	if ex.Log != nil {
+		ex.Log.Info("matrix start",
+			"workloads", len(progs), "targets", len(targets),
+			"workers", sched.DefaultWorkers(ex.Parallel))
+	}
 	// firstFail records the temporally-first failure in FailFast mode —
 	// the root cause — since cells cancelled after it also come back as
 	// (deadline) failures.
 	var firstFail atomic.Value
 	pool := sched.NewPool(ex.Parallel, ex.Metrics)
+	pool.Log = ex.Log
 	for pi := range progs {
 		all[pi] = make([]Row, len(targets))
 		prog := progs[pi]
@@ -280,8 +335,11 @@ func RunSuite(progs []*ir.Program, ex Experiment) ([][]Row, *telemetry.SchedStat
 // record and attempt history.
 func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment) Row {
 	attempts := ex.Retries + 1
+	clog := slogx.OrNop(ex.Log).With(
+		slogx.KeyWorkload, prog.Name, slogx.KeyTarget, tgt.String())
 	var history []telemetry.AttemptRecord
 	var last *simeng.SimError
+	var postmortem string
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 && ex.RetryBackoff > 0 {
 			backoff := ex.RetryBackoff << (attempt - 2)
@@ -300,33 +358,50 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 			})
 			break
 		}
-		row, err := runAttempt(ctx, prog, tgt, ex, attempt)
+		ex.Status.Running(prog.Name, tgt.String(), attempt)
+		clog.Debug("cell attempt start", slogx.KeyAttempt, attempt)
+		row, pm, err := runAttempt(ctx, prog, tgt, ex, attempt)
 		if err == nil {
 			row.Attempts = attempt
+			ex.Status.Done(prog.Name, tgt.String(), row.WallSeconds, row.Core.Instructions)
+			clog.Debug("cell done", slogx.KeyAttempt, attempt,
+				"retired", row.Core.Instructions, "wall_seconds", row.WallSeconds)
 			return row
 		}
 		last = simeng.WithCell(err, prog.Name, tgt.String())
+		if pm != "" {
+			postmortem = pm
+		}
 		history = append(history, telemetry.AttemptRecord{
 			Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
 		})
+		clog.Warn("cell attempt failed", slogx.KeyAttempt, attempt,
+			"reason", simeng.Reason(last), "pc", last.PC, "retired", last.Retired)
 		if errors.Is(last, simeng.ErrDeadline) && ctx.Err() != nil {
 			// Cancelled from above, not a per-cell timeout: retrying
 			// would only re-observe the dead context.
 			break
 		}
+		if attempt < attempts {
+			ex.Status.Retrying(prog.Name, tgt.String(), attempt, simeng.Reason(last))
+		}
 	}
+	ex.Status.Failed(prog.Name, tgt.String(), len(history), simeng.Reason(last))
+	clog.Error("cell failed", "reason", simeng.Reason(last),
+		"attempts", len(history), "postmortem", postmortem)
 	return Row{
 		Target:   tgt,
 		Attempts: len(history),
 		Failure: &telemetry.FailureRecord{
-			Workload: prog.Name,
-			Target:   tgt.String(),
-			Reason:   simeng.Reason(last),
-			Message:  last.Error(),
-			PC:       last.PC,
-			Retired:  last.Retired,
-			Attempts: len(history),
-			History:  history,
+			Workload:   prog.Name,
+			Target:     tgt.String(),
+			Reason:     simeng.Reason(last),
+			Message:    last.Error(),
+			PC:         last.PC,
+			Retired:    last.Retired,
+			Attempts:   len(history),
+			History:    history,
+			Postmortem: postmortem,
 		},
 	}
 }
@@ -338,43 +413,61 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 // retiring cells). The reaped goroutine is abandoned with a buffered
 // result channel; cancelling its context makes it exit at the next
 // retirement poll if it is still making progress.
-func runAttempt(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt int) (Row, error) {
+//
+// When the flight recorder is armed (ex.FlightDir), a failing attempt
+// dumps its post-mortem and the path comes back as the middle return.
+// The dump happens inside run(), on the same goroutine that fed the
+// recorder, after simulation has stopped — the only point where the
+// ring is safe to read. A watchdog-reaped attempt is abandoned before
+// that point, so reaped cells report no post-mortem.
+func runAttempt(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt int) (Row, string, error) {
 	cellCtx := ctx
 	if ex.CellTimeout > 0 {
 		var cancel context.CancelFunc
 		cellCtx, cancel = context.WithTimeout(ctx, ex.CellTimeout)
 		defer cancel()
 	}
-	run := func() (Row, error) {
+	run := func() (Row, string, error) {
+		var rec *obs.Recorder
+		if ex.FlightDir != "" {
+			rec = obs.NewRecorder(ex.FlightEvents, ex.RunID, prog.Name, tgt.String(), attempt, ex.Metrics)
+		}
 		var row Row
 		err := simeng.Guard(func() error {
 			var runErr error
-			row, runErr = runOne(cellCtx, prog, tgt, ex, attempt)
+			row, runErr = runOne(cellCtx, prog, tgt, ex, attempt, rec)
 			return runErr
 		})
-		return row, err
+		if err == nil || rec == nil {
+			return row, "", err
+		}
+		se := simeng.WithCell(err, prog.Name, tgt.String())
+		pm := rec.Dump(ex.FlightDir, se,
+			slogx.WithCell(ex.Log, prog.Name, tgt.String(), attempt))
+		return row, pm, err
 	}
 	if ex.CellTimeout <= 0 {
 		return run()
 	}
 	type result struct {
 		row Row
+		pm  string
 		err error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		row, err := run()
-		ch <- result{row, err}
+		row, pm, err := run()
+		ch <- result{row, pm, err}
 	}()
 	select {
 	case res := <-ch:
-		return res.row, res.err
+		return res.row, res.pm, res.err
 	case <-cellCtx.Done():
-		return Row{Target: tgt}, &simeng.SimError{Kind: simeng.ErrDeadline, Err: cellCtx.Err()}
+		return Row{Target: tgt}, "", &simeng.SimError{Kind: simeng.ErrDeadline, Err: cellCtx.Err()}
 	}
 }
 
-func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt int) (Row, error) {
+func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt int, rec *obs.Recorder) (Row, error) {
 	row := Row{Target: tgt}
 	compiled, err := cc.Compile(prog, tgt)
 	if err != nil {
@@ -457,10 +550,32 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 	var pg *telemetry.Progress
 	if ex.Progress != nil {
 		pg = telemetry.NewProgress(ex.Progress, prog.Name+" "+tgt.String(), 0)
+		if ex.Log != nil {
+			pg.Log = slogx.WithCell(ex.Log, prog.Name, tgt.String(), attempt)
+		}
+		pg.FinalOnly = ex.ProgressFinalOnly
 		add("progress", pg)
 	}
 
 	emu := &simeng.EmulationCore{MaxInstructions: ex.MaxInstructions, Ctx: ctx, StepLoop: ex.StepLoop}
+	if ex.Log != nil {
+		emu.Log = slogx.WithCell(ex.Log, prog.Name, tgt.String(), attempt)
+	}
+	// observe interposes the pass-through observers on the cell's
+	// outermost sink: the flight recorder (so the ring holds exactly
+	// what the sinks saw, including the event a faulty sink died on)
+	// and the status-board meter. Applied after WrapSink so injected
+	// sink faults are themselves recorded.
+	observe := func(s isa.Sink) (isa.Sink, *obs.Meter) {
+		if rec != nil {
+			s = rec.Wrap(s)
+		}
+		meter := obs.NewMeter(ex.Status, prog.Name, tgt.String(), s)
+		if meter != nil {
+			s = meter
+		}
+		return s, meter
+	}
 	var stats simeng.Stats
 	start := time.Now()
 	if parallel > 1 {
@@ -472,6 +587,8 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 			if ex.WrapSink != nil {
 				s = ex.WrapSink(prog.Name, tgt.String(), attempt, s)
 			}
+			s, meter := observe(s)
+			defer meter.Flush()
 			var runErr error
 			stats, runErr = emu.Run(mach, s)
 			return runErr
@@ -497,7 +614,9 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		if ex.WrapSink != nil {
 			sink = ex.WrapSink(prog.Name, tgt.String(), attempt, sink)
 		}
+		sink, meter := observe(sink)
 		stats, err = emu.Run(mach, sink)
+		meter.Flush()
 		if err != nil {
 			return row, err
 		}

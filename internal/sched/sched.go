@@ -17,6 +17,7 @@ package sched
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"sync"
@@ -35,6 +36,12 @@ type Pool struct {
 	wg      sync.WaitGroup // open tasks
 	stopped sync.WaitGroup // worker goroutines
 	start   time.Time
+
+	// Log, when set, receives pool lifecycle lines (start, drain,
+	// escaped panics). Set it after NewPool and before the first Go —
+	// the task-channel handoff orders the write before any worker
+	// reads it.
+	Log *slog.Logger
 
 	queued atomic.Int64
 
@@ -126,6 +133,9 @@ func (p *Pool) runTask(task func()) {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
 			p.firstPanic.CompareAndSwap(nil, fmt.Sprint(r))
+			if p.Log != nil {
+				p.Log.Error("sched: task panicked past its guard", "panic", fmt.Sprint(r))
+			}
 		}
 	}()
 	task()
@@ -159,6 +169,12 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 	close(p.tasks)
 	p.stopped.Wait()
+	if p.Log != nil {
+		st := p.Stats()
+		p.Log.Debug("sched: pool drained",
+			"workers", st.Workers, "cells", st.Cells,
+			"wall_seconds", st.WallSeconds, "busy_seconds", st.BusySeconds)
+	}
 }
 
 // Stats summarises the pool's execution for the run manifest:

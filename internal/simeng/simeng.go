@@ -22,6 +22,7 @@ package simeng
 import (
 	"context"
 	"fmt"
+	"log/slog"
 
 	"isacmp/internal/isa"
 )
@@ -136,6 +137,11 @@ type EmulationCore struct {
 	// tests and the bench-hotpath baseline use it; production runs
 	// leave it false.
 	StepLoop bool
+	// Log, when set, receives one structured line per run: a debug
+	// completion record, or a warning carrying the classified failure.
+	// Nothing is logged inside the retirement loop, so the hot path is
+	// unaffected.
+	Log *slog.Logger
 
 	last Stats
 	// batch is the reused StepN buffer; allocated on first batched
@@ -163,6 +169,19 @@ const stepBatch = deadlinePoll
 // SimErrors carrying the PC and retired count, so one bad decode or
 // analysis path cannot kill a whole matrix run.
 func (c *EmulationCore) Run(m Machine, sink isa.Sink) (stats Stats, err error) {
+	if log := c.Log; log != nil {
+		// Registered before the recovery defer below, so it runs after
+		// it and observes the panic already converted into err.
+		defer func() {
+			if err == nil {
+				log.Debug("simeng: run complete", "retired", stats.Instructions)
+				return
+			}
+			se := AsSimError(err)
+			log.Warn("simeng: run failed",
+				"reason", Reason(se.Kind), "pc", se.PC, "retired", se.Retired)
+		}()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			c.last = stats

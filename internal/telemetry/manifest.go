@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"runtime"
@@ -13,8 +14,14 @@ import (
 
 // ManifestSchema identifies the manifest document layout; bump on
 // incompatible change. Trajectory tooling (BENCH_*.json diffing)
-// matches on it.
-const ManifestSchema = "isacmp/run-manifest/v1"
+// matches on it. v2 added the optional `obs` block and per-failure
+// `postmortem` paths; v1 documents remain readable (ReadManifest).
+const ManifestSchema = "isacmp/run-manifest/v2"
+
+// ManifestSchemaV1 is the previous layout, a strict subset of v2:
+// every v1 document parses as a v2 manifest with no obs block and no
+// postmortem paths.
+const ManifestSchemaV1 = "isacmp/run-manifest/v1"
 
 // Manifest is the machine-readable record of one CLI invocation: what
 // ran, how long it took, what the simulator observed about the
@@ -44,8 +51,40 @@ type Manifest struct {
 	// one drove the invocation.
 	Sched *SchedStats `json:"sched,omitempty"`
 
+	// Obs records the live-observability configuration of the run:
+	// serve address, log level/format, flight-recorder settings.
+	// Omitted when no observability feature was enabled (and always
+	// stripped by Canonicalize — it varies with deployment, not with
+	// the computation). Schema v2.
+	Obs *ObsConfig `json:"obs,omitempty"`
+
 	// Metrics is the final registry snapshot for the invocation.
 	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// ObsConfig is the manifest `obs` block: how the run was being
+// observed while it executed.
+type ObsConfig struct {
+	// ServeAddr is the bound observability server address ("" when
+	// -serve was not given).
+	ServeAddr string `json:"serve_addr,omitempty"`
+	// RunID tags every log line, status document and post-mortem of
+	// the invocation.
+	RunID string `json:"run_id,omitempty"`
+	// LogLevel and LogFormat echo the -log-level / -log-format flags.
+	LogLevel  string `json:"log_level,omitempty"`
+	LogFormat string `json:"log_format,omitempty"`
+	// FlightRecorder describes the per-cell crash ring when one was
+	// armed.
+	FlightRecorder *FlightRecorderConfig `json:"flight_recorder,omitempty"`
+}
+
+// FlightRecorderConfig describes the flight-recorder arming of a run.
+type FlightRecorderConfig struct {
+	// Events is the ring capacity (last N retired events kept).
+	Events int `json:"events"`
+	// Dir is where post-mortem artifacts are written.
+	Dir string `json:"dir"`
 }
 
 // SchedStats is the manifest block describing the worker pool of a
@@ -88,6 +127,9 @@ type FailureRecord struct {
 	// History records each attempt's typed reason and message, in
 	// order.
 	History []AttemptRecord `json:"history,omitempty"`
+	// Postmortem is the path of the flight-recorder crash dump for the
+	// final attempt, when a recorder was armed. Schema v2.
+	Postmortem string `json:"postmortem,omitempty"`
 }
 
 // AttemptRecord is one entry of a failure's attempt history.
@@ -229,6 +271,7 @@ func (m *Manifest) Canonicalize() {
 	m.WallSeconds = 0
 	m.Host = Host{}
 	m.Sched = nil
+	m.Obs = nil
 	for i := range m.Runs {
 		r := &m.Runs[i]
 		r.WallSeconds = 0
@@ -243,6 +286,10 @@ func (m *Manifest) Canonicalize() {
 	}
 	if m.Metrics != nil {
 		m.Metrics.stripPrefix("sched.")
+		m.Metrics.stripPrefix("obs.")
+	}
+	for i := range m.Failures {
+		m.Failures[i].Postmortem = ""
 	}
 }
 
@@ -293,6 +340,32 @@ func (m *Manifest) WriteFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// ReadManifest parses a manifest document, accepting the current
+// schema and v1 (whose layout is a strict subset: no obs block, no
+// postmortem paths). Any other schema is an error — the caller should
+// not silently misread a future layout.
+func ReadManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	switch m.Schema {
+	case ManifestSchema, ManifestSchemaV1:
+		return &m, nil
+	}
+	return nil, fmt.Errorf("telemetry: unsupported manifest schema %q (want %q or %q)",
+		m.Schema, ManifestSchema, ManifestSchemaV1)
+}
+
+// ReadManifestFile reads and parses a manifest from path.
+func ReadManifestFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ReadManifest(data)
 }
 
 // RateMIPS converts an instruction count and duration to millions of

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadManifestV1Compat: a committed v1 golden document (the layout
+// shipped before the obs block existed) must keep parsing through the
+// v2 reader, with no obs block and no postmortem paths — v1 is a
+// strict subset of v2.
+func TestReadManifestV1Compat(t *testing.T) {
+	m, err := ReadManifestFile("testdata/manifest_v1_compat.json")
+	if err != nil {
+		t.Fatalf("v1 golden must parse: %v", err)
+	}
+	if m.Schema != ManifestSchemaV1 {
+		t.Fatalf("schema = %q, want %q", m.Schema, ManifestSchemaV1)
+	}
+	if m.Obs != nil {
+		t.Error("v1 document must have no obs block")
+	}
+	if len(m.Runs) == 0 {
+		t.Error("fixture should carry run records")
+	}
+	for _, f := range m.Failures {
+		if f.Postmortem != "" {
+			t.Errorf("v1 failure carries a postmortem path: %+v", f)
+		}
+	}
+}
+
+// TestReadManifestSchemas: both supported schemas are accepted and
+// anything else is a hard error naming the offender.
+func TestReadManifestSchemas(t *testing.T) {
+	for _, schema := range []string{ManifestSchema, ManifestSchemaV1} {
+		m, err := ReadManifest([]byte(`{"schema": "` + schema + `", "command": "x"}`))
+		if err != nil {
+			t.Errorf("schema %q rejected: %v", schema, err)
+			continue
+		}
+		if m.Command != "x" {
+			t.Errorf("schema %q: command = %q", schema, m.Command)
+		}
+	}
+	_, err := ReadManifest([]byte(`{"schema": "isacmp/run-manifest/v3"}`))
+	if err == nil || !strings.Contains(err.Error(), "isacmp/run-manifest/v3") {
+		t.Errorf("future schema must be rejected by name, got %v", err)
+	}
+	if _, err := ReadManifest([]byte(`{`)); err == nil {
+		t.Error("malformed JSON must error")
+	}
+}
+
+// TestCanonicalizeStripsObs: everything the observability layer adds
+// to a manifest — the obs block, obs.* metrics and postmortem paths —
+// is deployment detail, not computation, and must vanish under
+// canonicalization so golden comparisons ignore how a run was watched.
+func TestCanonicalizeStripsObs(t *testing.T) {
+	m := NewManifest("test", "tiny")
+	m.Obs = &ObsConfig{
+		ServeAddr: "127.0.0.1:9", RunID: "r", LogLevel: "debug", LogFormat: "json",
+		FlightRecorder: &FlightRecorderConfig{Events: 256, Dir: "/tmp/fl"},
+	}
+	m.Failures = []FailureRecord{{Workload: "w", Target: "t", Reason: "panic", Postmortem: "/tmp/fl/pm.json"}}
+	m.Metrics = &Snapshot{
+		Counters: []CounterPoint{
+			{Name: "sim.retired", Value: 10},
+			{Name: "obs.events.dropped", Value: 3},
+		},
+	}
+	m.Canonicalize()
+	if m.Obs != nil {
+		t.Error("obs block survived canonicalization")
+	}
+	if m.Failures[0].Postmortem != "" {
+		t.Error("postmortem path survived canonicalization")
+	}
+	if n := len(m.Metrics.Counters); n != 1 || m.Metrics.Counters[0].Name != "sim.retired" {
+		t.Errorf("obs.* metrics must be stripped, kept %+v", m.Metrics.Counters)
+	}
+	if m.Failures[0].Reason != "panic" {
+		t.Error("canonicalization must keep the failure substance")
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"isacmp/internal/isa"
@@ -14,8 +15,18 @@ import (
 // is only consulted every checkEvery events, so the per-event cost is
 // an increment and a branch.
 type Progress struct {
-	// W receives the heartbeat lines (typically os.Stderr).
+	// W receives the heartbeat lines (typically os.Stderr). Ignored
+	// when Log is set.
 	W io.Writer
+	// Log, when set, routes heartbeats through the structured logger
+	// as Info records instead of raw writes to W, so -log-level=error
+	// silences them and machine log consumers get attrs, not prose.
+	Log *slog.Logger
+	// FinalOnly suppresses the periodic heartbeat, keeping only the
+	// Finish summary line. The CLIs set it when output is not a
+	// terminal, so piped or redirected runs are not spammed with
+	// interactive progress.
+	FinalOnly bool
 	// Interval is the minimum time between lines (default 2s).
 	Interval time.Duration
 	// ExpectedTotal, when non-zero, enables the ETA column.
@@ -53,7 +64,7 @@ func (p *Progress) Event(ev *isa.Event) {
 		p.start, p.lastPrint = now, now
 		return
 	}
-	if now.Sub(p.lastPrint) < p.Interval {
+	if p.FinalOnly || now.Sub(p.lastPrint) < p.Interval {
 		return
 	}
 	p.lastPrint = now
@@ -74,11 +85,31 @@ func (p *Progress) Retired() uint64 { return p.retired }
 func (p *Progress) print(now time.Time) {
 	elapsed := now.Sub(p.start)
 	rate := RateMIPS(p.retired, elapsed)
-	line := fmt.Sprintf("%s: %d retired, %.1f Minst/s, %s elapsed",
-		p.Label, p.retired, rate, elapsed.Truncate(time.Millisecond))
+	var eta time.Duration
 	if p.ExpectedTotal > p.retired && rate > 0 {
 		remaining := float64(p.ExpectedTotal-p.retired) / (rate * 1e6)
-		line += fmt.Sprintf(", ETA %s", (time.Duration(remaining * float64(time.Second))).Truncate(time.Second))
+		eta = time.Duration(remaining * float64(time.Second)).Truncate(time.Second)
+	}
+	if p.Log != nil {
+		attrs := []any{
+			"label", p.Label,
+			"retired", p.retired,
+			"mips", rate,
+			"elapsed", elapsed.Truncate(time.Millisecond).String(),
+		}
+		if eta > 0 {
+			attrs = append(attrs, "eta", eta.String())
+		}
+		p.Log.Info("progress", attrs...)
+		return
+	}
+	if p.W == nil {
+		return
+	}
+	line := fmt.Sprintf("%s: %d retired, %.1f Minst/s, %s elapsed",
+		p.Label, p.retired, rate, elapsed.Truncate(time.Millisecond))
+	if eta > 0 {
+		line += fmt.Sprintf(", ETA %s", eta)
 	}
 	fmt.Fprintln(p.W, line)
 }

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"time"
 
@@ -28,6 +29,8 @@ import (
 	"isacmp/internal/ir"
 	"isacmp/internal/isa"
 	"isacmp/internal/mem"
+	"isacmp/internal/obs"
+	"isacmp/internal/obs/slogx"
 	"isacmp/internal/report"
 	"isacmp/internal/rv64"
 	"isacmp/internal/sched"
@@ -637,6 +640,58 @@ func NewPipelineTrace(capacity int, sample uint64) *PipelineTrace {
 	return telemetry.NewPipelineTrace(capacity, sample)
 }
 
+// Live control-plane surface (see internal/obs): an embedded HTTP
+// server exposing /metrics (Prometheus text), /statusz (live matrix
+// state), /events (SSE cell lifecycle stream), health probes and
+// pprof; a per-run status board; and a per-cell flight recorder that
+// dumps a post-mortem when a cell dies.
+type (
+	// StatusBoard tracks live per-cell matrix state; drive it via
+	// MatrixExperiment.Status or RunConfig.Status and serve it with
+	// StartObsServer. All methods are nil-receiver-safe.
+	StatusBoard = obs.Board
+	// CellEvent is one cell lifecycle transition on the /events stream.
+	CellEvent = obs.Event
+	// StatusDoc is the JSON document /statusz serves.
+	StatusDoc = obs.StatusDoc
+	// ObsServer is the embedded observability HTTP server.
+	ObsServer = obs.Server
+	// ObsServerConfig configures StartObsServer.
+	ObsServerConfig = obs.ServerConfig
+	// FlightRecorder is the bounded per-cell ring of retired events
+	// dumped as a post-mortem on cell death.
+	FlightRecorder = obs.Recorder
+	// Postmortem is the flight recorder's crash-dump artifact.
+	Postmortem = obs.Postmortem
+)
+
+// NewRunID returns a fresh run identifier (UTC timestamp plus random
+// suffix) used to join logs, manifests, post-mortems and /statusz.
+func NewRunID() string { return obs.NewRunID() }
+
+// NewStatusBoard returns a board for one run; reg may be nil.
+func NewStatusBoard(runID string, reg *MetricsRegistry) *StatusBoard {
+	return obs.NewBoard(runID, reg)
+}
+
+// StartObsServer starts the observability HTTP server. It shuts down
+// when ctx is cancelled or Close is called, whichever comes first.
+func StartObsServer(ctx context.Context, cfg ObsServerConfig) (*ObsServer, error) {
+	return obs.StartServer(ctx, cfg)
+}
+
+// WritePrometheusText renders a metrics snapshot in the Prometheus
+// text exposition format (what /metrics serves).
+func WritePrometheusText(w io.Writer, snap MetricsSnapshot) error {
+	return obs.WritePrometheus(w, snap)
+}
+
+// NewLogger builds the leveled structured logger the CLIs use. level
+// is debug/info/warn/error; format is text or json (JSONL).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return slogx.New(w, level, format)
+}
+
 // RunConfig configures an instrumented run.
 type RunConfig struct {
 	// Core selects the timing model: "emulation" (default),
@@ -651,8 +706,14 @@ type RunConfig struct {
 	// Trace, when non-nil, records pipeline timing from the core.
 	Trace *PipelineTrace
 	// Progress, when non-nil, receives heartbeat lines during the run
-	// and a final line after it.
+	// and a final line after it. When Log is also set the heartbeat is
+	// routed through the logger as info-level records, so a logger at
+	// the error level silences it.
 	Progress io.Writer
+	// ProgressFinalOnly suppresses the periodic heartbeat lines and
+	// keeps only the final summary (set when stderr is not a
+	// terminal).
+	ProgressFinalOnly bool
 	// SamplePeriod overrides the tee's overhead-timing interval.
 	SamplePeriod uint64
 	// Parallel selects the analysis engine: 1 runs every sink through
@@ -670,6 +731,31 @@ type RunConfig struct {
 	// MaxInstructions is the retirement budget; exceeding it fails the
 	// run with an ErrBudget-kind error. 0 disables the budget.
 	MaxInstructions uint64
+
+	// Log, when non-nil, receives structured lifecycle lines for the
+	// run, scoped with the cell identity (workload, target, attempt).
+	Log *slog.Logger
+	// RunID stamps post-mortem artifacts; see NewRunID.
+	RunID string
+	// Attempt is the 1-based retry attempt recorded in logs and
+	// post-mortems (0 is treated as 1).
+	Attempt int
+	// Status, when non-nil, sees the run's retired count advance live
+	// (serve it with StartObsServer). Pure observer: analysis results
+	// are byte-identical with or without it.
+	Status *StatusBoard
+	// ServeAddr, when non-empty, serves the observability endpoints
+	// (/metrics, /statusz, /events, health, pprof) for the duration of
+	// this run, on Metrics and Status. The server follows Ctx: a
+	// cancelled run tears it down with no goroutines left behind.
+	ServeAddr string
+	// FlightDir, when non-empty, arms a flight recorder: the last
+	// FlightEvents retired events are kept in a ring and dumped to
+	// FlightDir as a post-mortem JSON if the run fails.
+	FlightDir string
+	// FlightEvents is the recorder ring capacity (0 selects the
+	// default).
+	FlightEvents int
 }
 
 // RunInstrumented executes the binary once with full telemetry: the
@@ -680,16 +766,64 @@ type RunConfig struct {
 // to append to a RunManifest. The Result carries the same analysis
 // outputs in their native form.
 func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
-	rec := RunRecord{Workload: b.prog.Name, Target: b.compiled.Target.String()}
+	workload, target := b.prog.Name, b.compiled.Target.String()
+	rec := RunRecord{Workload: workload, Target: target}
 	mach, _, err := b.NewMachine()
 	if err != nil {
 		return nil, rec, err
+	}
+
+	attempt := cfg.Attempt
+	if attempt < 1 {
+		attempt = 1
+	}
+	if cfg.ServeAddr != "" {
+		ctx := cfg.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		srv, serr := obs.StartServer(ctx, obs.ServerConfig{
+			Addr: cfg.ServeAddr, Registry: cfg.Metrics, Board: cfg.Status, Log: cfg.Log,
+		})
+		if serr != nil {
+			return nil, rec, serr
+		}
+		srv.SetReady(true)
+		defer srv.Close()
+	}
+	var flight *obs.Recorder
+	if cfg.FlightDir != "" {
+		flight = obs.NewRecorder(cfg.FlightEvents, cfg.RunID, workload, target, attempt, cfg.Metrics)
+	}
+	// dumpFlight writes the post-mortem when an armed run fails; called
+	// on the same goroutine that fed the recorder.
+	dumpFlight := func(runErr error) {
+		if flight != nil && runErr != nil {
+			flight.Dump(cfg.FlightDir, simeng.WithCell(runErr, workload, target),
+				slogx.WithCell(cfg.Log, workload, target, attempt))
+		}
+	}
+	// observe interposes the pure pass-through observers (flight
+	// recorder, live meter) outermost on a run path's sink; analysis
+	// results and event counts are unchanged (the byte-identity
+	// contract).
+	observe := func(s Sink) (Sink, *obs.Meter) {
+		if flight != nil {
+			s = flight.Wrap(s)
+		}
+		if m := obs.NewMeter(cfg.Status, workload, target, s); m != nil {
+			return m, m
+		}
+		return s, nil
 	}
 
 	parallel := sched.DefaultWorkers(cfg.Parallel)
 	as := b.newAnalysisSet(cfg.Analyses, parallel)
 
 	emu := &simeng.EmulationCore{Ctx: cfg.Ctx, MaxInstructions: cfg.MaxInstructions}
+	if cfg.Log != nil {
+		emu.Log = slogx.WithCell(cfg.Log, workload, target, attempt)
+	}
 	var statsSource simeng.StatsSource = emu
 	switch cfg.Core {
 	case "", "emulation":
@@ -726,7 +860,11 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	}
 	var pg *telemetry.Progress
 	if cfg.Progress != nil {
-		pg = telemetry.NewProgress(cfg.Progress, b.prog.Name+" "+b.compiled.Target.String(), 0)
+		pg = telemetry.NewProgress(cfg.Progress, workload+" "+target, 0)
+		if cfg.Log != nil {
+			pg.Log = slogx.WithCell(cfg.Log, workload, target, attempt)
+		}
+		pg.FinalOnly = cfg.ProgressFinalOnly
 		as.add("progress", pg)
 	}
 
@@ -742,11 +880,17 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 			consumers = append(consumers, rm)
 		}
 		n, runErr := sched.Fanout(func(s isa.Sink) error {
+			// Fanout runs gen on the caller's goroutine, so the
+			// recorder/meter wrapped here stay single-goroutine; counting
+			// happens below the wrappers, so n is unchanged by them.
+			s, meter := observe(s)
 			var e error
 			stats, e = emu.Run(mach, s)
+			meter.Flush()
 			return e
 		}, consumers...)
 		if runErr != nil {
+			dumpFlight(runErr)
 			return nil, rec, runErr
 		}
 		for _, name := range as.names {
@@ -765,8 +909,11 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 		if len(as.sinks) > 0 || rm != nil {
 			sink = tee
 		}
+		sink, meter := observe(sink)
 		stats, err = emu.Run(mach, sink)
+		meter.Flush()
 		if err != nil {
+			dumpFlight(err)
 			return nil, rec, err
 		}
 		if len(as.sinks) > 0 {
