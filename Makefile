@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race differential golden check-faults check-obs fuzz-smoke bench bench-matrix bench-hotpath bench-obs bench-watch clean
+.PHONY: check fmt vet build test race differential golden check-faults check-obs check-prof fuzz-smoke bench bench-matrix bench-hotpath bench-obs bench-scaling bench-watch clean
 
 # check is the full pre-merge gate: formatting, static checks, build,
 # the race-enabled test suite (including the differential, golden,
-# fault-injection and observability suites, run explicitly so a -run
-# filter can never silently drop them), a short instrumented benchmark
-# run that exercises the manifest path end to end (BENCH_PR1.json),
-# and the uniform bench-watch regression gate over the committed
-# BENCH_*.json trajectory.
-check: fmt vet build race differential golden check-faults check-obs bench bench-watch
+# fault-injection, observability and profiler suites, run explicitly
+# so a -run filter can never silently drop them), a short instrumented
+# benchmark run that exercises the manifest path end to end
+# (BENCH_PR1.json), and the uniform bench-watch regression gate over
+# the committed BENCH_*.json trajectory.
+check: fmt vet build race differential golden check-faults check-obs check-prof bench bench-watch
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -62,6 +62,18 @@ check-obs:
 	$(GO) test -race -count=1 ./internal/obs/...
 	$(GO) test -race -count=1 -run 'TestReadManifest|TestCanonicalize' ./internal/telemetry
 
+# check-prof runs the span-profiler suites under the race detector:
+# the prof package itself (ring/totals semantics, occupancy, Amdahl
+# fit, zero-allocation and nil-hook cost pins), worker-lane and
+# queue-wait accounting in the pool, timed fan-out, the concurrent
+# sharded-windowed-CP cells, and the matrix-level contracts — profile
+# on/off byte-identity and the <= 1% disabled-profiler overhead gate.
+check-prof:
+	$(GO) test -race -count=1 ./internal/prof
+	$(GO) test -race -count=1 -run 'TestPoolGoW|TestPoolStatsBlocked|TestFanoutTimed' ./internal/sched
+	$(GO) test -race -count=1 -run 'TestShardedConcurrentCells' ./internal/core
+	$(GO) test -race -count=1 -run 'TestProfiledByteIdentical|TestProfilerOffOverheadBudget' .
+
 # fuzz-smoke runs each native fuzz target briefly. Longer campaigns:
 #	$(GO) test -fuzz FuzzDecodeA64 -fuzztime 5m ./internal/a64
 fuzz-smoke:
@@ -103,6 +115,16 @@ bench-hotpath:
 bench-obs:
 	$(GO) run ./cmd/isacmp bench-obs -scale small -o BENCH_PR5.json
 
+# bench-scaling sweeps the full matrix over worker counts with the
+# span profiler live: per-point stage breakdown and occupancy, an
+# Amdahl serial-fraction fit, the profiler's own measured on-cost
+# against the <= 3% budget, the estimated off-cost, and a ranked
+# attribution of lost parallelism naming the dominant bottleneck.
+# Writes BENCH_PR6.json; regenerate (and commit) after an intentional
+# execution-path change.
+bench-scaling:
+	$(GO) run ./cmd/isacmp scalebench -scale small -o BENCH_PR6.json
+
 # bench-watch is the uniform regression gate over the committed
 # benchmark trajectory (replacing the retired ad-hoc hotpath-guard):
 # each watched BENCH_*.json is re-measured into a scratch doc and
@@ -114,7 +136,8 @@ bench-watch:
 	$(GO) run ./cmd/isacmp bench-hotpath -scale small -o BENCH_PR4.check.json -guard BENCH_PR4.json
 	$(GO) run ./cmd/isacmp bench-obs -scale small -o BENCH_PR5.check.json
 	$(GO) run ./cmd/isacmp bench-watch BENCH_PR5.json BENCH_PR5.check.json
-	rm -f BENCH_PR4.check.json BENCH_PR5.check.json
+	$(GO) run ./cmd/isacmp scalebench -scale small -o BENCH_PR6.check.json -guard BENCH_PR6.json
+	rm -f BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR4.check.json BENCH_PR5.check.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json

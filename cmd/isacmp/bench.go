@@ -240,6 +240,12 @@ func benchResilience(progs []*ir.Program, scale workloads.Scale, out string, par
 // benchHotpathSchema identifies the bench-hotpath document layout.
 const benchHotpathSchema = "isacmp/bench-hotpath/v1"
 
+// benchHotpathReps is how many step/hot pairs bench-hotpath times;
+// interleaved with alternating order for the same reasons as
+// benchObsReps. Fewer reps than bench-obs because each pair runs the
+// matrix twice through the slow step loop.
+const benchHotpathReps = 3
+
 // hotpathDoc is the record `isacmp bench-hotpath` writes
 // (BENCH_PR4.json): the full matrix timed once through the per-Step
 // reference loop and once through the batched StepN hot path, with
@@ -251,16 +257,29 @@ type hotpathDoc struct {
 	GoVersion  string `json:"go_version"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	Cells      int    `json:"cells"`
+	// Workers is always 1: both legs run single-threaded so the
+	// comparison isolates the loop structure. Recorded for the uniform
+	// bench-watch provenance rule.
+	Workers int `json:"workers"`
+	Cells   int `json:"cells"`
 
 	// StepLoopSeconds times the matrix with Experiment.StepLoop set:
 	// the original one-event-at-a-time engine loop over the same
-	// machines. HotpathSeconds times the batched StepN path.
+	// machines. HotpathSeconds times the batched StepN path. Both are
+	// the best wall time across the interleaved pairs.
 	StepLoopSeconds float64 `json:"steploop_seconds"`
 	HotpathSeconds  float64 `json:"hotpath_seconds"`
-	// BatchSpeedup is StepLoopSeconds over HotpathSeconds — the gain
-	// attributable to batching alone, measured in one process.
+	// BatchSpeedup is the median over the interleaved step/hot pairs
+	// of StepLoopSeconds over HotpathSeconds — the gain attributable
+	// to batching alone, measured in one process.
 	BatchSpeedup float64 `json:"batch_speedup"`
+	// BatchSpeedupNote documents why BatchSpeedup hovers near 1.0 at
+	// small scale (the predecode cache already amortizes dispatch, so
+	// batching's remaining win is within single-shot scheduler noise);
+	// the earlier single-shot measurement even dipped below 1.0. The
+	// bench-watch floor rule (0.90) is what catches a genuine batching
+	// regression.
+	BatchSpeedupNote string `json:"batch_speedup_note"`
 
 	// PR2BaselineSeconds is sequential_seconds from the committed
 	// bench-matrix doc (BENCH_PR2.json), and PR2Speedup the
@@ -291,19 +310,59 @@ func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guar
 
 	stepEx := ex
 	stepEx.StepLoop = true
-	start := time.Now()
-	stepRows, _, err := report.RunSuite(progs, stepEx)
-	if err != nil {
-		return err
-	}
-	stepWall := time.Since(start).Seconds()
 
-	start = time.Now()
-	hotRows, st, err := report.RunSuite(progs, ex)
-	if err != nil {
-		return err
+	// Interleaved pairs with alternating order and a median speedup,
+	// like bench-obs: a single-shot step/hot comparison at small scale
+	// is dominated by scheduler noise (it once measured batching as a
+	// 0.978x slowdown — see BatchSpeedupNote).
+	var stepRows, hotRows [][]report.Row
+	var st *telemetry.SchedStats
+	stepWalls := make([]float64, benchHotpathReps)
+	hotWalls := make([]float64, benchHotpathReps)
+	timeStep := func(i int) error {
+		runtime.GC()
+		start := time.Now()
+		rows, _, err := report.RunSuite(progs, stepEx)
+		if err != nil {
+			return err
+		}
+		stepWalls[i] = time.Since(start).Seconds()
+		if i == 0 {
+			stepRows = rows
+		}
+		return nil
 	}
-	hotWall := time.Since(start).Seconds()
+	timeHot := func(i int) error {
+		runtime.GC()
+		start := time.Now()
+		rows, stats, err := report.RunSuite(progs, ex)
+		if err != nil {
+			return err
+		}
+		hotWalls[i] = time.Since(start).Seconds()
+		if i == 0 {
+			hotRows, st = rows, stats
+		}
+		return nil
+	}
+	for i := 0; i < benchHotpathReps; i++ {
+		first, second := timeStep, timeHot
+		if i%2 == 1 {
+			first, second = timeHot, timeStep
+		}
+		if err := first(i); err != nil {
+			return err
+		}
+		if err := second(i); err != nil {
+			return err
+		}
+	}
+	stepWall := minFloat(stepWalls)
+	hotWall := minFloat(hotWalls)
+	pairSpeedups := make([]float64, benchHotpathReps)
+	for i := range pairSpeedups {
+		pairSpeedups[i] = stepWalls[i] / hotWalls[i]
+	}
 
 	stepJSON, err := canonicalRowsJSON(progs, scale, stepRows)
 	if err != nil {
@@ -320,13 +379,15 @@ func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guar
 		GoVersion:       runtime.Version(),
 		NumCPU:          runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         1,
 		Cells:           st.Cells,
 		StepLoopSeconds: stepWall,
 		HotpathSeconds:  hotWall,
-		Identical:       bytes.Equal(stepJSON, hotJSON),
-	}
-	if hotWall > 0 {
-		doc.BatchSpeedup = stepWall / hotWall
+		BatchSpeedup:    medianFloat(pairSpeedups),
+		BatchSpeedupNote: "median of " + fmt.Sprint(benchHotpathReps) + " interleaved step/hot pairs; " +
+			"near 1.0 at small scale because the predecode cache already amortizes dispatch cost, " +
+			"leaving batching's win within scheduler noise — a genuine regression trips the 0.90 bench-watch floor",
+		Identical: bytes.Equal(stepJSON, hotJSON),
 	}
 	if !doc.Identical {
 		return fmt.Errorf("bench-hotpath: batched results differ from step-loop (byte-identity violation)")
@@ -550,7 +611,10 @@ func benchWatch(baselinePath, freshPath string, text bool) error {
 		return err
 	}
 	for _, f := range findings {
-		if text || f.Regression {
+		switch {
+		case f.Warning:
+			fmt.Printf("bench-watch: warning: %s: %s\n", f.Schema, f.Message)
+		case text || f.Regression:
 			fmt.Printf("bench-watch: %s: %s\n", f.Schema, f.Message)
 		}
 	}

@@ -21,7 +21,10 @@
 // and /debug/pprof for the duration of the command; -log-level and
 // -log-format control the structured stderr log; -flight-dir arms the
 // per-cell flight recorder (post-mortem JSON on cell death, ring size
-// -flight-events). The run subcommand adds -core
+// -flight-events); -profile records per-stage span timelines on
+// per-worker lanes (served on /profilez, summarized on /statusz,
+// exported as Chrome-trace JSON via -profile-trace or
+// /profilez?format=chrome). The run subcommand adds -core
 // emulation|inorder|ooo, -cache, -metrics-json (alias of -json),
 // -trace (Chrome-trace JSON of pipeline timing, loadable in
 // chrome://tracing), -trace-format chrome|jsonl, -trace-cap and
@@ -47,6 +50,7 @@ import (
 	"isacmp/internal/ir"
 	"isacmp/internal/obs"
 	"isacmp/internal/obs/slogx"
+	"isacmp/internal/prof"
 	"isacmp/internal/report"
 	"isacmp/internal/rv64"
 	"isacmp/internal/sched"
@@ -96,6 +100,8 @@ func main() {
 	logFormatFlag := fs.String("log-format", "text", "structured log encoding on stderr: text or json (JSONL)")
 	flightDirFlag := fs.String("flight-dir", "", "dump a flight-recorder post-mortem JSON into this directory when a cell fails")
 	flightEventsFlag := fs.Int("flight-events", 0, "flight-recorder ring capacity in retired events (0 = default)")
+	profileFlag := fs.Bool("profile", false, "record per-stage spans (setup/simulate/deliver/sink/retry-backoff/manifest-write) on per-worker timelines; served on /profilez and summarized on /statusz")
+	profileTraceFlag := fs.String("profile-trace", "", "write the -profile span timelines as Chrome-trace JSON to this file at exit (implies -profile)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(report.ExitUsage)
 	}
@@ -149,11 +155,18 @@ func main() {
 			Events: events,
 		}
 	}
+	// The span profiler gets one lane per analysis worker plus a
+	// coordinator lane for out-of-pool work (manifest writes). nil
+	// when -profile is off: every hook site then costs one nil check.
+	var profiler *prof.Profiler
+	if *profileFlag || *profileTraceFlag != "" {
+		profiler = prof.New(sched.DefaultWorkers(*parallelFlag), 0)
+	}
 	obsCtx, obsCancel := context.WithCancel(context.Background())
 	defer obsCancel()
 	if *serveFlag != "" {
 		srv, err := obs.StartServer(obsCtx, obs.ServerConfig{
-			Addr: *serveFlag, Registry: reg, Board: board, Log: log,
+			Addr: *serveFlag, Registry: reg, Board: board, Profiler: profiler, Log: log,
 		})
 		if err != nil {
 			fatal(err)
@@ -177,6 +190,7 @@ func main() {
 		Status:          board,
 		FlightDir:       *flightDirFlag,
 		FlightEvents:    *flightEventsFlag,
+		Prof:            profiler,
 	}
 	if *progressFlag {
 		baseEx.Progress = os.Stderr
@@ -343,6 +357,14 @@ func main() {
 		if err := benchObs(progs, scale, out, *parallelFlag, text); err != nil {
 			fatal(err)
 		}
+	case "scalebench":
+		out := *outFlag
+		if out == "BENCH_PR2.json" { // flag default belongs to bench-matrix
+			out = "BENCH_PR6.json"
+		}
+		if err := scaleBench(progs, scale, out, *guardFlag, text); err != nil {
+			fatal(err)
+		}
 	case "bench-watch":
 		args := fs.Args()
 		if len(args) != 2 {
@@ -388,7 +410,23 @@ func main() {
 
 	manifest.Finish(startTime, reg)
 	if *jsonFlag != "" {
-		if err := manifest.WriteFile(*jsonFlag); err != nil {
+		sp := profiler.Start(profiler.CoordinatorLane(), prof.StageManifestWrite, "", "")
+		err := manifest.WriteFile(*jsonFlag)
+		sp.End()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *profileTraceFlag != "" {
+		f, err := os.Create(*profileTraceFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if err := profiler.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}
@@ -970,6 +1008,9 @@ commands:
   bench-hotpath  time the batched hot path vs the per-Step loop (-o,
                  -pr2-baseline, -guard: judge via the bench-watch rules)
   bench-obs  measure the serve-mode overhead vs baseline (-o)
+  scalebench sweep the matrix over worker counts with the span profiler
+             live: per-stage breakdown, occupancy, Amdahl fit and a
+             ranked attribution of lost parallelism (-o, -guard)
   bench-watch <committed.json> <fresh.json>  fail on regression against
              the committed benchmark trajectory
   artifacts  write the four result files of the paper's artifact (A.6)
@@ -988,9 +1029,11 @@ resilience: -cell-timeout <d>  -max-instructions <n>  -retries <n>
 
 observability: -json <f> (run manifest; "-" = stdout)  -progress
   -cpuprofile <f>  -memprofile <f>
-  -serve <addr> (live /metrics /statusz /events /healthz /debug/pprof)
+  -serve <addr> (live /metrics /statusz /profilez /events /healthz /debug/pprof)
   -log-level debug|info|warn|error  -log-format text|json
   -flight-dir <dir>  -flight-events <n> (post-mortem ring on cell death)
+  -profile (per-stage span timelines; /profilez, /statusz stage_seconds)
+  -profile-trace <f> (Chrome-trace JSON of the span timelines at exit)
 run: -workload <name> -target <t>|all -core emulation|inorder|ooo -cache
   -metrics-json <f>  -trace <f> -trace-format chrome|jsonl
   -trace-cap <n> -trace-sample <n>`)

@@ -1,0 +1,425 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"isacmp/internal/ir"
+	"isacmp/internal/prof"
+	"isacmp/internal/report"
+	"isacmp/internal/workloads"
+)
+
+// scalingSchema identifies the scaling-report document layout.
+const scalingSchema = "isacmp/scaling-report/v1"
+
+// scaleOverheadReps is how many profiler-on/profiler-off pairs the
+// overhead measurement times, interleaved with alternating order like
+// bench-obs, with the median per-pair difference reported.
+const scaleOverheadReps = 3
+
+// scaleNilHookIters sizes the nil-hook micro-measurement that backs
+// the profiler-off overhead estimate.
+const scaleNilHookIters = 1_000_000
+
+// scalePoint is one worker count in the sweep. WallSeconds is
+// measured with the profiler live (its cost is bounded separately by
+// ProfilerOnOverheadPercent), so all points carry the same
+// instrumentation and compare cleanly.
+type scalePoint struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Speedup is T(1)/T(w); Efficiency divides it by w.
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	// BlockedSeconds is the pool-wide queue-wait total: workers sitting
+	// on the task channel because the coordinator could not feed them.
+	BlockedSeconds float64 `json:"blocked_seconds"`
+	// Identical records byte-identity of this point's canonicalized
+	// manifest against the workers=1 run.
+	Identical    bool               `json:"identical"`
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+	Occupancy    []prof.Occupancy   `json:"occupancy,omitempty"`
+}
+
+// scaleAttribution is one cause of lost parallelism, in seconds of
+// wall time at the deepest point of the sweep.
+type scaleAttribution struct {
+	Cause   string  `json:"cause"`
+	Seconds float64 `json:"seconds"`
+	Detail  string  `json:"detail"`
+}
+
+// scalingDoc is the record `isacmp scalebench` writes
+// (BENCH_PR6.json): the full matrix swept over worker counts with the
+// span profiler live, per-stage breakdowns and worker occupancy per
+// point, an Amdahl serial-fraction fit, and a ranked attribution of
+// where the parallelism went.
+type scalingDoc struct {
+	Schema     string `json:"schema"`
+	Scale      string `json:"scale"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the deepest worker count swept — the provenance field
+	// the bench-watch rule demands be > 1.
+	Workers int `json:"workers"`
+	Cells   int `json:"cells"`
+
+	Points []scalePoint `json:"points"`
+
+	// BestWallSeconds is the fastest wall time across the sweep — the
+	// watched wall-time metric.
+	BestWallSeconds float64 `json:"best_wall_seconds"`
+	// EfficiencyAt4 is T(1)/(4*T(4)) when the sweep has a 4-worker
+	// point; on a single-CPU host it is bounded near 1/NumCPU/... by
+	// hardware, which the attribution below names explicitly.
+	EfficiencyAt4 float64 `json:"efficiency_at_4,omitempty"`
+	// AmdahlSerialFraction is the least-squares serial fraction fitted
+	// to the sweep (-1 when the sweep was degenerate).
+	AmdahlSerialFraction float64 `json:"amdahl_serial_fraction"`
+
+	// Attribution ranks the causes of lost parallelism at the deepest
+	// point (top three); DominantBottleneck names the first.
+	Attribution        []scaleAttribution `json:"attribution"`
+	DominantBottleneck string             `json:"dominant_bottleneck"`
+
+	// ProfilerOnOverheadPercent is the measured median wall-time cost
+	// of running with -profile versus without (budget 3%).
+	// ProfilerOffOverheadPercent is the estimated cost of the disabled
+	// hooks themselves: the measured nil-hook pair cost times the
+	// number of hook pairs a run executes, as a percentage of the
+	// profiler-off wall time (must stay under 1%).
+	ProfilerOnOverheadPercent  float64 `json:"profiler_on_overhead_percent"`
+	ProfilerOffOverheadPercent float64 `json:"profiler_off_overhead_percent"`
+	BudgetPercent              float64 `json:"budget_percent"`
+	WithinBudget               bool    `json:"within_budget"`
+
+	// Identical records that every sweep point and both overhead legs
+	// produced byte-identical canonicalized manifests — profiling and
+	// worker count change no output byte.
+	Identical bool `json:"identical"`
+}
+
+// scaleWorkerSweep is the worker counts scalebench visits:
+// {1, 2, 4, 8, GOMAXPROCS}, deduplicated and sorted.
+func scaleWorkerSweep() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, 8: true, runtime.GOMAXPROCS(0): true}
+	ws := make([]int, 0, len(set))
+	for w := range set {
+		if w >= 1 {
+			ws = append(ws, w)
+		}
+	}
+	sort.Ints(ws)
+	return ws
+}
+
+// nilHookPairSeconds measures the cost of one disabled
+// (nil-profiler) Start/End pair — the entire per-hook price a
+// profiler-off run pays.
+func nilHookPairSeconds() float64 {
+	var p *prof.Profiler
+	start := time.Now()
+	for i := 0; i < scaleNilHookIters; i++ {
+		sp := p.Start(0, prof.StageSimulate, "", "")
+		sp.End()
+	}
+	return time.Since(start).Seconds() / scaleNilHookIters
+}
+
+// scaleBench sweeps the matrix over worker counts with the span
+// profiler live, measures the profiler's own on/off cost, fits the
+// serial fraction, attributes the lost parallelism, and writes the
+// scalingDoc JSON to out. When guardPath names a committed
+// scaling-report doc, the fresh doc is judged through bench-watch.
+func scaleBench(progs []*ir.Program, scale workloads.Scale, out, guardPath string, text bool) error {
+	base := report.Experiment{PathLength: true, CritPath: true, Scaled: true, Windowed: true}
+	sweep := scaleWorkerSweep()
+	maxW := sweep[len(sweep)-1]
+
+	doc := scalingDoc{
+		Schema:        scalingSchema,
+		Scale:         scale.String(),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       maxW,
+		BudgetPercent: 3,
+		Identical:     true,
+	}
+
+	// Phase 1: the sweep. Every point runs with a fresh profiler so
+	// its stage totals describe exactly that worker count.
+	walls := make(map[int]float64, len(sweep))
+	stageAt := make(map[int]map[string]float64, len(sweep))
+	blockedAt := make(map[int]float64, len(sweep))
+	var refJSON []byte // canonical manifest of the workers=1 point
+	var hookPairs int64
+	for _, w := range sweep {
+		ex := base
+		ex.Parallel = w
+		ex.Prof = prof.New(w, 0)
+		runtime.GC()
+		start := time.Now()
+		rows, st, err := report.RunSuite(progs, ex)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start).Seconds()
+		rowsJSON, err := canonicalRowsJSON(progs, scale, rows)
+		if err != nil {
+			return err
+		}
+		if w == 1 {
+			refJSON = rowsJSON
+			doc.Cells = st.Cells
+			for _, t := range ex.Prof.StageTotals() {
+				hookPairs += t.Spans
+			}
+		}
+		pt := scalePoint{
+			Workers:        w,
+			WallSeconds:    wall,
+			BlockedSeconds: st.BlockedSeconds,
+			Identical:      bytes.Equal(refJSON, rowsJSON),
+			StageSeconds:   ex.Prof.StageSeconds(),
+			Occupancy:      prof.OccupancyFromSched(*st),
+		}
+		doc.Identical = doc.Identical && pt.Identical
+		walls[w] = wall
+		stageAt[w] = pt.StageSeconds
+		blockedAt[w] = st.BlockedSeconds
+		doc.Points = append(doc.Points, pt)
+		if text {
+			fmt.Printf("scalebench: workers=%d wall %.3fs blocked %.3fs identical=%v\n", w, wall, st.BlockedSeconds, pt.Identical)
+		}
+	}
+	t1 := walls[1]
+	for i := range doc.Points {
+		pt := &doc.Points[i]
+		if pt.WallSeconds > 0 {
+			pt.Speedup = t1 / pt.WallSeconds
+		}
+		pt.Efficiency = prof.Efficiency(t1, pt.WallSeconds, pt.Workers)
+	}
+	doc.BestWallSeconds = walls[sweep[0]]
+	for _, w := range sweep {
+		if walls[w] < doc.BestWallSeconds {
+			doc.BestWallSeconds = walls[w]
+		}
+	}
+	if t4, ok := walls[4]; ok {
+		doc.EfficiencyAt4 = prof.Efficiency(t1, t4, 4)
+	}
+	doc.AmdahlSerialFraction = prof.AmdahlSerialFraction(walls)
+
+	// Phase 2: profiler cost, at min(4, maxW) workers — interleaved
+	// on/off pairs, alternating order, median per-pair difference.
+	wOv := 4
+	if wOv > maxW {
+		wOv = maxW
+	}
+	offEx := base
+	offEx.Parallel = wOv
+	var onRows, offRows [][]report.Row
+	onWalls := make([]float64, scaleOverheadReps)
+	offWalls := make([]float64, scaleOverheadReps)
+	timeOn := func(i int) error {
+		ex := base
+		ex.Parallel = wOv
+		ex.Prof = prof.New(wOv, 0)
+		runtime.GC()
+		start := time.Now()
+		rows, _, err := report.RunSuite(progs, ex)
+		if err != nil {
+			return err
+		}
+		onWalls[i] = time.Since(start).Seconds()
+		if i == 0 {
+			onRows = rows
+		}
+		return nil
+	}
+	timeOff := func(i int) error {
+		runtime.GC()
+		start := time.Now()
+		rows, _, err := report.RunSuite(progs, offEx)
+		if err != nil {
+			return err
+		}
+		offWalls[i] = time.Since(start).Seconds()
+		if i == 0 {
+			offRows = rows
+		}
+		return nil
+	}
+	for i := 0; i < scaleOverheadReps; i++ {
+		first, second := timeOn, timeOff
+		if i%2 == 1 {
+			first, second = timeOff, timeOn
+		}
+		if err := first(i); err != nil {
+			return err
+		}
+		if err := second(i); err != nil {
+			return err
+		}
+	}
+	pairOverheads := make([]float64, scaleOverheadReps)
+	for i := range pairOverheads {
+		pairOverheads[i] = (onWalls[i] - offWalls[i]) / offWalls[i] * 100
+	}
+	doc.ProfilerOnOverheadPercent = medianFloat(pairOverheads)
+	doc.WithinBudget = doc.ProfilerOnOverheadPercent <= doc.BudgetPercent
+	onJSON, err := canonicalRowsJSON(progs, scale, onRows)
+	if err != nil {
+		return err
+	}
+	offJSON, err := canonicalRowsJSON(progs, scale, offRows)
+	if err != nil {
+		return err
+	}
+	profIdentical := bytes.Equal(onJSON, offJSON) && bytes.Equal(refJSON, offJSON)
+	doc.Identical = doc.Identical && profIdentical
+	if offWall := minFloat(offWalls); offWall > 0 {
+		doc.ProfilerOffOverheadPercent = nilHookPairSeconds() * float64(hookPairs) / offWall * 100
+	}
+	if !doc.Identical {
+		return fmt.Errorf("scalebench: results differ across worker counts or profiler state (determinism violation)")
+	}
+
+	// Phase 3: attribution. At the deepest point, the wall time lost
+	// versus the ideal T(1)/w split into named causes.
+	doc.Attribution = attributeLostParallelism(maxW, doc.NumCPU, walls, stageAt, blockedAt)
+	if len(doc.Attribution) > 3 {
+		doc.Attribution = doc.Attribution[:3]
+	}
+	if len(doc.Attribution) > 0 {
+		doc.DominantBottleneck = doc.Attribution[0].Cause
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if text {
+		fmt.Printf("scalebench: %d cells, sweep to %d workers on %d CPU(s): best %.3fs, serial fraction %.2f, bottleneck %s, profiler on %.2f%%/off %.3f%% (budget %.0f%%), identical=%v -> %s\n",
+			doc.Cells, maxW, doc.NumCPU, doc.BestWallSeconds, doc.AmdahlSerialFraction,
+			doc.DominantBottleneck, doc.ProfilerOnOverheadPercent, doc.ProfilerOffOverheadPercent,
+			doc.BudgetPercent, doc.Identical, out)
+		for _, a := range doc.Attribution {
+			fmt.Printf("scalebench:   %-22s %7.3fs  %s\n", a.Cause, a.Seconds, a.Detail)
+		}
+	}
+	if guardPath != "" {
+		return benchWatch(guardPath, out, text)
+	}
+	return nil
+}
+
+// attributeLostParallelism splits the wall time lost at w workers —
+// T(w) minus the ideal T(1)/w — into named causes, sorted largest
+// first:
+//
+//   - hardware-cpu-limit: only min(w, NumCPU) cores exist, so even a
+//     perfectly parallel program cannot beat T(1)/NumCPU.
+//   - queue-starvation: workers blocked on the task channel because
+//     the coordinator could not feed them (pool BlockedSeconds / w).
+//   - stage-inflation:<stage>: a stage's summed span time grew versus
+//     the workers=1 run (contention, cache pressure), amortized over w.
+//   - unattributed-serial: the remainder — coordinator-side work and
+//     anything the spans do not cover.
+//
+// The raw estimates overlap: spans measure wall time, so a worker
+// preempted because the cores are oversubscribed inflates its stage
+// spans with the very seconds the cpu-limit bucket already claims.
+// The loss is therefore allocated greedily — hardware first, then
+// queue waits, then span inflation, each capped by what remains — so
+// the reported seconds sum to the true loss and the dominant cause is
+// not double-counted. Each Detail keeps the uncapped measurement.
+func attributeLostParallelism(w, numCPU int, walls map[int]float64, stageAt map[int]map[string]float64, blockedAt map[int]float64) []scaleAttribution {
+	t1, tw := walls[1], walls[w]
+	lost := tw - t1/float64(w)
+	if lost <= 0 {
+		return []scaleAttribution{{
+			Cause:   "none",
+			Seconds: 0,
+			Detail:  fmt.Sprintf("wall at %d workers (%.3fs) already matches the ideal %.3fs", w, tw, t1/float64(w)),
+		}}
+	}
+	var out []scaleAttribution
+	remaining := lost
+	take := func(estimate float64) float64 {
+		if estimate > remaining {
+			estimate = remaining
+		}
+		if estimate < 0 {
+			estimate = 0
+		}
+		remaining -= estimate
+		return estimate
+	}
+	if numCPU < w {
+		// The share of the loss explained purely by the core count:
+		// ideal-on-numCPU-cores minus ideal-on-w-cores.
+		hw := t1/float64(numCPU) - t1/float64(w)
+		if got := take(hw); got > 0 {
+			out = append(out, scaleAttribution{
+				Cause:   "hardware-cpu-limit",
+				Seconds: got,
+				Detail:  fmt.Sprintf("%d workers share %d CPU(s); best possible wall is T1/%d = %.3fs, not T1/%d = %.3fs", w, numCPU, numCPU, t1/float64(numCPU), w, t1/float64(w)),
+			})
+		}
+	}
+	if got := take(blockedAt[w] / float64(w)); got > 0 {
+		out = append(out, scaleAttribution{
+			Cause:   "queue-starvation",
+			Seconds: got,
+			Detail:  fmt.Sprintf("workers spent %.3fs total waiting on the task queue (%.3fs averaged over %d workers)", blockedAt[w], blockedAt[w]/float64(w), w),
+		})
+	}
+	s1, sw := stageAt[1], stageAt[w]
+	for _, stage := range sortedKeys(sw) {
+		inflation := (sw[stage] - s1[stage]) / float64(w)
+		if got := take(inflation); got > 0 {
+			out = append(out, scaleAttribution{
+				Cause:   "stage-inflation:" + stage,
+				Seconds: got,
+				Detail:  fmt.Sprintf("%s span time grew %.3fs -> %.3fs at %d workers (contention), %.3fs of wall amortized", stage, s1[stage], sw[stage], w, inflation),
+			})
+		}
+	}
+	if remaining > 0.001 {
+		out = append(out, scaleAttribution{
+			Cause:   "unattributed-serial",
+			Seconds: remaining,
+			Detail:  fmt.Sprintf("%.3fs of the %.3fs lost wall not covered by spans or queue waits (coordinator-side work)", remaining, lost),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	return out
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

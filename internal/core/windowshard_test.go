@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"isacmp/internal/isa"
+	"isacmp/internal/sched"
 )
 
 // randEvents builds a deterministic stream mixing register arithmetic,
@@ -212,4 +213,34 @@ func TestSequentialResultsStreamable(t *testing.T) {
 		ref.Event(ev)
 	}
 	wantEqualResults(t, ref.Results(), w.Results())
+}
+
+// TestShardedConcurrentCells models the matrix under -parallel: many
+// cells run at once on a worker pool, each feeding its own
+// ShardedWindowedCP (single-goroutine per instance, per the contract)
+// whose shard goroutines overlap with every other cell's. Under -race
+// this pins that nothing is shared across instances, and every cell
+// still matches the sequential implementation bit for bit.
+func TestShardedConcurrentCells(t *testing.T) {
+	const cells = 8
+	type result struct{ seq, shard []WindowResult }
+	results := make([]result, cells)
+	pool := sched.NewPool(4, nil)
+	for i := 0; i < cells; i++ {
+		i := i
+		pool.Go(func() {
+			events := randEvents(int64(i+1), shardChunk+517*i)
+			w := NewWindowedCritPathStride(PaperWindowSizes(), 0)
+			s := NewShardedWindowedCP(PaperWindowSizes(), 0, 3)
+			for _, ev := range events {
+				w.Event(ev)
+				s.Event(ev)
+			}
+			results[i] = result{seq: w.Results(), shard: s.Results()}
+		})
+	}
+	pool.Close()
+	for i := range results {
+		wantEqualResults(t, results[i].seq, results[i].shard)
+	}
 }

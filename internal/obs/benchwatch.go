@@ -45,6 +45,17 @@ const (
 	// pinRule: the committed (baseline) boolean must be true — the
 	// design claim carried by the committed artifact.
 	pinRule
+	// floorRule: the fresh value must be >= the floor — for speedup
+	// ratios where *shrinking* is the regression (e.g. batch_speedup:
+	// a genuine batching regression cannot hide behind measurement
+	// noise documented in the schema).
+	floorRule
+	// provenanceRule: the committed document must record a multicore
+	// measurement (workers > 1) before its speedup-bearing numbers are
+	// treated as multicore claims. Schemas measured at workers: 1 (or
+	// predating the workers field) get a warning for legacy documents
+	// and a hard regression where the schema demands real provenance.
+	provenanceRule
 )
 
 type watchRule struct {
@@ -52,6 +63,10 @@ type watchRule struct {
 	kind        ruleKind
 	tolerance   float64 // ratioRule
 	budgetField string  // budgetRule
+	floor       float64 // floorRule
+	// warnOnly downgrades a provenanceRule failure to a warning — the
+	// legacy BENCH_PR1–PR5 escape hatch.
+	warnOnly bool
 }
 
 // watchRules is the per-schema regression contract over the committed
@@ -61,22 +76,43 @@ var watchRules = map[string][]watchRule{
 		{metric: "sequential_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "parallel_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "identical", kind: flagRule},
+		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
 	"isacmp/bench-resilience/v1": {
 		{metric: "armed_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "within_budget", kind: pinRule},
 		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
 		{metric: "identical", kind: flagRule},
+		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
 	"isacmp/bench-hotpath/v1": {
 		{metric: "hotpath_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "identical", kind: flagRule},
+		// A genuine batching regression must not hide behind the
+		// documented near-1.0 noise at small scale (see
+		// batch_speedup_note in the schema): the median-of-reps
+		// measurement may dip below 1.0 on a loaded host, but a real
+		// regression (batched path structurally slower) lands well
+		// under the floor.
+		{metric: "batch_speedup", kind: floorRule, floor: 0.90},
+		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
 	"isacmp/bench-obs/v1": {
 		{metric: "served_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "within_budget", kind: pinRule},
 		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
 		{metric: "identical", kind: flagRule},
+		{metric: "workers", kind: provenanceRule, warnOnly: true},
+	},
+	"isacmp/scaling-report/v1": {
+		{metric: "best_wall_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "identical", kind: flagRule},
+		{metric: "within_budget", kind: pinRule},
+		{metric: "profiler_on_overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
+		// The scaling report exists to prove multicore claims, so it
+		// does not get the legacy escape hatch: a committed report
+		// measured at workers <= 1 is a hard regression.
+		{metric: "workers", kind: provenanceRule},
 	},
 }
 
@@ -88,7 +124,11 @@ type Finding struct {
 	Fresh      float64 `json:"fresh,omitempty"`
 	Limit      float64 `json:"limit,omitempty"`
 	Regression bool    `json:"regression"`
-	Message    string  `json:"message"`
+	// Warning marks an advisory finding that does not fail the gate —
+	// e.g. a legacy document whose speedups were measured at
+	// workers: 1 and therefore carry no multicore evidence.
+	Warning bool   `json:"warning,omitempty"`
+	Message string `json:"message"`
 }
 
 // LoadDoc reads a benchmark JSON document and returns its generic
@@ -177,6 +217,35 @@ func Watch(baseline, fresh map[string]any) ([]Finding, error) {
 				f.Message = fmt.Sprintf("%s: committed doc must pin true, got %v", r.metric, baseline[r.metric])
 			} else {
 				f.Message = fmt.Sprintf("%s: pinned true in committed doc ok", r.metric)
+			}
+		case floorRule:
+			cur, cok := num(fresh, r.metric)
+			if !cok {
+				f.Message = fmt.Sprintf("%s: not comparable (fresh %v)", r.metric, fresh[r.metric])
+				out = append(out, f)
+				continue
+			}
+			f.Fresh, f.Limit = cur, r.floor
+			f.Regression = cur < r.floor
+			if f.Regression {
+				f.Message = fmt.Sprintf("%s: %.3f below floor %.3f — genuine regression, not measurement noise", r.metric, cur, r.floor)
+			} else {
+				f.Message = fmt.Sprintf("%s: %.3f above floor %.3f ok", r.metric, cur, r.floor)
+			}
+		case provenanceRule:
+			w, ok := num(baseline, r.metric)
+			f.Baseline = w
+			multicore := ok && w > 1
+			if !multicore {
+				if r.warnOnly {
+					f.Warning = true
+					f.Message = fmt.Sprintf("%s: committed doc measured at workers %v — its speedups are not multicore evidence (legacy, warning only)", r.metric, baseline[r.metric])
+				} else {
+					f.Regression = true
+					f.Message = fmt.Sprintf("%s: committed doc measured at workers %v — schema requires a multicore run", r.metric, baseline[r.metric])
+				}
+			} else {
+				f.Message = fmt.Sprintf("%s: committed doc measured at workers %.0f ok", r.metric, w)
 			}
 		}
 		out = append(out, f)

@@ -173,9 +173,120 @@ func TestWatchRulesCoverCommittedDocs(t *testing.T) {
 		"isacmp/bench-resilience/v1",
 		"isacmp/bench-hotpath/v1",
 		"isacmp/bench-obs/v1",
+		"isacmp/scaling-report/v1",
 	} {
 		if _, ok := watchRules[schema]; !ok {
 			t.Errorf("no watch rules for committed schema %q", schema)
 		}
+	}
+}
+
+// TestWatchFloorRule: a speedup ratio shrinking below its floor is a
+// regression — documented measurement noise near 1.0 cannot hide a
+// structural slowdown.
+func TestWatchFloorRule(t *testing.T) {
+	doc := func(speedup float64) map[string]any {
+		d := hotpathDoc(10.0, true)
+		d["batch_speedup"] = speedup
+		return d
+	}
+	if fs, err := Watch(doc(1.1), doc(0.95)); err != nil || HasRegression(fs) {
+		t.Fatalf("0.95 above the 0.90 floor: err=%v findings=%+v", err, fs)
+	}
+	fs, err := Watch(doc(1.1), doc(0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatalf("0.85 below the 0.90 floor must regress: %+v", fs)
+	}
+	var f Finding
+	for _, x := range fs {
+		if x.Regression {
+			f = x
+		}
+	}
+	if f.Metric != "batch_speedup" || f.Fresh != 0.85 || f.Limit != 0.90 {
+		t.Errorf("floor finding = %+v", f)
+	}
+}
+
+// TestWatchProvenanceRule: legacy schemas measured at workers: 1 (or
+// with no workers field at all) get an advisory warning that never
+// fails the gate; the scaling-report schema demands real multicore
+// provenance and fails hard.
+func TestWatchProvenanceRule(t *testing.T) {
+	legacy := hotpathDoc(10.0, true)
+	legacy["workers"] = 1.0
+	fs, err := Watch(legacy, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasRegression(fs) {
+		t.Fatalf("legacy workers:1 doc must not fail the gate: %+v", fs)
+	}
+	var warned bool
+	for _, f := range fs {
+		if f.Metric == "workers" && f.Warning {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("legacy workers:1 doc must carry a warning finding: %+v", fs)
+	}
+
+	// A legacy doc measured multicore gets neither warning nor
+	// regression.
+	multicore := hotpathDoc(10.0, true)
+	multicore["workers"] = 4.0
+	fs, err = Watch(multicore, multicore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Metric == "workers" && (f.Warning || f.Regression) {
+			t.Errorf("workers:4 doc flagged: %+v", f)
+		}
+	}
+
+	scaling := func(workers float64) map[string]any {
+		return map[string]any{
+			"schema":                       "isacmp/scaling-report/v1",
+			"best_wall_seconds":            1.0,
+			"identical":                    true,
+			"within_budget":                true,
+			"profiler_on_overhead_percent": 1.0,
+			"budget_percent":               3.0,
+			"workers":                      workers,
+		}
+	}
+	if fs, err := Watch(scaling(8), scaling(8)); err != nil || HasRegression(fs) {
+		t.Fatalf("workers:8 scaling report: err=%v findings=%+v", err, fs)
+	}
+	fs, err = Watch(scaling(1), scaling(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatalf("workers:1 scaling report must fail hard (no legacy escape hatch): %+v", fs)
+	}
+}
+
+// TestWatchLegacyWarningsDoNotGate: the committed BENCH_PR1–PR5 era
+// documents predate the workers provenance field entirely; judging one
+// against itself stays green.
+func TestWatchLegacyWarningsDoNotGate(t *testing.T) {
+	doc := map[string]any{
+		"schema":             "isacmp/bench-matrix/v1",
+		"sequential_seconds": 10.0,
+		"parallel_seconds":   10.0,
+		"identical":          true,
+	}
+	fs, err := Watch(doc, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasRegression(fs) {
+		t.Fatalf("schema with no workers field must warn, not fail: %+v", fs)
 	}
 }

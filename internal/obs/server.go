@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"isacmp/internal/obs/slogx"
+	"isacmp/internal/prof"
 	"isacmp/internal/telemetry"
 )
 
@@ -26,6 +27,10 @@ type ServerConfig struct {
 	// Board backs /statusz and /events. May be nil; both endpoints
 	// then serve an empty matrix.
 	Board *Board
+	// Profiler backs /profilez and the /statusz stage breakdown. May
+	// be nil (-profile off); /profilez then reports the profiler as
+	// disabled and /statusz omits stage_seconds.
+	Profiler *prof.Profiler
 	// Log receives server lifecycle lines. Nil means silent.
 	Log *slog.Logger
 }
@@ -46,6 +51,7 @@ type Server struct {
 	ln       net.Listener
 	board    *Board
 	reg      *telemetry.Registry
+	profiler *prof.Profiler
 	log      *slog.Logger
 	ready    atomic.Bool
 	shutdown chan struct{} // closed exactly once, by Close
@@ -66,6 +72,7 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 		ln:       ln,
 		board:    cfg.Board,
 		reg:      cfg.Registry,
+		profiler: cfg.Profiler,
 		log:      slogx.OrNop(cfg.Log),
 		shutdown: make(chan struct{}),
 		served:   make(chan struct{}),
@@ -76,6 +83,7 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/profilez", s.handleProfilez)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -180,11 +188,54 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	doc := s.board.Status()
+	if s.profiler.Enabled() {
+		doc.StageSeconds = s.profiler.StageSeconds()
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		s.log.Warn("statusz write failed", "err", err)
+	}
+}
+
+// profileDoc is the /profilez JSON document: the live span profiler's
+// per-stage totals, span accounting and configuration. `?format=chrome`
+// streams the span timelines as a Chrome trace instead.
+type profileDoc struct {
+	Schema  string            `json:"schema"`
+	Enabled bool              `json:"enabled"`
+	Lanes   int               `json:"lanes,omitempty"`
+	Spans   int               `json:"spans,omitempty"`
+	Dropped int64             `json:"dropped,omitempty"`
+	Stages  []prof.StageTotal `json:"stages,omitempty"`
+}
+
+// ProfileSchema identifies the /profilez document format.
+const ProfileSchema = "isacmp/profilez/v1"
+
+func (s *Server) handleProfilez(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", "attachment; filename=\"profile-trace.json\"")
+		if err := s.profiler.WriteChromeTrace(w); err != nil {
+			s.log.Warn("profilez trace write failed", "err", err)
+		}
+		return
+	}
+	doc := profileDoc{
+		Schema:  ProfileSchema,
+		Enabled: s.profiler.Enabled(),
+		Lanes:   s.profiler.Lanes(),
+		Spans:   len(s.profiler.Spans()),
+		Dropped: s.profiler.Dropped(),
+		Stages:  s.profiler.StageTotals(),
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		s.log.Warn("profilez write failed", "err", err)
 	}
 }
 

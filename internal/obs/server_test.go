@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"isacmp/internal/prof"
 	"isacmp/internal/telemetry"
 )
 
@@ -218,4 +219,94 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestProfilezEndpoint: /profilez serves the span profiler's stage
+// totals as JSON, streams a Chrome trace under ?format=chrome, and
+// degrades to an enabled=false document when the run has no profiler.
+func TestProfilezEndpoint(t *testing.T) {
+	p := prof.New(2, 16)
+	p.Record(0, prof.StageSimulate, "", "stream/rv64-gcc12", 0, 1000)
+	p.Record(1, prof.StageSink, "pathlen", "stream/rv64-gcc12", 1000, 1500)
+	srv, err := StartServer(context.Background(), ServerConfig{Addr: "127.0.0.1:0", Profiler: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	c := testClient()
+
+	code, body, hdr := get(t, c, base+"/profilez")
+	if code != 200 || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("profilez = %d, content-type %q", code, hdr.Get("Content-Type"))
+	}
+	var doc struct {
+		Schema  string            `json:"schema"`
+		Enabled bool              `json:"enabled"`
+		Lanes   int               `json:"lanes"`
+		Spans   int               `json:"spans"`
+		Stages  []prof.StageTotal `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("profilez is not JSON: %v\n%s", err, body)
+	}
+	if doc.Schema != ProfileSchema || !doc.Enabled || doc.Lanes != 3 || doc.Spans != 2 {
+		t.Errorf("profilez doc = %+v", doc)
+	}
+	if len(doc.Stages) != 2 || doc.Stages[0].Stage != "simulate" || doc.Stages[1].Stage != "sink:pathlen" {
+		t.Errorf("profilez stages = %+v", doc.Stages)
+	}
+
+	code, body, _ = get(t, c, base+"/profilez?format=chrome")
+	if code != 200 {
+		t.Fatalf("profilez chrome = %d", code)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v\n%s", err, body)
+	}
+	if len(trace.TraceEvents) != 2 {
+		t.Errorf("chrome trace has %d events, want 2", len(trace.TraceEvents))
+	}
+
+	// statusz folds the same stage totals in when a profiler is live.
+	_, body, _ = get(t, c, base+"/statusz")
+	var status StatusDoc
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.StageSeconds["simulate"] != 1e-6 {
+		t.Errorf("statusz stage_seconds = %+v", status.StageSeconds)
+	}
+}
+
+// TestProfilezDisabled: without -profile the endpoint stays up and
+// reports the profiler as disabled; statusz omits stage_seconds.
+func TestProfilezDisabled(t *testing.T) {
+	board := NewBoard("run-noprof", nil)
+	srv, err := StartServer(context.Background(), ServerConfig{Addr: "127.0.0.1:0", Board: board})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := testClient()
+	code, body, _ := get(t, c, "http://"+srv.Addr()+"/profilez")
+	if code != 200 {
+		t.Fatalf("profilez = %d", code)
+	}
+	var doc struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Enabled {
+		t.Error("profilez must report enabled=false without a profiler")
+	}
+	_, body, _ = get(t, c, "http://"+srv.Addr()+"/statusz")
+	if strings.Contains(body, "stage_seconds") {
+		t.Errorf("statusz must omit stage_seconds without a profiler:\n%s", body)
+	}
 }

@@ -63,6 +63,14 @@ type StatusDoc struct {
 	EWMACellSeconds float64            `json:"ewma_cell_seconds,omitempty"`
 	EWMAMIPS        float64            `json:"ewma_mips,omitempty"`
 	ETASeconds      float64            `json:"eta_seconds,omitempty"`
+	// EventsSent / EventsDropped count /events SSE deliveries and the
+	// broadcasts lost to slow subscribers (drop-not-stall contract).
+	EventsSent    uint64 `json:"events_sent,omitempty"`
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	// StageSeconds is the span profiler's per-stage time breakdown,
+	// present only when the run was started with -profile. Filled by
+	// the obs server, not the board.
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 }
 
 // StatusSchema identifies the /statusz document format.
@@ -99,6 +107,10 @@ type Board struct {
 	subs     map[chan Event]struct{}
 	ewmaSecs float64
 	ewmaMIPS float64
+	// SSE delivery accounting (under mu); mirrored to the registry
+	// counters obs.events.sent / obs.events.dropped when reg is set.
+	evSent    uint64
+	evDropped uint64
 }
 
 // NewBoard returns a board for one run. reg may be nil; when set,
@@ -201,13 +213,30 @@ func (b *Board) transition(workload, target string, state CellState, attempt int
 		Retired:  c.retired,
 		Reason:   reason,
 	}
+	var sent, dropped uint64
 	for ch := range b.subs {
 		select {
 		case ch <- ev:
+			sent++
 		default: // slow subscriber: drop rather than stall the matrix
+			dropped++
 		}
 	}
+	b.evSent += sent
+	b.evDropped += dropped
+	reg := b.reg
 	b.mu.Unlock()
+	// Registry counters are updated outside the board lock; they are
+	// obs.*-prefixed, so manifest canonicalization strips them and the
+	// byte-identity contract holds whether or not anyone subscribes.
+	if reg != nil {
+		if sent > 0 {
+			reg.Counter("obs.events.sent").Add(sent)
+		}
+		if dropped > 0 {
+			reg.Counter("obs.events.dropped").Add(dropped)
+		}
+	}
 }
 
 // Running marks a cell as executing its attempt'th attempt.
@@ -295,6 +324,8 @@ func (b *Board) Status() StatusDoc {
 		States:          map[string]int{},
 		EWMACellSeconds: b.ewmaSecs,
 		EWMAMIPS:        b.ewmaMIPS,
+		EventsSent:      b.evSent,
+		EventsDropped:   b.evDropped,
 	}
 	remaining := 0
 	for _, c := range b.cells {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"testing"
+	"time"
 
 	"isacmp/internal/isa"
 	"isacmp/internal/telemetry"
@@ -195,5 +196,58 @@ func TestMeterPassThrough(t *testing.T) {
 	m3.Events(make([]isa.Event, meterStride))
 	if got := b.Status().Cells[0].Retired; got != meterStride {
 		t.Errorf("stride flush: retired = %d, want %d", got, meterStride)
+	}
+}
+
+// TestSlowSubscriberDropsCounted pins the drop-not-stall contract of
+// the /events fan-out: a subscriber that never drains loses events
+// past its buffer, the board counts every delivery and every drop on
+// /statusz and in the obs.* registry counters, and the transitions
+// themselves never block.
+func TestSlowSubscriberDropsCounted(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := NewBoard("run-drop", reg)
+	slow := b.Subscribe() // never drained: fills its 256 buffer, then drops
+	defer b.Unsubscribe(slow)
+
+	const transitions = 400 // > the subscriber buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < transitions; i++ {
+			b.Running("w", "t", 1)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("transitions stalled behind a slow subscriber")
+	}
+
+	doc := b.Status()
+	wantSent := uint64(cap(slow))
+	wantDropped := uint64(transitions) - wantSent
+	if doc.EventsSent != wantSent || doc.EventsDropped != wantDropped {
+		t.Errorf("statusz events sent/dropped = %d/%d, want %d/%d",
+			doc.EventsSent, doc.EventsDropped, wantSent, wantDropped)
+	}
+	snap := reg.Snapshot()
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["obs.events.sent"] != wantSent || counters["obs.events.dropped"] != wantDropped {
+		t.Errorf("registry counters sent/dropped = %d/%d, want %d/%d",
+			counters["obs.events.sent"], counters["obs.events.dropped"], wantSent, wantDropped)
+	}
+
+	// A draining subscriber on a fresh board records sends only.
+	b2 := NewBoard("run-ok", nil)
+	ch := b2.Subscribe()
+	defer b2.Unsubscribe(ch)
+	b2.Running("w", "t", 1)
+	<-ch
+	if doc := b2.Status(); doc.EventsSent != 1 || doc.EventsDropped != 0 {
+		t.Errorf("drained subscriber: sent/dropped = %d/%d, want 1/0", doc.EventsSent, doc.EventsDropped)
 	}
 }

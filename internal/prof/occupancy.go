@@ -1,0 +1,92 @@
+package prof
+
+import (
+	"sort"
+
+	"isacmp/internal/telemetry"
+)
+
+// Occupancy is one worker's wall-time split for a run: the fraction
+// spent executing tasks (busy), waiting on the task queue (blocked),
+// and everything else (idle — pool not yet started, ramp-down, or OS
+// descheduling the single-CPU host cannot distinguish).
+type Occupancy struct {
+	Worker  int     `json:"worker"`
+	Busy    float64 `json:"busy_fraction"`
+	Blocked float64 `json:"blocked_fraction"`
+	Idle    float64 `json:"idle_fraction"`
+}
+
+// OccupancyFromSched derives per-worker occupancy from a scheduler
+// stats snapshot. SchedStats already carries busy and queue-wait
+// fractions of the pool lifetime; idle is the clamped remainder.
+func OccupancyFromSched(st telemetry.SchedStats) []Occupancy {
+	if len(st.WorkerUtilization) == 0 {
+		return nil
+	}
+	out := make([]Occupancy, len(st.WorkerUtilization))
+	for i, busy := range st.WorkerUtilization {
+		o := Occupancy{Worker: i, Busy: busy}
+		if i < len(st.WorkerBlocked) {
+			o.Blocked = st.WorkerBlocked[i]
+		}
+		o.Idle = 1 - o.Busy - o.Blocked
+		if o.Idle < 0 {
+			o.Idle = 0
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// AmdahlSerialFraction fits Amdahl's law T(w) = T1·(s + (1-s)/w) to
+// measured wall times keyed by worker count and returns the serial
+// fraction s, clamped to [0, 1]. With r = T(w)/T1 and x = 1/w the
+// model is r = s + (1-s)·x, i.e. r - x = s·(1 - x); the least-squares
+// estimate over all points with w > 1 is
+//
+//	s = Σ (r-x)(1-x) / Σ (1-x)²
+//
+// Returns -1 when the fit is impossible (no w=1 baseline or no
+// multi-worker points).
+func AmdahlSerialFraction(walls map[int]float64) float64 {
+	t1, ok := walls[1]
+	if !ok || t1 <= 0 {
+		return -1
+	}
+	var num, den float64
+	ws := make([]int, 0, len(walls))
+	for w := range walls {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	for _, w := range ws {
+		if w <= 1 || walls[w] <= 0 {
+			continue
+		}
+		x := 1 / float64(w)
+		r := walls[w] / t1
+		num += (r - x) * (1 - x)
+		den += (1 - x) * (1 - x)
+	}
+	if den == 0 {
+		return -1
+	}
+	s := num / den
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Efficiency returns the parallel efficiency T1/(w·Tw) for one point
+// of a sweep, or 0 when undefined.
+func Efficiency(t1, tw float64, w int) float64 {
+	if t1 <= 0 || tw <= 0 || w < 1 {
+		return 0
+	}
+	return t1 / (float64(w) * tw)
+}

@@ -1,0 +1,43 @@
+package prof
+
+import (
+	"io"
+	"strconv"
+
+	"isacmp/internal/telemetry"
+)
+
+// WriteChromeTrace exports the retained span timelines as a Chrome
+// trace-event JSON document (chrome://tracing, ui.perfetto.dev). Each
+// lane becomes one thread row (tid = lane index; the highest tid is
+// the coordinator lane); timestamps and durations are converted from
+// nanoseconds to the format's microseconds. A nil profiler writes an
+// empty, still-valid document.
+func (p *Profiler) WriteChromeTrace(w io.Writer) error {
+	cw, err := telemetry.NewChromeTraceWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, s := range p.Spans() {
+		dur := uint64(s.Dur) / 1000
+		if dur == 0 {
+			dur = 1
+		}
+		args := map[string]string{}
+		if s.Cell != "" {
+			args["cell"] = s.Cell
+		}
+		if s.Label != "" {
+			args["label"] = s.Label
+		}
+		args["lane"] = strconv.Itoa(s.Lane)
+		if err := cw.Emit(telemetry.ChromeEvent{
+			Name: s.Name, Cat: s.Stage.String(), Ph: "X",
+			Ts: uint64(s.Start) / 1000, Dur: dur,
+			Pid: 1, Tid: s.Lane, Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}

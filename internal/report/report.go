@@ -24,6 +24,7 @@ import (
 	"isacmp/internal/mem"
 	"isacmp/internal/obs"
 	"isacmp/internal/obs/slogx"
+	"isacmp/internal/prof"
 	"isacmp/internal/rv64"
 	"isacmp/internal/sched"
 	"isacmp/internal/simeng"
@@ -174,6 +175,13 @@ type Experiment struct {
 	// FlightEvents is the recorder ring capacity (0 selects
 	// obs.DefaultFlightEvents).
 	FlightEvents int
+	// Prof, when non-nil, records per-stage spans (setup, simulate,
+	// deliver, per-sink, retry-backoff) for every cell on the worker
+	// lane the cell ran on — the -profile span profiler. nil (the
+	// default) costs one nil check per hook site. Like the other
+	// observers it is a pure pass-through: it cannot change a result
+	// byte.
+	Prof *prof.Profiler
 }
 
 // Validate rejects experiment configurations that would otherwise
@@ -307,8 +315,8 @@ func RunSuite(progs []*ir.Program, ex Experiment) ([][]Row, *telemetry.SchedStat
 		prog := progs[pi]
 		for ti := range targets {
 			pi, ti, tgt := pi, ti, targets[ti]
-			pool.Go(func() {
-				row := runCell(ctx, prog, tgt, ex)
+			pool.GoW(func(lane int) {
+				row := runCell(ctx, prog, tgt, ex, lane)
 				all[pi][ti] = row
 				if row.Failed() && ex.FailFast {
 					firstFail.CompareAndSwap(nil, row.Failure)
@@ -333,8 +341,9 @@ func RunSuite(progs []*ir.Program, ex Experiment) ([][]Row, *telemetry.SchedStat
 // policy. It never returns an error: a cell whose every attempt failed
 // comes back as a FAILED placeholder row carrying the typed failure
 // record and attempt history.
-func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment) Row {
+func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, lane int) Row {
 	attempts := ex.Retries + 1
+	cell := prog.Name + "/" + tgt.String()
 	clog := slogx.OrNop(ex.Log).With(
 		slogx.KeyWorkload, prog.Name, slogx.KeyTarget, tgt.String())
 	var history []telemetry.AttemptRecord
@@ -343,10 +352,12 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 && ex.RetryBackoff > 0 {
 			backoff := ex.RetryBackoff << (attempt - 2)
+			sp := ex.Prof.Start(lane, prof.StageRetryBackoff, "", cell)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
 			}
+			sp.End()
 		}
 		if ctx.Err() != nil {
 			// The matrix was cancelled (FailFast) before this attempt
@@ -360,7 +371,7 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 		}
 		ex.Status.Running(prog.Name, tgt.String(), attempt)
 		clog.Debug("cell attempt start", slogx.KeyAttempt, attempt)
-		row, pm, err := runAttempt(ctx, prog, tgt, ex, attempt)
+		row, pm, err := runAttempt(ctx, prog, tgt, ex, attempt, lane)
 		if err == nil {
 			row.Attempts = attempt
 			ex.Status.Done(prog.Name, tgt.String(), row.WallSeconds, row.Core.Instructions)
@@ -420,7 +431,7 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 // recorder, after simulation has stopped — the only point where the
 // ring is safe to read. A watchdog-reaped attempt is abandoned before
 // that point, so reaped cells report no post-mortem.
-func runAttempt(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt int) (Row, string, error) {
+func runAttempt(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt, lane int) (Row, string, error) {
 	cellCtx := ctx
 	if ex.CellTimeout > 0 {
 		var cancel context.CancelFunc
@@ -435,7 +446,7 @@ func runAttempt(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experim
 		var row Row
 		err := simeng.Guard(func() error {
 			var runErr error
-			row, runErr = runOne(cellCtx, prog, tgt, ex, attempt, rec)
+			row, runErr = runOne(cellCtx, prog, tgt, ex, attempt, lane, rec)
 			return runErr
 		})
 		if err == nil || rec == nil {
@@ -467,8 +478,10 @@ func runAttempt(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experim
 	}
 }
 
-func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt int, rec *obs.Recorder) (Row, error) {
+func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment, attempt, lane int, rec *obs.Recorder) (Row, error) {
 	row := Row{Target: tgt}
+	cell := prog.Name + "/" + tgt.String()
+	setup := ex.Prof.Start(lane, prof.StageSetup, "", cell)
 	compiled, err := cc.Compile(prog, tgt)
 	if err != nil {
 		return row, err
@@ -557,7 +570,10 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		add("progress", pg)
 	}
 
-	emu := &simeng.EmulationCore{MaxInstructions: ex.MaxInstructions, Ctx: ctx, StepLoop: ex.StepLoop}
+	emu := &simeng.EmulationCore{
+		MaxInstructions: ex.MaxInstructions, Ctx: ctx, StepLoop: ex.StepLoop,
+		ProfileStages: ex.Prof.Enabled(),
+	}
 	if ex.Log != nil {
 		emu.Log = slogx.WithCell(ex.Log, prog.Name, tgt.String(), attempt)
 	}
@@ -577,13 +593,21 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		return s, meter
 	}
 	var stats simeng.Stats
+	setup.End()
+	runStart := ex.Prof.Now()
 	start := time.Now()
 	if parallel > 1 {
 		consumers := append([]isa.Sink(nil), sinks...)
+		consumerNames := names
 		if rm != nil {
 			consumers = append(consumers, rm)
+			consumerNames = append(append([]string(nil), names...), "runmetrics")
 		}
-		n, err := sched.Fanout(func(s isa.Sink) error {
+		var fs *sched.FanoutStats
+		if ex.Prof.Enabled() {
+			fs = &sched.FanoutStats{}
+		}
+		n, err := sched.FanoutTimed(func(s isa.Sink) error {
 			if ex.WrapSink != nil {
 				s = ex.WrapSink(prog.Name, tgt.String(), attempt, s)
 			}
@@ -592,12 +616,23 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 			var runErr error
 			stats, runErr = emu.Run(mach, s)
 			return runErr
-		}, consumers...)
+		}, fs, consumers...)
 		if err != nil {
 			return row, err
 		}
 		for _, name := range names {
 			row.Sinks = append(row.Sinks, telemetry.SinkStats{Name: name, Events: n})
+		}
+		if fs != nil {
+			// Sink busy times run concurrently in reality; they are laid
+			// out sequentially after simulate/deliver on the cell's lane
+			// so the timeline renders without overlap — the durations,
+			// which is what attribution sums, stay exact.
+			cursor := recordStageSpans(ex.Prof, lane, cell, runStart, emu.Stages)
+			for i, busy := range fs.SinkBusyNs {
+				ex.Prof.Record(lane, prof.StageSink, consumerNames[i], cell, cursor, cursor+busy)
+				cursor += busy
+			}
 		}
 	} else {
 		tee := telemetry.NewTee()
@@ -622,6 +657,17 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		}
 		if len(sinks) > 0 {
 			row.Sinks = tee.Stats()
+		}
+		if ex.Prof.Enabled() {
+			// On the sequential path per-sink cost comes from the tee's
+			// sampled estimate (EstOverheadNs), laid out after
+			// simulate/deliver like the fan-out path.
+			cursor := recordStageSpans(ex.Prof, lane, cell, runStart, emu.Stages)
+			for _, ss := range tee.Stats() {
+				est := int64(ss.EstOverheadNs)
+				ex.Prof.Record(lane, prof.StageSink, ss.Name, cell, cursor, cursor+est)
+				cursor += est
+			}
 		}
 	}
 	row.WallSeconds = time.Since(start).Seconds()
@@ -664,6 +710,18 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		row.BranchTaken = br.TakenRate()
 	}
 	return row, nil
+}
+
+// recordStageSpans lays the core's simulate/deliver split onto the
+// cell's lane starting at runStart and returns the cursor after the
+// last span — the anchor for the per-sink spans that follow.
+func recordStageSpans(p *prof.Profiler, lane int, cell string, runStart int64, st simeng.StageNs) int64 {
+	cursor := runStart
+	p.Record(lane, prof.StageSimulate, "", cell, cursor, cursor+st.SimulateNs)
+	cursor += st.SimulateNs
+	p.Record(lane, prof.StageDeliver, "", cell, cursor, cursor+st.DeliverNs)
+	cursor += st.DeliverNs
+	return cursor
 }
 
 // publishPredecode feeds a machine's predecode-cache coverage into

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sync"
+	"time"
 
 	"isacmp/internal/isa"
 	"isacmp/internal/simeng"
@@ -37,11 +38,35 @@ const fanoutDepth = 4
 // consumers are never blocked behind it, and the first consumer error
 // is returned once gen's own error (which takes precedence) is nil.
 func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
+	return FanoutTimed(gen, nil, sinks...)
+}
+
+// FanoutStats is the span profiler's view of one fan-out run, filled
+// by FanoutTimed: how long the generator spent handing batches to the
+// consumer channels (back-pressure included) and how long each sink's
+// goroutine spent processing events. Valid once FanoutTimed returns.
+type FanoutStats struct {
+	// DeliverNs is the generator-side broadcast time.
+	DeliverNs int64
+	// SinkBusyNs[i] is live-sink i's processing time (indexed in the
+	// order the non-nil sinks were passed).
+	SinkBusyNs []int64
+}
+
+// FanoutTimed is Fanout with optional per-stage timing: when fs is
+// non-nil it is filled with the generator's delivery time and each
+// consumer's busy time. Timing reads one clock pair per batch
+// (fanoutBatch events), so the overhead is fractions of a nanosecond
+// per event; fs == nil skips every clock read.
+func FanoutTimed(gen func(isa.Sink) error, fs *FanoutStats, sinks ...isa.Sink) (uint64, error) {
 	live := sinks[:0:0]
 	for _, s := range sinks {
 		if s != nil {
 			live = append(live, s)
 		}
+	}
+	if fs != nil {
+		fs.SinkBusyNs = make([]int64, len(live))
 	}
 	if len(live) <= 1 {
 		var sink isa.Sink
@@ -59,8 +84,18 @@ func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
 	for i, s := range live {
 		chans[i] = make(chan []isa.Event, fanoutDepth)
 		wg.Add(1)
-		go func(ch chan []isa.Event, s isa.Sink, errSlot *error) {
+		var busySlot *int64
+		if fs != nil {
+			busySlot = &fs.SinkBusyNs[i]
+		}
+		go func(ch chan []isa.Event, s isa.Sink, errSlot *error, busySlot *int64) {
 			defer wg.Done()
+			// Busy time accumulates in a local and is stored once at
+			// exit; the caller reads it after wg.Wait, so no atomics.
+			var busy int64
+			if busySlot != nil {
+				defer func() { *busySlot = busy }()
+			}
 			// A batch-capable sink consumes each shared batch in one
 			// call; the slice is read-only between consumers either way.
 			bs, batched := s.(isa.BatchSink)
@@ -69,6 +104,10 @@ func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
 					continue // dead consumer: drain and discard
 				}
 				batch := batch
+				var t0 time.Time
+				if busySlot != nil {
+					t0 = time.Now()
+				}
 				*errSlot = simeng.Guard(func() error {
 					if batched {
 						bs.Events(batch)
@@ -79,17 +118,23 @@ func Fanout(gen func(isa.Sink) error, sinks ...isa.Sink) (uint64, error) {
 					}
 					return nil
 				})
+				if busySlot != nil {
+					busy += time.Since(t0).Nanoseconds()
+				}
 			}
-		}(chans[i], s, &consumerErrs[i])
+		}(chans[i], s, &consumerErrs[i], busySlot)
 	}
 
-	b := &broadcastSink{chans: chans}
+	b := &broadcastSink{chans: chans, timed: fs != nil}
 	err := gen(b)
 	b.flush()
 	for _, ch := range chans {
 		close(ch)
 	}
 	wg.Wait()
+	if fs != nil {
+		fs.DeliverNs = b.deliverNs
+	}
 	if err == nil {
 		for _, cerr := range consumerErrs {
 			if cerr != nil {
@@ -129,6 +174,10 @@ type broadcastSink struct {
 	chans []chan []isa.Event
 	batch []isa.Event
 	n     uint64
+	// timed enables the per-send clock pair feeding deliverNs — the
+	// generator-side broadcast time, including back-pressure stalls.
+	timed     bool
+	deliverNs int64
 }
 
 func (b *broadcastSink) Event(ev *isa.Event) {
@@ -163,8 +212,15 @@ func (b *broadcastSink) Events(evs []isa.Event) {
 func (b *broadcastSink) send() {
 	batch := b.batch
 	b.batch = nil
+	var t0 time.Time
+	if b.timed {
+		t0 = time.Now()
+	}
 	for _, ch := range b.chans {
 		ch <- batch
+	}
+	if b.timed {
+		b.deliverNs += time.Since(t0).Nanoseconds()
 	}
 }
 

@@ -32,7 +32,7 @@ import (
 // sequential, which is what `-parallel 1` means everywhere.
 type Pool struct {
 	workers int
-	tasks   chan func()
+	tasks   chan func(worker int)
 	wg      sync.WaitGroup // open tasks
 	stopped sync.WaitGroup // worker goroutines
 	start   time.Time
@@ -51,8 +51,9 @@ type Pool struct {
 	cellSecs    *telemetry.Histogram
 	cellsTotal  *telemetry.Counter
 
-	busyNs []atomic.Int64
-	cells  []atomic.Int64
+	busyNs    []atomic.Int64
+	blockedNs []atomic.Int64 // time spent waiting on the task queue
+	cells     []atomic.Int64
 
 	// panic backstop: tasks are expected to run under their own
 	// simeng.Guard, but a panic that escapes one anyway must not take
@@ -79,11 +80,12 @@ func DefaultWorkers(n int) int {
 func NewPool(workers int, reg *telemetry.Registry) *Pool {
 	workers = DefaultWorkers(workers)
 	p := &Pool{
-		workers: workers,
-		tasks:   make(chan func(), 4*workers+64),
-		start:   time.Now(),
-		busyNs:  make([]atomic.Int64, workers),
-		cells:   make([]atomic.Int64, workers),
+		workers:   workers,
+		tasks:     make(chan func(worker int), 4*workers+64),
+		start:     time.Now(),
+		busyNs:    make([]atomic.Int64, workers),
+		blockedNs: make([]atomic.Int64, workers),
+		cells:     make([]atomic.Int64, workers),
 	}
 	if reg != nil {
 		p.queueDepth = reg.Gauge("sched.queue.depth")
@@ -104,14 +106,24 @@ func NewPool(workers int, reg *telemetry.Registry) *Pool {
 
 func (p *Pool) worker(id int) {
 	defer p.stopped.Done()
-	for task := range p.tasks {
+	for {
+		// Time spent parked on the queue is the occupancy model's
+		// "blocked" bucket — queue starvation, as opposed to idle ramp
+		// up/down. One clock pair per task, amortized over a whole
+		// matrix cell.
+		waitStart := time.Now()
+		task, ok := <-p.tasks
+		p.blockedNs[id].Add(int64(time.Since(waitStart)))
+		if !ok {
+			return
+		}
 		d := p.queued.Add(-1)
 		if p.queueDepth != nil {
 			p.queueDepth.Set(float64(d))
 			p.workerDepth[id].Set(1)
 		}
 		start := time.Now()
-		p.runTask(task)
+		p.runTask(task, id)
 		busy := time.Since(start)
 		p.busyNs[id].Add(int64(busy))
 		p.cells[id].Add(1)
@@ -128,7 +140,7 @@ func (p *Pool) worker(id int) {
 // recorded and swallowed so the worker, the pool's task accounting
 // and every other cell survive. Wait/Close cannot deadlock on a
 // panicked task because the wg.Done in the worker loop still runs.
-func (p *Pool) runTask(task func()) {
+func (p *Pool) runTask(task func(worker int), id int) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
@@ -138,7 +150,7 @@ func (p *Pool) runTask(task func()) {
 			}
 		}
 	}()
-	task()
+	task(id)
 }
 
 // Panics reports how many tasks panicked past their own guards, and
@@ -152,6 +164,13 @@ func (p *Pool) Panics() (int64, string) {
 // Go submits one task (a matrix cell). It blocks only when the queue
 // buffer is full.
 func (p *Pool) Go(task func()) {
+	p.GoW(func(int) { task() })
+}
+
+// GoW submits one task that receives the id of the worker it runs on
+// (0 ≤ id < Workers) — the span profiler's lane index. It blocks only
+// when the queue buffer is full.
+func (p *Pool) GoW(task func(worker int)) {
 	p.wg.Add(1)
 	d := p.queued.Add(1)
 	if p.queueDepth != nil {
@@ -159,6 +178,9 @@ func (p *Pool) Go(task func()) {
 	}
 	p.tasks <- task
 }
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
 
 // Wait blocks until every task submitted so far has completed.
 func (p *Pool) Wait() { p.wg.Wait() }
@@ -188,14 +210,18 @@ func (p *Pool) Stats() telemetry.SchedStats {
 	}
 	for i := 0; i < p.workers; i++ {
 		busy := float64(p.busyNs[i].Load()) / 1e9
-		util := 0.0
+		blocked := float64(p.blockedNs[i].Load()) / 1e9
+		util, wait := 0.0, 0.0
 		if wall > 0 {
 			util = busy / wall
+			wait = blocked / wall
 		}
 		st.WorkerUtilization = append(st.WorkerUtilization, util)
 		st.WorkerCells = append(st.WorkerCells, p.cells[i].Load())
+		st.WorkerBlocked = append(st.WorkerBlocked, wait)
 		st.Cells += int(p.cells[i].Load())
 		st.BusySeconds += busy
+		st.BlockedSeconds += blocked
 	}
 	return st
 }

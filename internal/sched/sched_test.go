@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"isacmp/internal/isa"
 	"isacmp/internal/telemetry"
@@ -219,5 +220,115 @@ func TestFanoutGenError(t *testing.T) {
 	}
 	if len(s.pcs) != 10 {
 		t.Fatalf("sink saw %d events, want 10 (flush on error)", len(s.pcs))
+	}
+}
+
+// TestPoolGoWReportsWorkerLane: every task receives a valid worker id
+// and, with one worker, always lane 0 — the span profiler's lane
+// contract.
+func TestPoolGoWReportsWorkerLane(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		p := NewPool(workers, nil)
+		if p.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+		}
+		lanes := make([]atomic.Int64, workers)
+		var bad atomic.Int64
+		const tasks = 60
+		for i := 0; i < tasks; i++ {
+			p.GoW(func(worker int) {
+				if worker < 0 || worker >= workers {
+					bad.Add(1)
+					return
+				}
+				lanes[worker].Add(1)
+			})
+		}
+		p.Close()
+		if bad.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks saw an out-of-range lane", workers, bad.Load())
+		}
+		var total int64
+		for i := range lanes {
+			total += lanes[i].Load()
+		}
+		if total != tasks {
+			t.Fatalf("workers=%d: lanes account for %d tasks, want %d", workers, total, tasks)
+		}
+	}
+}
+
+// TestPoolStatsBlocked: a starved pool reports queue-wait time both in
+// aggregate and per worker.
+func TestPoolStatsBlocked(t *testing.T) {
+	p := NewPool(2, nil)
+	p.Go(func() { time.Sleep(20 * time.Millisecond) })
+	p.Close()
+	st := p.Stats()
+	if len(st.WorkerBlocked) != 2 {
+		t.Fatalf("WorkerBlocked rows = %d, want 2", len(st.WorkerBlocked))
+	}
+	// One worker ran the only task; the other spent the pool lifetime
+	// parked on the queue, so blocked time must be visible.
+	if st.BlockedSeconds <= 0 {
+		t.Fatalf("BlockedSeconds = %v, want > 0 for a starved pool", st.BlockedSeconds)
+	}
+	maxBlocked := 0.0
+	for _, b := range st.WorkerBlocked {
+		if b > maxBlocked {
+			maxBlocked = b
+		}
+	}
+	if maxBlocked < 0.5 {
+		t.Fatalf("max worker blocked fraction = %v, want the starved worker near 1", maxBlocked)
+	}
+}
+
+// TestFanoutTimedStats: the timed fan-out fills delivery and per-sink
+// busy time while preserving the complete ordered streams.
+func TestFanoutTimedStats(t *testing.T) {
+	const n = 2*fanoutBatch + 5
+	slow := &slowSink{}
+	fast := &orderSink{}
+	var fs FanoutStats
+	count, err := FanoutTimed(genEvents(n), &fs, slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n || len(slow.pcs) != n || len(fast.pcs) != n {
+		t.Fatalf("count=%d slow=%d fast=%d, want %d everywhere", count, len(slow.pcs), len(fast.pcs), n)
+	}
+	if len(fs.SinkBusyNs) != 2 {
+		t.Fatalf("SinkBusyNs rows = %d, want 2", len(fs.SinkBusyNs))
+	}
+	if fs.SinkBusyNs[0] <= 0 {
+		t.Fatalf("slow sink busy = %dns, want > 0", fs.SinkBusyNs[0])
+	}
+	if fs.SinkBusyNs[0] <= fs.SinkBusyNs[1] {
+		t.Fatalf("slow sink (%dns) not slower than fast sink (%dns)", fs.SinkBusyNs[0], fs.SinkBusyNs[1])
+	}
+	if fs.DeliverNs <= 0 {
+		t.Fatalf("DeliverNs = %d, want > 0", fs.DeliverNs)
+	}
+}
+
+// TestFanoutTimedNilStats: a nil stats pointer must behave exactly
+// like the untimed path.
+func TestFanoutTimedNilStats(t *testing.T) {
+	s := &orderSink{}
+	count, err := FanoutTimed(genEvents(100), nil, s, &orderSink{})
+	if err != nil || count != 100 || len(s.pcs) != 100 {
+		t.Fatalf("count=%d err=%v seen=%d", count, err, len(s.pcs))
+	}
+}
+
+// slowSink burns a little time per batch so timed fan-out has
+// something to measure.
+type slowSink struct{ pcs []uint64 }
+
+func (s *slowSink) Event(ev *isa.Event) {
+	s.pcs = append(s.pcs, ev.PC)
+	if len(s.pcs)%fanoutBatch == 0 {
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"time"
 
 	"isacmp/internal/isa"
 )
@@ -142,11 +143,31 @@ type EmulationCore struct {
 	// Nothing is logged inside the retirement loop, so the hot path is
 	// unaffected.
 	Log *slog.Logger
+	// ProfileStages, when set, splits the batched loop's wall time into
+	// Stages: StepN dispatch (simulate) versus sink delivery (deliver).
+	// Two clock reads per stepBatch-sized batch, so the cost amortizes
+	// to fractions of a nanosecond per event. The per-Step reference
+	// loop is deliberately left unprofiled — a per-instruction clock
+	// read would distort exactly the loop the hotpath bench compares
+	// against.
+	ProfileStages bool
+	// Stages holds the accumulated split of the most recent Run when
+	// ProfileStages is set.
+	Stages StageNs
 
 	last Stats
 	// batch is the reused StepN buffer; allocated on first batched
 	// run, so steady-state execution performs no allocation.
 	batch []isa.Event
+}
+
+// StageNs is the batched run loop's wall time split by stage, in
+// nanoseconds: time inside StepN (architectural simulation) versus
+// time handing events to the sink (delivery). The split is what the
+// span profiler records as "simulate" and "deliver" spans per cell.
+type StageNs struct {
+	SimulateNs int64
+	DeliverNs  int64
 }
 
 // deadlinePoll is how often (in retired instructions) the core polls
@@ -194,6 +215,9 @@ func (c *EmulationCore) Run(m Machine, sink isa.Sink) (stats Stats, err error) {
 		}
 	}()
 	if bm, ok := m.(BatchMachine); ok && !c.StepLoop {
+		if c.ProfileStages {
+			c.Stages = StageNs{}
+		}
 		err = c.runBatched(bm, sink, &stats)
 		return stats, err
 	}
@@ -264,6 +288,8 @@ func (c *EmulationCore) runBatched(m BatchMachine, sink isa.Sink, stats *Stats) 
 	obs := c.Observer
 	ctx := c.Ctx
 	bs, batched := sink.(isa.BatchSink)
+	prof := c.ProfileStages
+	var stageClock time.Time
 	for {
 		buf := c.batch
 		if max != 0 {
@@ -271,9 +297,18 @@ func (c *EmulationCore) runBatched(m BatchMachine, sink isa.Sink, stats *Stats) 
 				buf = buf[:left]
 			}
 		}
+		if prof {
+			stageClock = time.Now()
+		}
 		n, done, err := m.StepN(buf)
+		if prof {
+			c.Stages.SimulateNs += time.Since(stageClock).Nanoseconds()
+		}
 		if n > 0 {
 			base := stats.Instructions
+			if prof {
+				stageClock = time.Now()
+			}
 			switch {
 			case batched:
 				stats.Instructions += uint64(n)
@@ -288,6 +323,9 @@ func (c *EmulationCore) runBatched(m BatchMachine, sink isa.Sink, stats *Stats) 
 				}
 			default:
 				stats.Instructions += uint64(n)
+			}
+			if prof {
+				c.Stages.DeliverNs += time.Since(stageClock).Nanoseconds()
 			}
 			if obs != nil {
 				for i := range buf[:n] {

@@ -101,10 +101,15 @@ type SchedStats struct {
 	// utilization).
 	WallSeconds float64 `json:"wall_seconds"`
 	BusySeconds float64 `json:"busy_seconds"`
+	// BlockedSeconds is the summed time workers spent waiting on the
+	// task queue (queue starvation) across the pool lifetime.
+	BlockedSeconds float64 `json:"blocked_seconds,omitempty"`
 	// WorkerUtilization is each worker's busy fraction of the pool
-	// lifetime; WorkerCells the number of cells each worker ran.
+	// lifetime; WorkerCells the number of cells each worker ran;
+	// WorkerBlocked each worker's queue-wait fraction.
 	WorkerUtilization []float64 `json:"worker_utilization"`
 	WorkerCells       []int64   `json:"worker_cells"`
+	WorkerBlocked     []float64 `json:"worker_blocked,omitempty"`
 }
 
 // FailureRecord is one failed matrix cell in the manifest `failures`
@@ -145,6 +150,10 @@ type Host struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS records the scheduler width the run executed under —
+	// the provenance field that lets trajectory tooling tell a real
+	// multicore measurement from a single-CPU one.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // RunRecord is one simulated execution inside a manifest.
@@ -239,10 +248,11 @@ func NewManifest(command, scale string) *Manifest {
 		Scale:     scale,
 		StartTime: time.Now().UTC().Format(time.RFC3339),
 		Host: Host{
-			GoVersion: runtime.Version(),
-			GOOS:      runtime.GOOS,
-			GOARCH:    runtime.GOARCH,
-			NumCPU:    runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 	}
 }

@@ -99,11 +99,12 @@ func (t *PipelineTrace) Spans() []PipelineSpan {
 	return out
 }
 
-// chromeEvent is one entry of the Chrome trace-event format
+// ChromeEvent is one entry of the Chrome trace-event format
 // (chrome://tracing / Perfetto "JSON Array Format"): a complete ("X")
-// duration event with microsecond timestamps. We map one simulated
-// cycle to one microsecond.
-type chromeEvent struct {
+// duration event with microsecond timestamps. The pipeline tracer maps
+// one simulated cycle to one microsecond; the span profiler maps real
+// nanoseconds to microseconds.
+type ChromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat"`
 	Ph   string            `json:"ph"`
@@ -112,6 +113,46 @@ type chromeEvent struct {
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
 	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTraceWriter streams a Chrome trace-event JSON document
+// ({"traceEvents": [...]}), one Emit per event, without holding the
+// event set in memory. Shared by the pipeline tracer and the span
+// profiler (internal/prof). Call Close to write the array tail and
+// flush.
+type ChromeTraceWriter struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+// NewChromeTraceWriter writes the document head and returns the
+// streaming writer.
+func NewChromeTraceWriter(w io.Writer) (*ChromeTraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return nil, err
+	}
+	return &ChromeTraceWriter{bw: bw, first: true}, nil
+}
+
+// Emit appends one event to the document.
+func (cw *ChromeTraceWriter) Emit(e ChromeEvent) error {
+	if !cw.first {
+		if _, err := cw.bw.WriteString(",\n"); err != nil {
+			return err
+		}
+	}
+	cw.first = false
+	return encodeCompact(cw.bw, e)
+}
+
+// Close writes the array tail and flushes. The writer is unusable
+// afterwards.
+func (cw *ChromeTraceWriter) Close() error {
+	if _, err := cw.bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return cw.bw.Flush()
 }
 
 // WriteChromeTrace writes the retained spans as a Chrome trace-event
@@ -125,31 +166,16 @@ func (t *PipelineTrace) WriteChromeTrace(w io.Writer) error {
 	if lanes <= 0 {
 		lanes = 8
 	}
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+	cw, err := NewChromeTraceWriter(w)
+	if err != nil {
 		return err
-	}
-	first := true
-	emit := func(e chromeEvent) error {
-		if !first {
-			if _, err := bw.WriteString(",\n"); err != nil {
-				return err
-			}
-		}
-		first = false
-		// json.Encoder appends a newline; trim by encoding to the
-		// buffered writer directly and accepting the newline inside
-		// the array (valid JSON whitespace).
-		enc.SetEscapeHTML(false)
-		return encodeCompact(bw, e)
 	}
 	for _, s := range t.Spans() {
 		tid := int(s.Seq) % lanes
 		name := fmt.Sprintf("%#x %s", s.PC, s.Group)
 		args := map[string]string{"seq": fmt.Sprint(s.Seq)}
 		if s.Issue > s.Dispatch {
-			if err := emit(chromeEvent{
+			if err := cw.Emit(ChromeEvent{
 				Name: name, Cat: "wait", Ph: "X",
 				Ts: s.Dispatch, Dur: s.Issue - s.Dispatch,
 				Pid: 1, Tid: tid, Args: args,
@@ -161,7 +187,7 @@ func (t *PipelineTrace) WriteChromeTrace(w io.Writer) error {
 		if s.Complete > s.Issue {
 			dur = s.Complete - s.Issue
 		}
-		if err := emit(chromeEvent{
+		if err := cw.Emit(ChromeEvent{
 			Name: name, Cat: "exec", Ph: "X",
 			Ts: s.Issue, Dur: dur,
 			Pid: 1, Tid: tid, Args: args,
@@ -169,10 +195,7 @@ func (t *PipelineTrace) WriteChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := bw.WriteString("\n]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return cw.Close()
 }
 
 // encodeCompact marshals v without a trailing newline.

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"isacmp/internal/prof"
 	"isacmp/internal/report"
 	"isacmp/internal/telemetry"
 )
@@ -122,6 +123,71 @@ func TestRunInstrumentedParallelWithModel(t *testing.T) {
 			t.Fatalf("%s: sequential %d insts/%d cycles, parallel %d insts/%d cycles",
 				core, seqRec.Core.Instructions, seqRec.Core.Cycles,
 				parRec.Core.Instructions, parRec.Core.Cycles)
+		}
+	}
+}
+
+// TestProfiledByteIdentical enforces the -profile pass-through
+// contract: running the matrix with the span profiler live — at one
+// worker and at several — must change no report byte and no
+// canonicalized manifest byte, while the profiler itself captures a
+// plausible timeline (spans for every stage on valid lanes).
+func TestProfiledByteIdentical(t *testing.T) {
+	progs := Suite(Tiny)
+	run := func(parallel int, p *prof.Profiler) (text, manifest []byte) {
+		ex := MatrixExperiment{
+			PathLength: true, CritPath: true, Scaled: true, Windowed: true,
+			Parallel: parallel, Prof: p,
+		}
+		rows, _, err := RunMatrix(progs, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		m := telemetry.NewManifest("parallel-test", "tiny")
+		for i, pr := range progs {
+			report.WritePathLengths(&buf, pr.Name, rows[i])
+			report.WriteCritPaths(&buf, pr.Name, rows[i], false)
+			report.WriteCritPaths(&buf, pr.Name, rows[i], true)
+			report.WriteWindowed(&buf, pr.Name, rows[i])
+			report.AppendRows(m, pr.Name, rows[i])
+		}
+		m.Canonicalize()
+		var mbuf bytes.Buffer
+		if err := m.Encode(&mbuf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), mbuf.Bytes()
+	}
+
+	baseText, baseManifest := run(1, nil)
+	for _, workers := range []int{1, 3} {
+		p := prof.New(workers, 0)
+		text, manifest := run(workers, p)
+		if !bytes.Equal(baseText, text) {
+			t.Fatalf("profile on, parallel=%d: report text differs from unprofiled", workers)
+		}
+		if !bytes.Equal(baseManifest, manifest) {
+			t.Fatalf("profile on, parallel=%d: canonicalized manifest differs from unprofiled", workers)
+		}
+		spans := p.Spans()
+		if len(spans) == 0 {
+			t.Fatalf("parallel=%d: profiler captured no spans", workers)
+		}
+		stages := map[string]bool{}
+		for _, s := range spans {
+			if s.Lane < 0 || s.Lane >= p.Lanes() {
+				t.Fatalf("span %+v on invalid lane (lanes=%d)", s, p.Lanes())
+			}
+			if s.Cell == "" {
+				t.Fatalf("span %+v missing its cell", s)
+			}
+			stages[s.Name] = true
+		}
+		for _, want := range []string{"setup", "simulate", "deliver", "sink:pathlen", "sink:windowcp"} {
+			if !stages[want] {
+				t.Errorf("parallel=%d: no %q spans captured (got %v)", workers, want, stages)
+			}
 		}
 	}
 }
