@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race differential golden check-faults check-obs check-prof fuzz-smoke bench bench-matrix bench-hotpath bench-obs bench-scaling bench-watch clean
+.PHONY: check fmt vet build test race differential golden check-faults check-obs check-prof check-fusion fuzz-smoke bench bench-matrix bench-hotpath bench-obs bench-scaling bench-fusion bench-watch clean
 
 # check is the full pre-merge gate: formatting, static checks, build,
 # the race-enabled test suite (including the differential, golden,
@@ -9,7 +9,7 @@ GO ?= go
 # benchmark run that exercises the manifest path end to end
 # (BENCH_PR1.json), and the uniform bench-watch regression gate over
 # the committed BENCH_*.json trajectory.
-check: fmt vet build race differential golden check-faults check-obs check-prof bench bench-watch
+check: fmt vet build race differential golden check-faults check-obs check-prof check-fusion bench bench-watch
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -74,12 +74,23 @@ check-prof:
 	$(GO) test -race -count=1 -run 'TestShardedConcurrentCells' ./internal/core
 	$(GO) test -race -count=1 -run 'TestProfiledByteIdentical|TestProfilerOffOverheadBudget' .
 
+# check-fusion runs the macro-op fusion suites under the race
+# detector: the rule/merge/batch-seam unit tests, the report-level
+# fusion wiring tests, and the matrix-level contracts — fusion-off
+# byte-identity, fusion-on differential equivalence and StepN-vs-Step
+# identity under fusion.
+check-fusion:
+	$(GO) test -race -count=1 ./internal/fusion
+	$(GO) test -race -count=1 -run 'TestFusion|TestGoldenFusion' ./internal/report
+	$(GO) test -race -count=1 -run 'TestFusion' .
+
 # fuzz-smoke runs each native fuzz target briefly. Longer campaigns:
 #	$(GO) test -fuzz FuzzDecodeA64 -fuzztime 5m ./internal/a64
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDecodeA64 -fuzztime 5s ./internal/a64
 	$(GO) test -fuzz FuzzDecodeRV64 -fuzztime 5s ./internal/rv64
 	$(GO) test -fuzz FuzzELF -fuzztime 5s ./internal/elfio
+	$(GO) test -fuzz FuzzFusionStream -fuzztime 5s ./internal/fusion
 
 # bench writes a run manifest for the benchmark trajectory: one
 # instrumented run per workload at small scale, plus the telemetry
@@ -125,6 +136,16 @@ bench-obs:
 bench-scaling:
 	$(GO) run ./cmd/isacmp scalebench -scale small -o BENCH_PR6.json
 
+# bench-fusion times the full matrix with fusion off (adapter elided)
+# and with an attached-but-inert scan-only pass, verifies the two are
+# byte-identical and the scan overhead stays under the <= 1% budget,
+# then runs the matrix once with every RV64 rule live and records the
+# per-kernel effective path lengths and per-rule hit totals to
+# BENCH_PR7.json. Regenerate (and commit) after an intentional fusion
+# or hot-path change.
+bench-fusion:
+	$(GO) run ./cmd/isacmp bench-fusion -scale small -o BENCH_PR7.json
+
 # bench-watch is the uniform regression gate over the committed
 # benchmark trajectory (replacing the retired ad-hoc hotpath-guard):
 # each watched BENCH_*.json is re-measured into a scratch doc and
@@ -137,7 +158,8 @@ bench-watch:
 	$(GO) run ./cmd/isacmp bench-obs -scale small -o BENCH_PR5.check.json
 	$(GO) run ./cmd/isacmp bench-watch BENCH_PR5.json BENCH_PR5.check.json
 	$(GO) run ./cmd/isacmp scalebench -scale small -o BENCH_PR6.check.json -guard BENCH_PR6.json
-	rm -f BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json
+	$(GO) run ./cmd/isacmp bench-fusion -scale small -o BENCH_PR7.check.json -guard BENCH_PR7.json
+	rm -f BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"isacmp/internal/fusion"
 	"isacmp/internal/obs"
 	"isacmp/internal/obs/slogx"
 	"isacmp/internal/report"
@@ -33,6 +34,7 @@ func main() {
 	scaledFlag := flag.Bool("scaled", false, "produce Table 2 (latency-scaled) instead of Table 1")
 	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := flag.String("bench", "", "single benchmark to run")
+	fusionFlag := flag.String("fusion", "off", "macro-op fusion: off, rv64, a64 or both, optionally :rule,rule,... (see internal/fusion)")
 	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
 	parallelFlag := flag.Int("parallel", 0, "analysis workers (0 = all CPUs, 1 = sequential); results are identical for every value")
 	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
@@ -55,6 +57,10 @@ func main() {
 	if err != nil {
 		usageFatal(err)
 	}
+	fusionCfg, err := fusion.ParseSpec(*fusionFlag)
+	if err != nil {
+		usageFatal(err)
+	}
 	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
 	if err != nil {
 		fatal(err)
@@ -69,6 +75,7 @@ func main() {
 		command = "scaledcp"
 		ex = report.Experiment{Scaled: true}
 	}
+	ex.Fusion = fusionCfg
 	reg := telemetry.NewRegistry()
 	ex.Metrics = reg
 	ex.Parallel = *parallelFlag
@@ -120,6 +127,7 @@ func main() {
 		rows := all[i]
 		if text {
 			report.WriteCritPaths(os.Stdout, p.Name, rows, *scaledFlag)
+			report.WriteFusion(os.Stdout, p.Name, rows)
 		}
 		report.AppendRows(manifest, p.Name, rows)
 	}

@@ -47,6 +47,7 @@ import (
 	"isacmp/internal/a64"
 	"isacmp/internal/core"
 	"isacmp/internal/elfio"
+	"isacmp/internal/fusion"
 	"isacmp/internal/ir"
 	"isacmp/internal/obs"
 	"isacmp/internal/obs/slogx"
@@ -76,6 +77,7 @@ func main() {
 	latencyFlag := fs.String("latency-file", "", "latency config file overriding the TX2 model (scaledcp)")
 	countFlag := fs.Int("n", 32, "instructions to print (trace)")
 	strideFlag := fs.Int("stride", 0, "window stride in instructions (windowcp; 0 = size/2)")
+	fusionFlag := fs.String("fusion", "off", "macro-op fusion: off, rv64, a64 or both, optionally :rule,rule,... (rules: loadpair, storepair, addld, addst, slliadd, luiaddi, cmpbranch)")
 	jsonFlag := fs.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
 	metricsJSONFlag := fs.String("metrics-json", "", "alias of -json")
 	coreFlag := fs.String("core", "emulation", "core model for run: emulation, inorder or ooo")
@@ -113,6 +115,10 @@ func main() {
 	}
 
 	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		usageFatal(err)
+	}
+	fusionCfg, err := fusion.ParseSpec(*fusionFlag)
 	if err != nil {
 		usageFatal(err)
 	}
@@ -179,6 +185,7 @@ func main() {
 
 	baseEx := report.Experiment{
 		Metrics:         reg,
+		Fusion:          fusionCfg,
 		Parallel:        *parallelFlag,
 		CellTimeout:     *cellTimeoutFlag,
 		MaxInstructions: *maxInstFlag,
@@ -216,6 +223,7 @@ func main() {
 		failedCells += runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
 			if text {
 				report.WritePathLengths(os.Stdout, p.Name, rows)
+				report.WriteFusion(os.Stdout, p.Name, rows)
 			}
 			summaries = append(summaries, report.Summarise(p.Name, rows)...)
 		})
@@ -228,6 +236,7 @@ func main() {
 		failedCells += runExperiment(progs, scale, ex, manifest, text, func(p *ir.Program, rows []report.Row) {
 			if text {
 				report.WriteCritPaths(os.Stdout, p.Name, rows, false)
+				report.WriteFusion(os.Stdout, p.Name, rows)
 			}
 		})
 	case "scaledcp":
@@ -286,6 +295,7 @@ func main() {
 				report.WritePathLengths(os.Stdout, p.Name, rows)
 				report.WriteCritPaths(os.Stdout, p.Name, rows, false)
 				report.WriteCritPaths(os.Stdout, p.Name, rows, true)
+				report.WriteFusion(os.Stdout, p.Name, rows)
 			}
 			gcc12 := rows[:0:0]
 			for _, r := range rows {
@@ -305,6 +315,7 @@ func main() {
 		cfg := runCmdConfig{
 			core:         *coreFlag,
 			cache:        *cacheFlag,
+			fusion:       fusionCfg,
 			target:       *targetFlag,
 			trace:        *traceFlag,
 			traceFormat:  *traceFormatFlag,
@@ -355,6 +366,14 @@ func main() {
 			out = "BENCH_PR5.json"
 		}
 		if err := benchObs(progs, scale, out, *parallelFlag, text); err != nil {
+			fatal(err)
+		}
+	case "bench-fusion":
+		out := *outFlag
+		if out == "BENCH_PR2.json" { // flag default belongs to bench-matrix
+			out = "BENCH_PR7.json"
+		}
+		if err := benchFusion(progs, scale, out, *guardFlag, text); err != nil {
 			fatal(err)
 		}
 	case "scalebench":
@@ -464,6 +483,7 @@ func runExperiment(progs []*ir.Program, scale workloads.Scale, ex report.Experim
 type runCmdConfig struct {
 	core        string
 	cache       bool
+	fusion      fusion.Config
 	target      string
 	trace       string
 	traceFormat string
@@ -695,6 +715,7 @@ func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig,
 			rc := isacmp.RunConfig{
 				Core:            cfg.core,
 				Cache:           cfg.cache,
+				Fusion:          cfg.fusion,
 				Analyses:        isacmp.Analyses{Mix: true, Branches: true},
 				Metrics:         reg,
 				Parallel:        inner,
@@ -1008,6 +1029,8 @@ commands:
   bench-hotpath  time the batched hot path vs the per-Step loop (-o,
                  -pr2-baseline, -guard: judge via the bench-watch rules)
   bench-obs  measure the serve-mode overhead vs baseline (-o)
+  bench-fusion  measure the fusion-off scan overhead vs the <= 1% budget
+             and the fusion-on effective-path-length ratios (-o, -guard)
   scalebench sweep the matrix over worker counts with the span profiler
              live: per-stage breakdown, occupancy, Amdahl fit and a
              ranked attribution of lost parallelism (-o, -guard)
@@ -1021,6 +1044,8 @@ commands:
   verify     check simulated results against the host reference
 
 flags: -scale tiny|small|paper   -bench <name>   -parallel <n> (0 = all CPUs)
+  -fusion off|rv64|a64|both[:rule,...] (macro-op fusion pass; rules:
+    loadpair storepair addld addst slliadd luiaddi cmpbranch)
   (disasm) -kernel <k> -target <a>-<c>
 
 resilience: -cell-timeout <d>  -max-instructions <n>  -retries <n>

@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"isacmp/internal/fusion"
 	"isacmp/internal/obs"
 	"isacmp/internal/obs/slogx"
 	"isacmp/internal/report"
@@ -35,6 +36,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := flag.String("bench", "", "single benchmark to run")
+	fusionFlag := flag.String("fusion", "off", "macro-op fusion: off, rv64, a64 or both, optionally :rule,rule,... (see internal/fusion)")
 	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
 	parallelFlag := flag.Int("parallel", 0, "analysis workers (0 = all CPUs, 1 = sequential); results are identical for every value")
 	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
@@ -54,6 +56,10 @@ func main() {
 		usageFatal(err)
 	}
 	progs, err := report.SelectBenchmarks(*benchFlag, scale)
+	if err != nil {
+		usageFatal(err)
+	}
+	fusionCfg, err := fusion.ParseSpec(*fusionFlag)
 	if err != nil {
 		usageFatal(err)
 	}
@@ -87,7 +93,7 @@ func main() {
 		log.Info("observability server listening", "addr", srv.Addr())
 	}
 	ex := report.Experiment{
-		PathLength: true, Metrics: reg, Parallel: *parallelFlag,
+		PathLength: true, Metrics: reg, Fusion: fusionCfg, Parallel: *parallelFlag,
 		CellTimeout: *cellTimeoutFlag, Retries: *retriesFlag,
 		RetryBackoff: *retryBackoffFlag, FailFast: *failFastFlag,
 		Log: log, RunID: runID, Status: board,
@@ -114,6 +120,7 @@ func main() {
 		rows := all[i]
 		if text {
 			report.WritePathLengths(os.Stdout, p.Name, rows)
+			report.WriteFusion(os.Stdout, p.Name, rows)
 		}
 		summaries = append(summaries, report.Summarise(p.Name, rows)...)
 		report.AppendRows(manifest, p.Name, rows)

@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"isacmp/internal/fusion"
 	"isacmp/internal/obs"
 	"isacmp/internal/obs/slogx"
 	"isacmp/internal/report"
@@ -34,6 +35,7 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "problem size: tiny, small or paper")
 	benchFlag := flag.String("bench", "", "single benchmark to run")
 	strideFlag := flag.Int("stride", 0, "window stride in instructions (0 = the paper's size/2)")
+	fusionFlag := flag.String("fusion", "off", "macro-op fusion: off, rv64, a64 or both, optionally :rule,rule,... (see internal/fusion)")
 	jsonFlag := flag.String("json", "", "write a run manifest to this file (\"-\" for stdout)")
 	parallelFlag := flag.Int("parallel", 0, "analysis workers (0 = all CPUs, 1 = sequential); results are identical for every value")
 	progressFlag := flag.Bool("progress", false, "print a retire-rate heartbeat to stderr")
@@ -56,6 +58,10 @@ func main() {
 	if err != nil {
 		usageFatal(err)
 	}
+	fusionCfg, err := fusion.ParseSpec(*fusionFlag)
+	if err != nil {
+		usageFatal(err)
+	}
 	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
 	if err != nil {
 		fatal(err)
@@ -72,7 +78,7 @@ func main() {
 	board := obs.NewBoard(runID, reg)
 	ex := report.Experiment{
 		Windowed: true, GCC12Only: true, WindowStride: *strideFlag,
-		Metrics: reg, Parallel: *parallelFlag,
+		Metrics: reg, Fusion: fusionCfg, Parallel: *parallelFlag,
 		CellTimeout: *cellTimeoutFlag, Retries: *retriesFlag,
 		RetryBackoff: *retryBackoffFlag, FailFast: *failFastFlag,
 		Log: log, RunID: runID, Status: board,
@@ -113,6 +119,7 @@ func main() {
 		rows := all[i]
 		if text {
 			report.WriteWindowed(os.Stdout, p.Name, rows)
+			report.WriteFusion(os.Stdout, p.Name, rows)
 		}
 		report.AppendRows(manifest, p.Name, rows)
 	}

@@ -132,6 +132,14 @@ func (c *CritPath) Event(ev *isa.Event) {
 			}
 		}
 	}
+	if ev.Load2Size != 0 { // second access of a fused load pair
+		first, last := wordSpan(ev.Load2Addr, ev.Load2Size)
+		for w := first; w <= last; w += 8 {
+			if v := c.memGet(w); v > longest {
+				longest = v
+			}
+		}
+	}
 
 	weight := uint64(1)
 	if c.Latencies != nil && ev.Group != isa.GroupLoad && ev.Group != isa.GroupStore {

@@ -54,6 +54,14 @@ func (d *DepDistance) Event(ev *isa.Event) {
 			}
 		}
 	}
+	if ev.Load2Size != 0 { // second access of a fused load pair
+		first, last := wordSpan(ev.Load2Addr, ev.Load2Size)
+		for w := first; w <= last; w += 8 {
+			if prod, ok := d.memWrite[w]; ok {
+				d.record(d.idx - prod)
+			}
+		}
+	}
 	for k := uint8(0); k < ev.NDsts; k++ {
 		d.lastWrite[ev.Dsts[k]] = d.idx
 		d.written[ev.Dsts[k]] = true

@@ -40,14 +40,16 @@ type WindowedCritPath struct {
 }
 
 type wev struct {
-	srcs  [4]isa.Reg
-	dsts  [2]isa.Reg
-	nsrc  uint8
-	ndst  uint8
-	lsize uint8
-	ssize uint8
-	laddr uint64
-	saddr uint64
+	srcs   [4]isa.Reg
+	dsts   [2]isa.Reg
+	nsrc   uint8
+	ndst   uint8
+	lsize  uint8
+	l2size uint8
+	ssize  uint8
+	laddr  uint64
+	l2addr uint64
+	saddr  uint64
 }
 
 // fill copies the dependence-relevant fields of one event.
@@ -55,8 +57,8 @@ func (s *wev) fill(ev *isa.Event) {
 	s.srcs = ev.Srcs
 	s.dsts = ev.Dsts
 	s.nsrc, s.ndst = ev.NSrcs, ev.NDsts
-	s.lsize, s.ssize = ev.LoadSize, ev.StoreSize
-	s.laddr, s.saddr = ev.LoadAddr, ev.StoreAddr
+	s.lsize, s.l2size, s.ssize = ev.LoadSize, ev.Load2Size, ev.StoreSize
+	s.laddr, s.l2addr, s.saddr = ev.LoadAddr, ev.Load2Addr, ev.StoreAddr
 }
 
 // cpScratch is the dependence-tracking state one window evaluation
@@ -98,6 +100,14 @@ func (c *cpScratch) step(e *wev) uint64 {
 	}
 	if e.lsize != 0 {
 		first, last := wordSpan(e.laddr, e.lsize)
+		for a := first; a <= last; a += 8 {
+			if v := c.mem.get(a); v > longest {
+				longest = v
+			}
+		}
+	}
+	if e.l2size != 0 { // second access of a fused load pair
+		first, last := wordSpan(e.l2addr, e.l2size)
 		for a := first; a <= last; a += 8 {
 			if v := c.mem.get(a); v > longest {
 				longest = v

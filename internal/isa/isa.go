@@ -175,23 +175,39 @@ type Event struct {
 	// instruction (LoadSize==0 means no read). Pair loads report the
 	// full byte span.
 	LoadAddr uint64
-	LoadSize uint8
+	// Load2Addr/Load2Size describe a second, possibly discontiguous
+	// memory read. Cores never emit one; the macro-op fusion pass
+	// (internal/fusion) uses the slot when it merges two loads into one
+	// fused event, so memory RAW chains through both accesses survive
+	// the merge. The field order here keeps the struct at 56 bytes —
+	// the three addresses group ahead of the byte-wide fields so no
+	// padding is added.
+	Load2Addr uint64
 	// StoreAddr/StoreSize describe a memory write, as above.
 	StoreAddr uint64
+	LoadSize  uint8
+	Load2Size uint8
 	StoreSize uint8
 
 	// Branch reports whether the instruction is a control-flow
 	// instruction, and Taken whether it redirected the PC.
 	Branch bool
 	Taken  bool
+
+	// Fused is the number of architectural instructions this event
+	// stands for beyond the usual one: 0 on every core-emitted event,
+	// 2 on an event the fusion pass merged from an adjacent pair (the
+	// second instruction retired at PC+4).
+	Fused uint8
 }
 
 // Reset clears the per-instruction fields that executors fill in
 // conditionally, so cores can reuse one Event allocation.
 func (e *Event) Reset() {
 	e.NSrcs, e.NDsts = 0, 0
-	e.LoadSize, e.StoreSize = 0, 0
+	e.LoadSize, e.Load2Size, e.StoreSize = 0, 0, 0
 	e.Branch, e.Taken = false, false
+	e.Fused = 0
 }
 
 // AddSrc appends a register source unless it is outside the register

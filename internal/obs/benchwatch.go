@@ -104,6 +104,13 @@ var watchRules = map[string][]watchRule{
 		{metric: "identical", kind: flagRule},
 		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
+	"isacmp/bench-fusion/v1": {
+		{metric: "off_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "within_budget", kind: pinRule},
+		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
+		{metric: "identical", kind: flagRule},
+		{metric: "workers", kind: provenanceRule, warnOnly: true},
+	},
 	"isacmp/scaling-report/v1": {
 		{metric: "best_wall_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "identical", kind: flagRule},

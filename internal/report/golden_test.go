@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"isacmp/internal/cc"
+	"isacmp/internal/fusion"
 	"isacmp/internal/telemetry"
 	"isacmp/internal/workloads"
 )
@@ -100,6 +101,51 @@ func TestGoldenFigure2(t *testing.T) {
 	var buf bytes.Buffer
 	WriteWindowed(&buf, "stream", gcc12)
 	checkGolden(t, "figure2_stream_tiny.txt", buf.Bytes())
+}
+
+// goldenFusionRows is goldenRows with every fusion rule live on both
+// architectures — the configuration behind the fusion goldens.
+func goldenFusionRows(t *testing.T) []Row {
+	t.Helper()
+	prog := workloads.ByName("stream", workloads.Tiny)
+	if prog == nil {
+		t.Fatal("stream workload missing")
+	}
+	rows, err := Run(prog, Experiment{
+		PathLength: true, CritPath: true, Scaled: true, Windowed: true,
+		Fusion:   fusion.Config{RV64: true, A64: true, Rules: fusion.AllRules},
+		Parallel: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestGoldenFusionTable pins the fusion-on Table 1 numbers (the fused
+// machine's critical paths) together with the effective-path-length
+// table and its per-rule hit counts.
+func TestGoldenFusionTable(t *testing.T) {
+	rows := goldenFusionRows(t)
+	var buf bytes.Buffer
+	WriteCritPaths(&buf, "stream", rows, false)
+	WriteFusion(&buf, "stream", rows)
+	checkGolden(t, "table1_fusion_stream_tiny.txt", buf.Bytes())
+}
+
+// TestGoldenFusionManifest pins the canonicalized manifest with the
+// per-run fusion blocks — spec, event counts and per-rule hits are
+// deterministic, so they survive canonicalization.
+func TestGoldenFusionManifest(t *testing.T) {
+	rows := goldenFusionRows(t)
+	m := telemetry.NewManifest("golden", "tiny")
+	AppendRows(m, "stream", rows)
+	m.Canonicalize()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "manifest_fusion_stream_tiny.json", buf.Bytes())
 }
 
 // TestGoldenManifest pins the canonicalized -json manifest document —

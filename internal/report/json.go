@@ -19,6 +19,7 @@ func RowRecord(workload string, r Row) telemetry.RunRecord {
 		WallSeconds: r.WallSeconds,
 		Sinks:       r.Sinks,
 		Tracker:     r.Tracker,
+		Fusion:      r.Fusion,
 	}
 	if r.WallSeconds > 0 {
 		rec.MIPS = float64(r.Core.Instructions) / r.WallSeconds / 1e6

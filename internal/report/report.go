@@ -19,6 +19,7 @@ import (
 	"isacmp/internal/a64"
 	"isacmp/internal/cc"
 	"isacmp/internal/core"
+	"isacmp/internal/fusion"
 	"isacmp/internal/ir"
 	"isacmp/internal/isa"
 	"isacmp/internal/mem"
@@ -57,6 +58,10 @@ type Row struct {
 	// Tracker reports the critical-path tracker's footprint when the
 	// run carried one.
 	Tracker *telemetry.TrackerStats
+	// Fusion reports what the macro-op fusion pass did when one was
+	// interposed (nil on fusion-off runs). EventsOut is the fused
+	// machine's effective path length; PathLen stays architectural.
+	Fusion *telemetry.FusionStats
 
 	// Attempts is how many attempts this cell took (1 = first try).
 	Attempts int
@@ -113,6 +118,13 @@ type Experiment struct {
 	// way (pinned by tests); bench-hotpath uses it to measure the
 	// batching win.
 	StepLoop bool
+	// Fusion configures the macro-op fusion pass (internal/fusion):
+	// a stream rewrite interposed between the core and the analyses
+	// so path length, CP, windowed CP and ILP describe the fused
+	// machine. The zero value is fusion off, in which case no adapter
+	// is constructed at all and output is byte-identical to a build
+	// without the feature.
+	Fusion fusion.Config
 
 	// Resilience knobs (see the README's failure-semantics section).
 	// All default to off, which keeps fault-free runs byte-identical
@@ -593,6 +605,7 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		return s, meter
 	}
 	var stats simeng.Stats
+	var fus *fusion.Pass
 	setup.End()
 	runStart := ex.Prof.Now()
 	start := time.Now()
@@ -608,6 +621,14 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 			fs = &sched.FanoutStats{}
 		}
 		n, err := sched.FanoutTimed(func(s isa.Sink) error {
+			// The fusion pass wraps the broadcast sink, so every consumer
+			// sees the same rewritten stream and the returned n counts
+			// fused events — the effective path length, matching the
+			// sequential tee's count.
+			if ex.Fusion.Active(tgt.Arch) {
+				fus = fusion.NewPass(ex.Fusion, tgt.Arch, s)
+				s = fus
+			}
 			if ex.WrapSink != nil {
 				s = ex.WrapSink(prog.Name, tgt.String(), attempt, s)
 			}
@@ -615,6 +636,11 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 			defer meter.Flush()
 			var runErr error
 			stats, runErr = emu.Run(mach, s)
+			if runErr == nil && fus != nil {
+				// Deliver the carried trailing event while the broadcast
+				// is still open.
+				fus.Flush()
+			}
 			return runErr
 		}, fs, consumers...)
 		if err != nil {
@@ -646,6 +672,10 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		if len(sinks) > 0 || rm != nil {
 			sink = tee
 		}
+		if sink != nil && ex.Fusion.Active(tgt.Arch) {
+			fus = fusion.NewPass(ex.Fusion, tgt.Arch, sink)
+			sink = fus
+		}
 		if ex.WrapSink != nil {
 			sink = ex.WrapSink(prog.Name, tgt.String(), attempt, sink)
 		}
@@ -654,6 +684,9 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 		meter.Flush()
 		if err != nil {
 			return row, err
+		}
+		if fus != nil {
+			fus.Flush() // before reading tee stats or analysis results
 		}
 		if len(sinks) > 0 {
 			row.Sinks = tee.Stats()
@@ -678,6 +711,12 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 	if ex.Metrics != nil {
 		if src, ok := mach.(isa.PredecodeStatsSource); ok {
 			publishPredecode(ex.Metrics, src.PredecodeStats())
+		}
+	}
+	if fus != nil {
+		row.Fusion = fusionRecord(ex.Fusion, tgt.Arch, fus.Stats())
+		if ex.Metrics != nil {
+			publishFusion(ex.Metrics, ex.Fusion.RulesFor(tgt.Arch), fus.Stats())
 		}
 	}
 	if pg != nil {
@@ -733,6 +772,35 @@ func publishPredecode(r *telemetry.Registry, st isa.PredecodeStats) {
 	r.Counter("predecode.text_words").Add(st.TextWords)
 	r.Counter("predecode.bad_words").Add(st.BadWords)
 	r.Counter("predecode.fallbacks").Add(st.Fallbacks)
+}
+
+// fusionRecord converts the pass counters into the manifest fusion
+// block. Every rule enabled for the run's architecture is listed, hit
+// or not, so a rule that silently stopped firing shows up in a diff.
+func fusionRecord(cfg fusion.Config, arch isa.Arch, st fusion.Stats) *telemetry.FusionStats {
+	fs := &telemetry.FusionStats{Spec: cfg.Spec(), EventsIn: st.EventsIn, EventsOut: st.EventsOut}
+	rules := cfg.RulesFor(arch)
+	for r := fusion.Rule(0); r < fusion.NumRules; r++ {
+		if rules.Has(r) {
+			fs.Rules = append(fs.Rules, telemetry.FusionRuleJSON{Rule: r.String(), Hits: st.Hits[r]})
+		}
+	}
+	return fs
+}
+
+// publishFusion feeds the pass counters into the metrics registry
+// ("fusion.events_in", "fusion.events_out", "fusion.hits.<rule>").
+// Like the predecode counters they are deterministic, so manifest
+// canonicalization keeps them and byte-identity holds across worker
+// counts.
+func publishFusion(r *telemetry.Registry, rules fusion.RuleSet, st fusion.Stats) {
+	r.Counter("fusion.events_in").Add(st.EventsIn)
+	r.Counter("fusion.events_out").Add(st.EventsOut)
+	for rl := fusion.Rule(0); rl < fusion.NumRules; rl++ {
+		if rules.Has(rl) {
+			r.Counter("fusion.hits." + rl.String()).Add(st.Hits[rl])
+		}
+	}
 }
 
 // healthy filters FAILED placeholder rows out of a column-major
@@ -986,6 +1054,52 @@ func WriteSummaries(w io.Writer, all []Summary) {
 		fmt.Fprintf(w, "%-14s %-9s %8.4f (%+.1f%%)\n", "mean", "", mean, (mean-1)*100)
 		fmt.Fprintf(w, "AArch64 shorter for %d of %d benchmark+compiler pairs\n",
 			armShorter, len(all))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFusion renders the Celio-style effective-path-length table for
+// one benchmark: architectural path length vs fused event count per
+// target, with the per-rule hit counters. It writes nothing when no
+// row carried a fusion pass, so fusion-off output stays byte-identical.
+func WriteFusion(w io.Writer, name string, rows []Row) {
+	rows = healthy(rows)
+	any := false
+	for i := range rows {
+		if rows[i].Fusion != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "== %s: effective path length with macro-op fusion ==\n", name)
+	fmt.Fprintf(w, "%-22s %14s %14s %8s  %s\n",
+		"target", "path len", "fused len", "ratio", "rule hits")
+	for i := range rows {
+		r := &rows[i]
+		if r.Fusion == nil {
+			fmt.Fprintf(w, "%-22s %14d %14s %8s  %s\n",
+				r.Target.String(), r.PathLen, "-", "-", "(fusion off)")
+			continue
+		}
+		ratio := 0.0
+		if r.Fusion.EventsIn > 0 {
+			ratio = float64(r.Fusion.EventsOut) / float64(r.Fusion.EventsIn)
+		}
+		var hits []string
+		for _, rl := range r.Fusion.Rules {
+			if rl.Hits > 0 {
+				hits = append(hits, fmt.Sprintf("%s=%d", rl.Rule, rl.Hits))
+			}
+		}
+		desc := strings.Join(hits, " ")
+		if desc == "" {
+			desc = "(none fired)"
+		}
+		fmt.Fprintf(w, "%-22s %14d %14d %8.4f  %s\n",
+			r.Target.String(), r.Fusion.EventsIn, r.Fusion.EventsOut, ratio, desc)
 	}
 	fmt.Fprintln(w)
 }

@@ -63,6 +63,9 @@ func (m *InOrderModel) Event(ev *isa.Event) {
 	if m.DCache != nil && ev.LoadSize != 0 {
 		lat += uint64(m.DCache.Access(ev.LoadAddr))
 	}
+	if m.DCache != nil && ev.Load2Size != 0 { // second access of a fused load pair
+		lat += uint64(m.DCache.Access(ev.Load2Addr))
+	}
 	if m.DCache != nil && ev.StoreSize != 0 {
 		m.DCache.Access(ev.StoreAddr)
 	}

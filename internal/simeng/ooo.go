@@ -102,6 +102,14 @@ func (m *OoOModel) Event(ev *isa.Event) {
 			}
 		}
 	}
+	if m.TrackMemory && ev.Load2Size != 0 { // second access of a fused load pair
+		first, last := wordSpan(ev.Load2Addr, ev.Load2Size)
+		for w := first; w <= last; w += 8 {
+			if r := m.memReady[w]; r > start {
+				start = r
+			}
+		}
+	}
 	m.srcStalls += start - dispatch
 	lat := uint64(m.Latencies.Latency(ev.Group))
 	if m.DCache != nil && ev.LoadSize != 0 {
@@ -127,6 +135,12 @@ func (m *OoOModel) Event(ev *isa.Event) {
 			lat += uint64(miss)
 			m.mshrBusy[best] = start + lat
 		}
+	}
+	if m.DCache != nil && ev.Load2Size != 0 {
+		// Second access of a fused load pair: the dual-ported LSU issues
+		// it alongside the first, so a miss adds latency but claims no
+		// extra MSHR slot of its own.
+		lat += uint64(m.DCache.Access(ev.Load2Addr))
 	}
 	if m.DCache != nil && ev.StoreSize != 0 {
 		m.DCache.Access(ev.StoreAddr) // allocate-on-write, no stall

@@ -182,8 +182,32 @@ type RunRecord struct {
 	// when the run carried one.
 	Tracker *TrackerStats `json:"tracker,omitempty"`
 
+	// Fusion records what the macro-op fusion pass did, when one was
+	// interposed (absent on fusion-off runs, which keeps fusion-off
+	// manifests byte-identical to pre-fusion ones). The counters are
+	// deterministic, so Canonicalize keeps them.
+	Fusion *FusionStats `json:"fusion,omitempty"`
+
 	// Results holds the analysis outputs for this run.
 	Results *ResultTable `json:"results,omitempty"`
+}
+
+// FusionStats is the manifest fusion block: the pass configuration in
+// -fusion spec syntax, the raw and rewritten event counts (EventsOut
+// is the fused machine's effective path length) and per-rule hit
+// counters. Enabled rules appear even with zero hits, so a rule that
+// silently stopped firing is visible in a manifest diff.
+type FusionStats struct {
+	Spec      string           `json:"spec"`
+	EventsIn  uint64           `json:"events_in"`
+	EventsOut uint64           `json:"events_out"`
+	Rules     []FusionRuleJSON `json:"rules,omitempty"`
+}
+
+// FusionRuleJSON is one per-rule hit counter.
+type FusionRuleJSON struct {
+	Rule string `json:"rule"`
+	Hits uint64 `json:"hits"`
 }
 
 // TrackerStats mirrors core.CritPath's footprint counters without

@@ -26,6 +26,7 @@ import (
 	"isacmp/internal/cc"
 	"isacmp/internal/core"
 	"isacmp/internal/elfio"
+	"isacmp/internal/fusion"
 	"isacmp/internal/ir"
 	"isacmp/internal/isa"
 	"isacmp/internal/mem"
@@ -66,7 +67,18 @@ type (
 	RegionCount = core.RegionCount
 	// LatencyModel maps instruction groups to execution latencies.
 	LatencyModel = simeng.LatencyModel
+	// FusionConfig configures the macro-op fusion pass: which
+	// architectures it rewrites and which rules apply (see
+	// internal/fusion). The zero value is fusion off.
+	FusionConfig = fusion.Config
+	// FusionStats is the manifest fusion block: spec, raw and fused
+	// event counts, per-rule hits.
+	FusionStats = telemetry.FusionStats
 )
+
+// ParseFusionSpec parses -fusion flag syntax
+// ("off", "rv64", "both:loadpair,slliadd", ...) into a FusionConfig.
+var ParseFusionSpec = fusion.ParseSpec
 
 // Architectures.
 const (
@@ -724,6 +736,12 @@ type RunConfig struct {
 	// for every value — only per-sink overhead sampling (a telemetry
 	// artifact, zeroed by manifest canonicalization) differs.
 	Parallel int
+	// Fusion configures the macro-op fusion pass interposed between
+	// the core and the analyses, so every attached analysis sees the
+	// fused machine's event stream. The zero value is fusion off: no
+	// adapter is constructed and results are byte-identical to a run
+	// without the feature.
+	Fusion FusionConfig
 	// Ctx, when non-nil, is polled by the core; an expired or cancelled
 	// context reaps the run with an ErrDeadline-kind error (the CLI's
 	// -cell-timeout).
@@ -869,6 +887,8 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	}
 
 	var stats Stats
+	var fus *fusion.Pass
+	arch := b.compiled.Target.Arch
 	start := time.Now()
 	if parallel > 1 {
 		// Fan-out engine: simulate once, replay the stream into every
@@ -883,9 +903,18 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 			// Fanout runs gen on the caller's goroutine, so the
 			// recorder/meter wrapped here stay single-goroutine; counting
 			// happens below the wrappers, so n is unchanged by them.
+			// The fusion pass wraps the broadcast sink, so n counts
+			// fused events — the effective path length.
+			if cfg.Fusion.Active(arch) {
+				fus = fusion.NewPass(cfg.Fusion, arch, s)
+				s = fus
+			}
 			s, meter := observe(s)
 			var e error
 			stats, e = emu.Run(mach, s)
+			if e == nil && fus != nil {
+				fus.Flush() // while the broadcast is still open
+			}
 			meter.Flush()
 			return e
 		}, consumers...)
@@ -909,12 +938,19 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 		if len(as.sinks) > 0 || rm != nil {
 			sink = tee
 		}
+		if sink != nil && cfg.Fusion.Active(arch) {
+			fus = fusion.NewPass(cfg.Fusion, arch, sink)
+			sink = fus
+		}
 		sink, meter := observe(sink)
 		stats, err = emu.Run(mach, sink)
 		meter.Flush()
 		if err != nil {
 			dumpFlight(err)
 			return nil, rec, err
+		}
+		if fus != nil {
+			fus.Flush() // before reading tee stats or analysis results
 		}
 		if len(as.sinks) > 0 {
 			rec.Sinks = tee.Stats()
@@ -945,6 +981,26 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	} else if tracked := as.scp; tracked != nil {
 		ts := tracked.TrackerStats()
 		rec.Tracker = &telemetry.TrackerStats{MapEntries: ts.MapEntries, DenseWords: ts.DenseWords}
+	}
+	if fus != nil {
+		st := fus.Stats()
+		fsRec := &telemetry.FusionStats{Spec: cfg.Fusion.Spec(), EventsIn: st.EventsIn, EventsOut: st.EventsOut}
+		rules := cfg.Fusion.RulesFor(arch)
+		for r := fusion.Rule(0); r < fusion.NumRules; r++ {
+			if rules.Has(r) {
+				fsRec.Rules = append(fsRec.Rules, telemetry.FusionRuleJSON{Rule: r.String(), Hits: st.Hits[r]})
+			}
+		}
+		rec.Fusion = fsRec
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter("fusion.events_in").Add(st.EventsIn)
+			cfg.Metrics.Counter("fusion.events_out").Add(st.EventsOut)
+			for r := fusion.Rule(0); r < fusion.NumRules; r++ {
+				if rules.Has(r) {
+					cfg.Metrics.Counter("fusion.hits." + r.String()).Add(st.Hits[r])
+				}
+			}
+		}
 	}
 
 	res := &Result{Target: b.compiled.Target, Stats: stats}

@@ -16,11 +16,17 @@ import (
 // JSON.
 func matrixArtifacts(t *testing.T, parallel int) (text, manifest []byte) {
 	t.Helper()
-	progs := Suite(Tiny)
-	ex := MatrixExperiment{
+	return matrixArtifactsEx(t, MatrixExperiment{
 		PathLength: true, CritPath: true, Scaled: true, Windowed: true,
 		Parallel: parallel,
-	}
+	})
+}
+
+// matrixArtifactsEx is matrixArtifacts over an arbitrary experiment —
+// the fusion suites reuse it with Fusion, StepLoop and Parallel set.
+func matrixArtifactsEx(t *testing.T, ex MatrixExperiment) (text, manifest []byte) {
+	t.Helper()
+	progs := Suite(Tiny)
 	rows, _, err := RunMatrix(progs, ex)
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +39,7 @@ func matrixArtifacts(t *testing.T, parallel int) (text, manifest []byte) {
 		report.WriteCritPaths(&buf, p.Name, rows[i], false)
 		report.WriteCritPaths(&buf, p.Name, rows[i], true)
 		report.WriteWindowed(&buf, p.Name, rows[i])
+		report.WriteFusion(&buf, p.Name, rows[i])
 		report.AppendRows(m, p.Name, rows[i])
 	}
 	m.Canonicalize()
