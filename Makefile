@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race differential golden check-faults check-obs check-prof check-fusion fuzz-smoke bench bench-matrix bench-hotpath bench-obs bench-scaling bench-fusion bench-watch clean
+.PHONY: check fmt vet build test race differential golden check-faults check-obs check-prof check-fusion check-durable fuzz-smoke bench bench-matrix bench-hotpath bench-obs bench-scaling bench-fusion bench-durable bench-watch clean
 
 # check is the full pre-merge gate: formatting, static checks, build,
 # the race-enabled test suite (including the differential, golden,
-# fault-injection, observability and profiler suites, run explicitly
-# so a -run filter can never silently drop them), a short instrumented
-# benchmark run that exercises the manifest path end to end
-# (BENCH_PR1.json), and the uniform bench-watch regression gate over
-# the committed BENCH_*.json trajectory.
-check: fmt vet build race differential golden check-faults check-obs check-prof check-fusion bench bench-watch
+# fault-injection, observability, profiler, fusion and durability
+# suites, run explicitly so a -run filter can never silently drop
+# them), a short instrumented benchmark run that exercises the
+# manifest path end to end (BENCH_PR1.json), and the uniform
+# bench-watch regression gate over the committed BENCH_*.json
+# trajectory.
+check: fmt vet build race differential golden check-faults check-obs check-prof check-fusion check-durable bench bench-watch
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -84,6 +85,19 @@ check-fusion:
 	$(GO) test -race -count=1 -run 'TestFusion|TestGoldenFusion' ./internal/report
 	$(GO) test -race -count=1 -run 'TestFusion' .
 
+# check-durable runs the crash-safety suites under the race detector:
+# the durable package itself (journal append/replay, torn-tail and
+# corruption semantics, content cache, atomic writes), the disk-fault
+# injection tests, and the report-level contracts — resume after a
+# truncated journal, warm-cache zero-recompute, hash-mismatch re-run,
+# failure replay, drain journaling rules, backoff interruption, and
+# the SIGKILL chaos test (kill a live matrix at a randomized point,
+# resume, diff byte-for-byte against the uninterrupted run).
+check-durable:
+	$(GO) test -race -count=1 ./internal/durable
+	$(GO) test -race -count=1 -run 'TestDiskFault|TestTearJournalTail|TestOpenFaultFile' ./internal/faultinject
+	$(GO) test -race -count=1 -run 'TestDurable|TestDrainInterruptsRetryBackoff|TestChaos' ./internal/report
+
 # fuzz-smoke runs each native fuzz target briefly. Longer campaigns:
 #	$(GO) test -fuzz FuzzDecodeA64 -fuzztime 5m ./internal/a64
 fuzz-smoke:
@@ -91,6 +105,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzDecodeRV64 -fuzztime 5s ./internal/rv64
 	$(GO) test -fuzz FuzzELF -fuzztime 5s ./internal/elfio
 	$(GO) test -fuzz FuzzFusionStream -fuzztime 5s ./internal/fusion
+	$(GO) test -fuzz FuzzJournalReplay -fuzztime 5s ./internal/durable
 
 # bench writes a run manifest for the benchmark trajectory: one
 # instrumented run per workload at small scale, plus the telemetry
@@ -146,6 +161,15 @@ bench-scaling:
 bench-fusion:
 	$(GO) run ./cmd/isacmp bench-fusion -scale small -o BENCH_PR7.json
 
+# bench-durable times the full matrix bare and with the write-ahead
+# cell journal armed (fsync per record, cold cache every rep),
+# verifies journal-on output is byte-identical to bare, checks the
+# journal overhead against the <= 2% budget, and verifies a warm-cache
+# second run recomputes zero cells. Writes BENCH_PR8.json; regenerate
+# (and commit) after an intentional durability-layer change.
+bench-durable:
+	$(GO) run ./cmd/isacmp bench-durable -scale small -o BENCH_PR8.json
+
 # bench-watch is the uniform regression gate over the committed
 # benchmark trajectory (replacing the retired ad-hoc hotpath-guard):
 # each watched BENCH_*.json is re-measured into a scratch doc and
@@ -159,7 +183,9 @@ bench-watch:
 	$(GO) run ./cmd/isacmp bench-watch BENCH_PR5.json BENCH_PR5.check.json
 	$(GO) run ./cmd/isacmp scalebench -scale small -o BENCH_PR6.check.json -guard BENCH_PR6.json
 	$(GO) run ./cmd/isacmp bench-fusion -scale small -o BENCH_PR7.check.json -guard BENCH_PR7.json
-	rm -f BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json
+	$(GO) run ./cmd/isacmp bench-durable -scale small -o BENCH_PR8.check.json
+	$(GO) run ./cmd/isacmp bench-watch BENCH_PR8.json BENCH_PR8.check.json
+	rm -f BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json BENCH_PR8.check.json
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json BENCH_PR8.check.json

@@ -4,7 +4,12 @@
 //
 // Usage: critpath [-scaled] [-scale tiny|small|paper] [-bench name]
 // [-parallel n] [-json file] [-progress] [-cpuprofile file]
-// [-memprofile file]
+// [-memprofile file] [-durable-dir d] [-resume d]
+//
+// -durable-dir arms crash-safe running (write-ahead cell journal plus
+// content-addressed result cache); -resume replays such a directory
+// and recomputes only unfinished cells. SIGINT/SIGTERM drains
+// gracefully; a second signal aborts in-flight cells.
 //
 // -parallel fans the (benchmark, target) matrix over n analysis
 // workers (0, the default, uses every CPU; 1 is strictly sequential).
@@ -47,6 +52,8 @@ func main() {
 	serveFlag := flag.String("serve", "", "serve /metrics, /statusz, /events and pprof on this address for the duration of the run")
 	logLevelFlag := flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	logFormatFlag := flag.String("log-format", "text", "structured log encoding on stderr: text or json")
+	durableDirFlag := flag.String("durable-dir", "", "arm crash-safe running: write-ahead cell journal + content-addressed result cache in this directory")
+	resumeFlag := flag.String("resume", "", "resume an interrupted run from this durability directory: replay the journal, recompute only unfinished cells")
 	flag.Parse()
 
 	scale, err := report.ParseScale(*scaleFlag)
@@ -91,6 +98,15 @@ func main() {
 	log = log.With(slogx.KeyRunID, runID)
 	board := obs.NewBoard(runID, reg)
 	ex.Log, ex.RunID, ex.Status = log, runID, board
+	drun, err := report.ArmDurability(*durableDirFlag, *resumeFlag, log)
+	if err != nil {
+		fatal(err)
+	}
+	if drun != nil {
+		defer drun.Close()
+	}
+	ex.Ctx, ex.Drain = report.InstallDrainHandler(log)
+	ex.Durable = drun
 	if *progressFlag {
 		ex.Progress = os.Stderr
 		ex.ProgressFinalOnly = !slogx.IsTerminal(os.Stderr)
@@ -132,6 +148,10 @@ func main() {
 		report.AppendRows(manifest, p.Name, rows)
 	}
 
+	if drun != nil {
+		st := drun.Stats()
+		manifest.Durable = &st
+	}
 	manifest.Finish(start, reg)
 	if *jsonFlag != "" {
 		if err := manifest.WriteFile(*jsonFlag); err != nil {

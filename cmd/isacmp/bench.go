@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"isacmp/internal/durable"
 	"isacmp/internal/ir"
 	"isacmp/internal/obs"
 	"isacmp/internal/report"
@@ -17,6 +18,20 @@ import (
 	"isacmp/internal/telemetry"
 	"isacmp/internal/workloads"
 )
+
+// writeDocAtomic writes a bench-trajectory document as indented JSON
+// through the durability layer's atomic-write helper (tmp + fsync +
+// rename): an interrupted bench run can never commit a torn
+// BENCH_*.json.
+func writeDocAtomic(out string, doc any) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return durable.WriteFileAtomic(out, buf.Bytes(), 0o644)
+}
 
 // benchSchema identifies the bench-matrix document layout.
 const benchSchema = "isacmp/bench-matrix/v1"
@@ -105,17 +120,7 @@ func benchMatrix(progs []*ir.Program, scale workloads.Scale, out string, paralle
 		return fmt.Errorf("bench-matrix: parallel results differ from sequential (determinism violation)")
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeDocAtomic(out, doc); err != nil {
 		return err
 	}
 	if text {
@@ -217,17 +222,7 @@ func benchResilience(progs []*ir.Program, scale workloads.Scale, out string, par
 		return fmt.Errorf("bench-resilience: armed results differ from baseline (fault-free byte-identity violation)")
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeDocAtomic(out, doc); err != nil {
 		return err
 	}
 	if text {
@@ -404,17 +399,7 @@ func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guar
 		}
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeDocAtomic(out, doc); err != nil {
 		return err
 	}
 	if text {
@@ -581,17 +566,7 @@ func benchObs(progs []*ir.Program, scale workloads.Scale, out string, parallel i
 		return fmt.Errorf("bench-obs: served results differ from baseline (pass-through observer violation)")
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeDocAtomic(out, doc); err != nil {
 		return err
 	}
 	if text {

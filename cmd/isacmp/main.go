@@ -104,6 +104,8 @@ func main() {
 	flightEventsFlag := fs.Int("flight-events", 0, "flight-recorder ring capacity in retired events (0 = default)")
 	profileFlag := fs.Bool("profile", false, "record per-stage spans (setup/simulate/deliver/sink/retry-backoff/manifest-write) on per-worker timelines; served on /profilez and summarized on /statusz")
 	profileTraceFlag := fs.String("profile-trace", "", "write the -profile span timelines as Chrome-trace JSON to this file at exit (implies -profile)")
+	durableDirFlag := fs.String("durable-dir", "", "arm crash-safe running: a write-ahead cell journal plus content-addressed result cache in this directory")
+	resumeFlag := fs.String("resume", "", "resume an interrupted run from this durability directory: replay the journal, verify hashes, recompute only unfinished cells")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(report.ExitUsage)
 	}
@@ -183,6 +185,29 @@ func main() {
 		log.Info("observability server listening", "addr", srv.Addr())
 	}
 
+	// Crash-safety layer: -durable-dir arms a fresh journal (the
+	// content cache persists across runs), -resume replays an existing
+	// one so already-retired cells are served instead of recomputed.
+	drun, err := report.ArmDurability(*durableDirFlag, *resumeFlag, log)
+	if err != nil {
+		fatal(err)
+	}
+	if drun != nil {
+		defer drun.Close()
+	}
+
+	// Two-stage interrupt contract for long matrix runs: the first
+	// SIGINT/SIGTERM drains (no new cells start; in-flight cells
+	// finish and journal; a valid partial manifest is written; exit
+	// 3), the second hard-cancels in-flight cells, a third falls back
+	// to the default signal disposition. Non-matrix subcommands keep
+	// the default disposition throughout.
+	var hardCtx, drainCtx context.Context
+	switch cmd {
+	case "pathlen", "critpath", "scaledcp", "windowcp", "mix", "all", "run":
+		hardCtx, drainCtx = report.InstallDrainHandler(log)
+	}
+
 	baseEx := report.Experiment{
 		Metrics:         reg,
 		Fusion:          fusionCfg,
@@ -198,6 +223,9 @@ func main() {
 		FlightDir:       *flightDirFlag,
 		FlightEvents:    *flightEventsFlag,
 		Prof:            profiler,
+		Ctx:             hardCtx,
+		Drain:           drainCtx,
+		Durable:         drun,
 	}
 	if *progressFlag {
 		baseEx.Progress = os.Stderr
@@ -334,6 +362,9 @@ func main() {
 			board:        board,
 			flightDir:    *flightDirFlag,
 			flightEvents: *flightEventsFlag,
+			ctx:          hardCtx,
+			drain:        drainCtx,
+			durable:      drun,
 		}
 		n, err := runInstrumented(progs, cfg, reg, manifest)
 		if err != nil {
@@ -384,6 +415,14 @@ func main() {
 		if err := scaleBench(progs, scale, out, *guardFlag, text); err != nil {
 			fatal(err)
 		}
+	case "bench-durable":
+		out := *outFlag
+		if out == "BENCH_PR2.json" { // flag default belongs to bench-matrix
+			out = "BENCH_PR8.json"
+		}
+		if err := benchDurable(progs, scale, out, *parallelFlag, text); err != nil {
+			fatal(err)
+		}
 	case "bench-watch":
 		args := fs.Args()
 		if len(args) != 2 {
@@ -427,6 +466,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if drun != nil {
+		st := drun.Stats()
+		manifest.Durable = &st
+	}
 	manifest.Finish(startTime, reg)
 	if *jsonFlag != "" {
 		sp := profiler.Start(profiler.CoordinatorLane(), prof.StageManifestWrite, "", "")
@@ -503,6 +546,13 @@ type runCmdConfig struct {
 	board        *obs.Board
 	flightDir    string
 	flightEvents int
+
+	// Durability and interrupt wiring (see installDrainHandler): ctx
+	// hard-cancels in-flight cells, drain stops new work gracefully,
+	// durable is the shared crash-safety handle.
+	ctx     context.Context
+	drain   context.Context
+	durable *isacmp.DurableRun
 }
 
 // instrCell is one (workload, target) slot of the run subcommand.
@@ -512,6 +562,11 @@ type instrCell struct {
 	rec     isacmp.RunRecord
 	tracer  *isacmp.PipelineTrace
 	failure *telemetry.FailureRecord
+	// served marks a cell replayed from the durability journal or
+	// content cache instead of computed (nil-Result contract of
+	// RunInstrumented); the status board already saw its terminal
+	// transition.
+	served bool
 }
 
 // runInstrumented is the `run` subcommand: execute each selected
@@ -553,7 +608,11 @@ func runInstrumented(progs []*ir.Program, cfg runCmdConfig, reg *telemetry.Regis
 	}
 	cfg.board.SetWorkers(sched.DefaultWorkers(cfg.parallel))
 
-	ctx, cancel := context.WithCancel(context.Background())
+	root := cfg.ctx
+	if root == nil {
+		root = context.Background()
+	}
+	ctx, cancel := context.WithCancel(root)
 	defer cancel()
 	var firstFail atomic.Value
 	pool := sched.NewPool(cfg.parallel, reg)
@@ -622,15 +681,25 @@ func runInstrumentedCell(ctx context.Context, c *instrCell, cfg runCmdConfig, re
 	var history []telemetry.AttemptRecord
 	var last *simeng.SimError
 	postmortem := ""
+	var drainCh <-chan struct{}
+	if cfg.drain != nil {
+		drainCh = cfg.drain.Done()
+	}
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 && cfg.backoff > 0 {
+			// Context-aware backoff: a pending sleep never delays
+			// cancellation or a graceful drain.
 			select {
 			case <-time.After(cfg.backoff << (attempt - 2)):
 			case <-ctx.Done():
+			case <-drainCh:
 			}
 		}
-		if ctx.Err() != nil {
-			last = simeng.WithCell(&simeng.SimError{Kind: simeng.ErrDeadline, Err: ctx.Err()},
+		if cause := ctx.Err(); cause != nil || (cfg.drain != nil && cfg.drain.Err() != nil) {
+			if cause == nil {
+				cause = cfg.drain.Err()
+			}
+			last = simeng.WithCell(&simeng.SimError{Kind: simeng.ErrDeadline, Err: cause},
 				workload, target)
 			history = append(history, telemetry.AttemptRecord{
 				Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
@@ -642,6 +711,14 @@ func runInstrumentedCell(ctx context.Context, c *instrCell, cfg runCmdConfig, re
 		if err == nil {
 			if attempt > 1 {
 				c.rec.Retries = attempt - 1
+			}
+			if c.served {
+				// RunInstrumented already drove the board through its
+				// terminal served transition; feeding the replayed wall
+				// time into the EWMAs would poison the ETA.
+				clog.Debug("run cell served", slogx.KeyAttempt, attempt,
+					"retired", c.rec.Core.Instructions)
+				return nil
 			}
 			cfg.board.Done(workload, target, c.rec.WallSeconds, c.rec.Core.Instructions)
 			clog.Debug("run cell done", slogx.KeyAttempt, attempt,
@@ -703,6 +780,7 @@ func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig,
 	type attemptResult struct {
 		rec    isacmp.RunRecord
 		tracer *isacmp.PipelineTrace
+		served bool
 		err    error
 	}
 	run := func() attemptResult {
@@ -727,6 +805,7 @@ func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig,
 				Status:          cfg.board,
 				FlightDir:       cfg.flightDir,
 				FlightEvents:    cfg.flightEvents,
+				Durable:         cfg.durable,
 			}
 			if cfg.progress {
 				rc.Progress = os.Stderr
@@ -736,11 +815,12 @@ func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig,
 				res.tracer = isacmp.NewPipelineTrace(cfg.traceCap, cfg.traceSample)
 				rc.Trace = res.tracer
 			}
-			_, rec, err := bin.RunInstrumented(rc)
+			out, rec, err := bin.RunInstrumented(rc)
 			if err != nil {
 				return err
 			}
 			res.rec = rec
+			res.served = out == nil // nil-Result contract: served, not computed
 			return nil
 		})
 		return res
@@ -749,7 +829,7 @@ func runInstrumentedAttempt(ctx context.Context, c *instrCell, cfg runCmdConfig,
 		if res.err != nil {
 			return res.err
 		}
-		c.rec, c.tracer = res.rec, res.tracer
+		c.rec, c.tracer, c.served = res.rec, res.tracer, res.served
 		return nil
 	}
 	if cfg.cellTimeout <= 0 {
@@ -1034,6 +1114,9 @@ commands:
   scalebench sweep the matrix over worker counts with the span profiler
              live: per-stage breakdown, occupancy, Amdahl fit and a
              ranked attribution of lost parallelism (-o, -guard)
+  bench-durable  measure the write-ahead-journal overhead vs the <= 2%
+             budget, journal-off byte-identity and warm-cache
+             zero-recompute (-o)
   bench-watch <committed.json> <fresh.json>  fail on regression against
              the committed benchmark trajectory
   artifacts  write the four result files of the paper's artifact (A.6)
@@ -1051,6 +1134,12 @@ flags: -scale tiny|small|paper   -bench <name>   -parallel <n> (0 = all CPUs)
 resilience: -cell-timeout <d>  -max-instructions <n>  -retries <n>
   -retry-backoff <d>  -fail-fast
   exit codes: 0 ok, 1 fatal, 2 usage, 3 partial (FAILED cells)
+
+durability: -durable-dir <dir> (write-ahead cell journal + content-
+  addressed result cache; SIGINT/SIGTERM drains gracefully, a second
+  aborts)  -resume <dir> (replay the journal, verify hashes, recompute
+  only unfinished cells; the manifest is byte-identical after
+  canonicalization to an uninterrupted run)
 
 observability: -json <f> (run manifest; "-" = stdout)  -progress
   -cpuprofile <f>  -memprofile <f>

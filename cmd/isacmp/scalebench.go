@@ -2,9 +2,7 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -304,17 +302,7 @@ func scaleBench(progs []*ir.Program, scale workloads.Scale, out, guardPath strin
 		doc.DominantBottleneck = doc.Attribution[0].Cause
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeDocAtomic(out, doc); err != nil {
 		return err
 	}
 	if text {

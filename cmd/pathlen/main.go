@@ -4,7 +4,14 @@
 //
 // Usage: pathlen [-scale tiny|small|paper] [-bench name] [-parallel n]
 // [-json file] [-progress] [-cpuprofile file] [-memprofile file]
-// [-serve addr] [-log-level l] [-log-format f]
+// [-serve addr] [-log-level l] [-log-format f] [-durable-dir d]
+// [-resume d]
+//
+// -durable-dir arms crash-safe running (write-ahead cell journal plus
+// content-addressed result cache); -resume replays such a directory
+// and recomputes only unfinished cells. SIGINT/SIGTERM drains
+// gracefully — in-flight cells finish and journal — and a second
+// signal aborts them.
 //
 // -parallel fans the (benchmark, target) matrix over n analysis
 // workers (0, the default, uses every CPU; 1 is strictly sequential).
@@ -49,6 +56,8 @@ func main() {
 	serveFlag := flag.String("serve", "", "serve /metrics, /statusz, /events and pprof on this address for the duration of the run")
 	logLevelFlag := flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	logFormatFlag := flag.String("log-format", "text", "structured log encoding on stderr: text or json")
+	durableDirFlag := flag.String("durable-dir", "", "arm crash-safe running: write-ahead cell journal + content-addressed result cache in this directory")
+	resumeFlag := flag.String("resume", "", "resume an interrupted run from this durability directory: replay the journal, recompute only unfinished cells")
 	flag.Parse()
 
 	scale, err := report.ParseScale(*scaleFlag)
@@ -92,11 +101,20 @@ func main() {
 		manifest.Obs.ServeAddr = srv.Addr()
 		log.Info("observability server listening", "addr", srv.Addr())
 	}
+	drun, err := report.ArmDurability(*durableDirFlag, *resumeFlag, log)
+	if err != nil {
+		fatal(err)
+	}
+	if drun != nil {
+		defer drun.Close()
+	}
+	hardCtx, drainCtx := report.InstallDrainHandler(log)
 	ex := report.Experiment{
 		PathLength: true, Metrics: reg, Fusion: fusionCfg, Parallel: *parallelFlag,
 		CellTimeout: *cellTimeoutFlag, Retries: *retriesFlag,
 		RetryBackoff: *retryBackoffFlag, FailFast: *failFastFlag,
 		Log: log, RunID: runID, Status: board,
+		Ctx: hardCtx, Drain: drainCtx, Durable: drun,
 	}
 	if *progressFlag {
 		ex.Progress = os.Stderr
@@ -129,6 +147,10 @@ func main() {
 		report.WriteSummaries(os.Stdout, summaries)
 	}
 
+	if drun != nil {
+		st := drun.Stats()
+		manifest.Durable = &st
+	}
 	manifest.Finish(start, reg)
 	if *jsonFlag != "" {
 		if err := manifest.WriteFile(*jsonFlag); err != nil {

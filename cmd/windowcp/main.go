@@ -4,7 +4,12 @@
 //
 // Usage: windowcp [-scale tiny|small|paper] [-bench name]
 // [-stride n] [-parallel n] [-json file] [-progress]
-// [-cpuprofile file] [-memprofile file]
+// [-cpuprofile file] [-memprofile file] [-durable-dir d] [-resume d]
+//
+// -durable-dir arms crash-safe running (write-ahead cell journal plus
+// content-addressed result cache); -resume replays such a directory
+// and recomputes only unfinished cells. SIGINT/SIGTERM drains
+// gracefully; a second signal aborts in-flight cells.
 //
 // -parallel fans the (benchmark, target) matrix over n analysis
 // workers and shards the windowed-CP computation itself (0, the
@@ -48,6 +53,8 @@ func main() {
 	serveFlag := flag.String("serve", "", "serve /metrics, /statusz, /events and pprof on this address for the duration of the run")
 	logLevelFlag := flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	logFormatFlag := flag.String("log-format", "text", "structured log encoding on stderr: text or json")
+	durableDirFlag := flag.String("durable-dir", "", "arm crash-safe running: write-ahead cell journal + content-addressed result cache in this directory")
+	resumeFlag := flag.String("resume", "", "resume an interrupted run from this durability directory: replay the journal, recompute only unfinished cells")
 	flag.Parse()
 
 	scale, err := report.ParseScale(*scaleFlag)
@@ -76,12 +83,21 @@ func main() {
 	}
 	log = log.With(slogx.KeyRunID, runID)
 	board := obs.NewBoard(runID, reg)
+	drun, err := report.ArmDurability(*durableDirFlag, *resumeFlag, log)
+	if err != nil {
+		fatal(err)
+	}
+	if drun != nil {
+		defer drun.Close()
+	}
+	hardCtx, drainCtx := report.InstallDrainHandler(log)
 	ex := report.Experiment{
 		Windowed: true, GCC12Only: true, WindowStride: *strideFlag,
 		Metrics: reg, Fusion: fusionCfg, Parallel: *parallelFlag,
 		CellTimeout: *cellTimeoutFlag, Retries: *retriesFlag,
 		RetryBackoff: *retryBackoffFlag, FailFast: *failFastFlag,
 		Log: log, RunID: runID, Status: board,
+		Ctx: hardCtx, Drain: drainCtx, Durable: drun,
 	}
 	if *progressFlag {
 		ex.Progress = os.Stderr
@@ -124,6 +140,10 @@ func main() {
 		report.AppendRows(manifest, p.Name, rows)
 	}
 
+	if drun != nil {
+		st := drun.Stats()
+		manifest.Durable = &st
+	}
 	manifest.Finish(start, reg)
 	if *jsonFlag != "" {
 		if err := manifest.WriteFile(*jsonFlag); err != nil {

@@ -1,0 +1,58 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"isacmp/internal/simeng"
+)
+
+// Cache is the content-addressed result store: payload bytes filed
+// under the hex hash of their KeyInput, sharded by the first hash
+// byte (cache/ab/abcdef….json) so directories stay small at matrix
+// scale. Entries are immutable — a hash fully determines its payload
+// — so Put is idempotent and Get needs no locking.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) the cache under dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: cache dir: %v", simeng.ErrIO, err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// CachePath returns the cache root inside a run directory.
+func CachePath(dir string) string { return filepath.Join(dir, "cache") }
+
+func (c *Cache) path(hash string) string {
+	if len(hash) < 2 {
+		return filepath.Join(c.dir, "xx", hash+".json")
+	}
+	return filepath.Join(c.dir, hash[:2], hash+".json")
+}
+
+// Get returns the payload for hash, or ok=false on a miss. A
+// present-but-unreadable entry is a miss, not an error: the cell
+// recomputes.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil || len(data) == 0 {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores payload under hash via the atomic writer, so a reader
+// can never observe a torn entry and a crash mid-Put leaves no entry
+// at all.
+func (c *Cache) Put(hash string, payload []byte) error {
+	p := c.path(hash)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("%w: cache shard: %v", simeng.ErrIO, err)
+	}
+	return WriteFileAtomic(p, payload, 0o644)
+}

@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+
+	"isacmp/internal/durable"
+	"isacmp/internal/simeng"
+)
+
+// Disk-fault injection for the durability layer. These wrappers
+// implement durable.File and are plugged in through
+// durable.Options.OpenFile, so the journal under test is exactly the
+// production journal; the fault model covers the three ways a disk
+// betrays a write-ahead log — a short write, ENOSPC, and a torn final
+// record left by a crash.
+
+// DiskFaultKind selects which disk fault a FaultFile fires.
+type DiskFaultKind int
+
+const (
+	// ShortWrite makes the write succeed for only half the buffer.
+	ShortWrite DiskFaultKind = iota
+	// NoSpace fails the write with ENOSPC.
+	NoSpace
+	// SyncError fails the post-write fsync.
+	SyncError
+)
+
+// String returns the disk-fault tag used in test names.
+func (k DiskFaultKind) String() string {
+	switch k {
+	case ShortWrite:
+		return "short-write"
+	case NoSpace:
+		return "enospc"
+	case SyncError:
+		return "sync-error"
+	}
+	return fmt.Sprintf("disk-fault(%d)", int(k))
+}
+
+// FaultFile wraps a real journal file and fires a disk fault on the
+// Nth write (0-based). Writes before the firing point pass through,
+// so the journal holds valid records up to the fault — the shape a
+// real ENOSPC or short write leaves behind.
+type FaultFile struct {
+	f     durable.File
+	kind  DiskFaultKind
+	at    int
+	count int
+}
+
+// OpenFaultFile returns a durable.Options.OpenFile hook that arms a
+// FaultFile over the real journal file, firing kind on write number
+// at.
+func OpenFaultFile(kind DiskFaultKind, at int) func(path string) (durable.File, error) {
+	return func(path string) (durable.File, error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &FaultFile{f: f, kind: kind, at: at}, nil
+	}
+}
+
+// Write passes through until the firing point, then fires the fault.
+// ShortWrite and NoSpace keep firing once armed: a full disk does not
+// heal between records.
+func (ff *FaultFile) Write(p []byte) (int, error) {
+	n := ff.count
+	ff.count++
+	if n < ff.at || ff.kind == SyncError {
+		return ff.f.Write(p)
+	}
+	switch ff.kind {
+	case ShortWrite:
+		half := len(p) / 2
+		if _, err := ff.f.Write(p[:half]); err != nil {
+			return 0, err
+		}
+		return half, nil
+	case NoSpace:
+		return 0, &os.PathError{Op: "write", Path: "journal", Err: syscall.ENOSPC}
+	}
+	return ff.f.Write(p)
+}
+
+// Sync fires SyncError once armed, otherwise passes through.
+func (ff *FaultFile) Sync() error {
+	if ff.kind == SyncError && ff.count > ff.at {
+		return &os.PathError{Op: "fsync", Path: "journal", Err: syscall.EIO}
+	}
+	return ff.f.Sync()
+}
+
+// Close closes the underlying file.
+func (ff *FaultFile) Close() error { return ff.f.Close() }
+
+// TearJournalTail truncates the last n bytes off a run directory's
+// journal, simulating the torn final record a SIGKILL mid-append
+// leaves behind. It refuses to tear more than the file holds.
+func TearJournalTail(dir string, n int) error {
+	path := durable.JournalPath(dir)
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("%w: tear journal: %v", simeng.ErrIO, err)
+	}
+	if int64(n) > st.Size() {
+		n = int(st.Size())
+	}
+	return os.Truncate(path, st.Size()-int64(n))
+}

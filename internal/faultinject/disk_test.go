@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"isacmp/internal/durable"
+	"isacmp/internal/simeng"
+)
+
+func TestDiskFaultShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	j, err := durable.OpenJournal(dir, 0, &durable.Options{OpenFile: OpenFaultFile(ShortWrite, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(durable.Record{Type: durable.RecFinished, Workload: "lbm", Target: "rv64", Hash: "h1"}); err != nil {
+		t.Fatalf("pre-fault append: %v", err)
+	}
+	err = j.Append(durable.Record{Type: durable.RecFinished, Workload: "lbm", Target: "a64", Hash: "h2"})
+	if !errors.Is(err, simeng.ErrIO) {
+		t.Fatalf("want ErrIO, got %v", err)
+	}
+	if simeng.Reason(err) != "io" {
+		t.Fatalf("reason = %q", simeng.Reason(err))
+	}
+	// The torn half-record must replay as a tolerated tail; the
+	// pre-fault record survives.
+	rp, err := durable.ReplayJournal(dir)
+	if err != nil {
+		t.Fatalf("replay after short write: %v", err)
+	}
+	if !rp.TornTail || rp.Records != 1 || rp.Lookup("lbm", "rv64") == nil {
+		t.Fatalf("replay = %+v", rp)
+	}
+}
+
+func TestDiskFaultENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	j, err := durable.OpenJournal(dir, 0, &durable.Options{OpenFile: OpenFaultFile(NoSpace, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	err = j.Append(durable.Record{Type: durable.RecStarted, Workload: "lbm", Target: "rv64"})
+	if !errors.Is(err, simeng.ErrIO) {
+		t.Fatalf("want ErrIO, got %v", err)
+	}
+	// A full disk leaves a clean (empty) journal, not a torn one.
+	rp, err := durable.ReplayJournal(dir)
+	if err != nil || rp.Records != 0 || rp.TornTail {
+		t.Fatalf("replay = %+v, %v", rp, err)
+	}
+}
+
+func TestDiskFaultSyncError(t *testing.T) {
+	dir := t.TempDir()
+	j, err := durable.OpenJournal(dir, 0, &durable.Options{OpenFile: OpenFaultFile(SyncError, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	err = j.Append(durable.Record{Type: durable.RecStarted, Workload: "lbm", Target: "rv64"})
+	if !errors.Is(err, simeng.ErrIO) {
+		t.Fatalf("want ErrIO, got %v", err)
+	}
+}
+
+func TestTearJournalTailResumes(t *testing.T) {
+	dir := t.TempDir()
+	r, err := durable.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CellFinished("lbm", "rv64", "h1", []byte(`{"a":1}`), false)
+	r.CellFinished("lbm", "a64", "h2", []byte(`{"a":2}`), false)
+	r.Close()
+	if err := TearJournalTail(dir, 10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := durable.Resume(dir, nil)
+	if err != nil {
+		t.Fatalf("resume over torn tail: %v", err)
+	}
+	defer res.Close()
+	st := res.Stats()
+	if !st.TornTail || st.Records != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if hit := res.Lookup("lbm", "rv64", "h1"); hit == nil || hit.Source != "journal" {
+		t.Fatalf("intact cell: %+v", hit)
+	}
+	// The torn cell's journal record is gone — but its cache entry,
+	// written atomically alongside, still serves it.
+	if hit := res.Lookup("lbm", "a64", "h2"); hit == nil || hit.Source != "cache" {
+		t.Fatalf("torn cell: %+v", hit)
+	}
+}

@@ -111,6 +111,16 @@ var watchRules = map[string][]watchRule{
 		{metric: "identical", kind: flagRule},
 		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
+	"isacmp/bench-durable/v1": {
+		{metric: "journal_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "within_budget", kind: pinRule},
+		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
+		// The journal must change no output byte, and a warm second run
+		// over the same directory must recompute zero cells.
+		{metric: "identical", kind: flagRule},
+		{metric: "warm_zero_recompute", kind: flagRule},
+		{metric: "workers", kind: provenanceRule, warnOnly: true},
+	},
 	"isacmp/scaling-report/v1": {
 		{metric: "best_wall_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "identical", kind: flagRule},

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"isacmp/internal/durable"
 	"isacmp/internal/isa"
 	"isacmp/internal/obs/slogx"
 	"isacmp/internal/simeng"
@@ -267,7 +268,7 @@ func (r *Recorder) Dump(dir string, se *simeng.SimError, log *slog.Logger) strin
 		return ""
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := durable.WriteFileAtomic(path, data, 0o644); err != nil {
 		log.Error("flight recorder: write failed", "path", path, "err", err)
 		return ""
 	}

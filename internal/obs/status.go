@@ -35,6 +35,9 @@ type Event struct {
 	Attempt  int       `json:"attempt,omitempty"`
 	Retired  uint64    `json:"retired,omitempty"`
 	Reason   string    `json:"reason,omitempty"`
+	// Source marks a cell served without simulation: "journal" (resume
+	// replay) or "cache" (content-cache hit). Empty for computed cells.
+	Source string `json:"source,omitempty"`
 }
 
 // CellStatus is the /statusz view of one matrix cell.
@@ -46,18 +49,24 @@ type CellStatus struct {
 	Retired  uint64    `json:"retired,omitempty"`
 	Seconds  float64   `json:"seconds,omitempty"`
 	Reason   string    `json:"reason,omitempty"`
+	// Source marks a served cell's origin ("journal" or "cache").
+	Source string `json:"source,omitempty"`
 }
 
 // StatusDoc is the JSON document /statusz serves: the whole matrix at
 // a point in time plus derived scheduling signals (queue depths from
 // the registry, throughput EWMA, ETA).
 type StatusDoc struct {
-	Schema          string             `json:"schema"`
-	RunID           string             `json:"run_id"`
-	Time            time.Time          `json:"time"`
-	UptimeSeconds   float64            `json:"uptime_seconds"`
-	Workers         int                `json:"workers,omitempty"`
-	States          map[string]int     `json:"states"`
+	Schema        string         `json:"schema"`
+	RunID         string         `json:"run_id"`
+	Time          time.Time      `json:"time"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Workers       int            `json:"workers,omitempty"`
+	States        map[string]int `json:"states"`
+	// Served counts terminal cells by durability source ("journal",
+	// "cache") — the resumed-vs-computed split; computed cells are the
+	// done/failed counts in States minus these.
+	Served          map[string]int     `json:"served,omitempty"`
 	Cells           []CellStatus       `json:"cells"`
 	QueueDepths     map[string]float64 `json:"queue_depths,omitempty"`
 	EWMACellSeconds float64            `json:"ewma_cell_seconds,omitempty"`
@@ -88,6 +97,7 @@ type cell struct {
 	retired  uint64
 	seconds  float64
 	reason   string
+	source   string
 }
 
 // Board tracks live per-cell matrix state for /statusz and fans cell
@@ -212,6 +222,7 @@ func (b *Board) transition(workload, target string, state CellState, attempt int
 		Attempt:  attempt,
 		Retired:  c.retired,
 		Reason:   reason,
+		Source:   c.source,
 	}
 	var sent, dropped uint64
 	for ch := range b.subs {
@@ -269,6 +280,32 @@ func (b *Board) Failed(workload, target string, attempt int, reason string) {
 		return
 	}
 	b.transition(workload, target, CellFailed, attempt, 0, 0, reason)
+}
+
+// Served marks a cell terminal without simulation: its result was
+// replayed from the durability journal (source "journal") or the
+// content cache (source "cache"). Served cells do not feed the
+// throughput EWMAs — their original wall time says nothing about this
+// run's pace — so the ETA stays honest for the cells that remain.
+func (b *Board) Served(workload, target, source string, failed bool, reason string, retired uint64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	k := cellKey(workload, target)
+	c, ok := b.index[k]
+	if !ok {
+		c = &cell{workload: workload, target: target}
+		b.cells = append(b.cells, c)
+		b.index[k] = c
+	}
+	c.source = source
+	b.mu.Unlock()
+	if failed {
+		b.transition(workload, target, CellFailed, 0, 0, 0, reason)
+	} else {
+		b.transition(workload, target, CellDone, 0, retired, 0, "")
+	}
 }
 
 // Progress updates a running cell's retired-instruction count. Called
@@ -330,6 +367,12 @@ func (b *Board) Status() StatusDoc {
 	remaining := 0
 	for _, c := range b.cells {
 		doc.States[string(c.state)]++
+		if c.source != "" {
+			if doc.Served == nil {
+				doc.Served = map[string]int{}
+			}
+			doc.Served[c.source]++
+		}
 		switch c.state {
 		case CellPending, CellRunning, CellRetrying:
 			remaining++
@@ -342,6 +385,7 @@ func (b *Board) Status() StatusDoc {
 			Retired:  c.retired,
 			Seconds:  c.seconds,
 			Reason:   c.reason,
+			Source:   c.source,
 		})
 	}
 	workers := b.workers

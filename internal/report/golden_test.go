@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"isacmp/internal/cc"
+	"isacmp/internal/durable"
 	"isacmp/internal/fusion"
 	"isacmp/internal/telemetry"
 	"isacmp/internal/workloads"
@@ -48,7 +49,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
+		if err := durable.WriteFileAtomic(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		return

@@ -19,6 +19,7 @@ import (
 	"isacmp/internal/a64"
 	"isacmp/internal/cc"
 	"isacmp/internal/core"
+	"isacmp/internal/durable"
 	"isacmp/internal/fusion"
 	"isacmp/internal/ir"
 	"isacmp/internal/isa"
@@ -62,6 +63,14 @@ type Row struct {
 	// interposed (nil on fusion-off runs). EventsOut is the fused
 	// machine's effective path length; PathLen stays architectural.
 	Fusion *telemetry.FusionStats
+	// Counters is the cell's transactional metrics delta (run.*,
+	// predecode.*, fusion.* counters), accumulated locally during the
+	// run and applied to the registry only when the cell retires.
+	// Journaled with the row, so a resumed or cache-served cell
+	// re-applies exactly the delta the original computation produced —
+	// the property that keeps canonical metrics byte-identical across
+	// a kill. Nil when the experiment carries no registry.
+	Counters map[string]uint64
 
 	// Attempts is how many attempts this cell took (1 = first try).
 	Attempts int
@@ -150,6 +159,27 @@ type Experiment struct {
 	// The default (continue-on-error) completes every other cell and
 	// reports failures as FAILED rows instead.
 	FailFast bool
+
+	// Durability knobs (see internal/durable and DESIGN.md §6).
+
+	// Ctx, when non-nil, is the matrix's root context: cancelling it
+	// cancels the whole run hard — in-flight cells are reaped at their
+	// next retirement poll, pending retry backoffs are interrupted —
+	// exactly like a FailFast failure. Nil means context.Background().
+	Ctx context.Context
+	// Drain, when non-nil, is the graceful-shutdown signal: once
+	// cancelled, no new cell or attempt starts, but in-flight attempts
+	// run to completion and are journaled, so a SIGINT'd run keeps
+	// every result it paid for. Drained (never-started) cells come
+	// back as FAILED(deadline) rows and are not journaled — they
+	// re-run on resume — and the caller still gets a valid partial
+	// manifest and the partial-failure exit code.
+	Drain context.Context
+	// Durable, when non-nil, is the crash-safety layer: every cell is
+	// content-addressed and looked up in the write-ahead journal
+	// (resume) and result cache before simulating, and journaled as it
+	// retires. See durable.Open / durable.Resume.
+	Durable *durable.Run
 
 	// WrapMachine, when non-nil, wraps each cell's machine before the
 	// run — the fault-injection hook. It must return m unchanged for
@@ -301,7 +331,11 @@ func RunSuite(progs []*ir.Program, ex Experiment) ([][]Row, *telemetry.SchedStat
 	}
 	targets := ex.Targets()
 	all := make([][]Row, len(progs))
-	ctx, cancel := context.WithCancel(context.Background())
+	root := ex.Ctx
+	if root == nil {
+		root = context.Background()
+	}
+	ctx, cancel := context.WithCancel(root)
 	defer cancel()
 	// Seed the status board with the whole matrix up front, so
 	// /statusz shows pending cells before any has started.
@@ -346,7 +380,17 @@ func RunSuite(progs []*ir.Program, ex Experiment) ([][]Row, *telemetry.SchedStat
 		return nil, &st, fmt.Errorf("report: %s/%s failed (%s): %s",
 			f.Workload, f.Target, f.Reason, f.Message)
 	}
+	if ex.Durable != nil && ctx.Err() == nil && !ex.drained() {
+		// Natural end: journal run-complete so a resume of this
+		// directory replays every cell and recomputes nothing.
+		ex.Durable.RunComplete()
+	}
 	return all, &st, nil
+}
+
+// drained reports whether the graceful-shutdown signal has fired.
+func (ex *Experiment) drained() bool {
+	return ex.Drain != nil && ex.Drain.Err() != nil
 }
 
 // runCell executes one (workload, target) cell under the full retry
@@ -358,6 +402,28 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 	cell := prog.Name + "/" + tgt.String()
 	clog := slogx.OrNop(ex.Log).With(
 		slogx.KeyWorkload, prog.Name, slogx.KeyTarget, tgt.String())
+	// Durability: content-address the cell and try to serve it without
+	// simulating — from the replayed journal on a resume, or from the
+	// content cache on any run. A computed cell journals cell-started
+	// here and its terminal record as it retires.
+	var dhash string
+	if ex.Durable != nil && ctx.Err() == nil && !ex.drained() {
+		if h, err := cellHash(prog, tgt, ex); err == nil {
+			dhash = h
+			if hit := ex.Durable.Lookup(prog.Name, tgt.String(), dhash); hit != nil {
+				if row, ok := replayRow(hit, dhash, prog, tgt, ex, clog); ok {
+					return row
+				}
+			}
+			ex.Durable.CellStarted(prog.Name, tgt.String(), dhash)
+		}
+		// A cell whose compile fails gets no hash and no durability:
+		// the attempt loop below reproduces the failure as ErrSetup.
+	}
+	var drainCh <-chan struct{}
+	if ex.Drain != nil {
+		drainCh = ex.Drain.Done()
+	}
 	var history []telemetry.AttemptRecord
 	var last *simeng.SimError
 	var postmortem string
@@ -368,13 +434,19 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
+			case <-drainCh:
 			}
 			sp.End()
 		}
-		if ctx.Err() != nil {
-			// The matrix was cancelled (FailFast) before this attempt
-			// started; record the cancellation rather than running.
-			last = simeng.WithCell(&simeng.SimError{Kind: simeng.ErrDeadline, Err: ctx.Err()},
+		if ctx.Err() != nil || ex.drained() {
+			// The matrix was cancelled (FailFast) or is draining
+			// (SIGINT/SIGTERM) before this attempt started; record the
+			// cancellation rather than running.
+			cause := ctx.Err()
+			if cause == nil {
+				cause = ex.Drain.Err()
+			}
+			last = simeng.WithCell(&simeng.SimError{Kind: simeng.ErrDeadline, Err: cause},
 				prog.Name, tgt.String())
 			history = append(history, telemetry.AttemptRecord{
 				Attempt: attempt, Reason: simeng.Reason(last), Message: last.Error(),
@@ -386,6 +458,7 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 		row, pm, err := runAttempt(ctx, prog, tgt, ex, attempt, lane)
 		if err == nil {
 			row.Attempts = attempt
+			journalFinished(ex, prog.Name, tgt.String(), dhash, &row, false, clog)
 			ex.Status.Done(prog.Name, tgt.String(), row.WallSeconds, row.Core.Instructions)
 			clog.Debug("cell done", slogx.KeyAttempt, attempt,
 				"retired", row.Core.Instructions, "wall_seconds", row.WallSeconds)
@@ -412,7 +485,7 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 	ex.Status.Failed(prog.Name, tgt.String(), len(history), simeng.Reason(last))
 	clog.Error("cell failed", "reason", simeng.Reason(last),
 		"attempts", len(history), "postmortem", postmortem)
-	return Row{
+	failed := Row{
 		Target:   tgt,
 		Attempts: len(history),
 		Failure: &telemetry.FailureRecord{
@@ -427,6 +500,13 @@ func runCell(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment
 			Postmortem: postmortem,
 		},
 	}
+	// Journal the terminal failure with its attempt history — but only
+	// when it is the cell's own fault: a failure observed while the
+	// matrix is cancelled or draining must re-run on resume.
+	if ctx.Err() == nil && !ex.drained() {
+		journalFailed(ex, prog.Name, tgt.String(), dhash, &failed, clog)
+	}
+	return failed
 }
 
 // runAttempt executes one attempt of a cell under the panic guard and,
@@ -570,7 +650,12 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 
 	var rm *telemetry.RunMetrics
 	if ex.Metrics != nil {
-		rm = telemetry.NewRunMetrics(ex.Metrics)
+		// Transactional cell mode: counts accumulate locally and reach
+		// the registry only in the applyCounters call below, once the
+		// attempt has succeeded — so a failed or abandoned attempt
+		// contributes exactly zero and a journal replay re-applies the
+		// same delta the original computation did.
+		rm = telemetry.NewCellMetrics()
 	}
 	var pg *telemetry.Progress
 	if ex.Progress != nil {
@@ -706,19 +791,18 @@ func runOne(ctx context.Context, prog *ir.Program, tgt cc.Target, ex Experiment,
 	row.WallSeconds = time.Since(start).Seconds()
 	row.Core = emu.PipelineStats()
 	if rm != nil {
-		rm.Flush()
-	}
-	if ex.Metrics != nil {
+		row.Counters = rm.Counters()
 		if src, ok := mach.(isa.PredecodeStatsSource); ok {
-			publishPredecode(ex.Metrics, src.PredecodeStats())
+			telemetry.AddPredecodeCounters(row.Counters, src.PredecodeStats())
 		}
 	}
 	if fus != nil {
 		row.Fusion = fusionRecord(ex.Fusion, tgt.Arch, fus.Stats())
-		if ex.Metrics != nil {
-			publishFusion(ex.Metrics, ex.Fusion.RulesFor(tgt.Arch), fus.Stats())
+		if rm != nil {
+			telemetry.AddFusionCounters(row.Counters, row.Fusion)
 		}
 	}
+	telemetry.ApplyCounters(ex.Metrics, row.Counters)
 	if pg != nil {
 		pg.Finish()
 	}
@@ -763,17 +847,6 @@ func recordStageSpans(p *prof.Profiler, lane int, cell string, runStart int64, s
 	return cursor
 }
 
-// publishPredecode feeds a machine's predecode-cache coverage into
-// the run's metrics registry ("predecode.text_words",
-// "predecode.bad_words", "predecode.fallbacks"). The counters are
-// deterministic — text contents and execution paths do not depend on
-// scheduling — so they preserve the matrix byte-identity contract.
-func publishPredecode(r *telemetry.Registry, st isa.PredecodeStats) {
-	r.Counter("predecode.text_words").Add(st.TextWords)
-	r.Counter("predecode.bad_words").Add(st.BadWords)
-	r.Counter("predecode.fallbacks").Add(st.Fallbacks)
-}
-
 // fusionRecord converts the pass counters into the manifest fusion
 // block. Every rule enabled for the run's architecture is listed, hit
 // or not, so a rule that silently stopped firing shows up in a diff.
@@ -786,21 +859,6 @@ func fusionRecord(cfg fusion.Config, arch isa.Arch, st fusion.Stats) *telemetry.
 		}
 	}
 	return fs
-}
-
-// publishFusion feeds the pass counters into the metrics registry
-// ("fusion.events_in", "fusion.events_out", "fusion.hits.<rule>").
-// Like the predecode counters they are deterministic, so manifest
-// canonicalization keeps them and byte-identity holds across worker
-// counts.
-func publishFusion(r *telemetry.Registry, rules fusion.RuleSet, st fusion.Stats) {
-	r.Counter("fusion.events_in").Add(st.EventsIn)
-	r.Counter("fusion.events_out").Add(st.EventsOut)
-	for rl := fusion.Rule(0); rl < fusion.NumRules; rl++ {
-		if rules.Has(rl) {
-			r.Counter("fusion.hits." + rl.String()).Add(st.Hits[rl])
-		}
-	}
 }
 
 // healthy filters FAILED placeholder rows out of a column-major

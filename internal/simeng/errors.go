@@ -33,6 +33,11 @@ var (
 	// load errors); setup failures are cell failures too, so the rest
 	// of a matrix can keep going.
 	ErrSetup = errors.New("setup error")
+	// ErrIO marks a durability-layer disk failure (short journal
+	// write, ENOSPC, fsync error, torn cache file). I/O failures are
+	// reported and survive-able: a cell whose journal append fails
+	// still returns its computed result; only its durability is lost.
+	ErrIO = errors.New("i/o error")
 )
 
 // Reason returns the short lower-case tag of a taxonomy sentinel, the
@@ -52,6 +57,8 @@ func Reason(err error) string {
 		return "panic"
 	case errors.Is(err, ErrSetup):
 		return "setup"
+	case errors.Is(err, ErrIO):
+		return "io"
 	default:
 		return "unknown"
 	}
@@ -146,6 +153,8 @@ func Classify(err error) error {
 		return ErrPanic
 	case errors.Is(err, ErrSetup):
 		return ErrSetup
+	case errors.Is(err, ErrIO):
+		return ErrIO
 	}
 	return ErrSetup
 }

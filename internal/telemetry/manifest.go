@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"isacmp/internal/durable"
 	"isacmp/internal/simeng"
 )
 
@@ -57,6 +59,14 @@ type Manifest struct {
 	// stripped by Canonicalize — it varies with deployment, not with
 	// the computation). Schema v2.
 	Obs *ObsConfig `json:"obs,omitempty"`
+
+	// Durable summarises the crash-safety layer when one was armed:
+	// where the journal lives and how many cells were served from the
+	// replayed journal or content cache versus computed. Stripped by
+	// Canonicalize — it records provenance, not computation, and a
+	// resumed run must canonicalize byte-identical to an uninterrupted
+	// one. Schema v2.
+	Durable *durable.Stats `json:"durable,omitempty"`
 
 	// Metrics is the final registry snapshot for the invocation.
 	Metrics *Snapshot `json:"metrics,omitempty"`
@@ -188,6 +198,13 @@ type RunRecord struct {
 	// deterministic, so Canonicalize keeps them.
 	Fusion *FusionStats `json:"fusion,omitempty"`
 
+	// Counters is the run's transactional metrics delta keyed by
+	// registry name (run.*, predecode.*, fusion.*), journaled with the
+	// record so a resumed or cache-served run re-applies exactly the
+	// delta the original computation produced. Deterministic, so
+	// Canonicalize keeps it. Absent when no registry was attached.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+
 	// Results holds the analysis outputs for this run.
 	Results *ResultTable `json:"results,omitempty"`
 }
@@ -306,6 +323,7 @@ func (m *Manifest) Canonicalize() {
 	m.Host = Host{}
 	m.Sched = nil
 	m.Obs = nil
+	m.Durable = nil
 	for i := range m.Runs {
 		r := &m.Runs[i]
 		r.WallSeconds = 0
@@ -360,20 +378,19 @@ func (m *Manifest) Encode(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// WriteFile writes the manifest to path ("-" means stdout).
+// WriteFile writes the manifest to path ("-" means stdout). File
+// writes are atomic (tmp + fsync + rename): an interrupted invocation
+// leaves either the previous manifest or the new one, never a torn
+// JSON document.
 func (m *Manifest) WriteFile(path string) error {
 	if path == "-" {
 		return m.Encode(os.Stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
 		return err
 	}
-	if err := m.Encode(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return durable.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 // ReadManifest parses a manifest document, accepting the current

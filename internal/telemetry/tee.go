@@ -212,17 +212,21 @@ func (t *Tee) Stats() []SinkStats {
 }
 
 // RunMetrics is the standard event-stream instrumentation: a sink
-// that feeds a handful of whole-run counters (retired instructions,
-// branches, taken branches, loads, stores) into a Registry. Counts
-// accumulate in plain local fields — the event stream is
-// single-goroutine — and flush to the shared registry every
-// flushPeriod events and on Flush, so the hot path performs no atomic
-// operations.
+// that counts retired instructions, branches, taken branches, loads
+// and stores. Counts accumulate in plain local fields — the event
+// stream is single-goroutine — and flush either into a shared
+// Registry (NewRunMetrics) or into local totals (NewCellMetrics, the
+// transactional per-cell mode: nothing reaches any registry until the
+// cell's counter map is applied, so a failed or replayed attempt
+// contributes exactly zero).
 type RunMetrics struct {
 	retired, branches, taken, loads, stores uint64
 	sinceFlush                              uint64
 
+	// Registry mode: flush targets. All nil in cell mode.
 	cRetired, cBranches, cTaken, cLoads, cStores *Counter
+	// Cell mode: flushed totals.
+	tRetired, tBranches, tTaken, tLoads, tStores uint64
 }
 
 const flushPeriod = 1 << 16
@@ -237,6 +241,26 @@ func NewRunMetrics(r *Registry) *RunMetrics {
 		cTaken:    r.Counter("run.branches_taken"),
 		cLoads:    r.Counter("run.loads"),
 		cStores:   r.Counter("run.stores"),
+	}
+}
+
+// NewCellMetrics returns a RunMetrics in transactional cell mode: it
+// touches no registry; the accumulated counts are read back with
+// Counters once the cell retires and applied (or journaled) as one
+// atomic delta.
+func NewCellMetrics() *RunMetrics { return &RunMetrics{} }
+
+// Counters flushes and returns the standard counter map keyed by
+// registry name — the per-cell counter delta the durability journal
+// records and replay re-applies. Only meaningful in cell mode.
+func (m *RunMetrics) Counters() map[string]uint64 {
+	m.Flush()
+	return map[string]uint64{
+		"run.retired":        m.tRetired,
+		"run.branches":       m.tBranches,
+		"run.branches_taken": m.tTaken,
+		"run.loads":          m.tLoads,
+		"run.stores":         m.tStores,
 	}
 }
 
@@ -267,14 +291,23 @@ func (m *RunMetrics) Events(evs []isa.Event) {
 	}
 }
 
-// Flush publishes the locally accumulated counts to the registry.
-// Call after the run completes (snapshots only see flushed counts).
+// Flush publishes the locally accumulated counts — to the registry in
+// registry mode, to the local totals in cell mode. Call after the run
+// completes (snapshots only see flushed counts).
 func (m *RunMetrics) Flush() {
-	m.cRetired.Add(m.retired)
-	m.cBranches.Add(m.branches)
-	m.cTaken.Add(m.taken)
-	m.cLoads.Add(m.loads)
-	m.cStores.Add(m.stores)
+	if m.cRetired != nil {
+		m.cRetired.Add(m.retired)
+		m.cBranches.Add(m.branches)
+		m.cTaken.Add(m.taken)
+		m.cLoads.Add(m.loads)
+		m.cStores.Add(m.stores)
+	} else {
+		m.tRetired += m.retired
+		m.tBranches += m.branches
+		m.tTaken += m.taken
+		m.tLoads += m.loads
+		m.tStores += m.stores
+	}
 	m.retired, m.branches, m.taken, m.loads, m.stores = 0, 0, 0, 0, 0
 	m.sinceFlush = 0
 }

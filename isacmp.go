@@ -16,6 +16,7 @@ package isacmp
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -25,6 +26,7 @@ import (
 	"isacmp/internal/a64"
 	"isacmp/internal/cc"
 	"isacmp/internal/core"
+	"isacmp/internal/durable"
 	"isacmp/internal/elfio"
 	"isacmp/internal/fusion"
 	"isacmp/internal/ir"
@@ -774,6 +776,28 @@ type RunConfig struct {
 	// FlightEvents is the recorder ring capacity (0 selects the
 	// default).
 	FlightEvents int
+
+	// Durability (see internal/durable and DESIGN.md §6).
+	//
+	// DurableDir, when non-empty, arms the crash-safety layer for this
+	// run alone: a write-ahead journal plus content-addressed result
+	// cache opened under the directory for the duration of the call.
+	// Drivers sharing one journal across many cells should open a
+	// handle with OpenDurable and set Durable instead.
+	DurableDir string
+	// Resume replays DurableDir's existing journal instead of starting
+	// a fresh one — the API form of the -resume flag. Ignored when
+	// Durable is set (the handle already encodes how it was opened).
+	Resume bool
+	// Durable, when non-nil, is the crash-safety handle this run is
+	// served from and journals into: if an identical run (same
+	// workload, compiled code, core model, analysis and fusion spec,
+	// engine version) already retired, its record is replayed — the
+	// Result is then nil and the RunRecord carries the original
+	// analysis block and counter delta. Runs recording a pipeline
+	// trace (Trace != nil) are never served or journaled: a trace
+	// cannot be replayed from cache.
+	Durable *DurableRun
 }
 
 // RunInstrumented executes the binary once with full telemetry: the
@@ -795,6 +819,53 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	if attempt < 1 {
 		attempt = 1
 	}
+
+	// Crash-safety layer: content-address the run and serve it from
+	// the replayed journal or content cache when an identical run
+	// already retired; otherwise journal cell-started now and the
+	// canonical record when it retires.
+	drun := cfg.Durable
+	if drun == nil && cfg.DurableDir != "" {
+		opened, derr := OpenDurable(cfg.DurableDir, cfg.Resume)
+		if derr != nil {
+			return nil, rec, derr
+		}
+		drun = opened
+		defer opened.Close()
+	}
+	dhash := ""
+	if drun != nil && cfg.Trace == nil {
+		dhash = durable.KeyInput{
+			Engine:   durable.EngineVersion,
+			Workload: workload,
+			Target:   target,
+			Code:     b.ELF(),
+			Analysis: runSpec(cfg),
+			Fusion:   cfg.Fusion.Spec(),
+		}.Hash()
+		if hit := drun.Lookup(workload, target, dhash); hit != nil && !hit.Failed {
+			var served RunRecord
+			if jerr := json.Unmarshal(hit.Payload, &served); jerr == nil &&
+				served.Workload == workload && served.Target == target {
+				telemetry.ApplyCounters(cfg.Metrics, served.Counters)
+				if hit.Source == "cache" {
+					drun.CellFinished(workload, target, dhash, hit.Payload, true)
+				}
+				cfg.Status.Served(workload, target, hit.Source, false, "", served.Core.Instructions)
+				if cfg.Log != nil {
+					slogx.WithCell(cfg.Log, workload, target, attempt).Info(
+						"run served", "source", hit.Source, "retired", served.Core.Instructions)
+				}
+				return nil, served, nil
+			}
+			if cfg.Log != nil {
+				slogx.WithCell(cfg.Log, workload, target, attempt).Warn(
+					"durable: replay payload rejected — re-running", "source", hit.Source)
+			}
+		}
+		drun.CellStarted(workload, target, dhash)
+	}
+
 	if cfg.ServeAddr != "" {
 		ctx := cfg.Ctx
 		if ctx == nil {
@@ -872,9 +943,13 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 		return nil, rec, fmt.Errorf("isacmp: unknown core %q (want emulation, inorder or ooo)", cfg.Core)
 	}
 
+	// Cell-mode metrics: counts accumulate locally and reach the
+	// registry only in the ApplyCounters call after the run retires,
+	// so the delta can be journaled and a replayed run re-applies
+	// exactly what the original computed.
 	var rm *telemetry.RunMetrics
 	if cfg.Metrics != nil {
-		rm = telemetry.NewRunMetrics(cfg.Metrics)
+		rm = telemetry.NewCellMetrics()
 	}
 	var pg *telemetry.Progress
 	if cfg.Progress != nil {
@@ -958,18 +1033,13 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 	}
 	wall := time.Since(start)
 	if rm != nil {
-		rm.Flush()
+		rec.Counters = rm.Counters()
+		if src, ok := mach.(isa.PredecodeStatsSource); ok {
+			telemetry.AddPredecodeCounters(rec.Counters, src.PredecodeStats())
+		}
 	}
 	if pg != nil {
 		pg.Finish()
-	}
-	if cfg.Metrics != nil {
-		if src, ok := mach.(isa.PredecodeStatsSource); ok {
-			st := src.PredecodeStats()
-			cfg.Metrics.Counter("predecode.text_words").Add(st.TextWords)
-			cfg.Metrics.Counter("predecode.bad_words").Add(st.BadWords)
-			cfg.Metrics.Counter("predecode.fallbacks").Add(st.Fallbacks)
-		}
 	}
 
 	rec.Core = statsSource.PipelineStats()
@@ -992,21 +1062,67 @@ func (b *Binary) RunInstrumented(cfg RunConfig) (*Result, RunRecord, error) {
 			}
 		}
 		rec.Fusion = fsRec
-		if cfg.Metrics != nil {
-			cfg.Metrics.Counter("fusion.events_in").Add(st.EventsIn)
-			cfg.Metrics.Counter("fusion.events_out").Add(st.EventsOut)
-			for r := fusion.Rule(0); r < fusion.NumRules; r++ {
-				if rules.Has(r) {
-					cfg.Metrics.Counter("fusion.hits." + r.String()).Add(st.Hits[r])
-				}
-			}
+		if rm != nil {
+			telemetry.AddFusionCounters(rec.Counters, fsRec)
 		}
 	}
+	telemetry.ApplyCounters(cfg.Metrics, rec.Counters)
 
 	res := &Result{Target: b.compiled.Target, Stats: stats}
 	as.collect(res)
 	rec.Results = resultTable(res)
+	if drun != nil && dhash != "" {
+		if data, jerr := json.Marshal(rec); jerr == nil {
+			drun.CellFinished(workload, target, dhash, data, false)
+		} else if cfg.Log != nil {
+			slogx.WithCell(cfg.Log, workload, target, attempt).Warn(
+				"durable: record encode failed — run not journaled", "err", jerr)
+		}
+	}
 	return res, rec, nil
+}
+
+// Durability surface (see internal/durable): crash-safe runs that
+// journal every retired cell and can resume after a kill.
+type (
+	// DurableRun is the crash-safety handle: a write-ahead cell
+	// journal plus a content-addressed result cache rooted in one
+	// directory. Share one handle across the cells of a matrix.
+	DurableRun = durable.Run
+	// DurableStats summarises what a DurableRun served versus
+	// computed; it is the manifest `durable` block.
+	DurableStats = durable.Stats
+)
+
+// OpenDurable arms the crash-safety layer in dir. With resume=false a
+// fresh journal is started (the content cache persists and still
+// serves identical cells — the warm-cache path); with resume=true the
+// existing journal is replayed, verified and compacted first, so
+// already-retired cells are served instead of recomputed — the
+// -resume flag.
+func OpenDurable(dir string, resume bool) (*DurableRun, error) {
+	if resume {
+		return durable.Resume(dir, nil)
+	}
+	return durable.Open(dir, nil)
+}
+
+// runSpec canonically serializes every RunConfig knob that can change
+// an instrumented run's record — core model, cache model, analysis
+// selection, retirement budget, metrics collection — for the content
+// address. Execution-strategy and observer knobs (Parallel, progress,
+// status, serve, flight recorder) are excluded: the byte-identity
+// contract guarantees they cannot change a result.
+func runSpec(cfg RunConfig) string {
+	s := fmt.Sprintf("run/v1 core=%s cache=%t pl=%t cp=%t scp=%t win=%t sizes=%v stride=%d mix=%t br=%t dep=%t maxinstr=%d metrics=%t",
+		cfg.Core, cfg.Cache, cfg.Analyses.PathLength, cfg.Analyses.CritPath,
+		cfg.Analyses.ScaledCritPath, cfg.Analyses.Windowed, cfg.Analyses.WindowSizes,
+		cfg.Analyses.WindowStride, cfg.Analyses.Mix, cfg.Analyses.Branches,
+		cfg.Analyses.DepDistances, cfg.MaxInstructions, cfg.Metrics != nil)
+	if cfg.Analyses.Latencies != nil {
+		s += fmt.Sprintf(" lat=%v", *cfg.Analyses.Latencies)
+	}
+	return s
 }
 
 // Parallel matrix surface (see internal/report and internal/sched):
