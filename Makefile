@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race differential golden check-faults check-obs check-prof check-fusion check-durable fuzz-smoke bench bench-matrix bench-hotpath bench-obs bench-scaling bench-fusion bench-durable bench-watch clean
+.PHONY: check fmt vet build test race differential golden check-faults check-obs check-prof check-fusion check-durable check-benchdb fuzz-smoke bench bench-matrix bench-hotpath bench-obs bench-scaling bench-fusion bench-durable bench-benchdb bench-watch clean
 
 # check is the full pre-merge gate: formatting, static checks, build,
 # the race-enabled test suite (including the differential, golden,
@@ -10,7 +10,7 @@ GO ?= go
 # manifest path end to end (BENCH_PR1.json), and the uniform
 # bench-watch regression gate over the committed BENCH_*.json
 # trajectory.
-check: fmt vet build race differential golden check-faults check-obs check-prof check-fusion check-durable bench bench-watch
+check: fmt vet build race differential golden check-faults check-obs check-prof check-fusion check-durable check-benchdb bench bench-watch
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -98,6 +98,18 @@ check-durable:
 	$(GO) test -race -count=1 -run 'TestDiskFault|TestTearJournalTail|TestOpenFaultFile' ./internal/faultinject
 	$(GO) test -race -count=1 -run 'TestDurable|TestDrainInterruptsRetryBackoff|TestChaos' ./internal/report
 
+# check-benchdb runs the benchmark-observatory suites under the race
+# detector: the benchdb package itself (ledger append/replay with
+# torn-tail and corruption semantics, host fingerprinting, the noise
+# probe, robust statistics, drift detection), and the obs-level
+# contracts — noise-aware bench-watch gating, the host-drift refusal,
+# v1/v2 schema-family compatibility, the /benchz endpoint (golden text
+# table, JSON round trip) and its Prometheus gauges, including the
+# concurrent live-ledger scrape test.
+check-benchdb:
+	$(GO) test -race -count=1 ./internal/benchdb
+	$(GO) test -race -count=1 -run 'TestWatch|TestBenchz|TestNaturalLess|TestServedCells' ./internal/obs
+
 # fuzz-smoke runs each native fuzz target briefly. Longer campaigns:
 #	$(GO) test -fuzz FuzzDecodeA64 -fuzztime 5m ./internal/a64
 fuzz-smoke:
@@ -106,6 +118,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzELF -fuzztime 5s ./internal/elfio
 	$(GO) test -fuzz FuzzFusionStream -fuzztime 5s ./internal/fusion
 	$(GO) test -fuzz FuzzJournalReplay -fuzztime 5s ./internal/durable
+	$(GO) test -fuzz FuzzBenchLedgerReplay -fuzztime 5s ./internal/benchdb
 
 # bench writes a run manifest for the benchmark trajectory: one
 # instrumented run per workload at small scale, plus the telemetry
@@ -170,6 +183,15 @@ bench-fusion:
 bench-durable:
 	$(GO) run ./cmd/isacmp bench-durable -scale small -o BENCH_PR8.json
 
+# bench-benchdb measures the benchdb observatory's own cost: the full
+# matrix timed bare and with the per-bench instrumentation armed (host
+# fingerprint + noise probe + one fsynced ledger append, replay-
+# verified each rep), with bare/armed byte-identity checked and the
+# overhead pinned against the <= 1% budget. Writes BENCH_PR10.json;
+# regenerate (and commit) after an intentional observatory change.
+bench-benchdb:
+	$(GO) run ./cmd/isacmp bench-benchdb -scale small -o BENCH_PR10.json
+
 # bench-watch is the uniform regression gate over the committed
 # benchmark trajectory (replacing the retired ad-hoc hotpath-guard):
 # each watched BENCH_*.json is re-measured into a scratch doc and
@@ -185,7 +207,9 @@ bench-watch:
 	$(GO) run ./cmd/isacmp bench-fusion -scale small -o BENCH_PR7.check.json -guard BENCH_PR7.json
 	$(GO) run ./cmd/isacmp bench-durable -scale small -o BENCH_PR8.check.json
 	$(GO) run ./cmd/isacmp bench-watch BENCH_PR8.json BENCH_PR8.check.json
-	rm -f BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json BENCH_PR8.check.json
+	$(GO) run ./cmd/isacmp bench-benchdb -scale small -o BENCH_PR10.check.json
+	$(GO) run ./cmd/isacmp bench-watch BENCH_PR10.json BENCH_PR10.check.json
+	rm -f BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json BENCH_PR8.check.json BENCH_PR10.check.json
 
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json BENCH_PR8.check.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR10.json BENCH_PR4.check.json BENCH_PR5.check.json BENCH_PR6.check.json BENCH_PR7.check.json BENCH_PR8.check.json BENCH_PR10.check.json BENCHDB.jsonl

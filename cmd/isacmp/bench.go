@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -33,8 +34,11 @@ func writeDocAtomic(out string, doc any) error {
 	return durable.WriteFileAtomic(out, buf.Bytes(), 0o644)
 }
 
-// benchSchema identifies the bench-matrix document layout.
-const benchSchema = "isacmp/bench-matrix/v1"
+// benchSchema identifies the bench-matrix document layout. v2 adds
+// the embedded benchProvenance block (host fingerprint + noise
+// probe); v1 documents stay readable by bench-watch, which keys its
+// rules on the schema family.
+const benchSchema = "isacmp/bench-matrix/v2"
 
 // benchDoc is the machine-readable record `isacmp bench-matrix`
 // writes (BENCH_PR2.json): the full analysis matrix timed once
@@ -64,6 +68,8 @@ type benchDoc struct {
 	Identical bool `json:"identical"`
 
 	Sched *telemetry.SchedStats `json:"sched,omitempty"`
+
+	benchProvenance
 }
 
 // benchMatrix times the full paper matrix (every analysis, every
@@ -120,7 +126,8 @@ func benchMatrix(progs []*ir.Program, scale workloads.Scale, out string, paralle
 		return fmt.Errorf("bench-matrix: parallel results differ from sequential (determinism violation)")
 	}
 
-	if err := writeDocAtomic(out, doc); err != nil {
+	doc.benchProvenance = collectProvenance()
+	if err := writeBenchDoc(out, doc); err != nil {
 		return err
 	}
 	if text {
@@ -132,7 +139,7 @@ func benchMatrix(progs []*ir.Program, scale workloads.Scale, out string, paralle
 
 // benchResilienceSchema identifies the bench-resilience document
 // layout.
-const benchResilienceSchema = "isacmp/bench-resilience/v1"
+const benchResilienceSchema = "isacmp/bench-resilience/v2"
 
 // resilienceDoc is the record `isacmp bench-resilience` writes
 // (BENCH_PR3.json): the full matrix timed once with the resilience
@@ -160,6 +167,8 @@ type resilienceDoc struct {
 	// Identical records that arming the watchdogs changed no output
 	// byte — the fault-free byte-identity contract.
 	Identical bool `json:"identical"`
+
+	benchProvenance
 }
 
 // benchResilience times the matrix with resilience disarmed and armed
@@ -222,7 +231,8 @@ func benchResilience(progs []*ir.Program, scale workloads.Scale, out string, par
 		return fmt.Errorf("bench-resilience: armed results differ from baseline (fault-free byte-identity violation)")
 	}
 
-	if err := writeDocAtomic(out, doc); err != nil {
+	doc.benchProvenance = collectProvenance()
+	if err := writeBenchDoc(out, doc); err != nil {
 		return err
 	}
 	if text {
@@ -233,7 +243,7 @@ func benchResilience(progs []*ir.Program, scale workloads.Scale, out string, par
 }
 
 // benchHotpathSchema identifies the bench-hotpath document layout.
-const benchHotpathSchema = "isacmp/bench-hotpath/v1"
+const benchHotpathSchema = "isacmp/bench-hotpath/v2"
 
 // benchHotpathReps is how many step/hot pairs bench-hotpath times;
 // interleaved with alternating order for the same reasons as
@@ -288,6 +298,8 @@ type hotpathDoc struct {
 	// produced byte-identical canonicalized manifests — batching must
 	// not change a single output byte.
 	Identical bool `json:"identical"`
+
+	benchProvenance
 }
 
 // benchHotpath times the full matrix through the per-Step reference
@@ -399,7 +411,8 @@ func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guar
 		}
 	}
 
-	if err := writeDocAtomic(out, doc); err != nil {
+	doc.benchProvenance = collectProvenance()
+	if err := writeBenchDoc(out, doc); err != nil {
 		return err
 	}
 	if text {
@@ -413,7 +426,7 @@ func benchHotpath(progs []*ir.Program, scale workloads.Scale, out, pr2Path, guar
 }
 
 // benchObsSchema identifies the bench-obs document layout.
-const benchObsSchema = "isacmp/bench-obs/v1"
+const benchObsSchema = "isacmp/bench-obs/v2"
 
 // obsDoc is the record `isacmp bench-obs` writes (BENCH_PR5.json):
 // the full matrix timed once bare and once with the whole control
@@ -447,6 +460,8 @@ type obsDoc struct {
 	// Identical records that serving changed no output byte — the
 	// pass-through observer contract.
 	Identical bool `json:"identical"`
+
+	benchProvenance
 }
 
 // benchObsReps is how many bare/served pairs the bench-obs comparison
@@ -566,7 +581,8 @@ func benchObs(progs []*ir.Program, scale workloads.Scale, out string, parallel i
 		return fmt.Errorf("bench-obs: served results differ from baseline (pass-through observer violation)")
 	}
 
-	if err := writeDocAtomic(out, doc); err != nil {
+	doc.benchProvenance = collectProvenance()
+	if err := writeBenchDoc(out, doc); err != nil {
 		return err
 	}
 	if text {
@@ -581,9 +597,24 @@ func benchObs(progs []*ir.Program, scale workloads.Scale, out string, parallel i
 // one line per watched metric. A regression is a fatal error so
 // `make check` can gate on it.
 func benchWatch(baselinePath, freshPath string, text bool) error {
-	findings, err := obs.WatchFiles(baselinePath, freshPath)
+	// Exit taxonomy (report.Exit*): unreadable or unparseable documents
+	// and incomparable schemas are usage errors (2); a refused
+	// host-drift comparison keeps its sentinel so fatal maps it to
+	// partial (3); a gate regression is the plain fatal path (1).
+	baseline, _, err := obs.LoadDoc(baselinePath)
 	if err != nil {
-		return err
+		return usageError{err}
+	}
+	fresh, _, err := obs.LoadDoc(freshPath)
+	if err != nil {
+		return usageError{err}
+	}
+	findings, err := obs.Watch(baseline, fresh)
+	if err != nil {
+		if errors.Is(err, obs.ErrHostDrift) {
+			return err
+		}
+		return usageError{err}
 	}
 	for _, f := range findings {
 		switch {

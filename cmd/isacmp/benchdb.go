@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"isacmp/internal/benchdb"
+	"isacmp/internal/ir"
+	"isacmp/internal/report"
+	"isacmp/internal/sched"
+	"isacmp/internal/telemetry"
+	"isacmp/internal/workloads"
+)
+
+// benchLedgerPath is where every bench writer appends its finished
+// document to the benchdb performance ledger. Set from the -benchdb
+// flag; "" disables appends (the flag value "none").
+var benchLedgerPath = benchdb.DefaultLedgerPath
+
+// benchProvenance is the measurement-provenance block every v2 bench
+// document embeds: the host fingerprint and the calibrated
+// noise-probe result. It is what lets bench-watch refuse a
+// cross-host comparison instead of reporting host drift as a code
+// regression.
+type benchProvenance struct {
+	Fingerprint *benchdb.Fingerprint `json:"fingerprint"`
+	Noise       *benchdb.Probe       `json:"noise"`
+}
+
+// collectProvenance gathers the fingerprint and runs the noise probe.
+// Called once per bench writer, after the timed legs — the ~10–20 ms
+// probe must not sit inside a measured region.
+func collectProvenance() benchProvenance {
+	return benchProvenance{
+		Fingerprint: benchdb.Collect(),
+		Noise:       benchdb.RunProbe(benchdb.DefaultProbeReps),
+	}
+}
+
+// writeBenchDoc commits a finished bench document: atomic write of
+// the JSON (as before), then an append of its flattened metrics +
+// provenance to the benchdb ledger. Ledger trouble is reported, not
+// fatal — the committed document is the artifact of record; the
+// ledger is the longitudinal observatory behind it.
+func writeBenchDoc(out string, doc any) error {
+	if err := writeDocAtomic(out, doc); err != nil {
+		return err
+	}
+	if benchLedgerPath == "" {
+		return nil
+	}
+	if err := appendBenchLedger(benchLedgerPath, out, doc); err != nil {
+		fmt.Fprintf(os.Stderr, "isacmp: warning: benchdb ledger append failed: %v\n", err)
+	}
+	return nil
+}
+
+// appendBenchLedger flattens doc through its JSON form and appends
+// one fsynced entry to the ledger at path.
+func appendBenchLedger(path, out string, doc any) error {
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		return err
+	}
+	entry := benchdb.EntryFromDoc(generic, filepath.Base(out))
+	entry.Time = time.Now().UTC().Format(time.RFC3339)
+	l, _, err := benchdb.Open(path, nil)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	return l.Append(entry)
+}
+
+// benchBenchdbSchema identifies the bench-benchdb document layout.
+const benchBenchdbSchema = "isacmp/bench-benchdb/v1"
+
+// benchBenchdbReps is how many bare/armed pairs the comparison times;
+// interleaved with alternating order for the same reasons as
+// benchObsReps.
+const benchBenchdbReps = 7
+
+// benchdbDoc is the record `isacmp bench-benchdb` writes
+// (BENCH_PR10.json): the full matrix timed once bare and once with
+// the observatory instrumentation a bench writer now adds — the
+// noise probe plus one fsynced ledger append — with byte-identity
+// checked and the overhead recorded against the <= 1% budget.
+type benchdbDoc struct {
+	Schema     string `json:"schema"`
+	Scale      string `json:"scale"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Cells      int    `json:"cells"`
+
+	// BareSeconds is the best matrix wall time across the pairs;
+	// ArmedSeconds the best wall time of matrix + probe + ledger
+	// append (fsync included, fresh ledger per rep).
+	BareSeconds  float64 `json:"bare_seconds"`
+	ArmedSeconds float64 `json:"armed_seconds"`
+	// OverheadPercent is the median over the interleaved pairs of
+	// (armed - bare) / bare * 100 — the observatory's own cost.
+	OverheadPercent float64 `json:"overhead_percent"`
+	BudgetPercent   float64 `json:"budget_percent"`
+	WithinBudget    bool    `json:"within_budget"`
+
+	// Identical records that arming the observatory changed no output
+	// byte — the ledger observes documents, never computation.
+	Identical bool `json:"identical"`
+	// LedgerEntries is how many entries the armed reps appended and
+	// replayed back intact — each armed rep's append is verified, so
+	// the overhead number covers real durable appends.
+	LedgerEntries int `json:"ledger_entries"`
+
+	benchProvenance
+}
+
+// benchBenchdb times the matrix bare and with the per-bench
+// observatory cost armed (noise probe + fsynced ledger append) and
+// writes the benchdbDoc JSON to out.
+func benchBenchdb(progs []*ir.Program, scale workloads.Scale, out string, parallel int, text bool) error {
+	ex := report.Experiment{
+		PathLength: true, CritPath: true, Scaled: true, Windowed: true,
+		Parallel: parallel,
+	}
+
+	dir, err := os.MkdirTemp("", "isacmp-benchdb-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	var bareRows, armedRows [][]report.Row
+	var st *telemetry.SchedStats
+	bareWalls := make([]float64, benchBenchdbReps)
+	armedWalls := make([]float64, benchBenchdbReps)
+	appended := 0
+	timeBare := func(i int) error {
+		runtime.GC()
+		start := time.Now()
+		rows, _, err := report.RunSuite(progs, ex)
+		if err != nil {
+			return err
+		}
+		bareWalls[i] = time.Since(start).Seconds()
+		if i == 0 {
+			bareRows = rows
+		}
+		return nil
+	}
+	timeArmed := func(i int) error {
+		runtime.GC()
+		ledgerPath := filepath.Join(dir, fmt.Sprintf("ledger-%d.jsonl", i))
+		start := time.Now()
+		rows, stats, err := report.RunSuite(progs, ex)
+		if err != nil {
+			return err
+		}
+		prov := collectProvenance()
+		l, _, err := benchdb.Open(ledgerPath, nil)
+		if err != nil {
+			return err
+		}
+		appendErr := l.Append(benchdb.Entry{
+			Schema:      benchBenchdbSchema,
+			Doc:         filepath.Base(out),
+			Metrics:     map[string]float64{"rep": float64(i)},
+			Fingerprint: prov.Fingerprint,
+			Noise:       prov.Noise,
+		})
+		closeErr := l.Close()
+		armedWalls[i] = time.Since(start).Seconds()
+		if appendErr != nil {
+			return appendErr
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		if i == 0 {
+			armedRows, st = rows, stats
+		}
+		entries, torn, err := benchdb.Replay(ledgerPath)
+		if err != nil || torn || len(entries) != 1 {
+			return fmt.Errorf("bench-benchdb: armed rep %d ledger replay: entries=%d torn=%v err=%v", i, len(entries), torn, err)
+		}
+		appended++
+		return nil
+	}
+	for i := 0; i < benchBenchdbReps; i++ {
+		first, second := timeBare, timeArmed
+		if i%2 == 1 {
+			first, second = timeArmed, timeBare
+		}
+		if err := first(i); err != nil {
+			return err
+		}
+		if err := second(i); err != nil {
+			return err
+		}
+	}
+	bareWall := minFloat(bareWalls)
+	armedWall := minFloat(armedWalls)
+	pairOverheads := make([]float64, benchBenchdbReps)
+	for i := range pairOverheads {
+		pairOverheads[i] = (armedWalls[i] - bareWalls[i]) / bareWalls[i] * 100
+	}
+
+	bareJSON, err := canonicalRowsJSON(progs, scale, bareRows)
+	if err != nil {
+		return err
+	}
+	armedJSON, err := canonicalRowsJSON(progs, scale, armedRows)
+	if err != nil {
+		return err
+	}
+
+	doc := benchdbDoc{
+		Schema:          benchBenchdbSchema,
+		Scale:           scale.String(),
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         sched.DefaultWorkers(parallel),
+		Cells:           st.Cells,
+		BareSeconds:     bareWall,
+		ArmedSeconds:    armedWall,
+		BudgetPercent:   1,
+		Identical:       bytes.Equal(bareJSON, armedJSON),
+		LedgerEntries:   appended,
+		benchProvenance: collectProvenance(),
+	}
+	doc.OverheadPercent = medianFloat(pairOverheads)
+	doc.WithinBudget = doc.OverheadPercent <= doc.BudgetPercent
+	if !doc.Identical {
+		return fmt.Errorf("bench-benchdb: armed results differ from bare (observer pass-through violation)")
+	}
+
+	if err := writeBenchDoc(out, doc); err != nil {
+		return err
+	}
+	if text {
+		fmt.Printf("bench-benchdb: %d cells, %d workers: bare %.3fs, armed %.3fs, overhead %.2f%% (budget %.0f%%), identical=%v, ledger entries %d -> %s\n",
+			doc.Cells, doc.Workers, bareWall, armedWall, doc.OverheadPercent, doc.BudgetPercent, doc.Identical, doc.LedgerEntries, out)
+	}
+	return nil
+}

@@ -16,7 +16,7 @@ import (
 )
 
 // benchDurableSchema identifies the bench-durable document layout.
-const benchDurableSchema = "isacmp/bench-durable/v1"
+const benchDurableSchema = "isacmp/bench-durable/v2"
 
 // durableDoc is the record `isacmp bench-durable` writes
 // (BENCH_PR8.json): the full matrix timed once bare and once with the
@@ -50,6 +50,8 @@ type durableDoc struct {
 	// simulated zero cells; WarmCachedCells is how many it served.
 	WarmZeroRecompute bool `json:"warm_zero_recompute"`
 	WarmCachedCells   int  `json:"warm_cached_cells"`
+
+	benchProvenance
 }
 
 // benchDurable times the matrix bare and with the journal armed and
@@ -189,7 +191,8 @@ func benchDurable(progs []*ir.Program, scale workloads.Scale, out string, parall
 		return fmt.Errorf("bench-durable: warm-cache run recomputed %d cells, want 0", warmStats.Computed)
 	}
 
-	if err := writeDocAtomic(out, doc); err != nil {
+	doc.benchProvenance = collectProvenance()
+	if err := writeBenchDoc(out, doc); err != nil {
 		return err
 	}
 	if text {

@@ -14,7 +14,7 @@ import (
 )
 
 // benchFusionSchema identifies the bench-fusion document layout.
-const benchFusionSchema = "isacmp/bench-fusion/v1"
+const benchFusionSchema = "isacmp/bench-fusion/v2"
 
 // benchFusionReps is how many off/scan pairs bench-fusion times;
 // interleaved with alternating order for the same reasons as
@@ -83,6 +83,8 @@ type fusionDoc struct {
 	// RuleHits sums each rule's fired-pair count across the whole
 	// fusion-on matrix.
 	RuleHits []telemetry.FusionRuleJSON `json:"rule_hits"`
+
+	benchProvenance
 }
 
 // benchFusion times the matrix with fusion off and with an inert
@@ -229,7 +231,8 @@ func benchFusion(progs []*ir.Program, scale workloads.Scale, out, guardPath stri
 		}
 	}
 
-	if err := writeDocAtomic(out, doc); err != nil {
+	doc.benchProvenance = collectProvenance()
+	if err := writeBenchDoc(out, doc); err != nil {
 		return err
 	}
 	if text {

@@ -45,6 +45,7 @@ import (
 	"isacmp"
 
 	"isacmp/internal/a64"
+	"isacmp/internal/benchdb"
 	"isacmp/internal/core"
 	"isacmp/internal/elfio"
 	"isacmp/internal/fusion"
@@ -106,6 +107,7 @@ func main() {
 	profileTraceFlag := fs.String("profile-trace", "", "write the -profile span timelines as Chrome-trace JSON to this file at exit (implies -profile)")
 	durableDirFlag := fs.String("durable-dir", "", "arm crash-safe running: a write-ahead cell journal plus content-addressed result cache in this directory")
 	resumeFlag := fs.String("resume", "", "resume an interrupted run from this durability directory: replay the journal, verify hashes, recompute only unfinished cells")
+	benchdbFlag := fs.String("benchdb", benchdb.DefaultLedgerPath, "append every finished bench document to this benchdb performance ledger (\"none\" disables)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(report.ExitUsage)
 	}
@@ -114,6 +116,10 @@ func main() {
 	}
 	if *metricsJSONFlag != "" {
 		*jsonFlag = *metricsJSONFlag
+	}
+	benchLedgerPath = *benchdbFlag
+	if benchLedgerPath == "none" {
+		benchLedgerPath = ""
 	}
 
 	scale, err := parseScale(*scaleFlag)
@@ -175,6 +181,7 @@ func main() {
 	if *serveFlag != "" {
 		srv, err := obs.StartServer(obsCtx, obs.ServerConfig{
 			Addr: *serveFlag, Registry: reg, Board: board, Profiler: profiler, Log: log,
+			Bench: &obs.BenchSource{Dir: ".", LedgerPath: benchLedgerPath, Registry: reg},
 		})
 		if err != nil {
 			fatal(err)
@@ -421,6 +428,14 @@ func main() {
 			out = "BENCH_PR8.json"
 		}
 		if err := benchDurable(progs, scale, out, *parallelFlag, text); err != nil {
+			fatal(err)
+		}
+	case "bench-benchdb":
+		out := *outFlag
+		if out == "BENCH_PR2.json" { // flag default belongs to bench-matrix
+			out = "BENCH_PR10.json"
+		}
+		if err := benchBenchdb(progs, scale, out, *parallelFlag, text); err != nil {
 			fatal(err)
 		}
 	case "bench-watch":
@@ -1117,8 +1132,14 @@ commands:
   bench-durable  measure the write-ahead-journal overhead vs the <= 2%
              budget, journal-off byte-identity and warm-cache
              zero-recompute (-o)
+  bench-benchdb  measure the benchdb observatory's own cost — noise
+             probe + fsynced ledger append — vs the <= 1% budget,
+             with bare/armed byte-identity (-o)
   bench-watch <committed.json> <fresh.json>  fail on regression against
-             the committed benchmark trajectory
+             the committed benchmark trajectory with noise-aware
+             tolerances; exit 0 pass, 1 regression, 2 usage/parse,
+             3 host drift (fingerprint or noise-probe mismatch —
+             re-baseline, don't debug)
   artifacts  write the four result files of the paper's artifact (A.6)
   trace      print a disassembled execution trace (-n, -kernel, -target)
   blocks     hottest dynamically-discovered basic blocks (-n, -target)
@@ -1143,7 +1164,10 @@ durability: -durable-dir <dir> (write-ahead cell journal + content-
 
 observability: -json <f> (run manifest; "-" = stdout)  -progress
   -cpuprofile <f>  -memprofile <f>
-  -serve <addr> (live /metrics /statusz /profilez /events /healthz /debug/pprof)
+  -serve <addr> (live /metrics /statusz /profilez /benchz /events
+    /healthz /debug/pprof)
+  -benchdb <f> (bench-document append ledger; default BENCHDB.jsonl,
+    "none" disables; served on /benchz with the committed BENCH_*.json)
   -log-level debug|info|warn|error  -log-format text|json
   -flight-dir <dir>  -flight-events <n> (post-mortem ring on cell death)
   -profile (per-stage span timelines; /profilez, /statusz stage_seconds)
@@ -1161,13 +1185,19 @@ func (e usageError) Error() string { return e.err.Error() }
 func (e usageError) Unwrap() error { return e.err }
 
 // fatal prints the error and exits per the documented contract:
-// ExitUsage (2) for bad user input, ExitFatal (1) for everything else.
+// ExitUsage (2) for bad user input, ExitPartial (3) for a bench-watch
+// comparison refused because the host drifted (the measurement is
+// invalid, not the code — re-baseline rather than debug), ExitFatal
+// (1) for everything else including a genuine gate regression.
 func fatal(err error) {
 	var ue usageError
 	if errors.As(err, &ue) {
 		usageFatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "isacmp:", err)
+	if errors.Is(err, obs.ErrHostDrift) {
+		os.Exit(report.ExitPartial)
+	}
 	os.Exit(report.ExitFatal)
 }
 

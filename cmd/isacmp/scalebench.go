@@ -14,7 +14,7 @@ import (
 )
 
 // scalingSchema identifies the scaling-report document layout.
-const scalingSchema = "isacmp/scaling-report/v1"
+const scalingSchema = "isacmp/scaling-report/v2"
 
 // scaleOverheadReps is how many profiler-on/profiler-off pairs the
 // overhead measurement times, interleaved with alternating order like
@@ -102,6 +102,8 @@ type scalingDoc struct {
 	// produced byte-identical canonicalized manifests — profiling and
 	// worker count change no output byte.
 	Identical bool `json:"identical"`
+
+	benchProvenance
 }
 
 // scaleWorkerSweep is the worker counts scalebench visits:
@@ -302,7 +304,8 @@ func scaleBench(progs []*ir.Program, scale workloads.Scale, out, guardPath strin
 		doc.DominantBottleneck = doc.Attribution[0].Cause
 	}
 
-	if err := writeDocAtomic(out, doc); err != nil {
+	doc.benchProvenance = collectProvenance()
+	if err := writeBenchDoc(out, doc); err != nil {
 		return err
 	}
 	if text {

@@ -1,0 +1,53 @@
+package benchdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzBenchLedgerReplay pins the ledger replay contract on arbitrary
+// bytes: never panic, and any accepted entries must re-serialize
+// through Compact into a ledger that replays to the same count with
+// no tear.
+func FuzzBenchLedgerReplay(f *testing.F) {
+	path := filepath.Join(f.TempDir(), "seed.jsonl")
+	l, _, err := Open(path, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	l.Append(Entry{Schema: "isacmp/bench-matrix/v2", Metrics: map[string]float64{"sequential_seconds": 1.0}, Flags: map[string]bool{"identical": true}})
+	l.Append(Entry{Schema: "isacmp/bench-obs/v2", Noise: &Probe{Reps: 7, MedianSeconds: 0.002, CV: 0.01}})
+	l.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)-7]) // torn tail
+	f.Add([]byte("{}\n"))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, _, err := ReplayData(data)
+		if err != nil {
+			return
+		}
+		out := filepath.Join(t.TempDir(), "compact.jsonl")
+		next, err := Compact(out, entries)
+		if err != nil {
+			t.Fatalf("Compact of accepted entries failed: %v", err)
+		}
+		if next != len(entries) {
+			t.Fatalf("Compact next seq = %d, want %d", next, len(entries))
+		}
+		again, torn, err := Replay(out)
+		if err != nil || torn {
+			t.Fatalf("compacted ledger must replay clean: torn=%v err=%v", torn, err)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("compacted replay count = %d, want %d", len(again), len(entries))
+		}
+	})
+}

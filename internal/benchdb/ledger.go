@@ -1,0 +1,313 @@
+package benchdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+	"sync"
+
+	"isacmp/internal/durable"
+)
+
+// LedgerSchema versions the ledger record format. A reader that sees
+// a different schema string must refuse the record rather than guess.
+const LedgerSchema = "isacmp/benchdb/v1"
+
+// DefaultLedgerPath is where bench writers append by default: one
+// JSONL ledger per working tree, next to the committed BENCH_*.json
+// documents it summarizes. Gitignored — the ledger is longitudinal
+// local history; the committed documents are the curated trajectory.
+const DefaultLedgerPath = "BENCHDB.jsonl"
+
+// Entry is one ledger line: the flattened scalar metrics of one
+// benchmark document plus its measurement provenance. Sum is a
+// CRC-32 (IEEE) over the entry marshaled with Sum set to zero —
+// the same torn/bit-flip detection contract as the cell journal.
+type Entry struct {
+	V   string `json:"v"`
+	Seq int    `json:"seq"`
+	// Time is the append wall-clock time (RFC3339, UTC). Provenance
+	// only — no analysis depends on it.
+	Time string `json:"time,omitempty"`
+	// Schema is the source document's schema string (e.g.
+	// "isacmp/bench-matrix/v2") and Doc its file name (e.g.
+	// "BENCH_PR2.json", "" for uncommitted scratch runs).
+	Schema string `json:"schema"`
+	Doc    string `json:"doc,omitempty"`
+	// Metrics are the document's top-level numeric fields and Flags
+	// its boolean invariants, both keyed by field name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Flags   map[string]bool    `json:"flags,omitempty"`
+	// Fingerprint and Noise are the measurement provenance carried by
+	// v2 documents (nil when replaying a legacy v1 document).
+	Fingerprint *Fingerprint `json:"fingerprint,omitempty"`
+	Noise       *Probe       `json:"noise,omitempty"`
+	Sum         uint32       `json:"sum"`
+}
+
+// checksum computes the entry's CRC with Sum zeroed. json.Marshal
+// emits map keys sorted, so the checksum is deterministic for a given
+// entry value.
+func (e *Entry) checksum() (uint32, error) {
+	saved := e.Sum
+	e.Sum = 0
+	data, err := json.Marshal(e)
+	e.Sum = saved
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(data), nil
+}
+
+// SchemaFamily strips a trailing "/vN" version suffix: both
+// "isacmp/bench-matrix/v1" and ".../v2" belong to family
+// "isacmp/bench-matrix". Gates and series match by family so a schema
+// version bump neither severs a metric's history nor lets a document
+// escape its rules.
+func SchemaFamily(schema string) string {
+	i := strings.LastIndex(schema, "/v")
+	if i < 0 {
+		return schema
+	}
+	suffix := schema[i+2:]
+	if suffix == "" {
+		return schema
+	}
+	for _, r := range suffix {
+		if r < '0' || r > '9' {
+			return schema
+		}
+	}
+	return schema[:i]
+}
+
+// EntryFromDoc flattens a generic benchmark document into a ledger
+// entry: top-level numbers become Metrics, top-level booleans become
+// Flags, and the fingerprint/noise blocks (when present) are decoded
+// into their typed form. docName is recorded as the entry's Doc.
+func EntryFromDoc(doc map[string]any, docName string) Entry {
+	e := Entry{Doc: docName}
+	e.Schema, _ = doc["schema"].(string)
+	for k, v := range doc {
+		switch val := v.(type) {
+		case float64:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[k] = val
+		case bool:
+			if e.Flags == nil {
+				e.Flags = make(map[string]bool)
+			}
+			e.Flags[k] = val
+		}
+	}
+	if raw, ok := doc["fingerprint"]; ok {
+		if data, err := json.Marshal(raw); err == nil {
+			fp := new(Fingerprint)
+			if json.Unmarshal(data, fp) == nil {
+				e.Fingerprint = fp
+			}
+		}
+	}
+	if raw, ok := doc["noise"]; ok {
+		if data, err := json.Marshal(raw); err == nil {
+			p := new(Probe)
+			if json.Unmarshal(data, p) == nil {
+				e.Noise = p
+			}
+		}
+	}
+	return e
+}
+
+// Ledger is the append side of the performance log. Append is
+// serialized and fsyncs each entry before returning (unless opened
+// with NoSync), so an acknowledged entry survives a SIGKILL
+// immediately after — the same durability contract as the cell
+// journal, via the same open/write path.
+type Ledger struct {
+	mu   sync.Mutex
+	path string
+	f    durable.File
+	seq  int
+}
+
+// Open replays the ledger at path (creating it if absent) and opens
+// it for appending after the last valid entry. A torn final line is
+// tolerated exactly as in the cell journal; mid-file corruption is an
+// error. The replayed entries are returned so callers can serve
+// history without a second read.
+func Open(path string, opts *durable.Options) (*Ledger, []Entry, error) {
+	entries, _, err := Replay(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := durable.OpenAppendFile(path, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchdb: open ledger %s: %w", path, err)
+	}
+	seq := 0
+	if n := len(entries); n > 0 {
+		seq = entries[n-1].Seq + 1
+	}
+	if opts != nil && opts.NoSync {
+		return &Ledger{path: path, f: nosyncFile{f}, seq: seq}, entries, nil
+	}
+	return &Ledger{path: path, f: f, seq: seq}, entries, nil
+}
+
+// nosyncFile drops Sync for benchmark runs that isolate encoding cost
+// from disk cost.
+type nosyncFile struct{ durable.File }
+
+func (nosyncFile) Sync() error { return nil }
+
+// Append fills in the schema version, sequence number and checksum,
+// writes the entry as one JSONL line and fsyncs it.
+func (l *Ledger) Append(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.V = LedgerSchema
+	e.Seq = l.seq
+	sum, err := (&e).checksum()
+	if err != nil {
+		return fmt.Errorf("benchdb: ledger encode: %w", err)
+	}
+	e.Sum = sum
+	line, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("benchdb: ledger encode: %w", err)
+	}
+	line = append(line, '\n')
+	if n, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("benchdb: ledger append: %w", err)
+	} else if n != len(line) {
+		return fmt.Errorf("benchdb: ledger append: short write (%d of %d bytes)", n, len(line))
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("benchdb: ledger sync: %w", err)
+	}
+	l.seq++
+	return nil
+}
+
+// Path returns the ledger file location.
+func (l *Ledger) Path() string { return l.path }
+
+// Close closes the underlying file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// Replay reads and verifies a ledger file. A missing file replays as
+// empty. tornTail reports whether a torn final line was tolerated.
+func Replay(path string) (entries []Entry, tornTail bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("benchdb: read ledger: %w", err)
+	}
+	return ReplayData(data)
+}
+
+// ReplayData replays ledger bytes under the journal's torn-tail rule:
+// a final line that fails to parse or checksum is tolerated (the
+// process died mid-append), but a bad line followed by further valid
+// entries is mid-file corruption and an error — silently skipping it
+// could erase history. Never panics on any input
+// (FuzzBenchLedgerReplay pins this).
+func ReplayData(data []byte) (entries []Entry, tornTail bool, err error) {
+	lines := bytes.Split(data, []byte{'\n'})
+	wantSeq := -1
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		e := new(Entry)
+		bad, torn := "", true
+		if uerr := json.Unmarshal(line, e); uerr != nil {
+			bad = fmt.Sprintf("parse: %v", uerr)
+		} else if e.V != LedgerSchema {
+			bad = fmt.Sprintf("schema %q (want %q)", e.V, LedgerSchema)
+		} else if sum, cerr := e.checksum(); cerr != nil || sum != e.Sum {
+			bad = fmt.Sprintf("checksum %08x (want %08x)", e.Sum, sum)
+		} else if wantSeq >= 0 && e.Seq <= wantSeq {
+			// A checksummed entry with a stale sequence cannot come
+			// from a crash mid-append (the checksum covers Seq): it is
+			// corruption wherever it sits, never a tolerated tear.
+			bad, torn = fmt.Sprintf("sequence %d not after %d", e.Seq, wantSeq), false
+		}
+		if bad != "" {
+			if torn && ledgerTailOnly(lines[i+1:]) {
+				return entries, true, nil
+			}
+			return nil, false, fmt.Errorf("benchdb: ledger entry %d: %s (ledger is corrupt, not torn)", len(entries), bad)
+		}
+		wantSeq = e.Seq
+		entries = append(entries, *e)
+	}
+	return entries, false, nil
+}
+
+// ledgerTailOnly reports whether the remaining lines hold no further
+// valid entry — the condition under which a bad line is a tolerated
+// torn tail rather than mid-file corruption.
+func ledgerTailOnly(rest [][]byte) bool {
+	for _, line := range rest {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		e := new(Entry)
+		if json.Unmarshal(line, e) != nil {
+			continue
+		}
+		if e.V != LedgerSchema {
+			continue
+		}
+		if sum, err := e.checksum(); err == nil && sum == e.Sum {
+			return false
+		}
+	}
+	return true
+}
+
+// Compact rewrites the ledger to exactly the surviving entries of a
+// replay, re-sequenced from zero, dropping any torn tail. The rewrite
+// goes through WriteFileAtomic so a crash during compaction leaves
+// the previous ledger intact. Returns the next sequence number.
+func Compact(path string, entries []Entry) (int, error) {
+	var buf bytes.Buffer
+	for seq := range entries {
+		e := entries[seq] // copy: renumbering must not alias caller state
+		e.V = LedgerSchema
+		e.Seq = seq
+		sum, err := (&e).checksum()
+		if err != nil {
+			return 0, fmt.Errorf("benchdb: ledger compact: %w", err)
+		}
+		e.Sum = sum
+		line, err := json.Marshal(&e)
+		if err != nil {
+			return 0, fmt.Errorf("benchdb: ledger compact: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := durable.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
+		return 0, fmt.Errorf("benchdb: ledger compact: %w", err)
+	}
+	return len(entries), nil
+}

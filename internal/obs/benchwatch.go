@@ -2,8 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+
+	"isacmp/internal/benchdb"
 )
 
 // benchwatch compares a fresh benchmark document against the
@@ -13,11 +16,29 @@ import (
 // metrics may not regress beyond a tolerance, which percentages must
 // stay within their recorded budget, and which invariant flags must
 // hold.
+//
+// Since the benchdb ledger landed, the gate is noise-aware and
+// provenance-aware: wall-time ratio limits widen with the measurement
+// noise the documents' probes recorded, and two documents measured on
+// different hosts (fingerprint mismatch, or a shifted noise-probe
+// median on the same fingerprint) are refused outright with
+// ErrHostDrift — comparing them would report host drift as a code
+// regression, which is exactly the failure mode that forced the
+// BENCH_PR7 re-baseline.
 
 // WatchTolerance is how much a watched wall-time metric may exceed
 // its committed baseline before it counts as a regression — the same
-// 10% the retired hotpath-guard used, now applied uniformly.
+// 10% the retired hotpath-guard used, now the *floor* of a
+// noise-aware limit.
 const WatchTolerance = 1.10
+
+// WatchNoiseSigma scales the documents' recorded noise (robust CV of
+// the calibrated probe) into extra ratio headroom: the effective
+// tolerance is max(WatchTolerance, 1 + WatchNoiseSigma·CV). On a
+// quiet host (probe CV well under 2%) the classic 10% floor
+// dominates; on a host whose own probe scattered, the gate widens
+// instead of crying regression at noise.
+const WatchNoiseSigma = 6.0
 
 // WatchBudgetHeadroom is how far a re-measured overhead percentage
 // may exceed its recorded budget before it counts as a regression.
@@ -30,11 +51,18 @@ const WatchTolerance = 1.10
 // headroom.
 const WatchBudgetHeadroom = 2.0
 
+// ErrHostDrift marks a refused comparison: the two documents were not
+// measured on the same effective host, so a metric delta between them
+// is host drift, not code regression. Callers map it to the partial
+// exit code (3) rather than the gate-failure exit code (1).
+var ErrHostDrift = errors.New("benchwatch: host drift, not regression")
+
 // ruleKind says how a watched metric is judged.
 type ruleKind int
 
 const (
-	// ratioRule: fresh value must be <= baseline value * tolerance.
+	// ratioRule: fresh value must be <= baseline value * the
+	// noise-aware tolerance.
 	ratioRule ruleKind = iota
 	// budgetRule: the fresh value must be <= the budget recorded in
 	// the fresh document itself (field named by budgetField), scaled
@@ -70,22 +98,26 @@ type watchRule struct {
 }
 
 // watchRules is the per-schema regression contract over the committed
-// benchmark trajectory.
+// benchmark trajectory, keyed by schema *family* (the schema string
+// with its /vN version suffix stripped): a v1 document written before
+// host fingerprints existed is judged by the same rules as its v2
+// successor, so a version bump neither severs the gate nor lets a
+// document escape it.
 var watchRules = map[string][]watchRule{
-	"isacmp/bench-matrix/v1": {
+	"isacmp/bench-matrix": {
 		{metric: "sequential_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "parallel_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "identical", kind: flagRule},
 		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
-	"isacmp/bench-resilience/v1": {
+	"isacmp/bench-resilience": {
 		{metric: "armed_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "within_budget", kind: pinRule},
 		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
 		{metric: "identical", kind: flagRule},
 		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
-	"isacmp/bench-hotpath/v1": {
+	"isacmp/bench-hotpath": {
 		{metric: "hotpath_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "identical", kind: flagRule},
 		// A genuine batching regression must not hide behind the
@@ -97,21 +129,21 @@ var watchRules = map[string][]watchRule{
 		{metric: "batch_speedup", kind: floorRule, floor: 0.90},
 		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
-	"isacmp/bench-obs/v1": {
+	"isacmp/bench-obs": {
 		{metric: "served_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "within_budget", kind: pinRule},
 		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
 		{metric: "identical", kind: flagRule},
 		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
-	"isacmp/bench-fusion/v1": {
+	"isacmp/bench-fusion": {
 		{metric: "off_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "within_budget", kind: pinRule},
 		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
 		{metric: "identical", kind: flagRule},
 		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
-	"isacmp/bench-durable/v1": {
+	"isacmp/bench-durable": {
 		{metric: "journal_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "within_budget", kind: pinRule},
 		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
@@ -121,7 +153,7 @@ var watchRules = map[string][]watchRule{
 		{metric: "warm_zero_recompute", kind: flagRule},
 		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
-	"isacmp/scaling-report/v1": {
+	"isacmp/scaling-report": {
 		{metric: "best_wall_seconds", kind: ratioRule, tolerance: WatchTolerance},
 		{metric: "identical", kind: flagRule},
 		{metric: "within_budget", kind: pinRule},
@@ -130,6 +162,14 @@ var watchRules = map[string][]watchRule{
 		// does not get the legacy escape hatch: a committed report
 		// measured at workers <= 1 is a hard regression.
 		{metric: "workers", kind: provenanceRule},
+	},
+	"isacmp/bench-benchdb": {
+		{metric: "bare_seconds", kind: ratioRule, tolerance: WatchTolerance},
+		{metric: "within_budget", kind: pinRule},
+		{metric: "overhead_percent", kind: budgetRule, budgetField: "budget_percent"},
+		// Ledger appends and the noise probe must change no output byte.
+		{metric: "identical", kind: flagRule},
+		{metric: "workers", kind: provenanceRule, warnOnly: true},
 	},
 }
 
@@ -171,20 +211,75 @@ func num(doc map[string]any, key string) (float64, bool) {
 	return v, ok
 }
 
+// provenance decodes the fingerprint and noise blocks a v2 document
+// carries (nils for a legacy v1 document).
+func provenance(doc map[string]any) (*benchdb.Fingerprint, *benchdb.Probe) {
+	e := benchdb.EntryFromDoc(doc, "")
+	return e.Fingerprint, e.Noise
+}
+
+// noiseTolerance is the noise-aware ratio tolerance for a pair of
+// documents: the classic floor widened by the worst recorded probe
+// dispersion of either side.
+func noiseTolerance(floor float64, baseNoise, freshNoise *benchdb.Probe) float64 {
+	cv := 0.0
+	if baseNoise != nil && baseNoise.CV > cv {
+		cv = baseNoise.CV
+	}
+	if freshNoise != nil && freshNoise.CV > cv {
+		cv = freshNoise.CV
+	}
+	if t := 1 + WatchNoiseSigma*cv; t > floor {
+		return t
+	}
+	return floor
+}
+
 // Watch judges a fresh benchmark document against its committed
-// baseline. Both must carry the same schema; unknown schemas are an
-// error so a new BENCH document cannot silently escape the gate.
+// baseline. Both must belong to the same schema family (version
+// suffixes may differ — a v1 baseline is readable against a v2
+// fresh document); unknown families are an error so a new BENCH
+// document cannot silently escape the gate.
+//
+// Before any metric is compared, the documents' measurement
+// provenance is reconciled: if both carry host fingerprints and they
+// disagree — or the fingerprints agree but the calibrated noise-probe
+// median shifted beyond benchdb.NoiseDriftTolerance — Watch refuses
+// the comparison with ErrHostDrift. When only one side carries
+// provenance (a legacy v1 baseline), the comparison proceeds with a
+// warning finding: drift cannot be ruled out.
 func Watch(baseline, fresh map[string]any) ([]Finding, error) {
 	bs, _ := baseline["schema"].(string)
 	fs, _ := fresh["schema"].(string)
-	if bs != fs {
+	family := benchdb.SchemaFamily(fs)
+	if benchdb.SchemaFamily(bs) != family {
 		return nil, fmt.Errorf("benchwatch: schema mismatch: baseline %q vs fresh %q", bs, fs)
 	}
-	rules, ok := watchRules[fs]
+	rules, ok := watchRules[family]
 	if !ok {
 		return nil, fmt.Errorf("benchwatch: no watch rules for schema %q", fs)
 	}
+	baseFP, baseNoise := provenance(baseline)
+	freshFP, freshNoise := provenance(fresh)
+	drift := benchdb.DetectDrift(baseFP, freshFP, baseNoise, freshNoise)
+	if drift.HostDrifted() {
+		return nil, fmt.Errorf("%w: %s — re-baseline the committed document on this host instead of chasing a phantom regression", ErrHostDrift, drift.Detail)
+	}
 	var out []Finding
+	if drift.Kind == "unknown" {
+		out = append(out, Finding{
+			Schema:  fs,
+			Metric:  "fingerprint",
+			Warning: true,
+			Message: fmt.Sprintf("fingerprint: %s (comparison proceeds; a wall-time miss here may be host drift)", drift.Detail),
+		})
+	} else {
+		out = append(out, Finding{
+			Schema:  fs,
+			Metric:  "fingerprint",
+			Message: fmt.Sprintf("fingerprint: %s ok", drift.Detail),
+		})
+	}
 	for _, r := range rules {
 		f := Finding{Schema: fs, Metric: r.metric}
 		switch r.kind {
@@ -196,13 +291,14 @@ func Watch(baseline, fresh map[string]any) ([]Finding, error) {
 				out = append(out, f)
 				continue
 			}
-			f.Baseline, f.Fresh, f.Limit = base, cur, base*r.tolerance
+			tol := noiseTolerance(r.tolerance, baseNoise, freshNoise)
+			f.Baseline, f.Fresh, f.Limit = base, cur, base*tol
 			f.Regression = cur > f.Limit
 			if f.Regression {
-				f.Message = fmt.Sprintf("%s: %.3f regressed >%.0f%% over committed %.3f (limit %.3f)",
-					r.metric, cur, (r.tolerance-1)*100, base, f.Limit)
+				f.Message = fmt.Sprintf("%s: %.3f regressed >%.0f%% over committed %.3f (noise-aware limit %.3f)",
+					r.metric, cur, (tol-1)*100, base, f.Limit)
 			} else {
-				f.Message = fmt.Sprintf("%s: %.3f vs committed %.3f (limit %.3f) ok", r.metric, cur, base, f.Limit)
+				f.Message = fmt.Sprintf("%s: %.3f vs committed %.3f (noise-aware limit %.3f) ok", r.metric, cur, base, f.Limit)
 			}
 		case budgetRule:
 			cur, cok := num(fresh, r.metric)

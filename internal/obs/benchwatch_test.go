@@ -2,10 +2,13 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"isacmp/internal/benchdb"
 )
 
 func hotpathDoc(seconds float64, identical bool) map[string]any {
@@ -165,17 +168,26 @@ func TestWatchFiles(t *testing.T) {
 }
 
 // TestWatchRulesCoverCommittedDocs: every BENCH_*.json schema this
-// repo commits has a watch contract, so `make check`'s bench-watch
-// step can never skip one.
+// repo commits — legacy v1 and fingerprinted v2 alike — resolves to a
+// watch contract through its schema family, so `make check`'s
+// bench-watch step can never skip one.
 func TestWatchRulesCoverCommittedDocs(t *testing.T) {
 	for _, schema := range []string{
 		"isacmp/bench-matrix/v1",
+		"isacmp/bench-matrix/v2",
 		"isacmp/bench-resilience/v1",
+		"isacmp/bench-resilience/v2",
 		"isacmp/bench-hotpath/v1",
+		"isacmp/bench-hotpath/v2",
 		"isacmp/bench-obs/v1",
+		"isacmp/bench-obs/v2",
+		"isacmp/bench-fusion/v2",
+		"isacmp/bench-durable/v2",
 		"isacmp/scaling-report/v1",
+		"isacmp/scaling-report/v2",
+		"isacmp/bench-benchdb/v1",
 	} {
-		if _, ok := watchRules[schema]; !ok {
+		if _, ok := watchRules[benchdb.SchemaFamily(schema)]; !ok {
 			t.Errorf("no watch rules for committed schema %q", schema)
 		}
 	}
@@ -288,5 +300,140 @@ func TestWatchLegacyWarningsDoNotGate(t *testing.T) {
 	}
 	if HasRegression(fs) {
 		t.Fatalf("schema with no workers field must warn, not fail: %+v", fs)
+	}
+}
+
+// watchFingerprint builds the JSON-generic form of a fingerprint as a
+// v2 document would carry it.
+func watchFingerprint(t *testing.T, fp *benchdb.Fingerprint) map[string]any {
+	t.Helper()
+	data, err := json.Marshal(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func v2HotpathDoc(t *testing.T, seconds float64, fp *benchdb.Fingerprint, cv float64) map[string]any {
+	d := map[string]any{
+		"schema":          "isacmp/bench-hotpath/v2",
+		"hotpath_seconds": seconds,
+		"identical":       true,
+		"fingerprint":     watchFingerprint(t, fp),
+		"noise": map[string]any{
+			"reps": 7.0, "median_seconds": 0.002, "min_seconds": 0.0019, "cv": cv,
+		},
+	}
+	return d
+}
+
+// TestWatchCrossVersion: a legacy v1 baseline is readable against a
+// fingerprinted v2 fresh document — the family rules apply and a
+// warning finding records that drift cannot be ruled out.
+func TestWatchCrossVersion(t *testing.T) {
+	fp := &benchdb.Fingerprint{CPUModel: "m", NumCPU: 8, GOMAXPROCS: 8, GoVersion: "go1.22", OS: "linux", Arch: "amd64"}
+	base := hotpathDoc(10.0, true) // v1: no fingerprint
+	fresh := v2HotpathDoc(t, 10.5, fp, 0.01)
+	fs, err := Watch(base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasRegression(fs) {
+		t.Fatalf("v1 baseline vs v2 fresh within tolerance flagged: %+v", fs)
+	}
+	var warned bool
+	for _, f := range fs {
+		if f.Metric == "fingerprint" && f.Warning {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("v1 baseline must carry a fingerprint warning: %+v", fs)
+	}
+
+	// And a genuine regression still fails across versions.
+	fs, err = Watch(base, v2HotpathDoc(t, 12.0, fp, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatalf("20%% slowdown must regress across schema versions: %+v", fs)
+	}
+}
+
+// TestWatchHostDriftRefused is the chaos test of the acceptance
+// criteria: feed the gate a fingerprint-mismatched baseline whose
+// metrics drifted ~15% — exactly the BENCH_PR7 incident — and it must
+// refuse the comparison with a "host drift, not regression" diagnosis
+// instead of reporting a phantom regression.
+func TestWatchHostDriftRefused(t *testing.T) {
+	oldHost := &benchdb.Fingerprint{CPUModel: "old-box", NumCPU: 8, GOMAXPROCS: 8, GoVersion: "go1.22", OS: "linux", Arch: "amd64", Governor: "performance"}
+	newHost := &benchdb.Fingerprint{CPUModel: "new-box", NumCPU: 16, GOMAXPROCS: 16, GoVersion: "go1.22", OS: "linux", Arch: "amd64", Governor: "schedutil"}
+	base := v2HotpathDoc(t, 10.0, oldHost, 0.01)
+	fresh := v2HotpathDoc(t, 11.5, newHost, 0.01) // synthetic 15% drift
+
+	fs, err := Watch(base, fresh)
+	if err == nil {
+		t.Fatalf("cross-fingerprint comparison must be refused, got findings: %+v", fs)
+	}
+	if !errors.Is(err, ErrHostDrift) {
+		t.Fatalf("want ErrHostDrift, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "host drift, not regression") {
+		t.Errorf("diagnosis must say 'host drift, not regression': %v", err)
+	}
+	if !strings.Contains(err.Error(), "re-baseline") {
+		t.Errorf("diagnosis should point at re-baselining: %v", err)
+	}
+
+	// Same fingerprint but a shifted noise-probe median is host drift
+	// too: the probe workload is identical across runs.
+	shifted := v2HotpathDoc(t, 11.5, oldHost, 0.01)
+	shifted["noise"].(map[string]any)["median_seconds"] = 0.0026 // +30%
+	if _, err := Watch(base, shifted); !errors.Is(err, ErrHostDrift) {
+		t.Fatalf("probe-median shift must be ErrHostDrift, got %v", err)
+	}
+}
+
+// TestWatchNoiseAwareTolerance: on a host whose probe recorded real
+// dispersion the ratio limit widens with it, so noise is not judged
+// at the quiet-host tolerance; on a quiet host the classic 10% floor
+// still binds.
+func TestWatchNoiseAwareTolerance(t *testing.T) {
+	fp := &benchdb.Fingerprint{CPUModel: "m", NumCPU: 8, GOMAXPROCS: 8, GoVersion: "go1.22", OS: "linux", Arch: "amd64"}
+	base := v2HotpathDoc(t, 10.0, fp, 0.01)
+
+	// 11.5s is past the 10% floor — a regression on a quiet host...
+	quiet := v2HotpathDoc(t, 11.5, fp, 0.01)
+	fs, err := Watch(base, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatalf("15%% slowdown on a quiet host must regress: %+v", fs)
+	}
+
+	// ...but within the widened limit when the fresh probe recorded 5%
+	// CV (limit = 1 + 6·0.05 = 1.30).
+	noisy := v2HotpathDoc(t, 11.5, fp, 0.05)
+	fs, err = Watch(base, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasRegression(fs) {
+		t.Fatalf("15%% delta under 5%% recorded noise must not regress: %+v", fs)
+	}
+	// A gross slowdown still fails even on the noisy host.
+	gross := v2HotpathDoc(t, 14.0, fp, 0.05)
+	fs, err = Watch(base, gross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasRegression(fs) {
+		t.Fatalf("40%% slowdown must regress at any recorded noise: %+v", fs)
 	}
 }

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"isacmp/internal/benchdb"
+	"isacmp/internal/telemetry"
+)
+
+// /benchz is the benchmark observatory endpoint: the longitudinal
+// view of every committed BENCH_*.json document plus the local
+// benchdb ledger, grouped into per-(schema family, metric) series
+// with median, robust CV and trend. JSON by default; ?format=text
+// renders the ASCII trend table for a terminal.
+
+// BenchzSchema identifies the /benchz document format.
+const BenchzSchema = "isacmp/benchz/v1"
+
+// BenchSource is where /benchz finds benchmark history. Load reads at
+// call time, so a scrape during a live matrix run sees the history as
+// of that moment — the endpoint never caches.
+type BenchSource struct {
+	// Dir is scanned for committed BENCH_*.json documents (the curated
+	// trajectory). "" disables the scan.
+	Dir string
+	// LedgerPath is the benchdb append ledger ("" = none). A missing
+	// file is fine — the ledger only exists once a bench has run.
+	LedgerPath string
+	// Registry, when set, receives the benchdb.* gauges on every Load:
+	// benchdb.docs, benchdb.ledger_entries, benchdb.series,
+	// benchdb.ledger_torn and benchdb.noise_cv (the most recent
+	// recorded probe dispersion).
+	Registry *telemetry.Registry
+}
+
+// BenchzDoc is the /benchz JSON document.
+type BenchzDoc struct {
+	Schema string `json:"schema"`
+	// Docs is how many committed BENCH_*.json documents were read and
+	// LedgerEntries how many valid ledger entries; TornTail reports a
+	// tolerated torn final ledger line.
+	Docs          int  `json:"docs"`
+	LedgerEntries int  `json:"ledger_entries"`
+	TornTail      bool `json:"torn_tail,omitempty"`
+	// Host is the fingerprint of the machine serving the request —
+	// compare it against a series' recorded fingerprints before
+	// trusting a trend across it.
+	Host *benchdb.Fingerprint `json:"host,omitempty"`
+	// Series is the per-(schema family, metric) history, ordered by
+	// schema then metric.
+	Series []benchdb.Series `json:"series"`
+}
+
+// Load gathers the current history: committed documents in trajectory
+// order (numeric-aware name sort, so BENCH_PR10 follows BENCH_PR8),
+// then the ledger. Unreadable or schema-less committed documents are
+// skipped rather than failing the endpoint — one bad file must not
+// take down the observatory.
+func (b *BenchSource) Load() (BenchzDoc, error) {
+	doc := BenchzDoc{Schema: BenchzSchema, Host: benchdb.Collect()}
+	var entries []benchdb.Entry
+	if b.Dir != "" {
+		paths, err := filepath.Glob(filepath.Join(b.Dir, "BENCH_*.json"))
+		if err != nil {
+			return doc, fmt.Errorf("benchz: scan %s: %w", b.Dir, err)
+		}
+		sort.Slice(paths, func(i, j int) bool { return naturalLess(paths[i], paths[j]) })
+		for _, p := range paths {
+			d, _, err := LoadDoc(p)
+			if err != nil {
+				continue
+			}
+			entries = append(entries, benchdb.EntryFromDoc(d, filepath.Base(p)))
+			doc.Docs++
+		}
+	}
+	if b.LedgerPath != "" {
+		ledger, torn, err := benchdb.Replay(b.LedgerPath)
+		if err != nil {
+			return doc, err
+		}
+		doc.TornTail = torn
+		doc.LedgerEntries = len(ledger)
+		entries = append(entries, ledger...)
+	}
+	doc.Series = benchdb.BuildSeries(entries)
+	if b.Registry != nil {
+		b.Registry.Gauge("benchdb.docs").Set(float64(doc.Docs))
+		b.Registry.Gauge("benchdb.ledger_entries").Set(float64(doc.LedgerEntries))
+		b.Registry.Gauge("benchdb.series").Set(float64(len(doc.Series)))
+		torn := 0.0
+		if doc.TornTail {
+			torn = 1.0
+		}
+		b.Registry.Gauge("benchdb.ledger_torn").Set(torn)
+		for i := len(entries) - 1; i >= 0; i-- {
+			if entries[i].Noise != nil {
+				b.Registry.Gauge("benchdb.noise_cv").Set(entries[i].Noise.CV)
+				break
+			}
+		}
+	}
+	return doc, nil
+}
+
+// naturalLess orders names with embedded integers numerically:
+// BENCH_PR8.json < BENCH_PR10.json, where a plain byte compare would
+// interleave them and scramble the trajectory's trend.
+func naturalLess(a, b string) bool {
+	for a != "" && b != "" {
+		da, db := digitPrefix(a), digitPrefix(b)
+		if da > 0 && db > 0 {
+			na, nb := atoiPrefix(a[:da]), atoiPrefix(b[:db])
+			if na != nb {
+				return na < nb
+			}
+			a, b = a[da:], b[db:]
+			continue
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return a == "" && b != ""
+}
+
+func digitPrefix(s string) int {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	return i
+}
+
+func atoiPrefix(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	return n
+}
+
+// WriteBenchzTable renders the ASCII trend table: one row per
+// (schema, metric) series. Trend is latest/median; a trend beyond the
+// series' own dispersion is where to look first.
+func WriteBenchzTable(w io.Writer, doc BenchzDoc) error {
+	if _, err := fmt.Fprintf(w, "benchdb observatory — %d committed docs, %d ledger entries\n",
+		doc.Docs, doc.LedgerEntries); err != nil {
+		return err
+	}
+	if doc.TornTail {
+		if _, err := fmt.Fprintln(w, "warning: ledger ends in a tolerated torn tail"); err != nil {
+			return err
+		}
+	}
+	schemaW, metricW := len("SCHEMA"), len("METRIC")
+	for _, s := range doc.Series {
+		if len(s.Schema) > schemaW {
+			schemaW = len(s.Schema)
+		}
+		if len(s.Metric) > metricW {
+			metricW = len(s.Metric)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-*s  %3s  %10s  %7s  %10s  %6s\n",
+		schemaW, "SCHEMA", metricW, "METRIC", "N", "MEDIAN", "CV", "LATEST", "TREND"); err != nil {
+		return err
+	}
+	for _, s := range doc.Series {
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %3d  %10.4f  %6.1f%%  %10.4f  x%5.2f\n",
+			schemaW, s.Schema, metricW, s.Metric, len(s.Values), s.Median, s.CV*100, s.Latest, s.Trend); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleBenchz(w http.ResponseWriter, r *http.Request) {
+	if s.bench == nil {
+		http.Error(w, "no bench source", http.StatusNotFound)
+		return
+	}
+	doc, err := s.bench.Load()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if strings.EqualFold(r.URL.Query().Get("format"), "text") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := WriteBenchzTable(w, doc); err != nil {
+			s.log.Warn("benchz table write failed", "err", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := writeIndentedJSON(w, doc); err != nil {
+		s.log.Warn("benchz write failed", "err", err)
+	}
+}

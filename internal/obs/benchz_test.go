@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"isacmp/internal/benchdb"
+	"isacmp/internal/telemetry"
+)
+
+// benchzFixture writes a small committed trajectory plus a ledger
+// with fingerprinted entries, and returns the configured source.
+func benchzFixture(t *testing.T, reg *telemetry.Registry) *BenchSource {
+	t.Helper()
+	dir := t.TempDir()
+	writeDoc := func(name string, doc map[string]any) {
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeDoc("BENCH_PR2.json", map[string]any{
+		"schema":             "isacmp/bench-matrix/v1",
+		"sequential_seconds": 10.0,
+		"parallel_seconds":   4.0,
+		"identical":          true,
+	})
+	writeDoc("BENCH_PR10.json", map[string]any{
+		"schema":       "isacmp/bench-benchdb/v1",
+		"bare_seconds": 2.0,
+		"identical":    true,
+	})
+	// A non-BENCH json and a broken BENCH doc must both be ignored.
+	writeDoc("OTHER.json", map[string]any{"schema": "isacmp/bench-matrix/v1"})
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_BROKEN.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ledgerPath := filepath.Join(dir, "BENCHDB.jsonl")
+	l, _, err := benchdb.Open(ledgerPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(benchdb.Entry{
+		Schema:  "isacmp/bench-matrix/v2",
+		Doc:     "BENCH_PR2.json",
+		Metrics: map[string]float64{"sequential_seconds": 12.0},
+		Noise:   &benchdb.Probe{Reps: 7, MedianSeconds: 0.002, MinSeconds: 0.0019, CV: 0.021},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &BenchSource{Dir: dir, LedgerPath: ledgerPath, Registry: reg}
+}
+
+// TestBenchzLoad: committed docs and ledger entries merge into family
+// series, the broken doc is skipped, and the benchdb.* gauges land in
+// the registry.
+func TestBenchzLoad(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	src := benchzFixture(t, reg)
+	doc, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != BenchzSchema {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.Docs != 2 {
+		t.Errorf("docs = %d, want 2 (broken one skipped)", doc.Docs)
+	}
+	if doc.LedgerEntries != 1 || doc.TornTail {
+		t.Errorf("ledger: %d torn=%v", doc.LedgerEntries, doc.TornTail)
+	}
+	if doc.Host == nil || doc.Host.NumCPU <= 0 {
+		t.Errorf("host fingerprint missing: %+v", doc.Host)
+	}
+	var seq *benchdb.Series
+	for i := range doc.Series {
+		if doc.Series[i].Schema == "isacmp/bench-matrix" && doc.Series[i].Metric == "sequential_seconds" {
+			seq = &doc.Series[i]
+		}
+	}
+	if seq == nil {
+		t.Fatalf("no sequential_seconds series: %+v", doc.Series)
+	}
+	// Committed v1 doc then the v2 ledger entry: one family series.
+	if len(seq.Values) != 2 || seq.Values[0] != 10 || seq.Values[1] != 12 || seq.Latest != 12 {
+		t.Fatalf("series: %+v", seq)
+	}
+
+	snap := reg.Snapshot()
+	checks := map[string]float64{
+		"benchdb.docs":           2,
+		"benchdb.ledger_entries": 1,
+		"benchdb.ledger_torn":    0,
+		"benchdb.noise_cv":       0.021,
+	}
+	for name, want := range checks {
+		if got := snap.Gauge(name); got != want {
+			t.Errorf("gauge %s = %v, want %v", name, got, want)
+		}
+	}
+	if got := snap.Gauge("benchdb.series"); got != float64(len(doc.Series)) {
+		t.Errorf("benchdb.series gauge = %v, want %d", got, len(doc.Series))
+	}
+}
+
+// TestBenchzPrometheusExposition: the benchdb gauges flow through the
+// /metrics text exposition under the isacmp_ namespace.
+func TestBenchzPrometheusExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	src := benchzFixture(t, reg)
+	if _, err := src.Load(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE isacmp_benchdb_docs gauge",
+		"isacmp_benchdb_docs 2",
+		"isacmp_benchdb_ledger_entries 1",
+		"isacmp_benchdb_series ",
+		"isacmp_benchdb_noise_cv 0.021",
+		"isacmp_benchdb_ledger_torn 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestBenchzGoldenTable pins the ASCII trend table format.
+func TestBenchzGoldenTable(t *testing.T) {
+	doc := BenchzDoc{
+		Schema:        BenchzSchema,
+		Docs:          2,
+		LedgerEntries: 1,
+		Series: []benchdb.Series{
+			{Schema: "isacmp/bench-matrix", Metric: "sequential_seconds",
+				Values: []float64{10, 12}, Median: 11, CV: 0.1348, Latest: 12, Trend: 12.0 / 11.0},
+			{Schema: "isacmp/bench-obs", Metric: "overhead_percent",
+				Values: []float64{0.5}, Median: 0.5, CV: 0, Latest: 0.5, Trend: 1},
+		},
+	}
+	var b strings.Builder
+	if err := WriteBenchzTable(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"benchdb observatory — 2 committed docs, 1 ledger entries",
+		"SCHEMA               METRIC                N      MEDIAN       CV      LATEST   TREND",
+		"isacmp/bench-matrix  sequential_seconds    2     11.0000    13.5%     12.0000  x 1.09",
+		"isacmp/bench-obs     overhead_percent      1      0.5000     0.0%      0.5000  x 1.00",
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Errorf("table mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	// The torn-tail warning line appears when the ledger tore.
+	doc.TornTail = true
+	b.Reset()
+	if err := WriteBenchzTable(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "torn tail") {
+		t.Errorf("torn-tail warning missing:\n%s", b.String())
+	}
+}
+
+// TestBenchzEndpoint round-trips /benchz over HTTP: the JSON document
+// decodes back to the same series, and ?format=text serves the table.
+func TestBenchzEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	src := benchzFixture(t, reg)
+	srv, err := StartServer(context.Background(), ServerConfig{
+		Addr: "127.0.0.1:0", Registry: reg, Bench: src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	c := testClient()
+
+	code, body, hdr := get(t, c, base+"/benchz")
+	if code != 200 {
+		t.Fatalf("benchz = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var doc BenchzDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("benchz JSON: %v", err)
+	}
+	if doc.Schema != BenchzSchema || doc.Docs != 2 || doc.LedgerEntries != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+	ref, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(ref.Series)
+	gotJSON, _ := json.Marshal(doc.Series)
+	if string(refJSON) != string(gotJSON) {
+		t.Errorf("series did not round-trip:\n%s\nvs\n%s", gotJSON, refJSON)
+	}
+
+	code, body, hdr = get(t, c, base+"/benchz?format=text")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "text/plain") {
+		t.Fatalf("benchz text = %d %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "benchdb observatory") || !strings.Contains(body, "sequential_seconds") {
+		t.Errorf("text table:\n%s", body)
+	}
+
+	// A server without a bench source 404s instead of crashing.
+	bare, err := StartServer(context.Background(), ServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if code, _, _ := get(t, c, "http://"+bare.Addr()+"/benchz"); code != 404 {
+		t.Errorf("benchz without source = %d, want 404", code)
+	}
+}
+
+// TestBenchzConcurrentScrape hammers /benchz and /metrics from many
+// goroutines while a writer appends to the live ledger — the race
+// detector owns the verdict, and every response must be complete.
+func TestBenchzConcurrentScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	src := benchzFixture(t, reg)
+	srv, err := StartServer(context.Background(), ServerConfig{
+		Addr: "127.0.0.1:0", Registry: reg, Bench: src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	l, _, err := benchdb.Open(src.LedgerPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Append(benchdb.Entry{
+				Schema:  "isacmp/bench-matrix/v2",
+				Metrics: map[string]float64{"sequential_seconds": 10 + float64(i)},
+				Noise:   &benchdb.Probe{Reps: 3, MedianSeconds: 0.002, CV: 0.01},
+			}); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	const scrapers = 8
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		scrapeWG.Add(1)
+		go func(i int) {
+			defer scrapeWG.Done()
+			c := testClient()
+			for j := 0; j < 5; j++ {
+				url := base + "/benchz"
+				if i%2 == 1 {
+					url = base + "/metrics"
+				}
+				code, body, _ := get(t, c, url)
+				if code != 200 {
+					t.Errorf("scrape %s = %d: %s", url, code, body)
+					return
+				}
+				if i%2 == 0 {
+					var doc BenchzDoc
+					if err := json.Unmarshal([]byte(body), &doc); err != nil {
+						t.Errorf("mid-append benchz JSON: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	scrapeWG.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// TestNaturalLess pins the trajectory ordering: BENCH_PR10 sorts
+// after BENCH_PR8, not between PR1 and PR2.
+func TestNaturalLess(t *testing.T) {
+	names := []string{"BENCH_PR10.json", "BENCH_PR2.json", "BENCH_PR1.json", "BENCH_PR8.json"}
+	sort.Slice(names, func(i, j int) bool { return naturalLess(names[i], names[j]) })
+	want := fmt.Sprint([]string{"BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR8.json", "BENCH_PR10.json"})
+	if got := fmt.Sprint(names); got != want {
+		t.Errorf("order = %s, want %s", got, want)
+	}
+	if naturalLess("a", "a") {
+		t.Error("equal strings are not less")
+	}
+	if !naturalLess("a", "ab") {
+		t.Error("prefix sorts first")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -31,6 +32,9 @@ type ServerConfig struct {
 	// be nil (-profile off); /profilez then reports the profiler as
 	// disabled and /statusz omits stage_seconds.
 	Profiler *prof.Profiler
+	// Bench backs /benchz: the committed BENCH_*.json trajectory plus
+	// the benchdb ledger. May be nil; /benchz then returns 404.
+	Bench *BenchSource
 	// Log receives server lifecycle lines. Nil means silent.
 	Log *slog.Logger
 }
@@ -52,6 +56,7 @@ type Server struct {
 	board    *Board
 	reg      *telemetry.Registry
 	profiler *prof.Profiler
+	bench    *BenchSource
 	log      *slog.Logger
 	ready    atomic.Bool
 	shutdown chan struct{} // closed exactly once, by Close
@@ -73,6 +78,7 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 		board:    cfg.Board,
 		reg:      cfg.Registry,
 		profiler: cfg.Profiler,
+		bench:    cfg.Bench,
 		log:      slogx.OrNop(cfg.Log),
 		shutdown: make(chan struct{}),
 		served:   make(chan struct{}),
@@ -84,6 +90,7 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/profilez", s.handleProfilez)
+	mux.HandleFunc("/benchz", s.handleBenchz)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -192,11 +199,17 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		doc.StageSeconds = s.profiler.StageSeconds()
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := writeIndentedJSON(w, doc); err != nil {
 		s.log.Warn("statusz write failed", "err", err)
 	}
+}
+
+// writeIndentedJSON is the shared two-space-indented document
+// encoding of the JSON endpoints.
+func writeIndentedJSON(w io.Writer, doc any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // profileDoc is the /profilez JSON document: the live span profiler's

@@ -66,7 +66,13 @@ type StatusDoc struct {
 	// Served counts terminal cells by durability source ("journal",
 	// "cache") — the resumed-vs-computed split; computed cells are the
 	// done/failed counts in States minus these.
-	Served          map[string]int     `json:"served,omitempty"`
+	Served map[string]int `json:"served,omitempty"`
+	// ServedPerSecond is the resume throughput: served cells per second
+	// of uptime. It is reported separately from the EWMAs on purpose —
+	// a replayed cell costs microseconds, so folding it into the
+	// throughput estimator would make the ETA wildly optimistic for the
+	// cells that still have to be computed.
+	ServedPerSecond float64            `json:"served_per_second,omitempty"`
 	Cells           []CellStatus       `json:"cells"`
 	QueueDepths     map[string]float64 `json:"queue_depths,omitempty"`
 	EWMACellSeconds float64            `json:"ewma_cell_seconds,omitempty"`
@@ -394,6 +400,15 @@ func (b *Board) Status() StatusDoc {
 	}
 	if b.ewmaSecs > 0 && remaining > 0 {
 		doc.ETASeconds = float64(remaining) * b.ewmaSecs / float64(workers)
+	}
+	if doc.UptimeSeconds > 0 {
+		served := 0
+		for _, n := range doc.Served {
+			served += n
+		}
+		if served > 0 {
+			doc.ServedPerSecond = float64(served) / doc.UptimeSeconds
+		}
 	}
 	reg := b.reg
 	b.mu.Unlock()

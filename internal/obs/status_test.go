@@ -114,6 +114,57 @@ func TestBoardEvents(t *testing.T) {
 	}
 }
 
+// TestServedCellsExcludedFromETA pins the -resume ETA contract: cells
+// served from the journal or content cache never feed the throughput
+// EWMAs (their replay takes microseconds and says nothing about how
+// fast the remaining cells will compute), and they surface instead as
+// the separate served counts + served_per_second resumed rate.
+func TestServedCellsExcludedFromETA(t *testing.T) {
+	b := NewBoard("run-resume", nil)
+	b.SetWorkers(1)
+	b.Register("stream", "rv64")
+	b.Register("stream", "a64")
+	b.Register("lbm", "rv64")
+	b.Register("lbm", "a64")
+
+	// Two cells replay instantly from the durability layer...
+	b.Served("stream", "rv64", "journal", false, "", 1_000_000)
+	b.Served("stream", "a64", "cache", false, "", 1_000_000)
+	doc := b.Status()
+	if doc.EWMACellSeconds != 0 || doc.EWMAMIPS != 0 {
+		t.Fatalf("served cells fed the EWMAs: secs=%v mips=%v", doc.EWMACellSeconds, doc.EWMAMIPS)
+	}
+	if doc.ETASeconds != 0 {
+		t.Fatalf("ETA from served cells alone = %v, want 0 (no throughput evidence yet)", doc.ETASeconds)
+	}
+	if doc.Served["journal"] != 1 || doc.Served["cache"] != 1 {
+		t.Fatalf("served split = %+v", doc.Served)
+	}
+	if doc.ServedPerSecond <= 0 {
+		t.Fatalf("served_per_second = %v, want > 0 once cells were replayed", doc.ServedPerSecond)
+	}
+
+	// ...then one real cell computes in 4s: the ETA for the last
+	// pending cell must come from the computed pace alone. Had the two
+	// served cells fed the EWMA, it would read ~a third of this.
+	b.Running("lbm", "rv64", 1)
+	b.Done("lbm", "rv64", 4.0, 4_000_000)
+	doc = b.Status()
+	if doc.EWMACellSeconds != 4.0 {
+		t.Fatalf("ewma seconds = %v, want 4.0 from the computed cell only", doc.EWMACellSeconds)
+	}
+	if doc.ETASeconds != 4.0 {
+		t.Fatalf("eta = %v, want 4.0 (1 remaining cell / 1 worker at computed pace)", doc.ETASeconds)
+	}
+
+	// A board with no served cells reports no resumed rate at all.
+	fresh := NewBoard("run-fresh", nil)
+	fresh.Register("w", "t")
+	if doc := fresh.Status(); doc.ServedPerSecond != 0 {
+		t.Fatalf("fresh run served_per_second = %v, want 0", doc.ServedPerSecond)
+	}
+}
+
 // TestNilBoard: every method is a no-op on a nil board so unserved
 // runs can drive the calls unconditionally, and NewMeter returns a nil
 // meter (whose Flush is also safe).
